@@ -1,0 +1,55 @@
+//! Criterion benchmarks of the attack-level operations: Scenario A payload
+//! crafting and one advertising event, Scenario B PHY round trips, CSA#2.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wazabee::scenario_a::craft_manufacturer_data;
+use wazabee::{encode_ppdu_msk, prewhiten_bits};
+use wazabee_ble::adv::BleAddress;
+use wazabee_ble::csa2::{select_channel, ChannelMap};
+use wazabee_ble::BleChannel;
+use wazabee_chips::Smartphone;
+use wazabee_dot154::fcs::append_fcs;
+use wazabee_dot154::Ppdu;
+
+fn scenario_a_ops(c: &mut Criterion) {
+    let ppdu = Ppdu::new(append_fcs(&[1, 2, 3, 4, 5, 6, 7, 8])).unwrap();
+    let ch8 = BleChannel::new(8).expect("channel 8");
+    c.bench_function("craft_manufacturer_data", |b| {
+        b.iter(|| craft_manufacturer_data(std::hint::black_box(&ppdu), ch8))
+    });
+    c.bench_function("encode_ppdu_msk", |b| {
+        b.iter(|| encode_ppdu_msk(std::hint::black_box(&ppdu)))
+    });
+    let bits = encode_ppdu_msk(&ppdu);
+    c.bench_function("prewhiten_bits", |b| {
+        b.iter(|| prewhiten_bits(std::hint::black_box(&bits), ch8))
+    });
+    let mut g = c.benchmark_group("advertising_event");
+    g.sample_size(10);
+    g.bench_function("smartphone_event", |b| {
+        let mut phone = Smartphone::new(BleAddress::new([1, 2, 3, 4, 5, 6]), 8);
+        phone
+            .set_manufacturer_data(craft_manufacturer_data(&ppdu, ch8).unwrap())
+            .unwrap();
+        b.iter(|| phone.advertising_event())
+    });
+    g.finish();
+}
+
+fn csa2_ops(c: &mut Criterion) {
+    let map = ChannelMap::all_data_channels();
+    c.bench_function("csa2_select_channel", |b| {
+        let mut ev = 0u16;
+        b.iter(|| {
+            ev = ev.wrapping_add(1);
+            select_channel(0x8E89_BED6, std::hint::black_box(ev), &map)
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = scenario_a_ops, csa2_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,95 @@
+//! Criterion benchmarks of the extension layers: the IDS pipeline and the
+//! covert exfiltration channel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wazabee::exfil::{exfil_frames, ExfilCollector, ExfilConfig};
+use wazabee::{cross_similarity, WaveformFamily};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, MacFrame, Ppdu};
+use wazabee_dsp::spectrum::{periodogram, summarize};
+use wazabee_dsp::Iq;
+use wazabee_ids::{detect_bursts, BurstDetectorConfig, ChannelMonitor, Classifier, MonitorConfig};
+
+fn padded_zigbee_burst() -> Vec<Iq> {
+    let modem = Dot154Modem::new(8);
+    let ppdu = Ppdu::new(append_fcs(&[0x42; 12])).unwrap();
+    let mut buf = vec![Iq::ZERO; 600];
+    buf.extend(modem.transmit(&ppdu));
+    buf.extend(vec![Iq::ZERO; 600]);
+    buf
+}
+
+fn bench_ids(c: &mut Criterion) {
+    let burst = padded_zigbee_burst();
+    c.bench_function("ids_burst_detection", |b| {
+        b.iter(|| detect_bursts(std::hint::black_box(&burst), &BurstDetectorConfig::default()))
+    });
+    let classifier = Classifier::new(2420, 8);
+    c.bench_function("ids_classify_burst", |b| {
+        b.iter(|| classifier.classify(std::hint::black_box(&burst)))
+    });
+    let mut g = c.benchmark_group("ids_observe");
+    g.sample_size(10);
+    g.bench_function("full_window", |b| {
+        let mut monitor = ChannelMonitor::new(2420, 8, MonitorConfig::default());
+        b.iter(|| monitor.observe(std::hint::black_box(&burst)))
+    });
+    g.finish();
+}
+
+fn bench_spectrum(c: &mut Criterion) {
+    let burst = padded_zigbee_burst();
+    c.bench_function("periodogram_burst", |b| {
+        b.iter(|| periodogram(std::hint::black_box(&burst)))
+    });
+    c.bench_function("spectrum_summary", |b| {
+        b.iter(|| summarize(std::hint::black_box(&burst), 16.0e6))
+    });
+}
+
+fn bench_exfil(c: &mut Criterion) {
+    let data = vec![0xA5u8; 1024];
+    let cfg = ExfilConfig::default();
+    c.bench_function("exfil_chunking_1k", |b| {
+        b.iter(|| exfil_frames(std::hint::black_box(&data), 1, &cfg))
+    });
+    let frames: Vec<MacFrame> = exfil_frames(&data, 1, &cfg)
+        .unwrap()
+        .iter()
+        .map(|f| MacFrame::from_psdu(f.psdu()).unwrap())
+        .collect();
+    c.bench_function("exfil_reassembly_1k", |b| {
+        b.iter(|| {
+            let mut collector = ExfilCollector::new();
+            let mut out = None;
+            for f in &frames {
+                out = collector.ingest(std::hint::black_box(f)).or(out);
+            }
+            out
+        })
+    });
+}
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut g = c.benchmark_group("similarity");
+    g.sample_size(10);
+    g.bench_function("gfsk_vs_oqpsk_512_bits", |b| {
+        b.iter(|| {
+            cross_similarity(
+                WaveformFamily::ble_le2m(),
+                WaveformFamily::OqpskHalfSine,
+                512,
+                8,
+                12.0,
+                1,
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_ids, bench_spectrum, bench_exfil, bench_similarity
+}
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion benchmarks of the waveform-layer building blocks: how fast the
+//! simulated radios modulate and demodulate.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use wazabee_ble::gfsk::{demodulate_aligned, modulate, GfskParams};
+use wazabee_ble::{BleChannel, BleModem, BlePacket, BlePhy, Whitener};
+use wazabee_dot154::dsss::{despread_to_bytes, spread_bytes};
+use wazabee_dot154::oqpsk::modulate_chips;
+use wazabee_dot154::{Dot154Modem, Ppdu};
+
+fn bench_gfsk(c: &mut Criterion) {
+    let params = GfskParams::ble(BlePhy::Le2M, 8);
+    let bits: Vec<u8> = (0..2048).map(|k| (k * 7 % 3 == 0) as u8).collect();
+    let mut g = c.benchmark_group("gfsk");
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("modulate_2048_bits", |b| {
+        b.iter(|| modulate(&params, std::hint::black_box(&bits)))
+    });
+    let iq = modulate(&params, &bits);
+    g.bench_function("demodulate_2048_bits", |b| {
+        b.iter(|| demodulate_aligned(&params, std::hint::black_box(&iq), 0))
+    });
+    g.finish();
+}
+
+fn bench_oqpsk(c: &mut Criterion) {
+    let psdu: Vec<u8> = (0..32).collect();
+    let chips = spread_bytes(&psdu);
+    let mut g = c.benchmark_group("oqpsk");
+    g.throughput(Throughput::Elements(chips.len() as u64));
+    g.bench_function("modulate_2048_chips", |b| {
+        b.iter(|| modulate_chips(std::hint::black_box(&chips), 8))
+    });
+    g.bench_function("despread_2048_chips", |b| {
+        b.iter(|| despread_to_bytes(std::hint::black_box(&chips)))
+    });
+    g.finish();
+}
+
+fn bench_packet_paths(c: &mut Criterion) {
+    let ch = BleChannel::new(8).expect("channel 8");
+    let ble = BleModem::new(BlePhy::Le2M, 8);
+    let pkt = BlePacket::advertising((0..40u8).map(|k| if k == 1 { 38 } else { k }).collect());
+    let zigbee = Dot154Modem::new(8);
+    let ppdu = Ppdu::new(wazabee_dot154::fcs::append_fcs(&[0x42; 20])).expect("fits");
+    let mut g = c.benchmark_group("packet_paths");
+    g.bench_function("ble_packet_tx", |b| {
+        b.iter(|| ble.transmit(std::hint::black_box(&pkt), ch, true))
+    });
+    let air_ble = ble.transmit(&pkt, ch, true);
+    g.bench_function("ble_packet_rx", |b| {
+        b.iter(|| ble.receive(std::hint::black_box(&air_ble), pkt.access_address(), ch, true))
+    });
+    g.bench_function("dot154_ppdu_tx", |b| {
+        b.iter(|| zigbee.transmit(std::hint::black_box(&ppdu)))
+    });
+    let air_z = zigbee.transmit(&ppdu);
+    g.bench_function("dot154_ppdu_rx_msk_view", |b| {
+        b.iter(|| zigbee.receive(std::hint::black_box(&air_z)))
+    });
+    g.finish();
+}
+
+fn bench_whitening(c: &mut Criterion) {
+    let ch = BleChannel::new(8).expect("channel 8");
+    let data: Vec<u8> = (0..=255).collect();
+    c.bench_function("whiten_256_bytes", |b| {
+        b.iter_batched(
+            || Whitener::new(ch),
+            |w| w.whiten_bytes(std::hint::black_box(&data)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_gfsk, bench_oqpsk, bench_packet_paths, bench_whitening
+}
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! Criterion benchmarks of the per-frame kernels behind each table of the
+//! paper: one Table III cell iteration (reception and transmission), the
+//! Table I / §IV-C conversions, and the Table II lookups.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wazabee::msk::{correspondence_table, pn_to_msk_algorithm1};
+use wazabee::{ble_channel_for_zigbee, WazaBeeRx, WazaBeeTx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::pn::pn_sequence;
+use wazabee_dot154::{Dot154Channel, Dot154Modem, MacFrame, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn table3_frame(c: &mut Criterion) {
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+    let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+    let ppdu = Ppdu::new(MacFrame::data(0x1234, 0x63, 0x42, 1, vec![1, 2]).to_psdu()).unwrap();
+    let mut g = c.benchmark_group("table3_frame");
+    g.sample_size(10);
+    g.bench_function("reception_primitive", |b| {
+        let mut link = Link::new(LinkConfig::office_3m(), 1);
+        b.iter(|| {
+            let air = zigbee.transmit(&ppdu);
+            let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+            rx.receive(std::hint::black_box(&heard))
+        })
+    });
+    g.bench_function("transmission_primitive", |b| {
+        let mut link = Link::new(LinkConfig::office_3m(), 2);
+        b.iter(|| {
+            let air = tx.transmit(&ppdu);
+            let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+            zigbee.receive(std::hint::black_box(&heard))
+        })
+    });
+    g.finish();
+}
+
+fn table1_conversions(c: &mut Criterion) {
+    c.bench_function("algorithm1_one_sequence", |b| {
+        b.iter(|| pn_to_msk_algorithm1(std::hint::black_box(pn_sequence(7))))
+    });
+    c.bench_function("algorithm1_full_table", |b| b.iter(correspondence_table));
+}
+
+fn table2_lookups(c: &mut Criterion) {
+    let channels: Vec<_> = Dot154Channel::all().collect();
+    c.bench_function("table2_lookup_all", |b| {
+        b.iter(|| {
+            channels
+                .iter()
+                .filter_map(|&z| ble_channel_for_zigbee(std::hint::black_box(z)))
+                .count()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = table3_frame, table1_conversions, table2_lookups
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Ablation: carrier-frequency offset tolerance. Real BLE crystals drift by
+//! tens of kHz; how much CFO can the cross-technology link absorb before the
+//! discriminator's decision threshold shifts too far?
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin ablation_cfo [frames]`
+
+use wazabee::{WazaBeeRx, WazaBeeTx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn main() {
+    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+    let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+    println!("# Cross-technology link vs carrier frequency offset ({frames} frames per cell, 18 dB)");
+    println!("cfo_khz,direction,valid,chip_errors_per_frame");
+    for cfo_khz in [0.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0] {
+        for dir in ["ble_to_zigbee", "zigbee_to_ble"] {
+            let cfg = LinkConfig {
+                snr_db: Some(18.0),
+                cfo_hz: cfo_khz * 1e3,
+                ..LinkConfig::office_3m()
+            };
+            let mut link = Link::new(cfg, cfo_khz as u64 + 1);
+            let (mut valid, mut errs) = (0usize, 0usize);
+            for k in 0..frames {
+                let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
+                let got = if dir == "ble_to_zigbee" {
+                    let heard = link.deliver(
+                        &RfFrame::new(2420, tx.transmit(&ppdu), zigbee.sample_rate()),
+                        2420,
+                    );
+                    zigbee.receive(&heard).map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
+                } else {
+                    let heard = link.deliver(
+                        &RfFrame::new(2420, zigbee.transmit(&ppdu), zigbee.sample_rate()),
+                        2420,
+                    );
+                    rx.receive(&heard).map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
+                };
+                if let Some((fcs, psdu, ce)) = got {
+                    if fcs && psdu == ppdu.psdu() {
+                        valid += 1;
+                        errs += ce;
+                    }
+                }
+            }
+            println!("{cfo_khz},{dir},{valid},{:.2}", errs as f64 / valid.max(1) as f64);
+        }
+    }
+}

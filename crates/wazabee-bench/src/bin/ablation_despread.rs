@@ -1,0 +1,46 @@
+//! Ablation: despreading with the paper's Algorithm-1 table versus the
+//! waveform-exact MSK images (DESIGN.md decision 1). The Algorithm-1 table
+//! is off by at most one bit per symbol; does it ever cost a frame?
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin ablation_despread [frames]`
+
+use wazabee::{DespreadTable, WazaBeeRx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn main() {
+    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    println!("# RX primitive: Algorithm-1 table vs waveform-exact table ({frames} frames per cell)");
+    println!("snr_db,table,valid,chip_errors_per_frame");
+    for snr in [6.0, 8.0, 10.0, 14.0, 20.0] {
+        for (name, table) in [
+            ("algorithm1", DespreadTable::Algorithm1),
+            ("waveform", DespreadTable::Waveform),
+        ] {
+            let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
+                .expect("LE 2M")
+                .with_table(table);
+            let cfg = LinkConfig {
+                snr_db: Some(snr),
+                ..LinkConfig::office_3m()
+            };
+            let mut link = Link::new(cfg, 4242);
+            let (mut valid, mut errs) = (0usize, 0usize);
+            for k in 0..frames {
+                let ppdu = Ppdu::new(append_fcs(&[k as u8, 1, 2, 3, 4, 5])).unwrap();
+                let air = zigbee.transmit(&ppdu);
+                let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+                if let Some(r) = rx.receive(&heard) {
+                    if r.fcs_ok() && r.psdu == ppdu.psdu() {
+                        valid += 1;
+                        errs += r.chip_errors;
+                    }
+                }
+            }
+            println!("{snr},{name},{valid},{:.2}", errs as f64 / valid.max(1) as f64);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Ablation: the paper's theory neglects the Gaussian filter (§IV-B1) and
+//! relies on Hamming-distance despreading to absorb the resulting chip
+//! errors. How many errors does BT = 0.5 shaping actually introduce, versus
+//! the ideal rectangular (pure MSK) modulator?
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin ablation_gaussian [frames]`
+
+use wazabee::WazaBeeTx;
+use wazabee_ble::gfsk::GfskParams;
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn run(shaping: &str, params: GfskParams, frames: usize, snr_db: f64) -> (usize, f64) {
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    let tx = WazaBeeTx::new(BleModem::with_params(BlePhy::Le2M, params)).expect("2 Mbit/s");
+    let cfg = LinkConfig {
+        snr_db: Some(snr_db),
+        ..LinkConfig::office_3m()
+    };
+    let mut link = Link::new(cfg, 77);
+    let (mut valid, mut chip_errs) = (0usize, 0usize);
+    for k in 0..frames {
+        let ppdu = Ppdu::new(append_fcs(&[k as u8; 12])).unwrap();
+        let air = tx.transmit(&ppdu);
+        let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+        if let Some(r) = zigbee.receive(&heard) {
+            if r.fcs_ok() {
+                valid += 1;
+                chip_errs += r.chip_errors;
+            }
+        }
+    }
+    let _ = shaping;
+    (valid, chip_errs as f64 / valid.max(1) as f64)
+}
+
+fn main() {
+    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    println!("# Gaussian-filter cost on the TX primitive ({frames} frames per cell)");
+    println!("snr_db,shaping,valid,chip_errors_per_frame");
+    for snr in [8.0, 10.0, 12.0, 16.0, 22.0] {
+        let gaussian = GfskParams::ble(BlePhy::Le2M, 8);
+        let rect = GfskParams::msk(BlePhy::Le2M, 8);
+        let (v_g, e_g) = run("gaussian", gaussian, frames, snr);
+        let (v_r, e_r) = run("rect", rect, frames, snr);
+        println!("{snr},BT=0.5,{v_g},{e_g:.2}");
+        println!("{snr},rectangular,{v_r},{e_r:.2}");
+    }
+}

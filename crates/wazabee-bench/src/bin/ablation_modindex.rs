@@ -1,0 +1,46 @@
+//! Ablation: BLE permits modulation indices from 0.45 to 0.55 (paper
+//! §III-B); WazaBee's theory assumes exactly 0.5 (MSK). How much does a
+//! non-ideal index cost the reception primitive?
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin ablation_modindex [frames]`
+
+use wazabee::WazaBeeTx;
+use wazabee_ble::gfsk::GfskParams;
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn main() {
+    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    println!("# TX primitive frame delivery vs BLE modulation index (h), {frames} frames each");
+    println!("h,valid,corrupted,lost,chip_errors_per_frame");
+    for h in [0.45, 0.48, 0.50, 0.52, 0.55] {
+        let params = GfskParams {
+            modulation_index: h,
+            ..GfskParams::ble(BlePhy::Le2M, sps)
+        };
+        let modem = BleModem::with_params(BlePhy::Le2M, params);
+        let tx = WazaBeeTx::new(modem).expect("2 Mbit/s");
+        let mut link = Link::new(LinkConfig::office_3m(), (h * 1000.0) as u64);
+        let (mut valid, mut corrupted, mut lost, mut chip_errs) = (0, 0, 0, 0usize);
+        for k in 0..frames {
+            let ppdu = Ppdu::new(append_fcs(&[k as u8, 0xA5, 0x5A, k as u8])).unwrap();
+            let air = tx.transmit(&ppdu);
+            let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+            match zigbee.receive(&heard) {
+                Some(r) if r.fcs_ok() && r.psdu == ppdu.psdu() => {
+                    valid += 1;
+                    chip_errs += r.chip_errors;
+                }
+                Some(_) => corrupted += 1,
+                None => lost += 1,
+            }
+        }
+        println!(
+            "{h:.2},{valid},{corrupted},{lost},{:.1}",
+            chip_errs as f64 / valid.max(1) as f64
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Ablation: the RX primitive's access-address correlator tolerance
+//! (DESIGN.md decision 5). Too strict loses frames in noise; too loose
+//! risks syncing on garbage.
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin ablation_sync [frames]`
+
+use wazabee::WazaBeeRx;
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+use wazabee_dsp::{AwgnSource, Iq};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn main() {
+    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let sps = 8;
+    let zigbee = Dot154Modem::new(sps);
+    println!("# RX sync tolerance sweep at 7 dB SNR ({frames} frames; plus false-sync probe on pure noise)");
+    println!("max_sync_errors,valid,lost,false_syncs_in_noise");
+    for tol in [0usize, 1, 2, 3, 5, 8] {
+        let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
+            .expect("LE 2M")
+            .with_max_sync_errors(tol);
+        let cfg = LinkConfig {
+            snr_db: Some(7.0),
+            ..LinkConfig::office_3m()
+        };
+        let mut link = Link::new(cfg, tol as u64 + 9);
+        let (mut valid, mut lost) = (0usize, 0usize);
+        for k in 0..frames {
+            let ppdu = Ppdu::new(append_fcs(&[k as u8; 6])).unwrap();
+            let air = zigbee.transmit(&ppdu);
+            let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+            match rx.receive(&heard) {
+                Some(r) if r.fcs_ok() && r.psdu == ppdu.psdu() => valid += 1,
+                _ => lost += 1,
+            }
+        }
+        // False-sync probe: how often does pure noise trip the correlator?
+        let mut false_syncs = 0usize;
+        for probe in 0..20 {
+            let mut noise = vec![Iq::ZERO; 20_000];
+            AwgnSource::new(1_000 + probe, 0.7).add_to(&mut noise);
+            if rx.receive(&noise).is_some() {
+                false_syncs += 1;
+            }
+        }
+        println!("{tol},{valid},{lost},{false_syncs}/20");
+    }
+}

@@ -1,0 +1,39 @@
+//! Regenerates paper Figure 3: the O-QPSK constellation with half-sine
+//! pulse shaping — four states, every transition a ±π/2 rotation whose
+//! direction is set by the incoming (even or odd) chip.
+//!
+//! Run with: `cargo run -p wazabee-bench --bin fig3`
+
+use wazabee_dot154::oqpsk::modulate_chips;
+use wazabee_dsp::discriminator::phase_trajectory;
+
+fn main() {
+    println!("# Figure 3 — I/Q representation of O-QPSK with half-sine pulse shaping");
+    println!("# Constellation states (at half-chip instants): label = (even chip, odd chip)");
+    for (label, angle) in [("11", 45.0), ("01", 135.0), ("00", 225.0), ("10", 315.0)] {
+        let rad = angle * std::f64::consts::PI / 180.0;
+        println!("state {label}: ({:+.4}, {:+.4}) at {angle}°", rad.cos(), rad.sin());
+    }
+    println!();
+    println!("# Transitions: every chip rotates the phase by ±π/2");
+    println!("prev_chip,new_chip,rail,rotation");
+    let spc = 32;
+    for rail in ["even", "odd"] {
+        for prev in [0u8, 1] {
+            for new in [0u8, 1] {
+                // Build a 4-chip context placing (prev, new) on the wanted rail.
+                let chips: Vec<u8> = if rail == "even" {
+                    vec![1, prev, new, 1] // transition during interval 2 (even chip arrives)
+                } else {
+                    vec![prev, new, 1, 1] // transition during interval 1 (odd chip arrives)
+                };
+                let samples = modulate_chips(&chips, spc);
+                let phase = phase_trajectory(&samples);
+                let idx = if rail == "even" { 2 } else { 1 };
+                let d = phase[(idx + 1) * spc] - phase[idx * spc];
+                let dir = if d > 0.0 { "+π/2 (CCW, msk 1)" } else { "-π/2 (CW, msk 0)" };
+                println!("{prev},{new},{rail},{dir}");
+            }
+        }
+    }
+}

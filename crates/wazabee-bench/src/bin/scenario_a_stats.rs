@@ -1,0 +1,69 @@
+//! Statistics for Scenario A (paper Figure 4): the probability that the
+//! extended-advertising injection lands on the target Zigbee channel, and
+//! how many events an attacker needs for the first successful injection.
+//!
+//! Run with: `cargo run --release -p wazabee-bench --bin scenario_a_stats [phones] [events]`
+
+use wazabee::scenario_a::{EventOutcome, ScenarioA};
+use wazabee_ble::adv::BleAddress;
+use wazabee_chips::Smartphone;
+use wazabee_dot154::{fcs::append_fcs, Dot154Channel, Ppdu};
+use wazabee_radio::{Link, LinkConfig};
+
+fn main() {
+    let phones: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let events: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let target = Dot154Channel::new(14).expect("channel 14");
+    let ppdu = Ppdu::new(append_fcs(&[0x01, 0x39, 0x05])).expect("fits");
+
+    println!("# Scenario A statistics — {phones} phones x {events} advertising events, target {target}");
+    println!("phone,access_address,events,on_target,injected,first_success_event");
+    let mut total_events = 0usize;
+    let mut total_injected = 0usize;
+    let mut first_successes = Vec::new();
+    for p in 0..phones {
+        let phone = Smartphone::new(BleAddress::new([p as u8, 0x4F, 0x33, 0x21, 0x8A, 0xC5]), 8);
+        let aa = phone.access_address();
+        let mut scenario = ScenarioA::new(phone, target, 8).expect("Table II channel");
+        scenario.arm(&ppdu).expect("fits");
+        let mut link = Link::new(LinkConfig::office_3m(), 1000 + p as u64);
+        let outcomes = scenario.run_events(events, &mut link);
+        let on_target = outcomes
+            .iter()
+            .filter(|o| !matches!(o, EventOutcome::WrongChannel(_)))
+            .count();
+        let injected = outcomes
+            .iter()
+            .filter(|o| matches!(o, EventOutcome::Injected(_)))
+            .count();
+        let first = outcomes
+            .iter()
+            .position(|o| matches!(o, EventOutcome::Injected(_)));
+        if let Some(f) = first {
+            first_successes.push(f + 1);
+        }
+        println!(
+            "{p},0x{aa:08X},{events},{on_target},{injected},{}",
+            first.map(|f| (f + 1).to_string()).unwrap_or_else(|| "-".into())
+        );
+        total_events += events;
+        total_injected += injected;
+    }
+    println!();
+    if total_events > 0 {
+        println!(
+            "# aggregate injection rate: {:.2}% per event (CSA#2 uniform over 37 channels => 2.70%)",
+            100.0 * total_injected as f64 / total_events as f64
+        );
+    } else {
+        println!("# no events run");
+    }
+    if !first_successes.is_empty() {
+        let mean = first_successes.iter().sum::<usize>() as f64 / first_successes.len() as f64;
+        println!(
+            "# first success after {mean:.1} events on average (geometric expectation 37); \
+             {} of {phones} phones succeeded within {events} events",
+            first_successes.len()
+        );
+    }
+}

@@ -1,0 +1,30 @@
+//! Regenerates paper Table I (the symbol → PN sequence map) together with
+//! the §IV-C MSK correspondence table the attack derives from it.
+//!
+//! Run with: `cargo run -p wazabee-bench --bin table1`
+
+use wazabee::msk::correspondence_table;
+use wazabee_dot154::pn::PN_SEQUENCES;
+
+fn bits(b: &[u8]) -> String {
+    b.chunks(8)
+        .map(|c| c.iter().map(|&x| char::from(b'0' + x)).collect::<String>())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn main() {
+    println!("Table I — block / PN sequence correspondence (b0 first, c0 first)");
+    println!("{:<8} {}", "block", "PN sequence (c0..c31)");
+    for (symbol, pn) in PN_SEQUENCES.iter().enumerate() {
+        let block: String = (0..4).map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8)).collect();
+        println!("{block:<8} {}", bits(pn));
+    }
+    println!();
+    println!("Derived MSK correspondence table (paper §IV-C, Algorithm 1; 31 bits per symbol)");
+    println!("{:<8} {}", "block", "MSK sequence (m0..m30)");
+    for (symbol, msk) in correspondence_table().iter().enumerate() {
+        let block: String = (0..4).map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8)).collect();
+        println!("{block:<8} {}", bits(msk));
+    }
+}

@@ -1,0 +1,20 @@
+//! Regenerates paper Table II: the Zigbee/BLE channels sharing a centre
+//! frequency — the subset reachable by chips without arbitrary tuning.
+//!
+//! Run with: `cargo run -p wazabee-bench --bin table2`
+
+use wazabee::common_channels;
+
+fn main() {
+    println!("Table II — Zigbee and BLE common channels");
+    println!("{:>15} | {:>12} | {:>22}", "Zigbee channel", "BLE channel", "centre frequency (fc)");
+    println!("{}", "-".repeat(56));
+    for row in common_channels() {
+        println!(
+            "{:>15} | {:>12} | {:>18} MHz",
+            row.zigbee.number(),
+            row.ble.index(),
+            row.center_mhz()
+        );
+    }
+}

@@ -1,0 +1,351 @@
+//! The Table III experiment engine: reception and transmission primitive
+//! assessment (paper §V).
+//!
+//! Protocol, as in the paper: one hundred 802.15.4 frames carrying an
+//! incrementing counter cross 3 metres of office air on every Zigbee channel;
+//! each frame is classified *valid* (received, FCS intact, counter matches),
+//! *corrupted* (received but integrity broken) or *lost*. The office air
+//! carries WiFi on channels 6 and 11, which is what dents the channels
+//! around 2437 and 2462 MHz.
+
+use wazabee::{WazaBeeRx, WazaBeeTx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_chips::ChipCapabilities;
+use wazabee_dot154::{Dot154Channel, Dot154Modem, MacFrame, Ppdu};
+use wazabee_radio::{Link, LinkConfig, RfFrame, WifiChannel, WifiInterferer};
+
+/// Which primitive is under assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Primitive {
+    /// Zigbee transmitter → diverted BLE chip (paper's first experiment).
+    Reception,
+    /// Diverted BLE chip → Zigbee receiver (paper's second experiment).
+    Transmission,
+}
+
+impl std::fmt::Display for Primitive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Primitive::Reception => write!(f, "reception"),
+            Primitive::Transmission => write!(f, "transmission"),
+        }
+    }
+}
+
+/// Experiment configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct Table3Config {
+    /// Frames per channel (100 in the paper).
+    pub frames: usize,
+    /// Link SNR in dB before per-chip quality adjustment.
+    pub snr_db: f64,
+    /// Whether the WiFi interferers on channels 6 and 11 are present.
+    pub wifi: bool,
+    /// Simulation oversampling factor.
+    pub samples_per_symbol: usize,
+    /// Base random seed (frames, noise and bursts derive from it).
+    pub seed: u64,
+}
+
+impl Default for Table3Config {
+    fn default() -> Self {
+        Table3Config {
+            // 3 dB stands in for every real-world impairment of the paper's
+            // office testbed; it is calibrated so the nRF52832 baseline
+            // reproduces the paper's ≈98.6% clean-channel validity, with the
+            // CC1352-R1's +1.5 dB front end then landing near-perfect.
+            frames: 100,
+            snr_db: 4.3,
+            wifi: true,
+            samples_per_symbol: 8,
+            seed: 0xDA7A_B33,
+        }
+    }
+}
+
+impl Table3Config {
+    /// A fast configuration for tests and smoke runs.
+    pub fn quick() -> Self {
+        Table3Config {
+            frames: 10,
+            ..Table3Config::default()
+        }
+    }
+}
+
+/// Per-channel outcome counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChannelResult {
+    /// The Zigbee channel.
+    pub channel: Dot154Channel,
+    /// Frames received with intact integrity and correct counter.
+    pub valid: usize,
+    /// Frames received but failing the FCS (or mangled content).
+    pub corrupted: usize,
+    /// Frames never received.
+    pub lost: usize,
+}
+
+impl ChannelResult {
+    /// Valid-frame ratio in 0..=1.
+    pub fn valid_ratio(&self) -> f64 {
+        let total = self.valid + self.corrupted + self.lost;
+        if total == 0 {
+            0.0
+        } else {
+            self.valid as f64 / total as f64
+        }
+    }
+}
+
+fn make_link(cfg: &Table3Config, chip: &ChipCapabilities, channel_seed: u64) -> Link {
+    let link_cfg = LinkConfig {
+        snr_db: Some(cfg.snr_db + chip.rx_quality_db),
+        ..LinkConfig::office_3m()
+    };
+    let chip_seed = chip
+        .name
+        .bytes()
+        .fold(0u64, |a, b| a.wrapping_mul(131).wrapping_add(u64::from(b)));
+    let mut link = Link::new(link_cfg, cfg.seed ^ channel_seed ^ chip_seed);
+    if cfg.wifi {
+        // A cleaner front end (better channel filtering) admits less
+        // adjacent-spectrum energy.
+        let selectivity = 10f64.powf(-chip.rx_quality_db / 10.0);
+        for wifi in [6u8, 11] {
+            let mut interferer =
+                WifiInterferer::office(WifiChannel::new(wifi).expect("WiFi channel"));
+            interferer.power *= selectivity;
+            link.add_interferer(interferer);
+        }
+    }
+    link
+}
+
+/// The counter frame of the paper's protocol.
+fn counter_frame(counter: u16) -> Ppdu {
+    let mac = MacFrame::data(0x1234, 0x0063, 0x0042, counter as u8, counter.to_le_bytes().to_vec());
+    Ppdu::new(mac.to_psdu()).expect("counter frame fits")
+}
+
+/// Classifies a received PSDU against the expectation.
+fn classify(
+    result: Option<(Vec<u8>, bool)>,
+    expected: &Ppdu,
+    out: &mut ChannelResult,
+) {
+    match result {
+        None => out.lost += 1,
+        Some((psdu, fcs_ok)) => {
+            if fcs_ok && psdu == expected.psdu() {
+                out.valid += 1;
+            } else {
+                out.corrupted += 1;
+            }
+        }
+    }
+}
+
+/// Runs one primitive for one chip over all sixteen channels.
+///
+/// # Panics
+///
+/// Panics if `cfg.frames` is zero.
+pub fn run_primitive(
+    chip: &ChipCapabilities,
+    primitive: Primitive,
+    cfg: &Table3Config,
+) -> Vec<ChannelResult> {
+    assert!(cfg.frames > 0, "need at least one frame");
+    let sps = cfg.samples_per_symbol;
+    let zigbee = Dot154Modem::new(sps);
+    let ble_tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+    let ble_rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
+
+    Dot154Channel::all()
+        .map(|channel| {
+            let mut link = make_link(cfg, chip, u64::from(channel.number()) << 32);
+            let mut out = ChannelResult {
+                channel,
+                valid: 0,
+                corrupted: 0,
+                lost: 0,
+            };
+            let mhz = channel.center_mhz();
+            for k in 0..cfg.frames {
+                let ppdu = counter_frame(k as u16);
+                let rx_result = match primitive {
+                    Primitive::Reception => {
+                        // Genuine Zigbee TX, diverted BLE RX.
+                        let air = zigbee.transmit(&ppdu);
+                        let heard =
+                            link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
+                        ble_rx.receive(&heard).map(|r| (r.fcs_ok(), r)).map(|(f, r)| (r.psdu, f))
+                    }
+                    Primitive::Transmission => {
+                        // Diverted BLE TX, genuine Zigbee RX (the RZUSBStick).
+                        let air = ble_tx.transmit(&ppdu);
+                        let heard =
+                            link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
+                        zigbee.receive(&heard).map(|r| (r.fcs_ok(), r)).map(|(f, r)| (r.psdu, f))
+                    }
+                };
+                classify(rx_result, &ppdu, &mut out);
+            }
+            out
+        })
+        .collect()
+}
+
+/// Renders results in the paper's table layout.
+pub fn render_table(
+    chip_a: &str,
+    rx_a: &[ChannelResult],
+    tx_a: &[ChannelResult],
+    chip_b: &str,
+    rx_b: &[ChannelResult],
+    tx_b: &[ChannelResult],
+) -> String {
+    let mut s = String::new();
+    s.push_str(&format!(
+        "{:<9}| {:^23} | {:^23}\n",
+        "", "Reception primitive", "Transmission primitive"
+    ));
+    s.push_str(&format!(
+        "{:<9}| {:^11}| {:^11}| {:^11}| {:^11}\n",
+        "Channel", chip_a, chip_b, chip_a, chip_b
+    ));
+    s.push_str(&format!(
+        "{:<9}| {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5}\n",
+        "", "valid", "corr", "valid", "corr", "valid", "corr", "valid", "corr"
+    ));
+    s.push_str(&"-".repeat(64));
+    s.push('\n');
+    for k in 0..rx_a.len() {
+        s.push_str(&format!(
+            "{:<9}| {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5} | {:>5} {:>5}\n",
+            rx_a[k].channel.number(),
+            rx_a[k].valid,
+            rx_a[k].corrupted,
+            rx_b[k].valid,
+            rx_b[k].corrupted,
+            tx_a[k].valid,
+            tx_a[k].corrupted,
+            tx_b[k].valid,
+            tx_b[k].corrupted,
+        ));
+    }
+    let avg = |r: &[ChannelResult]| {
+        100.0 * r.iter().map(|c| c.valid_ratio()).sum::<f64>() / r.len() as f64
+    };
+    s.push_str(&"-".repeat(64));
+    s.push('\n');
+    s.push_str(&format!(
+        "{:<9}| {:>10.2}% | {:>10.2}% | {:>10.2}% | {:>10.2}%\n",
+        "avg valid",
+        avg(rx_a),
+        avg(rx_b),
+        avg(tx_a),
+        avg(tx_b),
+    ));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazabee_chips::{cc1352r1, nrf52832};
+
+    #[test]
+    fn clean_channel_is_near_perfect() {
+        let cfg = Table3Config {
+            frames: 8,
+            wifi: false,
+            snr_db: 22.0,
+            ..Table3Config::default()
+        };
+        let results = run_primitive(&nrf52832(), Primitive::Reception, &cfg);
+        assert_eq!(results.len(), 16);
+        for r in &results {
+            assert_eq!(r.valid, 8, "channel {} lost frames without WiFi", r.channel);
+        }
+    }
+
+    #[test]
+    fn transmission_primitive_works_too() {
+        let cfg = Table3Config {
+            frames: 6,
+            wifi: false,
+            snr_db: 22.0,
+            ..Table3Config::default()
+        };
+        let results = run_primitive(&nrf52832(), Primitive::Transmission, &cfg);
+        for r in &results {
+            assert_eq!(r.valid, 6, "channel {}", r.channel);
+        }
+    }
+
+    #[test]
+    fn wifi_dents_only_overlapping_channels() {
+        let cfg = Table3Config {
+            frames: 30,
+            wifi: true,
+            snr_db: 22.0,
+            ..Table3Config::default()
+        };
+        let results = run_primitive(&cc1352r1(), Primitive::Reception, &cfg);
+        let by_channel = |n: u8| {
+            results
+                .iter()
+                .find(|r| r.channel.number() == n)
+                .copied()
+                .expect("channel present")
+        };
+        // The testbed channel (14) is clear of both WiFi channels.
+        assert_eq!(by_channel(14).valid, 30);
+        assert_eq!(by_channel(11).valid, 30);
+        // The overlapped channels lose or corrupt at least one frame between
+        // them (burst probability 0.18 over 30 frames × 5 channels).
+        let dented: usize = [16, 17, 18, 21, 22, 23]
+            .iter()
+            .map(|&n| 30 - by_channel(n).valid)
+            .sum();
+        assert!(dented > 0, "WiFi interference had no effect at all");
+    }
+
+    #[test]
+    fn results_are_deterministic() {
+        let cfg = Table3Config {
+            frames: 5,
+            ..Table3Config::default()
+        };
+        let a = run_primitive(&nrf52832(), Primitive::Reception, &cfg);
+        let b = run_primitive(&nrf52832(), Primitive::Reception, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn render_produces_sixteen_rows() {
+        let cfg = Table3Config {
+            frames: 2,
+            wifi: false,
+            ..Table3Config::default()
+        };
+        let rx = run_primitive(&nrf52832(), Primitive::Reception, &cfg);
+        let tx = run_primitive(&nrf52832(), Primitive::Transmission, &cfg);
+        let table = render_table("nRF52832", &rx, &tx, "CC1352-R1", &rx, &tx);
+        assert_eq!(table.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 16);
+        assert!(table.contains("avg valid"));
+    }
+
+    #[test]
+    fn valid_ratio_math() {
+        let r = ChannelResult {
+            channel: Dot154Channel::new(11).unwrap(),
+            valid: 3,
+            corrupted: 1,
+            lost: 0,
+        };
+        assert!((r.valid_ratio() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,483 @@
+//! Advertising PDUs, AD structures, and the BLE 5 extended-advertising
+//! machinery (`ADV_EXT_IND` / `AUX_ADV_IND`) that Scenario A of the paper
+//! diverts to inject 802.15.4 frames from an unrooted smartphone.
+
+use serde::{Deserialize, Serialize};
+
+/// Advertising PDU types (link-layer header bits 0–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AdvPduType {
+    /// Connectable scannable undirected advertising.
+    AdvInd = 0x0,
+    /// Connectable directed advertising.
+    AdvDirectInd = 0x1,
+    /// Non-connectable non-scannable undirected advertising.
+    AdvNonconnInd = 0x2,
+    /// Scan request.
+    ScanReq = 0x3,
+    /// Scan response.
+    ScanRsp = 0x4,
+    /// Connection request.
+    ConnectInd = 0x5,
+    /// Scannable undirected advertising.
+    AdvScanInd = 0x6,
+    /// Extended advertising (`ADV_EXT_IND` on primary channels,
+    /// `AUX_ADV_IND` on secondary channels).
+    AdvExtInd = 0x7,
+}
+
+impl AdvPduType {
+    /// Parses the 4-bit type field.
+    pub fn from_bits(v: u8) -> Option<Self> {
+        Some(match v & 0x0F {
+            0x0 => AdvPduType::AdvInd,
+            0x1 => AdvPduType::AdvDirectInd,
+            0x2 => AdvPduType::AdvNonconnInd,
+            0x3 => AdvPduType::ScanReq,
+            0x4 => AdvPduType::ScanRsp,
+            0x5 => AdvPduType::ConnectInd,
+            0x6 => AdvPduType::AdvScanInd,
+            0x7 => AdvPduType::AdvExtInd,
+            _ => return None,
+        })
+    }
+}
+
+/// A 48-bit BLE device address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct BleAddress(pub [u8; 6]);
+
+impl BleAddress {
+    /// Creates an address from its six bytes (least significant first, as
+    /// serialised on air).
+    pub const fn new(bytes: [u8; 6]) -> Self {
+        BleAddress(bytes)
+    }
+}
+
+impl std::fmt::Display for BleAddress {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Conventional display order is most significant byte first.
+        for (k, b) in self.0.iter().rev().enumerate() {
+            if k > 0 {
+                write!(f, ":")?;
+            }
+            write!(f, "{b:02X}")?;
+        }
+        Ok(())
+    }
+}
+
+/// One AD structure of an advertising payload: `len · type · data`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdStructure {
+    /// AD type (0xFF = manufacturer specific data).
+    pub ad_type: u8,
+    /// AD payload (excludes the type byte).
+    pub data: Vec<u8>,
+}
+
+/// AD type for manufacturer-specific data.
+pub const AD_TYPE_MANUFACTURER: u8 = 0xFF;
+/// AD type for flags.
+pub const AD_TYPE_FLAGS: u8 = 0x01;
+/// AD type for a complete local name.
+pub const AD_TYPE_COMPLETE_NAME: u8 = 0x09;
+
+impl AdStructure {
+    /// Builds a manufacturer-specific AD structure (company id little-endian
+    /// first, then opaque data) — the container Scenario A uses for its
+    /// forged chip stream.
+    pub fn manufacturer(company_id: u16, data: Vec<u8>) -> Self {
+        let mut payload = company_id.to_le_bytes().to_vec();
+        payload.extend(data);
+        AdStructure {
+            ad_type: AD_TYPE_MANUFACTURER,
+            data: payload,
+        }
+    }
+
+    /// Serialises one AD structure.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.data.len());
+        out.push((1 + self.data.len()) as u8);
+        out.push(self.ad_type);
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a sequence of AD structures from an advertising payload.
+    /// Stops at the first malformed or zero-length entry.
+    pub fn parse_all(mut bytes: &[u8]) -> Vec<AdStructure> {
+        let mut out = Vec::new();
+        while bytes.len() >= 2 {
+            let len = bytes[0] as usize;
+            if len == 0 || bytes.len() < 1 + len {
+                break;
+            }
+            out.push(AdStructure {
+                ad_type: bytes[1],
+                data: bytes[2..1 + len].to_vec(),
+            });
+            bytes = &bytes[1 + len..];
+        }
+        out
+    }
+}
+
+/// A legacy advertising PDU (`ADV_NONCONN_IND` and friends).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdvPdu {
+    /// PDU type.
+    pub pdu_type: AdvPduType,
+    /// Advertiser address.
+    pub adv_address: BleAddress,
+    /// Advertising data (concatenated AD structures).
+    pub adv_data: Vec<u8>,
+}
+
+impl AdvPdu {
+    /// Serialises header + payload to PDU bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload_len = 6 + self.adv_data.len();
+        let mut out = Vec::with_capacity(2 + payload_len);
+        out.push(self.pdu_type as u8); // TxAdd/RxAdd/ChSel left clear
+        out.push(payload_len as u8);
+        out.extend_from_slice(&self.adv_address.0);
+        out.extend_from_slice(&self.adv_data);
+        out
+    }
+
+    /// Parses a legacy advertising PDU.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 8 {
+            return None;
+        }
+        let pdu_type = AdvPduType::from_bits(bytes[0])?;
+        let len = bytes[1] as usize;
+        if len < 6 || bytes.len() < 2 + len {
+            return None;
+        }
+        let mut addr = [0u8; 6];
+        addr.copy_from_slice(&bytes[2..8]);
+        Some(AdvPdu {
+            pdu_type,
+            adv_address: BleAddress(addr),
+            adv_data: bytes[8..2 + len].to_vec(),
+        })
+    }
+}
+
+/// The `AuxPtr` field of an `ADV_EXT_IND`: where and when the auxiliary
+/// packet (`AUX_ADV_IND`) will appear.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuxPtr {
+    /// Secondary channel index (0–36).
+    pub channel_index: u8,
+    /// Offset to the aux packet in 30 µs units.
+    pub aux_offset_30us: u16,
+    /// PHY of the aux packet (0 = LE 1M, 2 = LE 2M encoded per spec as
+    /// AUX PHY field values 0b000/0b010).
+    pub aux_phy_2m: bool,
+}
+
+impl AuxPtr {
+    /// Serialises the 3-byte AuxPtr field.
+    pub fn to_bytes(self) -> [u8; 3] {
+        // Layout: chIdx[5:0] | CA | offsetUnits=0 (30 µs) in byte 0,
+        // auxOffset[12:0] across bytes 1–2, auxPhy[2:0] in byte 2 top bits.
+        let b0 = self.channel_index & 0x3F;
+        let off = self.aux_offset_30us & 0x1FFF;
+        let b1 = (off & 0xFF) as u8;
+        let phy = if self.aux_phy_2m { 0b010u8 } else { 0b000 };
+        let b2 = ((off >> 8) as u8 & 0x1F) | (phy << 5);
+        [b0, b1, b2]
+    }
+
+    /// Parses a 3-byte AuxPtr field.
+    pub fn from_bytes(b: [u8; 3]) -> Option<Self> {
+        let channel_index = b[0] & 0x3F;
+        if channel_index > 36 {
+            return None;
+        }
+        let aux_offset_30us = u16::from(b[1]) | (u16::from(b[2] & 0x1F) << 8);
+        let aux_phy_2m = match b[2] >> 5 {
+            0b000 => false,
+            0b010 => true,
+            _ => return None,
+        };
+        Some(AuxPtr {
+            channel_index,
+            aux_offset_30us,
+            aux_phy_2m,
+        })
+    }
+}
+
+/// Extended-advertising header flag bits.
+mod ext_flags {
+    pub const ADV_A: u8 = 1 << 0;
+    pub const ADI: u8 = 1 << 3;
+    pub const AUX_PTR: u8 = 1 << 4;
+}
+
+/// An `ADV_EXT_IND` primary-channel PDU announcing an auxiliary packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AdvExtInd {
+    /// Advertising data info (DID/SID).
+    pub adi: u16,
+    /// Pointer to the auxiliary packet.
+    pub aux_ptr: AuxPtr,
+}
+
+impl AdvExtInd {
+    /// Serialises to PDU bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        // Ext header: len byte, flags byte, ADI (2), AuxPtr (3).
+        let ext_header = {
+            let mut h = vec![ext_flags::ADI | ext_flags::AUX_PTR];
+            h.extend_from_slice(&self.adi.to_le_bytes());
+            h.extend_from_slice(&self.aux_ptr.to_bytes());
+            h
+        };
+        let mut out = Vec::new();
+        out.push(AdvPduType::AdvExtInd as u8);
+        out.push((1 + ext_header.len()) as u8);
+        out.push(ext_header.len() as u8); // ext header length (6)
+        out.extend(ext_header);
+        out
+    }
+
+    /// Parses an `ADV_EXT_IND` PDU.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 3 || AdvPduType::from_bits(bytes[0])? != AdvPduType::AdvExtInd {
+            return None;
+        }
+        let ext_len = bytes[2] as usize;
+        if bytes.len() < 3 + ext_len || ext_len < 6 {
+            return None;
+        }
+        let flags = bytes[3];
+        if flags & ext_flags::ADI == 0 || flags & ext_flags::AUX_PTR == 0 {
+            return None;
+        }
+        let adi = u16::from_le_bytes([bytes[4], bytes[5]]);
+        let aux_ptr = AuxPtr::from_bytes([bytes[6], bytes[7], bytes[8]])?;
+        Some(AdvExtInd { adi, aux_ptr })
+    }
+}
+
+/// An `AUX_ADV_IND` secondary-channel PDU carrying the actual advertising
+/// data.
+///
+/// The serialised layout puts exactly **16 bytes** ahead of the
+/// caller-supplied manufacturer data — PDU header (2), extended-header length
+/// (1), flags (1), AdvA (6), ADI (2), AD length+type (2), company id (2) —
+/// reproducing the padding constant reported in the paper's Scenario A.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AuxAdvInd {
+    /// Advertiser address.
+    pub adv_address: BleAddress,
+    /// Advertising data info, matching the `ADV_EXT_IND`.
+    pub adi: u16,
+    /// Advertising data (concatenated AD structures).
+    pub adv_data: Vec<u8>,
+}
+
+/// Number of on-PDU bytes preceding the manufacturer-data payload in
+/// [`AuxAdvInd::with_manufacturer_data`] — the "padding" of paper §VI-B.
+pub const AUX_ADV_MANUFACTURER_PADDING: usize = 16;
+
+impl AuxAdvInd {
+    /// Builds an `AUX_ADV_IND` whose AdvData is a single manufacturer-specific
+    /// AD structure, the vehicle Scenario A uses.
+    pub fn with_manufacturer_data(
+        adv_address: BleAddress,
+        adi: u16,
+        company_id: u16,
+        data: Vec<u8>,
+    ) -> Self {
+        AuxAdvInd {
+            adv_address,
+            adi,
+            adv_data: AdStructure::manufacturer(company_id, data).to_bytes(),
+        }
+    }
+
+    /// Serialises to PDU bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the AdvData would overflow the one-byte PDU length field
+    /// (more than 245 bytes of AdvData with this header layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let ext_header = {
+            let mut h = vec![ext_flags::ADV_A | ext_flags::ADI];
+            h.extend_from_slice(&self.adv_address.0);
+            h.extend_from_slice(&self.adi.to_le_bytes());
+            h
+        };
+        let payload_len = 1 + ext_header.len() + self.adv_data.len();
+        assert!(payload_len <= 255, "AdvData overflows the PDU length field");
+        let mut out = Vec::new();
+        out.push(AdvPduType::AdvExtInd as u8);
+        out.push(payload_len as u8);
+        out.push(ext_header.len() as u8);
+        out.extend(ext_header);
+        out.extend_from_slice(&self.adv_data);
+        out
+    }
+
+    /// Parses an `AUX_ADV_IND` PDU.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 3 || AdvPduType::from_bits(bytes[0])? != AdvPduType::AdvExtInd {
+            return None;
+        }
+        let payload_len = bytes[1] as usize;
+        let ext_len = bytes[2] as usize;
+        if ext_len < 9 || bytes.len() < 2 + payload_len || payload_len < 1 + ext_len {
+            return None;
+        }
+        let flags = bytes[3];
+        if flags & ext_flags::ADV_A == 0 || flags & ext_flags::ADI == 0 {
+            return None;
+        }
+        let mut addr = [0u8; 6];
+        addr.copy_from_slice(&bytes[4..10]);
+        let adi = u16::from_le_bytes([bytes[10], bytes[11]]);
+        let adv_data = bytes[3 + ext_len..2 + payload_len].to_vec();
+        Some(AuxAdvInd {
+            adv_address: BleAddress(addr),
+            adi,
+            adv_data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ad_structure_round_trip() {
+        let ads = vec![
+            AdStructure {
+                ad_type: AD_TYPE_FLAGS,
+                data: vec![0x06],
+            },
+            AdStructure::manufacturer(0x0059, vec![1, 2, 3]),
+        ];
+        let bytes: Vec<u8> = ads.iter().flat_map(|a| a.to_bytes()).collect();
+        assert_eq!(AdStructure::parse_all(&bytes), ads);
+    }
+
+    #[test]
+    fn ad_parse_stops_at_garbage() {
+        // Second entry claims 9 bytes but only 2 remain.
+        let bytes = vec![2, 0x01, 0x06, 9, 0xFF];
+        let parsed = AdStructure::parse_all(&bytes);
+        assert_eq!(parsed.len(), 1);
+    }
+
+    #[test]
+    fn legacy_adv_round_trip() {
+        let pdu = AdvPdu {
+            pdu_type: AdvPduType::AdvNonconnInd,
+            adv_address: BleAddress::new([1, 2, 3, 4, 5, 6]),
+            adv_data: vec![2, 0x01, 0x06],
+        };
+        let bytes = pdu.to_bytes();
+        assert_eq!(AdvPdu::from_bytes(&bytes), Some(pdu));
+    }
+
+    #[test]
+    fn aux_ptr_round_trip() {
+        for (ch, off, phy2m) in [(0u8, 0u16, false), (8, 300, true), (36, 0x1FFF, true)] {
+            let p = AuxPtr {
+                channel_index: ch,
+                aux_offset_30us: off,
+                aux_phy_2m: phy2m,
+            };
+            assert_eq!(AuxPtr::from_bytes(p.to_bytes()), Some(p));
+        }
+    }
+
+    #[test]
+    fn aux_ptr_rejects_bad_channel() {
+        assert!(AuxPtr::from_bytes([37, 0, 0]).is_none());
+    }
+
+    #[test]
+    fn adv_ext_ind_round_trip() {
+        let pdu = AdvExtInd {
+            adi: 0x1234,
+            aux_ptr: AuxPtr {
+                channel_index: 8,
+                aux_offset_30us: 10,
+                aux_phy_2m: true,
+            },
+        };
+        assert_eq!(AdvExtInd::from_bytes(&pdu.to_bytes()), Some(pdu));
+    }
+
+    #[test]
+    fn aux_adv_ind_round_trip() {
+        let pdu = AuxAdvInd::with_manufacturer_data(
+            BleAddress::new([9, 8, 7, 6, 5, 4]),
+            0xBEEF,
+            0x0059,
+            vec![0xAA; 40],
+        );
+        assert_eq!(AuxAdvInd::from_bytes(&pdu.to_bytes()), Some(pdu));
+    }
+
+    #[test]
+    fn manufacturer_padding_is_sixteen_bytes() {
+        // The constant the paper reports for Scenario A: the attacker's bytes
+        // start 16 bytes into the PDU.
+        let marker = vec![0xD6, 0xBE, 0x89, 0x8E];
+        let pdu = AuxAdvInd::with_manufacturer_data(
+            BleAddress::default(),
+            0,
+            0x0059,
+            marker.clone(),
+        );
+        let bytes = pdu.to_bytes();
+        assert_eq!(
+            &bytes[AUX_ADV_MANUFACTURER_PADDING..AUX_ADV_MANUFACTURER_PADDING + 4],
+            marker.as_slice()
+        );
+    }
+
+    #[test]
+    fn max_adv_data_fits_length_byte() {
+        // 255-byte AdvData is the paper's stated LE 2M extended-adv capacity;
+        // our header layout (16 bytes ahead of the payload, 2 of which are
+        // the PDU header outside the length count) leaves room for 241 bytes
+        // of manufacturer payload before the one-byte PDU length saturates.
+        let pdu = AuxAdvInd::with_manufacturer_data(
+            BleAddress::default(),
+            0,
+            0x0059,
+            vec![0x55; 241],
+        );
+        let bytes = pdu.to_bytes();
+        assert!(bytes[1] as usize == bytes.len() - 2);
+        assert_eq!(AuxAdvInd::from_bytes(&bytes), Some(pdu));
+    }
+
+    #[test]
+    fn address_display_msb_first() {
+        let a = BleAddress::new([0x01, 0x02, 0x03, 0x04, 0x05, 0x06]);
+        assert_eq!(format!("{a}"), "06:05:04:03:02:01");
+    }
+
+    #[test]
+    fn pdu_type_parse_covers_all() {
+        for v in 0..=7u8 {
+            assert!(AdvPduType::from_bits(v).is_some());
+        }
+        assert!(AdvPduType::from_bits(8).is_none());
+    }
+}

@@ -1,0 +1,209 @@
+//! BLE channel plan: 40 channels of 2 MHz bandwidth in the 2.4 GHz ISM band.
+//!
+//! Channels 37, 38 and 39 are the primary advertising channels at 2402, 2426
+//! and 2480 MHz; channels 0–36 are data channels (usable as secondary
+//! advertising channels since BLE 5) spread over the remaining frequencies
+//! (paper §III-B).
+
+use serde::{Deserialize, Serialize};
+
+/// A validated BLE channel index (0–39).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_ble::BleChannel;
+/// let ch = BleChannel::new(8).unwrap();
+/// assert_eq!(ch.center_mhz(), 2420); // the channel Scenario A targets
+/// assert!(ch.is_data());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct BleChannel(u8);
+
+impl BleChannel {
+    /// Number of BLE channels.
+    pub const COUNT: u8 = 40;
+    /// The three primary advertising channels.
+    pub const ADVERTISING: [BleChannel; 3] = [BleChannel(37), BleChannel(38), BleChannel(39)];
+
+    /// Creates a channel from its index, rejecting indices above 39.
+    pub fn new(index: u8) -> Option<Self> {
+        (index < Self::COUNT).then_some(BleChannel(index))
+    }
+
+    /// The channel index (0–39).
+    pub fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in MHz.
+    ///
+    /// Data channels 0–10 occupy 2404–2424 MHz, data channels 11–36 occupy
+    /// 2428–2478 MHz, and the advertising channels sit at 2402/2426/2480 MHz.
+    pub fn center_mhz(self) -> u32 {
+        match self.0 {
+            37 => 2402,
+            38 => 2426,
+            39 => 2480,
+            k if k <= 10 => 2404 + 2 * k as u32,
+            k => 2428 + 2 * (k as u32 - 11),
+        }
+    }
+
+    /// True for the three primary advertising channels.
+    pub fn is_advertising(self) -> bool {
+        self.0 >= 37
+    }
+
+    /// True for the 37 data channels (secondary advertising channels in BLE 5).
+    pub fn is_data(self) -> bool {
+        self.0 < 37
+    }
+
+    /// Looks a channel up by centre frequency, if any BLE channel sits there.
+    pub fn from_center_mhz(freq_mhz: u32) -> Option<Self> {
+        (0..Self::COUNT)
+            .map(BleChannel)
+            .find(|c| c.center_mhz() == freq_mhz)
+    }
+
+    /// Iterator over all 40 channels in index order.
+    pub fn all() -> impl Iterator<Item = BleChannel> {
+        (0..Self::COUNT).map(BleChannel)
+    }
+
+    /// Iterator over the 37 data channels in index order.
+    pub fn data_channels() -> impl Iterator<Item = BleChannel> {
+        (0..37).map(BleChannel)
+    }
+}
+
+impl std::fmt::Display for BleChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BLE ch {} ({} MHz)", self.0, self.center_mhz())
+    }
+}
+
+/// The physical-layer mode of a BLE transmission (paper §III-B).
+///
+/// LE Coded is out of scope, as in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum BlePhy {
+    /// 1 Mbit/s GFSK — the original PHY, mandatory everywhere.
+    #[default]
+    Le1M,
+    /// 2 Mbit/s GFSK — introduced in BLE 5; the rate WazaBee requires.
+    Le2M,
+}
+
+impl BlePhy {
+    /// Symbol rate in symbols per second.
+    pub fn symbol_rate(self) -> f64 {
+        match self {
+            BlePhy::Le1M => 1.0e6,
+            BlePhy::Le2M => 2.0e6,
+        }
+    }
+
+    /// Preamble length in bytes (1 for LE 1M, 2 for LE 2M).
+    pub fn preamble_bytes(self) -> usize {
+        match self {
+            BlePhy::Le1M => 1,
+            BlePhy::Le2M => 2,
+        }
+    }
+}
+
+impl std::fmt::Display for BlePhy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BlePhy::Le1M => write!(f, "LE 1M"),
+            BlePhy::Le2M => write!(f, "LE 2M"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advertising_channel_frequencies() {
+        assert_eq!(BleChannel::new(37).unwrap().center_mhz(), 2402);
+        assert_eq!(BleChannel::new(38).unwrap().center_mhz(), 2426);
+        assert_eq!(BleChannel::new(39).unwrap().center_mhz(), 2480);
+    }
+
+    #[test]
+    fn data_channels_skip_advertising_frequencies() {
+        // Data channels are spaced 2 MHz starting at 2404, skipping 2426.
+        assert_eq!(BleChannel::new(0).unwrap().center_mhz(), 2404);
+        assert_eq!(BleChannel::new(10).unwrap().center_mhz(), 2424);
+        assert_eq!(BleChannel::new(11).unwrap().center_mhz(), 2428);
+        assert_eq!(BleChannel::new(36).unwrap().center_mhz(), 2478);
+        for c in BleChannel::data_channels() {
+            assert_ne!(c.center_mhz(), 2402);
+            assert_ne!(c.center_mhz(), 2426);
+            assert_ne!(c.center_mhz(), 2480);
+        }
+    }
+
+    #[test]
+    fn paper_table2_ble_side() {
+        // The BLE channels of paper Table II and their centre frequencies.
+        let expect = [
+            (3, 2410),
+            (8, 2420),
+            (12, 2430),
+            (17, 2440),
+            (22, 2450),
+            (27, 2460),
+            (32, 2470),
+            (39, 2480),
+        ];
+        for (idx, mhz) in expect {
+            assert_eq!(BleChannel::new(idx).unwrap().center_mhz(), mhz);
+        }
+    }
+
+    #[test]
+    fn all_frequencies_unique_and_in_band() {
+        let mut freqs: Vec<u32> = BleChannel::all().map(|c| c.center_mhz()).collect();
+        assert_eq!(freqs.len(), 40);
+        freqs.sort_unstable();
+        freqs.dedup();
+        assert_eq!(freqs.len(), 40, "duplicate centre frequency");
+        assert!(freqs.iter().all(|&f| (2402..=2480).contains(&f)));
+    }
+
+    #[test]
+    fn from_center_round_trip() {
+        for c in BleChannel::all() {
+            assert_eq!(BleChannel::from_center_mhz(c.center_mhz()), Some(c));
+        }
+        assert_eq!(BleChannel::from_center_mhz(2403), None);
+    }
+
+    #[test]
+    fn index_validation() {
+        assert!(BleChannel::new(39).is_some());
+        assert!(BleChannel::new(40).is_none());
+        assert!(BleChannel::new(255).is_none());
+    }
+
+    #[test]
+    fn phy_parameters() {
+        assert_eq!(BlePhy::Le1M.symbol_rate(), 1.0e6);
+        assert_eq!(BlePhy::Le2M.symbol_rate(), 2.0e6);
+        assert_eq!(BlePhy::Le1M.preamble_bytes(), 1);
+        assert_eq!(BlePhy::Le2M.preamble_bytes(), 2);
+        assert_eq!(BlePhy::default(), BlePhy::Le1M);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = format!("{}", BleChannel::new(8).unwrap());
+        assert!(s.contains('8') && s.contains("2420"));
+        assert_eq!(format!("{}", BlePhy::Le2M), "LE 2M");
+    }
+}

@@ -1,0 +1,342 @@
+//! BLE connected mode: `CONNECT_IND`, connection parameters, and per-event
+//! channel hopping.
+//!
+//! WazaBee deliberately *avoids* connected mode — the hopping "complicates a
+//! lot the implementation of this attack and requires the cooperation of
+//! another device" (paper §IV-D) — but the reproduction models it anyway:
+//! it is what the BlueBee baseline rides on, and what makes the comparison
+//! in §II-B executable.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::BleChannel;
+use crate::csa2::{select_channel, ChannelMap};
+
+/// The payload of a `CONNECT_IND` PDU (Core spec vol 6 part B §2.3.3.1),
+/// minus the advertiser/initiator addresses handled at the adv layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConnectionParameters {
+    /// The connection's access address.
+    pub access_address: u32,
+    /// CRC preset for the connection's data channel PDUs.
+    pub crc_init: u32,
+    /// Connection interval in 1.25 ms units (7.5 ms – 4 s).
+    pub interval_1_25ms: u16,
+    /// Peripheral latency (events the peripheral may skip).
+    pub latency: u16,
+    /// Supervision timeout in 10 ms units.
+    pub timeout_10ms: u16,
+    /// The channel map in force.
+    pub channel_map: ChannelMap,
+}
+
+impl ConnectionParameters {
+    /// Serialises the LL data of a `CONNECT_IND` (22 bytes: AA, CRCInit,
+    /// WinSize/WinOffset fixed to minimal values, Interval, Latency,
+    /// Timeout, ChM, Hop/SCA byte marking CSA#2 use).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(22);
+        out.extend_from_slice(&self.access_address.to_le_bytes());
+        out.extend_from_slice(&self.crc_init.to_le_bytes()[..3]);
+        out.push(1); // WinSize
+        out.extend_from_slice(&1u16.to_le_bytes()); // WinOffset
+        out.extend_from_slice(&self.interval_1_25ms.to_le_bytes());
+        out.extend_from_slice(&self.latency.to_le_bytes());
+        out.extend_from_slice(&self.timeout_10ms.to_le_bytes());
+        let mut chm = [0u8; 5];
+        for ch in self.channel_map.used_channels() {
+            chm[usize::from(ch / 8)] |= 1 << (ch % 8);
+        }
+        out.extend_from_slice(&chm);
+        out.push(0); // Hop/SCA byte: hop unused under CSA#2
+        out
+    }
+
+    /// Parses the LL data of a `CONNECT_IND`.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 22 {
+            return None;
+        }
+        let access_address = u32::from_le_bytes(bytes[0..4].try_into().ok()?);
+        let crc_init = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], 0]);
+        let interval_1_25ms = u16::from_le_bytes([bytes[10], bytes[11]]);
+        let latency = u16::from_le_bytes([bytes[12], bytes[13]]);
+        let timeout_10ms = u16::from_le_bytes([bytes[14], bytes[15]]);
+        let mut channels = Vec::new();
+        for ch in 0u8..37 {
+            if bytes[16 + usize::from(ch / 8)] >> (ch % 8) & 1 == 1 {
+                channels.push(ch);
+            }
+        }
+        let channel_map = ChannelMap::from_channels(&channels);
+        if channel_map.used_count() < 2 {
+            return None; // the spec requires at least two used channels
+        }
+        Some(ConnectionParameters {
+            access_address,
+            crc_init,
+            interval_1_25ms,
+            latency,
+            timeout_10ms,
+            channel_map,
+        })
+    }
+
+    /// Connection interval in microseconds.
+    pub fn interval_us(&self) -> u64 {
+        u64::from(self.interval_1_25ms) * 1250
+    }
+}
+
+/// A live connection's hopping state.
+#[derive(Debug, Clone)]
+pub struct Connection {
+    params: ConnectionParameters,
+    event_counter: u16,
+}
+
+impl Connection {
+    /// Opens a connection at event counter 0.
+    pub fn new(params: ConnectionParameters) -> Self {
+        Connection {
+            params,
+            event_counter: 0,
+        }
+    }
+
+    /// The connection parameters.
+    pub fn parameters(&self) -> &ConnectionParameters {
+        &self.params
+    }
+
+    /// The current event counter.
+    pub fn event_counter(&self) -> u16 {
+        self.event_counter
+    }
+
+    /// The data channel of the *next* connection event, advancing the
+    /// counter — both sides compute this identically (CSA#2).
+    pub fn next_event_channel(&mut self) -> BleChannel {
+        let ch = select_channel(
+            self.params.access_address,
+            self.event_counter,
+            &self.params.channel_map,
+        );
+        self.event_counter = self.event_counter.wrapping_add(1);
+        ch
+    }
+
+    /// Applies a channel-map update (LL_CHANNEL_MAP_IND semantics).
+    pub fn update_channel_map(&mut self, map: ChannelMap) {
+        self.params.channel_map = map;
+    }
+}
+
+/// LLID values of data channel PDU headers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum Llid {
+    /// Continuation fragment of an L2CAP message (or empty PDU).
+    DataContinuation = 0b01,
+    /// Start of an L2CAP message (or complete message).
+    DataStart = 0b10,
+    /// LL control PDU.
+    Control = 0b11,
+}
+
+impl Llid {
+    fn from_bits(v: u8) -> Option<Self> {
+        match v & 0b11 {
+            0b01 => Some(Llid::DataContinuation),
+            0b10 => Some(Llid::DataStart),
+            0b11 => Some(Llid::Control),
+            _ => None,
+        }
+    }
+}
+
+/// A data channel PDU: 2-byte header (LLID, NESN, SN, MD, length) + payload.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DataPdu {
+    /// The LLID field.
+    pub llid: Llid,
+    /// Next expected sequence number.
+    pub nesn: bool,
+    /// Sequence number.
+    pub sn: bool,
+    /// More data pending.
+    pub md: bool,
+    /// The payload.
+    pub payload: Vec<u8>,
+}
+
+impl DataPdu {
+    /// Serialises header + payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(2 + self.payload.len());
+        out.push(
+            self.llid as u8
+                | (u8::from(self.nesn) << 2)
+                | (u8::from(self.sn) << 3)
+                | (u8::from(self.md) << 4),
+        );
+        out.push(self.payload.len() as u8);
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parses header + payload.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        let llid = Llid::from_bits(bytes[0])?;
+        let len = usize::from(bytes[1]);
+        if bytes.len() < 2 + len {
+            return None;
+        }
+        Some(DataPdu {
+            llid,
+            nesn: bytes[0] & 0b100 != 0,
+            sn: bytes[0] & 0b1000 != 0,
+            md: bytes[0] & 0b1_0000 != 0,
+            payload: bytes[2..2 + len].to_vec(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ConnectionParameters {
+        ConnectionParameters {
+            access_address: 0x50A1_73B2,
+            crc_init: 0x55_AA55,
+            interval_1_25ms: 24, // 30 ms
+            latency: 0,
+            timeout_10ms: 100,
+            channel_map: ChannelMap::all_data_channels(),
+        }
+    }
+
+    #[test]
+    fn connect_ind_round_trip() {
+        let p = params();
+        assert_eq!(ConnectionParameters::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn connect_ind_round_trip_with_partial_map() {
+        let p = ConnectionParameters {
+            channel_map: ChannelMap::from_channels(&[0, 8, 17, 36]),
+            ..params()
+        };
+        assert_eq!(ConnectionParameters::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn degenerate_channel_map_rejected() {
+        let p = ConnectionParameters {
+            channel_map: ChannelMap::from_channels(&[5]),
+            ..params()
+        };
+        assert_eq!(ConnectionParameters::from_bytes(&p.to_bytes()), None);
+    }
+
+    #[test]
+    fn truncated_connect_ind_rejected() {
+        assert!(ConnectionParameters::from_bytes(&[0; 21]).is_none());
+    }
+
+    #[test]
+    fn both_ends_hop_identically() {
+        let mut central = Connection::new(params());
+        let mut peripheral = Connection::new(params());
+        for _ in 0..100 {
+            assert_eq!(central.next_event_channel(), peripheral.next_event_channel());
+        }
+        assert_eq!(central.event_counter(), 100);
+    }
+
+    #[test]
+    fn hopping_respects_channel_map_updates() {
+        let mut conn = Connection::new(params());
+        let narrow = ChannelMap::from_channels(&[4, 9, 23]);
+        conn.update_channel_map(narrow);
+        for _ in 0..50 {
+            let ch = conn.next_event_channel();
+            assert!(narrow.is_used(ch.index()), "hopped to unmapped {ch}");
+        }
+    }
+
+    #[test]
+    fn interval_conversion() {
+        assert_eq!(params().interval_us(), 30_000);
+    }
+
+    #[test]
+    fn data_pdu_round_trip() {
+        for llid in [Llid::DataContinuation, Llid::DataStart, Llid::Control] {
+            let pdu = DataPdu {
+                llid,
+                nesn: true,
+                sn: false,
+                md: true,
+                payload: vec![1, 2, 3],
+            };
+            assert_eq!(DataPdu::from_bytes(&pdu.to_bytes()), Some(pdu));
+        }
+    }
+
+    #[test]
+    fn data_pdu_rejects_reserved_llid_and_truncation() {
+        assert!(DataPdu::from_bytes(&[0b00, 0]).is_none()); // reserved LLID
+        assert!(DataPdu::from_bytes(&[0b10]).is_none()); // no length byte
+        assert!(DataPdu::from_bytes(&[0b10, 5, 1, 2]).is_none()); // short payload
+    }
+
+    #[test]
+    fn empty_pdu_is_valid_keepalive() {
+        let pdu = DataPdu {
+            llid: Llid::DataContinuation,
+            nesn: false,
+            sn: false,
+            md: false,
+            payload: vec![],
+        };
+        let bytes = pdu.to_bytes();
+        assert_eq!(bytes.len(), 2);
+        assert_eq!(DataPdu::from_bytes(&bytes), Some(pdu));
+    }
+
+    #[test]
+    fn full_connection_exchange_over_the_modem() {
+        // A data PDU crossing a hopped data channel end to end.
+        use crate::modem::BleModem;
+        use crate::packet::BlePacket;
+        let p = params();
+        let mut central = Connection::new(p);
+        let mut peripheral = Connection::new(p);
+        let modem = BleModem::new(crate::channel::BlePhy::Le2M, 8);
+        for _ in 0..5 {
+            let tx_ch = central.next_event_channel();
+            let rx_ch = peripheral.next_event_channel();
+            assert_eq!(tx_ch, rx_ch);
+            let pdu = DataPdu {
+                llid: Llid::DataStart,
+                nesn: false,
+                sn: false,
+                md: false,
+                payload: vec![0x42, central.event_counter() as u8],
+            };
+            let pkt = BlePacket::new(p.access_address, pdu.to_bytes());
+            let air = modem.transmit(&pkt, tx_ch, true);
+            let got = modem
+                .receive(&air, p.access_address, rx_ch, true)
+                .expect("event lost");
+            assert!(got.crc_ok());
+            assert_eq!(DataPdu::from_bytes(got.pdu()), Some(pdu));
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! BLE 24-bit CRC (Core spec vol 6 part B §3.1.1).
+//!
+//! Polynomial `x²⁴ + x¹⁰ + x⁹ + x⁶ + x⁴ + x³ + x + 1`, preset 0x555555 for
+//! advertising PDUs. The paper's RX primitive requires *disabling* this check
+//! on the diverted chip, because an 802.15.4 frame is never a valid BLE frame
+//! (§IV-D requirement 4).
+
+/// CRC polynomial (the x²⁴ term is implicit).
+pub const BLE_CRC_POLY: u32 = 0x00_065B;
+/// Preset value used on advertising channels.
+pub const BLE_CRC_INIT_ADV: u32 = 0x55_5555;
+
+/// Computes the BLE CRC over `pdu` bytes with the given preset.
+///
+/// Bits are consumed LSB-first within each byte, matching on-air order.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_ble::crc::{crc24, BLE_CRC_INIT_ADV};
+/// let a = crc24(&[1, 2, 3], BLE_CRC_INIT_ADV);
+/// let b = crc24(&[1, 2, 4], BLE_CRC_INIT_ADV);
+/// assert_ne!(a, b);
+/// assert!(a < 1 << 24);
+/// ```
+pub fn crc24(pdu: &[u8], init: u32) -> u32 {
+    let mut crc = init & 0xFF_FFFF;
+    for &byte in pdu {
+        for k in 0..8 {
+            let bit = (byte >> k) & 1;
+            let feedback = bit ^ ((crc >> 23) & 1) as u8;
+            crc = (crc << 1) & 0xFF_FFFF;
+            if feedback == 1 {
+                crc ^= BLE_CRC_POLY;
+            }
+        }
+    }
+    crc
+}
+
+/// Serialises a 24-bit CRC to its three on-air bytes.
+///
+/// The CRC is transmitted most-significant bit first; combined with the
+/// LSB-first byte serialisation used everywhere else, that means each output
+/// byte holds eight CRC bits in reversed order, starting from bit 23.
+pub fn crc24_to_bytes(crc: u32) -> [u8; 3] {
+    let mut out = [0u8; 3];
+    for (k, slot) in out.iter_mut().enumerate() {
+        let mut byte = 0u8;
+        for j in 0..8 {
+            let crc_bit = ((crc >> (23 - (k * 8 + j))) & 1) as u8;
+            byte |= crc_bit << j;
+        }
+        *slot = byte;
+    }
+    out
+}
+
+/// Parses the three on-air CRC bytes back into a 24-bit value.
+pub fn crc24_from_bytes(bytes: [u8; 3]) -> u32 {
+    let mut crc = 0u32;
+    for (k, &byte) in bytes.iter().enumerate() {
+        for j in 0..8 {
+            let bit = ((byte >> j) & 1) as u32;
+            crc |= bit << (23 - (k * 8 + j));
+        }
+    }
+    crc
+}
+
+/// Computes and serialises the advertising CRC for a PDU in one step.
+pub fn adv_crc_bytes(pdu: &[u8]) -> [u8; 3] {
+    crc24_to_bytes(crc24(pdu, BLE_CRC_INIT_ADV))
+}
+
+/// Verifies the CRC bytes trailing a PDU.
+pub fn check_adv_crc(pdu: &[u8], crc_bytes: [u8; 3]) -> bool {
+    adv_crc_bytes(pdu) == crc_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc_is_24_bits() {
+        for n in 0..32 {
+            let data: Vec<u8> = (0..n).collect();
+            assert!(crc24(&data, BLE_CRC_INIT_ADV) < (1 << 24));
+        }
+    }
+
+    #[test]
+    fn single_bit_flip_changes_crc() {
+        let data = vec![0x42, 0x10, 0xFF, 0x00, 0x77];
+        let reference = crc24(&data, BLE_CRC_INIT_ADV);
+        for byte in 0..data.len() {
+            for bit in 0..8 {
+                let mut corrupted = data.clone();
+                corrupted[byte] ^= 1 << bit;
+                assert_ne!(
+                    crc24(&corrupted, BLE_CRC_INIT_ADV),
+                    reference,
+                    "flip at byte {byte} bit {bit} undetected"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_pdu_crc_is_preset_image() {
+        // With no input bits the register is untouched.
+        assert_eq!(crc24(&[], BLE_CRC_INIT_ADV), BLE_CRC_INIT_ADV);
+    }
+
+    #[test]
+    fn serialisation_round_trip() {
+        for crc in [0u32, 1, 0x555555, 0xABCDEF, 0xFFFFFF] {
+            assert_eq!(crc24_from_bytes(crc24_to_bytes(crc)), crc);
+        }
+    }
+
+    #[test]
+    fn check_accepts_valid_and_rejects_corrupt() {
+        let pdu = vec![0x02, 0x03, 0xAA, 0xBB, 0xCC];
+        let crc = adv_crc_bytes(&pdu);
+        assert!(check_adv_crc(&pdu, crc));
+        let mut bad = crc;
+        bad[1] ^= 0x04;
+        assert!(!check_adv_crc(&pdu, bad));
+        let mut bad_pdu = pdu.clone();
+        bad_pdu[0] ^= 0x80;
+        assert!(!check_adv_crc(&bad_pdu, crc));
+    }
+
+    #[test]
+    fn init_value_matters() {
+        let pdu = vec![9, 9, 9];
+        assert_ne!(crc24(&pdu, BLE_CRC_INIT_ADV), crc24(&pdu, 0x000000));
+    }
+
+    #[test]
+    fn linearity_over_gf2() {
+        // CRC(a) XOR CRC(b) with init 0 equals CRC(a XOR b) with init 0 —
+        // the defining property of a linear code, and a strong structural
+        // check of the LFSR implementation.
+        let a = vec![0x13, 0x37, 0xC0, 0xDE];
+        let b = vec![0x0F, 0xF0, 0x55, 0xAA];
+        let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+        assert_eq!(crc24(&a, 0) ^ crc24(&b, 0), crc24(&x, 0));
+    }
+}

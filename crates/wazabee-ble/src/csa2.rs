@@ -1,0 +1,263 @@
+//! Channel Selection Algorithm #2 (Core spec vol 6 part B §4.5.8.3).
+//!
+//! Extended advertising picks its secondary channel with CSA#2, seeded by the
+//! access address and an event counter. Scenario A of the paper depends on
+//! this: the attacker cannot choose the channel, only enable advertising with
+//! the smallest interval and wait for CSA#2 to land on the target channel.
+
+use serde::{Deserialize, Serialize};
+
+use crate::channel::BleChannel;
+
+/// The set of data channels CSA#2 may choose from.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_ble::csa2::ChannelMap;
+/// let map = ChannelMap::all_data_channels();
+/// assert_eq!(map.used_count(), 37);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelMap {
+    /// Bit k set ⇔ data channel k usable (k < 37).
+    bits: u64,
+}
+
+impl ChannelMap {
+    /// A map with all 37 data channels enabled (the default for advertisers).
+    pub fn all_data_channels() -> Self {
+        ChannelMap {
+            bits: (1u64 << 37) - 1,
+        }
+    }
+
+    /// Builds a map from an explicit channel list; indices ≥ 37 are ignored.
+    pub fn from_channels(channels: &[u8]) -> Self {
+        let mut bits = 0u64;
+        for &c in channels {
+            if c < 37 {
+                bits |= 1 << c;
+            }
+        }
+        ChannelMap { bits }
+    }
+
+    /// Whether data channel `index` is usable.
+    pub fn is_used(&self, index: u8) -> bool {
+        index < 37 && (self.bits >> index) & 1 == 1
+    }
+
+    /// Number of usable channels.
+    pub fn used_count(&self) -> u32 {
+        self.bits.count_ones()
+    }
+
+    /// Usable channels in ascending order.
+    pub fn used_channels(&self) -> Vec<u8> {
+        (0..37).filter(|&k| self.is_used(k)).collect()
+    }
+}
+
+impl Default for ChannelMap {
+    fn default() -> Self {
+        ChannelMap::all_data_channels()
+    }
+}
+
+/// Bit-reverses each byte of a 16-bit value (the spec's `PERM` operation).
+fn perm(v: u16) -> u16 {
+    let hi = (v >> 8) as u8;
+    let lo = (v & 0xFF) as u8;
+    (u16::from(hi.reverse_bits()) << 8) | u16::from(lo.reverse_bits())
+}
+
+/// Multiply-add-modulo (the spec's `MAM` operation): `(17·a + b) mod 2¹⁶`.
+fn mam(a: u16, b: u16) -> u16 {
+    a.wrapping_mul(17).wrapping_add(b)
+}
+
+/// The 16-bit channel identifier derived from an access address:
+/// `AA[31:16] XOR AA[15:0]`.
+pub fn channel_identifier(access_address: u32) -> u16 {
+    ((access_address >> 16) as u16) ^ (access_address as u16)
+}
+
+/// The event pseudo-random number `prn_e` for one event counter value.
+pub fn prn_e(event_counter: u16, channel_id: u16) -> u16 {
+    let mut u = event_counter ^ channel_id;
+    for _ in 0..3 {
+        u = mam(perm(u), channel_id);
+    }
+    u ^ channel_id
+}
+
+/// Selects the data channel used by advertising event `event_counter`.
+///
+/// Implements the unmapped-channel selection plus the remapping step for
+/// channel maps with excluded channels.
+///
+/// # Panics
+///
+/// Panics if the channel map is empty (the spec requires ≥ 2 channels; an
+/// empty map has no valid selection at all).
+pub fn select_channel(access_address: u32, event_counter: u16, map: &ChannelMap) -> BleChannel {
+    assert!(map.used_count() > 0, "channel map must not be empty");
+    let ch_id = channel_identifier(access_address);
+    let prn = prn_e(event_counter, ch_id);
+    let unmapped = (prn % 37) as u8;
+    let index = if map.is_used(unmapped) {
+        unmapped
+    } else {
+        let used = map.used_channels();
+        let remapping_index = (used.len() as u32 * u32::from(prn)) >> 16;
+        used[remapping_index as usize]
+    };
+    BleChannel::new(index).expect("CSA#2 index < 37")
+}
+
+/// A stateful advertising-event channel sequencer: yields the CSA#2 channel
+/// for successive events.
+#[derive(Debug, Clone)]
+pub struct EventChannelSequence {
+    access_address: u32,
+    map: ChannelMap,
+    counter: u16,
+}
+
+impl EventChannelSequence {
+    /// Creates a sequence starting at event counter 0.
+    pub fn new(access_address: u32, map: ChannelMap) -> Self {
+        EventChannelSequence {
+            access_address,
+            map,
+            counter: 0,
+        }
+    }
+
+    /// Current event counter.
+    pub fn counter(&self) -> u16 {
+        self.counter
+    }
+}
+
+impl Iterator for EventChannelSequence {
+    type Item = BleChannel;
+
+    fn next(&mut self) -> Option<BleChannel> {
+        let ch = select_channel(self.access_address, self.counter, &self.map);
+        self.counter = self.counter.wrapping_add(1);
+        Some(ch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn channel_identifier_of_adv_access_address() {
+        // 0x8E89 XOR 0xBED6 = 0x305F — the worked value in the Core spec.
+        assert_eq!(channel_identifier(0x8E89_BED6), 0x305F);
+    }
+
+    #[test]
+    fn perm_reverses_each_byte() {
+        assert_eq!(perm(0x8001), 0x0180);
+        assert_eq!(perm(0xF00F), 0x0FF0);
+        // Involutive.
+        for v in [0x1234u16, 0xFFFF, 0x0000, 0xA5C3] {
+            assert_eq!(perm(perm(v)), v);
+        }
+    }
+
+    #[test]
+    fn mam_is_affine() {
+        assert_eq!(mam(0, 7), 7);
+        assert_eq!(mam(1, 0), 17);
+        assert_eq!(mam(0xFFFF, 0), 0xFFFFu16.wrapping_mul(17));
+    }
+
+    #[test]
+    fn selection_is_deterministic() {
+        let map = ChannelMap::all_data_channels();
+        let a = select_channel(0x8E89_BED6, 42, &map);
+        let b = select_channel(0x8E89_BED6, 42, &map);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn full_map_selection_is_roughly_uniform() {
+        // Over all 65536 event counters the 37 channels should each be hit
+        // close to 65536/37 ≈ 1771 times.
+        let map = ChannelMap::all_data_channels();
+        let mut counts: HashMap<u8, u32> = HashMap::new();
+        for ev in 0..=u16::MAX {
+            let ch = select_channel(0x8E89_BED6, ev, &map);
+            *counts.entry(ch.index()).or_default() += 1;
+        }
+        assert_eq!(counts.len(), 37, "some channel never selected");
+        for (&ch, &n) in &counts {
+            assert!(
+                (1500..=2100).contains(&n),
+                "channel {ch} selected {n} times — far from uniform"
+            );
+        }
+    }
+
+    #[test]
+    fn remapping_respects_channel_map() {
+        let map = ChannelMap::from_channels(&[0, 8, 20, 36]);
+        for ev in 0..2000 {
+            let ch = select_channel(0xDEAD_BEEF, ev, &map);
+            assert!(map.is_used(ch.index()), "event {ev} chose excluded {ch}");
+        }
+    }
+
+    #[test]
+    fn remapping_covers_all_used_channels() {
+        let map = ChannelMap::from_channels(&[3, 8, 17]);
+        let mut seen = std::collections::HashSet::new();
+        for ev in 0..5000 {
+            seen.insert(select_channel(0x1234_5678, ev, &map).index());
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn different_access_addresses_differ() {
+        let map = ChannelMap::all_data_channels();
+        let diverging = (0..64u16)
+            .filter(|&ev| {
+                select_channel(0x8E89_BED6, ev, &map) != select_channel(0x1234_5678, ev, &map)
+            })
+            .count();
+        assert!(diverging > 32);
+    }
+
+    #[test]
+    fn sequence_iterator_matches_direct_calls() {
+        let map = ChannelMap::all_data_channels();
+        let seq: Vec<_> = EventChannelSequence::new(0xCAFE_F00D, map).take(16).collect();
+        for (ev, ch) in seq.iter().enumerate() {
+            assert_eq!(*ch, select_channel(0xCAFE_F00D, ev as u16, &map));
+        }
+    }
+
+    #[test]
+    fn map_helpers() {
+        let map = ChannelMap::from_channels(&[0, 5, 36, 40, 255]);
+        assert_eq!(map.used_count(), 3);
+        assert_eq!(map.used_channels(), vec![0, 5, 36]);
+        assert!(!map.is_used(40));
+        assert_eq!(ChannelMap::default(), ChannelMap::all_data_channels());
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_map_panics() {
+        let map = ChannelMap::from_channels(&[]);
+        let _ = select_channel(0, 0, &map);
+    }
+}

@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! # wazabee-ble
+//!
+//! Bit-accurate Bluetooth Low Energy PHY and link-layer substrate for the
+//! WazaBee reproduction (Cayre et al., DSN 2021).
+//!
+//! The crate models everything the paper's attack touches in the BLE stack
+//! (§III-B and §IV-D):
+//!
+//! * the 40-channel plan and the LE 1M / LE 2M PHY modes ([`channel`]),
+//! * data whitening — the self-inverse LFSR WazaBee pre-inverts ([`whitening`]),
+//! * the 24-bit CRC the attack must disable on receive ([`crc`]),
+//! * packet assembly and parsing ([`packet`]),
+//! * advertising PDUs including BLE 5 extended advertising ([`adv`]),
+//! * Channel Selection Algorithm #2, which gates Scenario A ([`csa2`]),
+//! * the GFSK waveform itself and a pattern-triggered receiver ([`gfsk`]),
+//! * a full modem tying it together, with both legitimate packet paths and
+//!   the raw bit paths the attack diverts ([`modem`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_ble::{BleChannel, BleModem, BlePacket, BlePhy};
+//!
+//! // A complete BLE 5 LE 2M link over a clean channel.
+//! let modem = BleModem::new(BlePhy::Le2M, 8);
+//! let ch = BleChannel::new(8).unwrap(); // 2420 MHz — Zigbee channel 14!
+//! let pkt = BlePacket::advertising(vec![0x02, 0x01, 0xFF]);
+//! let air = modem.transmit(&pkt, ch, true);
+//! let rx = modem.receive(&air, pkt.access_address(), ch, true).unwrap();
+//! assert!(rx.crc_ok());
+//! ```
+
+pub mod adv;
+pub mod channel;
+pub mod connection;
+pub mod crc;
+pub mod csa2;
+pub mod gfsk;
+pub mod modem;
+pub mod packet;
+pub mod whitening;
+
+pub use adv::{AdStructure, AdvExtInd, AdvPdu, AdvPduType, AuxAdvInd, AuxPtr, BleAddress};
+pub use channel::{BleChannel, BlePhy};
+pub use connection::{Connection, ConnectionParameters, DataPdu, Llid};
+pub use csa2::{select_channel, ChannelMap, EventChannelSequence};
+pub use gfsk::{GfskParams, GfskReceiver, RawCapture};
+pub use modem::BleModem;
+pub use packet::{BlePacket, ADV_ACCESS_ADDRESS};
+pub use whitening::Whitener;
+
+#[cfg(test)]
+mod lib_tests {
+    #[test]
+    fn reexports_compile() {
+        let _ = crate::BleChannel::new(0);
+        let _ = crate::BlePhy::Le2M;
+        let _ = crate::ChannelMap::all_data_channels();
+    }
+}

@@ -1,0 +1,270 @@
+//! BLE physical-layer packet assembly and parsing.
+//!
+//! On-air layout (paper §III-B): preamble · access address · PDU · CRC, with
+//! whitening applied over PDU+CRC. All multi-byte fields are transmitted
+//! least-significant byte and least-significant bit first, except the CRC
+//! whose bits go out MSB-first (handled by [`crate::crc`]).
+
+use serde::{Deserialize, Serialize};
+use wazabee_dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
+
+use crate::channel::{BleChannel, BlePhy};
+use crate::crc::{adv_crc_bytes, check_adv_crc};
+use crate::whitening::Whitener;
+
+/// The fixed access address used on advertising channels.
+pub const ADV_ACCESS_ADDRESS: u32 = 0x8E89_BED6;
+
+/// Maximum PDU payload length for extended advertising (BLE 5 allows up to
+/// 255 bytes of AdvData, which the paper leans on in §IV-D).
+pub const MAX_EXT_ADV_DATA: usize = 255;
+
+/// A link-layer packet before modulation.
+///
+/// The CRC always uses the advertising preset 0x555555 — a documented
+/// simplification: connected-mode data PDUs would derive their preset from
+/// [`crate::connection::ConnectionParameters::crc_init`], but the attack
+/// (and this reproduction's scenarios) never needs connected-mode payload
+/// integrity, only the hopping behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_ble::{BleChannel, BlePacket, BlePhy};
+/// let ch = BleChannel::new(8).unwrap();
+/// let pkt = BlePacket::advertising(vec![0x02, 0x01, 0x06]);
+/// let bits = pkt.to_air_bits(ch, BlePhy::Le2M, true);
+/// let back = BlePacket::from_air_bits(&bits, ch, BlePhy::Le2M, true).unwrap();
+/// assert_eq!(back.pdu(), pkt.pdu());
+/// assert!(back.crc_ok());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BlePacket {
+    access_address: u32,
+    pdu: Vec<u8>,
+    /// CRC validity, known after parsing (always true for locally built packets).
+    crc_ok: bool,
+}
+
+impl BlePacket {
+    /// Creates a packet with an explicit access address and raw PDU bytes.
+    pub fn new(access_address: u32, pdu: Vec<u8>) -> Self {
+        BlePacket {
+            access_address,
+            pdu,
+            crc_ok: true,
+        }
+    }
+
+    /// Creates an advertising packet (standard advertising access address).
+    pub fn advertising(pdu: Vec<u8>) -> Self {
+        BlePacket::new(ADV_ACCESS_ADDRESS, pdu)
+    }
+
+    /// The packet's access address.
+    pub fn access_address(&self) -> u32 {
+        self.access_address
+    }
+
+    /// The PDU bytes (link-layer header + payload).
+    pub fn pdu(&self) -> &[u8] {
+        &self.pdu
+    }
+
+    /// Whether the CRC matched when this packet was parsed off the air.
+    pub fn crc_ok(&self) -> bool {
+        self.crc_ok
+    }
+
+    /// Preamble bits for a given access address: alternating bits whose first
+    /// bit equals the LSB of the access address (Core spec vol 6 part B
+    /// §2.1.1), repeated over the PHY's preamble length.
+    pub fn preamble_bits(access_address: u32, phy: BlePhy) -> Vec<u8> {
+        let first = (access_address & 1) as u8;
+        let len = phy.preamble_bytes() * 8;
+        (0..len).map(|k| first ^ (k as u8 & 1)).collect()
+    }
+
+    /// Access-address on-air bits (LSB of the least significant byte first).
+    pub fn access_address_bits(access_address: u32) -> Vec<u8> {
+        bytes_to_bits_lsb(&access_address.to_le_bytes())
+    }
+
+    /// Serialises the full packet to on-air bits for `channel`.
+    ///
+    /// `whitening` mirrors the radio-configuration register of real chips:
+    /// WazaBee prefers to disable it; when it cannot, it pre-de-whitens the
+    /// payload instead.
+    pub fn to_air_bits(&self, channel: BleChannel, phy: BlePhy, whitening: bool) -> Vec<u8> {
+        let mut bits = Self::preamble_bits(self.access_address, phy);
+        bits.extend(Self::access_address_bits(self.access_address));
+
+        let mut body = bytes_to_bits_lsb(&self.pdu);
+        body.extend(bytes_to_bits_lsb(&adv_crc_bytes(&self.pdu)));
+        if whitening {
+            Whitener::new(channel).whiten_bits_in_place(&mut body);
+        }
+        bits.extend(body);
+        bits
+    }
+
+    /// Parses a packet from the whitened body bits that follow the access
+    /// address (the form a hardware correlator hands to the link layer).
+    ///
+    /// Returns `None` when the stream cannot hold a header and CRC.
+    pub fn from_body_bits(
+        access_address: u32,
+        body_bits: &[u8],
+        channel: BleChannel,
+        whitening: bool,
+    ) -> Option<Self> {
+        let mut body = body_bits.to_vec();
+        if whitening {
+            Whitener::new(channel).whiten_bits_in_place(&mut body);
+        }
+        let body_bytes = bits_to_bytes_lsb(&body);
+        if body_bytes.len() < 2 {
+            return None;
+        }
+        let payload_len = body_bytes[1] as usize;
+        let pdu_len = 2 + payload_len;
+        if body_bytes.len() < pdu_len + 3 {
+            return None;
+        }
+        let pdu = body_bytes[..pdu_len].to_vec();
+        let crc = [
+            body_bytes[pdu_len],
+            body_bytes[pdu_len + 1],
+            body_bytes[pdu_len + 2],
+        ];
+        let crc_ok = check_adv_crc(&pdu, crc);
+        Some(BlePacket {
+            access_address,
+            pdu,
+            crc_ok,
+        })
+    }
+
+    /// Parses a packet from on-air bits, assuming the stream starts at the
+    /// first preamble bit and the PDU length is recoverable from its header
+    /// (byte 1 of the PDU is the length of the payload that follows).
+    ///
+    /// Returns `None` when the stream is too short. CRC failure does *not*
+    /// reject the packet — it is recorded in [`BlePacket::crc_ok`], because
+    /// modelling chips that let the host see bad-CRC frames is exactly what
+    /// the attack needs.
+    pub fn from_air_bits(
+        bits: &[u8],
+        channel: BleChannel,
+        phy: BlePhy,
+        whitening: bool,
+    ) -> Option<Self> {
+        let pre = phy.preamble_bytes() * 8;
+        let aa_end = pre + 32;
+        if bits.len() < aa_end + 16 {
+            return None;
+        }
+        let aa_bytes = bits_to_bytes_lsb(&bits[pre..aa_end]);
+        let access_address =
+            u32::from_le_bytes([aa_bytes[0], aa_bytes[1], aa_bytes[2], aa_bytes[3]]);
+        Self::from_body_bits(access_address, &bits[aa_end..], channel, whitening)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u8) -> BleChannel {
+        BleChannel::new(i).unwrap()
+    }
+
+    #[test]
+    fn preamble_alternates_and_matches_aa_lsb() {
+        // ADV AA 0x8E89BED6 has LSB 0 → the preamble starts with 0 (the
+        // 0xAA-on-air pattern) and is twice as long on LE 2M.
+        let p1 = BlePacket::preamble_bits(ADV_ACCESS_ADDRESS, BlePhy::Le1M);
+        let p2 = BlePacket::preamble_bits(ADV_ACCESS_ADDRESS, BlePhy::Le2M);
+        assert_eq!(p1.len(), 8);
+        assert_eq!(p2.len(), 16);
+        assert_eq!(p1[0], (ADV_ACCESS_ADDRESS & 1) as u8);
+        for w in p1.windows(2) {
+            assert_ne!(w[0], w[1], "preamble must alternate");
+        }
+        assert_eq!(&p2[..8], &p1[..]);
+        // An odd access address starts its preamble with 1.
+        let p3 = BlePacket::preamble_bits(0x0000_0001, BlePhy::Le1M);
+        assert_eq!(p3[0], 1);
+    }
+
+    #[test]
+    fn aa_bits_lsb_first() {
+        let bits = BlePacket::access_address_bits(0x0000_0001);
+        assert_eq!(bits[0], 1);
+        assert!(bits[1..].iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn round_trip_with_whitening_all_channels() {
+        let pdu = vec![0x02, 0x05, 1, 2, 3, 4, 5];
+        let pkt = BlePacket::advertising(pdu);
+        for c in BleChannel::all() {
+            for phy in [BlePhy::Le1M, BlePhy::Le2M] {
+                let bits = pkt.to_air_bits(c, phy, true);
+                let back = BlePacket::from_air_bits(&bits, c, phy, true).unwrap();
+                assert_eq!(back.pdu(), pkt.pdu());
+                assert_eq!(back.access_address(), ADV_ACCESS_ADDRESS);
+                assert!(back.crc_ok(), "CRC failed on {c} {phy}");
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_without_whitening() {
+        let pkt = BlePacket::new(0xDEAD_BEEF, vec![0x00, 0x02, 0xAB, 0xCD]);
+        let bits = pkt.to_air_bits(ch(0), BlePhy::Le2M, false);
+        let back = BlePacket::from_air_bits(&bits, ch(0), BlePhy::Le2M, false).unwrap();
+        assert_eq!(back, pkt);
+    }
+
+    #[test]
+    fn wrong_channel_whitening_corrupts() {
+        let pkt = BlePacket::advertising(vec![0x02, 0x03, 7, 8, 9]);
+        let bits = pkt.to_air_bits(ch(8), BlePhy::Le2M, true);
+        // De-whitening with the wrong channel index must break the CRC.
+        if let Some(back) = BlePacket::from_air_bits(&bits, ch(9), BlePhy::Le2M, true) {
+            assert!(!back.crc_ok());
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_flagged_not_dropped() {
+        let pkt = BlePacket::advertising(vec![0x02, 0x02, 0x11, 0x22]);
+        let mut bits = pkt.to_air_bits(ch(3), BlePhy::Le1M, true);
+        // Flip one payload bit (after preamble+AA+header).
+        let idx = 8 + 32 + 16 + 3;
+        bits[idx] ^= 1;
+        let back = BlePacket::from_air_bits(&bits, ch(3), BlePhy::Le1M, true).unwrap();
+        assert!(!back.crc_ok());
+        assert_ne!(back.pdu(), pkt.pdu());
+    }
+
+    #[test]
+    fn short_stream_rejected() {
+        assert!(BlePacket::from_air_bits(&[0; 40], ch(0), BlePhy::Le1M, true).is_none());
+    }
+
+    #[test]
+    fn length_header_drives_parsing() {
+        // Two packets with different payload lengths parse to their own sizes.
+        for len in [0usize, 1, 10, 37] {
+            let mut pdu = vec![0x02, len as u8];
+            pdu.extend(std::iter::repeat(0x5A).take(len));
+            let pkt = BlePacket::advertising(pdu.clone());
+            let bits = pkt.to_air_bits(ch(12), BlePhy::Le2M, true);
+            let back = BlePacket::from_air_bits(&bits, ch(12), BlePhy::Le2M, true).unwrap();
+            assert_eq!(back.pdu().len(), 2 + len);
+            assert!(back.crc_ok());
+        }
+    }
+}

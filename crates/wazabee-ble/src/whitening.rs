@@ -1,0 +1,186 @@
+//! BLE data whitening (Core spec vol 6 part B §3.2).
+//!
+//! A 7-bit LFSR with polynomial `x⁷ + x⁴ + 1`, seeded from the channel index,
+//! is XORed over the PDU and CRC before modulation. Whitening is its own
+//! inverse (a pure keystream XOR), a property WazaBee's transmission primitive
+//! exploits: to force arbitrary bits through a whitening modulator, feed it
+//! the *de-whitened* bits first (paper §IV-D, requirement 3).
+
+use crate::channel::BleChannel;
+
+/// The whitening/de-whitening keystream generator for one BLE channel.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_ble::{BleChannel, Whitener};
+/// let ch = BleChannel::new(8).unwrap();
+/// let data = vec![0xDE, 0xAD, 0xBE, 0xEF];
+/// let w = Whitener::new(ch).whiten_bytes(&data);
+/// assert_ne!(w, data);
+/// assert_eq!(Whitener::new(ch).whiten_bytes(&w), data); // self-inverse
+/// ```
+#[derive(Debug, Clone)]
+pub struct Whitener {
+    /// Register positions 0..6; position 0 is the input end.
+    reg: [u8; 7],
+}
+
+impl Whitener {
+    /// Creates a whitener seeded for `channel`.
+    ///
+    /// Position 0 is set to 1 and positions 1–6 hold the channel index with
+    /// its most significant bit in position 1, per the Core specification.
+    pub fn new(channel: BleChannel) -> Self {
+        let idx = channel.index();
+        let mut reg = [0u8; 7];
+        reg[0] = 1;
+        for k in 0..6 {
+            // Position 1 gets channel bit 5 (MSB), position 6 gets bit 0.
+            reg[1 + k] = (idx >> (5 - k)) & 1;
+        }
+        Whitener { reg }
+    }
+
+    /// Produces the next keystream bit and advances the register.
+    ///
+    /// Output is taken from position 6; the feedback (polynomial x⁷+x⁴+1)
+    /// re-enters at position 0 and is XORed into position 4.
+    #[inline]
+    pub fn next_bit(&mut self) -> u8 {
+        let out = self.reg[6];
+        let mut next = [0u8; 7];
+        next[0] = out;
+        next[1] = self.reg[0];
+        next[2] = self.reg[1];
+        next[3] = self.reg[2];
+        next[4] = self.reg[3] ^ out;
+        next[5] = self.reg[4];
+        next[6] = self.reg[5];
+        self.reg = next;
+        out
+    }
+
+    /// Whitens (or equivalently de-whitens) a bit stream in place.
+    pub fn whiten_bits_in_place(&mut self, bits: &mut [u8]) {
+        for b in bits {
+            *b ^= self.next_bit();
+        }
+    }
+
+    /// Whitens a bit stream, returning the transformed copy.
+    pub fn whiten_bits(mut self, bits: &[u8]) -> Vec<u8> {
+        let mut out = bits.to_vec();
+        self.whiten_bits_in_place(&mut out);
+        out
+    }
+
+    /// Whitens a byte stream (bits processed LSB-first within each byte, as
+    /// they appear on air).
+    pub fn whiten_bytes(self, bytes: &[u8]) -> Vec<u8> {
+        let bits = wazabee_dsp::bits::bytes_to_bits_lsb(bytes);
+        let out = self.whiten_bits(&bits);
+        wazabee_dsp::bits::bits_to_bytes_lsb(&out)
+    }
+
+    /// Generates `n` keystream bits without consuming data.
+    pub fn keystream(mut self, n: usize) -> Vec<u8> {
+        (0..n).map(|_| self.next_bit()).collect()
+    }
+}
+
+/// De-whitens bytes for `channel` — an explicit alias of whitening, named for
+/// readability at WazaBee call sites where the *inverse* operation is meant.
+pub fn dewhiten_bytes(channel: BleChannel, bytes: &[u8]) -> Vec<u8> {
+    Whitener::new(channel).whiten_bytes(bytes)
+}
+
+/// De-whitens bits for `channel` (alias of whitening, see [`dewhiten_bytes`]).
+pub fn dewhiten_bits(channel: BleChannel, bits: &[u8]) -> Vec<u8> {
+    Whitener::new(channel).whiten_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(i: u8) -> BleChannel {
+        BleChannel::new(i).unwrap()
+    }
+
+    #[test]
+    fn self_inverse_on_every_channel() {
+        let data: Vec<u8> = (0..=200).collect();
+        for c in BleChannel::all() {
+            let w = Whitener::new(c).whiten_bytes(&data);
+            assert_eq!(Whitener::new(c).whiten_bytes(&w), data, "channel {c}");
+        }
+    }
+
+    #[test]
+    fn keystream_period_is_127() {
+        // x⁷ + x⁴ + 1 is primitive: the keystream repeats with period 127.
+        let ks = Whitener::new(ch(37)).keystream(254);
+        assert_eq!(&ks[..127], &ks[127..]);
+        // ...and no shorter period divides it (127 is prime: check shift by 1).
+        assert_ne!(&ks[..126], &ks[1..127]);
+    }
+
+    #[test]
+    fn keystream_is_balanced() {
+        // A maximal-length 7-bit LFSR emits 64 ones and 63 zeros per period.
+        let ks = Whitener::new(ch(0)).keystream(127);
+        let ones: usize = ks.iter().map(|&b| b as usize).sum();
+        assert_eq!(ones, 64);
+    }
+
+    #[test]
+    fn different_channels_give_different_keystreams() {
+        let a = Whitener::new(ch(8)).keystream(64);
+        let b = Whitener::new(ch(9)).keystream(64);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn channels_are_keystream_shifts_of_each_other() {
+        // All non-zero LFSR states lie on one cycle, so any two channels'
+        // keystreams are cyclic shifts of the same 127-bit m-sequence.
+        let a = Whitener::new(ch(3)).keystream(254);
+        let b = Whitener::new(ch(21)).keystream(127);
+        let found = (0..127).any(|s| a[s..s + 127] == b[..]);
+        assert!(found, "keystreams are not shifts of one m-sequence");
+    }
+
+    #[test]
+    fn seed_register_layout() {
+        // Channel 37 = 0b100101: position1..6 = 1,0,0,1,0,1 and position0 = 1.
+        let w = Whitener::new(ch(37));
+        assert_eq!(w.reg, [1, 1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn first_output_is_position_six() {
+        let mut w = Whitener::new(ch(37));
+        // Position 6 of the seed above is 1.
+        assert_eq!(w.next_bit(), 1);
+    }
+
+    #[test]
+    fn dewhiten_alias_matches_whiten() {
+        let data = vec![0x12, 0x34, 0x56];
+        assert_eq!(
+            dewhiten_bytes(ch(8), &data),
+            Whitener::new(ch(8)).whiten_bytes(&data)
+        );
+    }
+
+    #[test]
+    fn bitwise_and_bytewise_agree() {
+        let data = vec![0xF0, 0x0F, 0xAA];
+        let bits = wazabee_dsp::bits::bytes_to_bits_lsb(&data);
+        let via_bits =
+            wazabee_dsp::bits::bits_to_bytes_lsb(&Whitener::new(ch(5)).whiten_bits(&bits));
+        let via_bytes = Whitener::new(ch(5)).whiten_bytes(&data);
+        assert_eq!(via_bits, via_bytes);
+    }
+}

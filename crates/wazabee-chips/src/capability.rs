@@ -1,0 +1,229 @@
+//! Radio-chip capability models.
+//!
+//! The paper's §IV-D lists four requirements a chip must meet for the full
+//! attack: a 2 Mbit/s rate, tunability onto Zigbee frequencies, control of
+//! the modulator input, and access to the raw demodulator output. Real parts
+//! differ in which knobs they expose; these models encode exactly that.
+
+/// What a given chip's radio lets attacker code do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipCapabilities {
+    /// Marketing name of the part.
+    pub name: &'static str,
+    /// Supports the BLE 5 LE 2M PHY (requirement 1, the native path).
+    pub le_2m: bool,
+    /// Supports Enhanced ShockBurst at 2 Mbit/s (the nRF51822 fallback).
+    pub esb_2m: bool,
+    /// Whitening can be turned off (requirement 3, the easy path).
+    pub whitening_disable: bool,
+    /// CRC checking can be turned off so invalid frames reach the host
+    /// (requirement 4).
+    pub crc_disable: bool,
+    /// The synthesiser accepts arbitrary frequencies in the ISM band
+    /// (requirement 2); otherwise only BLE channel centres are reachable and
+    /// the attack is limited to the paper's Table II subset.
+    pub arbitrary_frequency: bool,
+    /// The access-address / sync-word register is freely writable.
+    pub custom_access_address: bool,
+    /// Attacker code reaches radio registers at all. `false` models the
+    /// unrooted smartphone of Scenario A, where only the high-level
+    /// advertising API is reachable.
+    pub register_access: bool,
+    /// Receiver quality offset in dB relative to the nRF52832 baseline —
+    /// Table III shows the CC1352-R1 receiving slightly more cleanly.
+    pub rx_quality_db: f64,
+}
+
+impl ChipCapabilities {
+    /// Whether the chip can run the full WazaBee transmission primitive.
+    pub fn can_raw_transmit(&self) -> bool {
+        self.register_access && (self.le_2m || self.esb_2m)
+    }
+
+    /// Whether the chip can run the full WazaBee reception primitive.
+    pub fn can_raw_receive(&self) -> bool {
+        self.can_raw_transmit() && self.custom_access_address && self.crc_disable
+    }
+
+    /// Whether the chip can tune to a given frequency in MHz.
+    pub fn can_tune_mhz(&self, mhz: u32) -> bool {
+        if !(2400..=2500).contains(&mhz) {
+            return false;
+        }
+        if self.arbitrary_frequency {
+            true
+        } else {
+            wazabee_ble::BleChannel::from_center_mhz(mhz).is_some()
+        }
+    }
+}
+
+/// The Nordic Semiconductor nRF52832 of the paper's first proof of concept:
+/// a highly configurable radio exposing every knob the attack wants.
+pub fn nrf52832() -> ChipCapabilities {
+    ChipCapabilities {
+        name: "nRF52832",
+        le_2m: true,
+        esb_2m: true,
+        whitening_disable: true,
+        crc_disable: true,
+        arbitrary_frequency: true,
+        custom_access_address: true,
+        register_access: true,
+        rx_quality_db: 0.0,
+    }
+}
+
+/// The Texas Instruments CC1352-R1 of the paper's second proof of concept:
+/// fewer configuration options, but everything the attack needs through the
+/// common TI BLE API — and a slightly cleaner receiver (Table III).
+pub fn cc1352r1() -> ChipCapabilities {
+    ChipCapabilities {
+        name: "CC1352-R1",
+        le_2m: true,
+        esb_2m: false,
+        whitening_disable: true,
+        crc_disable: true,
+        arbitrary_frequency: true,
+        custom_access_address: true,
+        register_access: true,
+        rx_quality_db: 1.5,
+    }
+}
+
+/// The Nordic nRF51822 inside the Gablys tracker of Scenario B: no LE 2M,
+/// but ESB at 2 Mbit/s substitutes — at a small receive-quality cost the
+/// paper notes.
+pub fn nrf51822() -> ChipCapabilities {
+    ChipCapabilities {
+        name: "nRF51822",
+        le_2m: false,
+        esb_2m: true,
+        whitening_disable: true,
+        crc_disable: true,
+        arbitrary_frequency: true,
+        custom_access_address: true,
+        register_access: true,
+        rx_quality_db: -1.0,
+    }
+}
+
+/// An unrooted BLE 5 smartphone (Scenario A): only the standard extended
+/// advertising API is reachable, so no register, whitening, CRC or frequency
+/// control at all — and yet a transmission primitive still exists.
+pub fn smartphone_ble5() -> ChipCapabilities {
+    ChipCapabilities {
+        name: "BLE 5 smartphone (unrooted)",
+        le_2m: true,
+        esb_2m: false,
+        whitening_disable: false,
+        crc_disable: false,
+        arbitrary_frequency: false,
+        custom_access_address: false,
+        register_access: false,
+        rx_quality_db: 0.0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poc_chips_run_both_primitives() {
+        for caps in [nrf52832(), cc1352r1(), nrf51822()] {
+            assert!(caps.can_raw_transmit(), "{}", caps.name);
+            assert!(caps.can_raw_receive(), "{}", caps.name);
+        }
+    }
+
+    #[test]
+    fn smartphone_runs_neither_raw_primitive() {
+        let phone = smartphone_ble5();
+        assert!(!phone.can_raw_transmit());
+        assert!(!phone.can_raw_receive());
+        // ...and yet it supports LE 2M — the PHY Scenario A rides on.
+        assert!(phone.le_2m);
+    }
+
+    #[test]
+    fn nrf51822_lacks_le2m_but_has_esb() {
+        let caps = nrf51822();
+        assert!(!caps.le_2m);
+        assert!(caps.esb_2m);
+        assert!(caps.can_raw_transmit());
+    }
+
+    #[test]
+    fn arbitrary_frequency_chips_reach_all_zigbee_channels() {
+        for caps in [nrf52832(), cc1352r1(), nrf51822()] {
+            for z in wazabee_dot154::Dot154Channel::all() {
+                assert!(caps.can_tune_mhz(z.center_mhz()), "{} ch {z}", caps.name);
+            }
+        }
+    }
+
+    #[test]
+    fn ble_only_tuning_reaches_only_table2_channels() {
+        let phone = smartphone_ble5();
+        let reachable: Vec<u8> = wazabee_dot154::Dot154Channel::all()
+            .filter(|z| phone.can_tune_mhz(z.center_mhz()))
+            .map(|z| z.number())
+            .collect();
+        assert_eq!(reachable, vec![12, 14, 16, 18, 20, 22, 24, 26]);
+    }
+
+    #[test]
+    fn out_of_band_rejected() {
+        assert!(!nrf52832().can_tune_mhz(2399));
+        assert!(!nrf52832().can_tune_mhz(2501));
+        assert!(nrf52832().can_tune_mhz(2405)); // Zigbee 11, not a BLE centre
+        assert!(!smartphone_ble5().can_tune_mhz(2405));
+    }
+
+    #[test]
+    fn cc1352_receives_cleaner_than_nrf52832() {
+        assert!(cc1352r1().rx_quality_db > nrf52832().rx_quality_db);
+        assert!(nrf51822().rx_quality_db < nrf52832().rx_quality_db);
+    }
+}
+
+/// A smartphone whose Broadcom/Cypress BLE controller firmware has been
+/// patched with InternalBlue [Mantz et al., MobiSys'19] — the escalation the
+/// paper sketches at the end of §VI-B: with firmware patching, both WazaBee
+/// primitives become available on an off-the-shelf phone.
+pub fn smartphone_internalblue() -> ChipCapabilities {
+    ChipCapabilities {
+        name: "BLE 5 smartphone (InternalBlue-patched)",
+        register_access: true,
+        whitening_disable: true,
+        crc_disable: true,
+        custom_access_address: true,
+        ..smartphone_ble5()
+    }
+}
+
+#[cfg(test)]
+mod internalblue_tests {
+    use super::*;
+
+    #[test]
+    fn patched_phone_runs_both_primitives() {
+        let caps = smartphone_internalblue();
+        assert!(caps.can_raw_transmit());
+        assert!(caps.can_raw_receive());
+        // ...but its synthesiser is still BLE-channel-bound: the Table II
+        // subset is the reachable attack surface.
+        assert!(caps.can_tune_mhz(2420));
+        assert!(!caps.can_tune_mhz(2405));
+    }
+
+    #[test]
+    fn stock_phone_differs_only_in_firmware_knobs() {
+        let stock = smartphone_ble5();
+        let patched = smartphone_internalblue();
+        assert_eq!(stock.le_2m, patched.le_2m);
+        assert_eq!(stock.arbitrary_frequency, patched.arbitrary_frequency);
+        assert!(!stock.register_access && patched.register_access);
+    }
+}

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! # wazabee-chips
+//!
+//! Capability-accurate radio chip models for the WazaBee reproduction
+//! (Cayre et al., DSN 2021).
+//!
+//! The paper demonstrates the attack on an nRF52832 and a CC1352-R1, extends
+//! it to an nRF51822-based tracker (Scenario B) and an unrooted BLE 5
+//! smartphone (Scenario A). Each model encodes which of the §IV-D
+//! requirements the part satisfies:
+//!
+//! * [`capability`] — per-chip capability sheets,
+//! * [`radio`] — a runtime radio model gating modem access and tuning,
+//! * [`smartphone`] — the high-level-API-only extended-advertising path.
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_chips::{nrf52832, smartphone_ble5, ChipRadio};
+//!
+//! let mut dev = ChipRadio::new(nrf52832(), 8);
+//! dev.tune_mhz(2420).unwrap();          // arbitrary-frequency synthesiser
+//! dev.check_raw_receive().unwrap();     // all four requirements met
+//!
+//! let phone = ChipRadio::new(smartphone_ble5(), 8);
+//! assert!(phone.two_mbps_modem().is_err()); // no raw path on a phone
+//! ```
+
+pub mod capability;
+pub mod radio;
+pub mod smartphone;
+
+pub use capability::{
+    cc1352r1, nrf51822, nrf52832, smartphone_ble5, smartphone_internalblue, ChipCapabilities,
+};
+pub use radio::{ChipError, ChipRadio, TwoMbpsModem};
+pub use smartphone::{AdvertisingEvent, Smartphone, MAX_MANUFACTURER_DATA};

@@ -1,0 +1,199 @@
+//! A runtime radio model: capabilities + modems + a synthesiser.
+
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_esb::EsbModem;
+
+use crate::capability::ChipCapabilities;
+
+/// Errors raised when firmware asks a chip for something its radio cannot do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChipError {
+    /// The synthesiser cannot reach the requested frequency.
+    CannotTune {
+        /// The requested frequency in MHz.
+        mhz: u32,
+    },
+    /// A required capability is absent.
+    MissingCapability {
+        /// The capability that is missing.
+        capability: &'static str,
+    },
+}
+
+impl std::fmt::Display for ChipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChipError::CannotTune { mhz } => write!(f, "cannot tune to {mhz} MHz"),
+            ChipError::MissingCapability { capability } => {
+                write!(f, "missing capability: {capability}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChipError {}
+
+/// The 2 Mbit/s modem a chip offers for diversion: the LE 2M PHY when the
+/// part has it, otherwise Enhanced ShockBurst.
+#[derive(Debug, Clone)]
+pub enum TwoMbpsModem {
+    /// BLE LE 2M — the native WazaBee path.
+    Ble(BleModem),
+    /// Enhanced ShockBurst at 2 Mbit/s — the nRF51822 fallback of Scenario B.
+    Esb(EsbModem),
+}
+
+/// A chip's radio, as attacker firmware sees it.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_chips::{nrf52832, ChipRadio};
+/// let mut radio = ChipRadio::new(nrf52832(), 8);
+/// radio.tune_mhz(2420).unwrap(); // Zigbee channel 14
+/// assert_eq!(radio.tuned_mhz(), Some(2420));
+/// ```
+#[derive(Debug, Clone)]
+pub struct ChipRadio {
+    caps: ChipCapabilities,
+    samples_per_symbol: usize,
+    tuned_mhz: Option<u32>,
+}
+
+impl ChipRadio {
+    /// Creates a radio model for a chip at the given simulation oversampling.
+    pub fn new(caps: ChipCapabilities, samples_per_symbol: usize) -> Self {
+        ChipRadio {
+            caps,
+            samples_per_symbol,
+            tuned_mhz: None,
+        }
+    }
+
+    /// The chip's capability sheet.
+    pub fn capabilities(&self) -> &ChipCapabilities {
+        &self.caps
+    }
+
+    /// The currently tuned centre frequency, if any.
+    pub fn tuned_mhz(&self) -> Option<u32> {
+        self.tuned_mhz
+    }
+
+    /// Tunes the synthesiser.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::CannotTune`] when the frequency is out of band or, on
+    /// chips without arbitrary-frequency support, not a BLE channel centre.
+    pub fn tune_mhz(&mut self, mhz: u32) -> Result<(), ChipError> {
+        if !self.caps.can_tune_mhz(mhz) {
+            return Err(ChipError::CannotTune { mhz });
+        }
+        self.tuned_mhz = Some(mhz);
+        Ok(())
+    }
+
+    /// Hands out the chip's 2 Mbit/s modem for raw diversion.
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::MissingCapability`] when firmware has no register access
+    /// or no 2 Mbit/s mode exists.
+    pub fn two_mbps_modem(&self) -> Result<TwoMbpsModem, ChipError> {
+        if !self.caps.register_access {
+            return Err(ChipError::MissingCapability {
+                capability: "raw register access",
+            });
+        }
+        if self.caps.le_2m {
+            Ok(TwoMbpsModem::Ble(BleModem::new(
+                BlePhy::Le2M,
+                self.samples_per_symbol,
+            )))
+        } else if self.caps.esb_2m {
+            Ok(TwoMbpsModem::Esb(EsbModem::new(self.samples_per_symbol)))
+        } else {
+            Err(ChipError::MissingCapability {
+                capability: "2 Mbit/s PHY",
+            })
+        }
+    }
+
+    /// Verifies the chip can run the reception primitive (custom access
+    /// address + CRC disable on top of raw transmit).
+    ///
+    /// # Errors
+    ///
+    /// [`ChipError::MissingCapability`] naming the first missing knob.
+    pub fn check_raw_receive(&self) -> Result<(), ChipError> {
+        if !self.caps.custom_access_address {
+            return Err(ChipError::MissingCapability {
+                capability: "custom access address",
+            });
+        }
+        if !self.caps.crc_disable {
+            return Err(ChipError::MissingCapability {
+                capability: "CRC disable",
+            });
+        }
+        self.two_mbps_modem().map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capability::{cc1352r1, nrf51822, nrf52832, smartphone_ble5};
+
+    #[test]
+    fn nrf52832_full_attack_path() {
+        let mut radio = ChipRadio::new(nrf52832(), 8);
+        radio.tune_mhz(2405).unwrap();
+        assert!(matches!(radio.two_mbps_modem(), Ok(TwoMbpsModem::Ble(_))));
+        radio.check_raw_receive().unwrap();
+    }
+
+    #[test]
+    fn nrf51822_falls_back_to_esb() {
+        let radio = ChipRadio::new(nrf51822(), 8);
+        assert!(matches!(radio.two_mbps_modem(), Ok(TwoMbpsModem::Esb(_))));
+    }
+
+    #[test]
+    fn smartphone_has_no_raw_path() {
+        let mut radio = ChipRadio::new(smartphone_ble5(), 8);
+        assert_eq!(
+            radio.two_mbps_modem().unwrap_err(),
+            ChipError::MissingCapability {
+                capability: "raw register access"
+            }
+        );
+        // BLE-centre tuning only.
+        assert!(radio.tune_mhz(2420).is_ok()); // BLE channel 8
+        assert_eq!(radio.tune_mhz(2405).unwrap_err(), ChipError::CannotTune { mhz: 2405 });
+    }
+
+    #[test]
+    fn cc1352_receive_path_ok() {
+        ChipRadio::new(cc1352r1(), 8).check_raw_receive().unwrap();
+    }
+
+    #[test]
+    fn tune_state_tracked() {
+        let mut radio = ChipRadio::new(nrf52832(), 8);
+        assert_eq!(radio.tuned_mhz(), None);
+        radio.tune_mhz(2480).unwrap();
+        assert_eq!(radio.tuned_mhz(), Some(2480));
+        assert!(radio.tune_mhz(2600).is_err());
+        // A failed tune leaves the synthesiser where it was.
+        assert_eq!(radio.tuned_mhz(), Some(2480));
+    }
+
+    #[test]
+    fn errors_display() {
+        assert!(ChipError::CannotTune { mhz: 2425 }.to_string().contains("2425"));
+        let e = ChipError::MissingCapability { capability: "CRC disable" };
+        assert!(e.to_string().contains("CRC"));
+    }
+}

@@ -1,0 +1,208 @@
+//! The unrooted-smartphone model of Scenario A.
+//!
+//! Attacker code on the phone reaches only the standard extended-advertising
+//! API: it may set advertising data and enable advertising with the LE 2M
+//! secondary PHY, but it controls neither the secondary channel (Channel
+//! Selection Algorithm #2 does), nor whitening, nor the access address. The
+//! model emits, per advertising event, the `ADV_EXT_IND` packets on the
+//! primary channels and the `AUX_ADV_IND` on the CSA#2-selected secondary
+//! channel — exactly the frames a real BLE 5 controller would.
+
+use wazabee_ble::adv::{AdvExtInd, AuxAdvInd, AuxPtr, BleAddress};
+use wazabee_ble::csa2::{select_channel, ChannelMap};
+use wazabee_ble::{BleChannel, BleModem, BlePacket, BlePhy};
+use wazabee_dsp::iq::Iq;
+
+/// Maximum manufacturer-data bytes the advertising API accepts (the PDU
+/// length byte caps the payload; see `wazabee_ble::adv`).
+pub const MAX_MANUFACTURER_DATA: usize = 241;
+
+/// One advertising event as emitted on air.
+#[derive(Debug, Clone)]
+pub struct AdvertisingEvent {
+    /// The event counter value this event used.
+    pub event_counter: u16,
+    /// The CSA#2-selected secondary channel.
+    pub aux_channel: BleChannel,
+    /// The `AUX_ADV_IND` waveform (LE 2M, whitened for `aux_channel`).
+    pub aux_samples: Vec<Iq>,
+    /// The `ADV_EXT_IND` waveforms on the primary channels (LE 1M).
+    pub primary: Vec<(BleChannel, Vec<Iq>)>,
+}
+
+/// A BLE 5 smartphone controller restricted to the public advertising API.
+#[derive(Debug, Clone)]
+pub struct Smartphone {
+    modem_1m: BleModem,
+    modem_2m: BleModem,
+    address: BleAddress,
+    access_address: u32,
+    company_id: u16,
+    adv_data: Option<Vec<u8>>,
+    adi: u16,
+    event_counter: u16,
+    channel_map: ChannelMap,
+}
+
+impl Smartphone {
+    /// Creates a phone with a fixed advertiser address. The extended
+    /// advertising access address is controller-chosen; we derive it
+    /// deterministically from the address so simulations are reproducible.
+    pub fn new(address: BleAddress, samples_per_symbol: usize) -> Self {
+        let a = address.0;
+        let access_address = u32::from_le_bytes([a[0], a[1], a[2], a[3]]) ^ 0xA5A5_5A5A;
+        Smartphone {
+            modem_1m: BleModem::new(BlePhy::Le1M, samples_per_symbol),
+            modem_2m: BleModem::new(BlePhy::Le2M, samples_per_symbol),
+            address,
+            access_address,
+            company_id: 0x0059, // Nordic's company id, as good as any
+            adv_data: None,
+            adi: 0x1D07,
+            event_counter: 0,
+            channel_map: ChannelMap::all_data_channels(),
+        }
+    }
+
+    /// The controller-chosen extended-advertising access address. Attacker
+    /// code can *read* this through HCI but cannot choose it.
+    pub fn access_address(&self) -> u32 {
+        self.access_address
+    }
+
+    /// The advertising event counter.
+    pub fn event_counter(&self) -> u16 {
+        self.event_counter
+    }
+
+    /// The public API: sets manufacturer-specific advertising data.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected payload when it exceeds
+    /// [`MAX_MANUFACTURER_DATA`] bytes.
+    pub fn set_manufacturer_data(&mut self, data: Vec<u8>) -> Result<(), Vec<u8>> {
+        if data.len() > MAX_MANUFACTURER_DATA {
+            return Err(data);
+        }
+        self.adv_data = Some(data);
+        Ok(())
+    }
+
+    /// The secondary channel CSA#2 will pick for a given event counter —
+    /// the attacker can compute this (the algorithm is public) but cannot
+    /// influence it.
+    pub fn predicted_channel(&self, event_counter: u16) -> BleChannel {
+        select_channel(self.access_address, event_counter, &self.channel_map)
+    }
+
+    /// Runs one advertising event, emitting the primary `ADV_EXT_IND`s and
+    /// the secondary `AUX_ADV_IND`, and advancing the event counter.
+    ///
+    /// Returns `None` while no advertising data is configured.
+    pub fn advertising_event(&mut self) -> Option<AdvertisingEvent> {
+        let data = self.adv_data.clone()?;
+        let event_counter = self.event_counter;
+        let aux_channel = self.predicted_channel(event_counter);
+        self.event_counter = self.event_counter.wrapping_add(1);
+
+        // Primary ADV_EXT_INDs point at the aux packet.
+        let aux_ptr = AuxPtr {
+            channel_index: aux_channel.index(),
+            aux_offset_30us: 10,
+            aux_phy_2m: true,
+        };
+        let ext = AdvExtInd {
+            adi: self.adi,
+            aux_ptr,
+        };
+        let ext_packet = BlePacket::new(wazabee_ble::ADV_ACCESS_ADDRESS, ext.to_bytes());
+        let primary = BleChannel::ADVERTISING
+            .iter()
+            .map(|&ch| (ch, self.modem_1m.transmit(&ext_packet, ch, true)))
+            .collect();
+
+        // The AUX_ADV_IND carries the manufacturer data on the secondary
+        // channel at 2 Mbit/s, whitened for that channel by the controller.
+        let aux = AuxAdvInd::with_manufacturer_data(self.address, self.adi, self.company_id, data);
+        let aux_packet = BlePacket::new(self.access_address, aux.to_bytes());
+        let aux_samples = self.modem_2m.transmit(&aux_packet, aux_channel, true);
+
+        Some(AdvertisingEvent {
+            event_counter,
+            aux_channel,
+            aux_samples,
+            primary,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phone() -> Smartphone {
+        Smartphone::new(BleAddress::new([1, 2, 3, 4, 5, 6]), 8)
+    }
+
+    #[test]
+    fn no_event_without_data() {
+        let mut p = phone();
+        assert!(p.advertising_event().is_none());
+    }
+
+    #[test]
+    fn event_emits_primaries_and_aux() {
+        let mut p = phone();
+        p.set_manufacturer_data(vec![1, 2, 3]).unwrap();
+        let ev = p.advertising_event().unwrap();
+        assert_eq!(ev.primary.len(), 3);
+        let chans: Vec<u8> = ev.primary.iter().map(|(c, _)| c.index()).collect();
+        assert_eq!(chans, vec![37, 38, 39]);
+        assert!(ev.aux_channel.is_data());
+        assert!(!ev.aux_samples.is_empty());
+    }
+
+    #[test]
+    fn counter_advances_and_channels_follow_csa2() {
+        let mut p = phone();
+        p.set_manufacturer_data(vec![0]).unwrap();
+        let predicted: Vec<BleChannel> = (0..8).map(|e| p.predicted_channel(e)).collect();
+        for expect in predicted {
+            let ev = p.advertising_event().unwrap();
+            assert_eq!(ev.aux_channel, expect);
+        }
+        assert_eq!(p.event_counter(), 8);
+    }
+
+    #[test]
+    fn aux_packet_parses_back_as_extended_advertising() {
+        let mut p = phone();
+        let marker = vec![0xDE, 0xAD, 0xBE, 0xEF];
+        p.set_manufacturer_data(marker.clone()).unwrap();
+        let ev = p.advertising_event().unwrap();
+        // A legitimate BLE receiver on the aux channel decodes the PDU.
+        let rx = p
+            .modem_2m
+            .receive(&ev.aux_samples, p.access_address(), ev.aux_channel, true)
+            .unwrap();
+        assert!(rx.crc_ok());
+        let aux = AuxAdvInd::from_bytes(rx.pdu()).unwrap();
+        // Manufacturer AD structure: len, 0xFF, company(2), data.
+        assert_eq!(&aux.adv_data[4..], marker.as_slice());
+    }
+
+    #[test]
+    fn data_length_enforced() {
+        let mut p = phone();
+        assert!(p.set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA]).is_ok());
+        assert!(p.set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA + 1]).is_err());
+    }
+
+    #[test]
+    fn different_phones_have_different_access_addresses() {
+        let a = Smartphone::new(BleAddress::new([1, 2, 3, 4, 5, 6]), 8);
+        let b = Smartphone::new(BleAddress::new([9, 9, 9, 9, 9, 9]), 8);
+        assert_ne!(a.access_address(), b.access_address());
+    }
+}

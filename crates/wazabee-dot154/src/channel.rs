@@ -1,0 +1,129 @@
+//! 802.15.4 channel plan in the 2.4 GHz ISM band (paper §III-C).
+//!
+//! Sixteen channels, numbered 11 to 26, each 2 MHz wide, spaced 5 MHz apart:
+//! `fc = 2405 + 5·(k − 11)` MHz (paper equation 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A validated 802.15.4 channel number (11–26).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dot154::Dot154Channel;
+/// let ch = Dot154Channel::new(14).unwrap();
+/// assert_eq!(ch.center_mhz(), 2420); // the channel of the paper's testbed
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Dot154Channel(u8);
+
+impl Dot154Channel {
+    /// First valid channel number.
+    pub const MIN: u8 = 11;
+    /// Last valid channel number.
+    pub const MAX: u8 = 26;
+
+    /// Creates a channel, rejecting numbers outside 11–26.
+    pub fn new(number: u8) -> Option<Self> {
+        (Self::MIN..=Self::MAX)
+            .contains(&number)
+            .then_some(Dot154Channel(number))
+    }
+
+    /// The channel number (11–26).
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in MHz (paper equation 6).
+    pub fn center_mhz(self) -> u32 {
+        2405 + 5 * (self.0 as u32 - 11)
+    }
+
+    /// Looks a channel up by centre frequency.
+    pub fn from_center_mhz(freq_mhz: u32) -> Option<Self> {
+        Self::all().find(|c| c.center_mhz() == freq_mhz)
+    }
+
+    /// Iterator over all 16 channels in ascending order.
+    pub fn all() -> impl Iterator<Item = Dot154Channel> {
+        (Self::MIN..=Self::MAX).map(Dot154Channel)
+    }
+
+    /// The next channel up, wrapping from 26 back to 11 (used by active
+    /// scanning in Scenario B).
+    pub fn next_wrapping(self) -> Dot154Channel {
+        if self.0 == Self::MAX {
+            Dot154Channel(Self::MIN)
+        } else {
+            Dot154Channel(self.0 + 1)
+        }
+    }
+}
+
+impl std::fmt::Display for Dot154Channel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "802.15.4 ch {} ({} MHz)", self.0, self.center_mhz())
+    }
+}
+
+/// Chip rate in the 2.4 GHz band: 2 Mchip/s (paper §III-C).
+pub const CHIP_RATE: f64 = 2.0e6;
+/// PPDU bit rate before spreading: 250 kbit/s.
+pub const BIT_RATE: f64 = 250.0e3;
+/// Chips per 4-bit symbol.
+pub const CHIPS_PER_SYMBOL: usize = 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_paper_equation_6() {
+        for ch in Dot154Channel::all() {
+            assert_eq!(ch.center_mhz(), 2405 + 5 * (ch.number() as u32 - 11));
+        }
+        assert_eq!(Dot154Channel::new(11).unwrap().center_mhz(), 2405);
+        assert_eq!(Dot154Channel::new(26).unwrap().center_mhz(), 2480);
+    }
+
+    #[test]
+    fn validation_bounds() {
+        assert!(Dot154Channel::new(10).is_none());
+        assert!(Dot154Channel::new(27).is_none());
+        assert!(Dot154Channel::new(11).is_some());
+        assert!(Dot154Channel::new(26).is_some());
+    }
+
+    #[test]
+    fn sixteen_channels_spaced_5mhz() {
+        let chans: Vec<_> = Dot154Channel::all().collect();
+        assert_eq!(chans.len(), 16);
+        for w in chans.windows(2) {
+            assert_eq!(w[1].center_mhz() - w[0].center_mhz(), 5);
+        }
+    }
+
+    #[test]
+    fn from_center_round_trip() {
+        for ch in Dot154Channel::all() {
+            assert_eq!(Dot154Channel::from_center_mhz(ch.center_mhz()), Some(ch));
+        }
+        assert_eq!(Dot154Channel::from_center_mhz(2406), None);
+    }
+
+    #[test]
+    fn scan_wrapping() {
+        let mut ch = Dot154Channel::new(25).unwrap();
+        ch = ch.next_wrapping();
+        assert_eq!(ch.number(), 26);
+        ch = ch.next_wrapping();
+        assert_eq!(ch.number(), 11);
+    }
+
+    #[test]
+    fn rate_constants() {
+        assert_eq!(CHIP_RATE / BIT_RATE, 8.0); // 32 chips per 4 bits
+        assert_eq!(CHIPS_PER_SYMBOL, 32);
+    }
+}

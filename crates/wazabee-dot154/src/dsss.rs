@@ -1,0 +1,183 @@
+//! Direct Sequence Spread Spectrum: byte stream ↔ chip stream (paper §III-C).
+//!
+//! Each byte splits into two 4-bit symbols — least significant nibble first —
+//! and each symbol is replaced by its 32-chip PN sequence. Despreading uses
+//! minimum Hamming distance, exactly as the paper's reception primitive does,
+//! which tolerates both modulation-approximation errors and channel bitflips.
+
+use crate::channel::CHIPS_PER_SYMBOL;
+use crate::pn::{closest_symbol, pn_sequence};
+
+/// Splits bytes into 4-bit symbols, least significant nibble first.
+pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(b & 0x0F);
+        out.push(b >> 4);
+    }
+    out
+}
+
+/// Packs 4-bit symbols back into bytes (LSB nibble first).
+///
+/// # Panics
+///
+/// Panics if the symbol count is odd.
+pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
+    assert!(symbols.len() % 2 == 0, "symbol count must be even");
+    symbols
+        .chunks_exact(2)
+        .map(|p| (p[0] & 0x0F) | (p[1] << 4))
+        .collect()
+}
+
+/// Spreads 4-bit symbols to chips.
+///
+/// # Panics
+///
+/// Panics if any symbol value exceeds 15.
+pub fn spread_symbols(symbols: &[u8]) -> Vec<u8> {
+    let mut chips = Vec::with_capacity(symbols.len() * CHIPS_PER_SYMBOL);
+    for &s in symbols {
+        assert!(s < 16, "symbol value {s} out of range");
+        chips.extend_from_slice(pn_sequence(s));
+    }
+    chips
+}
+
+/// Spreads a byte stream straight to chips.
+pub fn spread_bytes(bytes: &[u8]) -> Vec<u8> {
+    spread_symbols(&bytes_to_symbols(bytes))
+}
+
+/// One despread symbol with its decoding confidence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DespreadSymbol {
+    /// The recovered 4-bit symbol.
+    pub symbol: u8,
+    /// Chip errors against the winning PN sequence.
+    pub chip_errors: usize,
+}
+
+/// Despreads a chip stream into symbols by minimum-Hamming matching per
+/// 32-chip block; trailing partial blocks are discarded.
+pub fn despread_chips(chips: &[u8]) -> Vec<DespreadSymbol> {
+    chips
+        .chunks_exact(CHIPS_PER_SYMBOL)
+        .map(|block| {
+            let (symbol, chip_errors) = closest_symbol(block);
+            DespreadSymbol {
+                symbol,
+                chip_errors,
+            }
+        })
+        .collect()
+}
+
+/// Despreads a chip stream straight to bytes, also returning the total chip
+/// error count (a link-quality indicator).
+pub fn despread_to_bytes(chips: &[u8]) -> (Vec<u8>, usize) {
+    let symbols = despread_chips(chips);
+    let total_errors = symbols.iter().map(|s| s.chip_errors).sum();
+    let mut values: Vec<u8> = symbols.iter().map(|s| s.symbol).collect();
+    if values.len() % 2 == 1 {
+        values.pop();
+    }
+    (symbols_to_bytes(&values), total_errors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn nibble_order_is_lsb_first() {
+        assert_eq!(bytes_to_symbols(&[0xA7]), vec![0x7, 0xA]);
+        assert_eq!(symbols_to_bytes(&[0x7, 0xA]), vec![0xA7]);
+    }
+
+    #[test]
+    fn spread_length() {
+        assert_eq!(spread_bytes(&[0x00]).len(), 64);
+        assert_eq!(spread_bytes(&[1, 2, 3]).len(), 192);
+    }
+
+    #[test]
+    fn clean_round_trip() {
+        let data: Vec<u8> = (0..=255).collect();
+        let chips = spread_bytes(&data);
+        let (bytes, errors) = despread_to_bytes(&chips);
+        assert_eq!(bytes, data);
+        assert_eq!(errors, 0);
+    }
+
+    #[test]
+    fn despread_reports_chip_errors() {
+        let mut chips = spread_bytes(&[0x5A]);
+        chips[3] ^= 1;
+        chips[40] ^= 1;
+        chips[41] ^= 1;
+        let symbols = despread_chips(&chips);
+        assert_eq!(symbols[0].chip_errors, 1);
+        assert_eq!(symbols[1].chip_errors, 2);
+        let (bytes, errors) = despread_to_bytes(&chips);
+        assert_eq!(bytes, vec![0x5A]);
+        assert_eq!(errors, 3);
+    }
+
+    #[test]
+    fn partial_trailing_block_discarded() {
+        let mut chips = spread_bytes(&[0xFF]);
+        chips.extend_from_slice(&[1; 17]);
+        let (bytes, _) = despread_to_bytes(&chips);
+        assert_eq!(bytes, vec![0xFF]);
+    }
+
+    #[test]
+    fn odd_symbol_count_truncated_to_bytes() {
+        let chips = spread_symbols(&[1, 2, 3]);
+        let (bytes, _) = despread_to_bytes(&chips);
+        assert_eq!(bytes, vec![0x21]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn spread_rejects_bad_symbol() {
+        let _ = spread_symbols(&[16]);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let chips = spread_bytes(&data);
+            let (bytes, errors) = despread_to_bytes(&chips);
+            prop_assert_eq!(bytes, data);
+            prop_assert_eq!(errors, 0);
+        }
+
+        #[test]
+        fn prop_error_correction_up_to_five_chips_per_symbol(
+            data in proptest::collection::vec(any::<u8>(), 1..16),
+            seed in any::<u64>(),
+        ) {
+            // Flip 5 chips in every 32-chip block — always within the
+            // correction budget of the PN family.
+            let mut chips = spread_bytes(&data);
+            let mut state = seed;
+            for block in chips.chunks_exact_mut(32) {
+                let mut flipped = std::collections::HashSet::new();
+                while flipped.len() < 5 {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    flipped.insert((state >> 33) as usize % 32);
+                }
+                for &k in &flipped {
+                    block[k] ^= 1;
+                }
+            }
+            let (bytes, errors) = despread_to_bytes(&chips);
+            prop_assert_eq!(bytes, data.clone());
+            prop_assert_eq!(errors, data.len() * 10);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! The 802.15.4 Frame Check Sequence: CRC-16 with polynomial
+//! `x¹⁶ + x¹² + x⁵ + 1` (ITU-T), zero preset, bits processed LSB-first —
+//! the parameterisation known as CRC-16/KERMIT.
+
+/// Computes the FCS over a MAC frame (MHR + payload).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dot154::fcs::fcs16;
+/// // The standard KERMIT check value.
+/// assert_eq!(fcs16(b"123456789"), 0x2189);
+/// ```
+pub fn fcs16(data: &[u8]) -> u16 {
+    let mut crc = 0u16;
+    for &byte in data {
+        crc ^= u16::from(byte);
+        for _ in 0..8 {
+            if crc & 1 == 1 {
+                crc = (crc >> 1) ^ 0x8408; // reflected 0x1021
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    crc
+}
+
+/// Appends the 2-byte FCS (little-endian) to a frame.
+pub fn append_fcs(frame: &[u8]) -> Vec<u8> {
+    let mut out = frame.to_vec();
+    out.extend_from_slice(&fcs16(frame).to_le_bytes());
+    out
+}
+
+/// Checks and strips a trailing FCS; returns the payload on success.
+pub fn check_and_strip_fcs(frame_with_fcs: &[u8]) -> Option<&[u8]> {
+    if frame_with_fcs.len() < 2 {
+        return None;
+    }
+    let (body, fcs) = frame_with_fcs.split_at(frame_with_fcs.len() - 2);
+    let expect = fcs16(body).to_le_bytes();
+    (fcs == expect).then_some(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn kermit_check_value() {
+        assert_eq!(fcs16(b"123456789"), 0x2189);
+    }
+
+    #[test]
+    fn empty_frame_fcs_is_zero() {
+        assert_eq!(fcs16(&[]), 0x0000);
+    }
+
+    #[test]
+    fn append_then_check_round_trip() {
+        let frame = vec![0x41, 0x88, 0x01, 0x34, 0x12, 0x42, 0x00, 0x63, 0x00, 0xAB];
+        let with = append_fcs(&frame);
+        assert_eq!(with.len(), frame.len() + 2);
+        assert_eq!(check_and_strip_fcs(&with), Some(frame.as_slice()));
+    }
+
+    #[test]
+    fn corruption_detected() {
+        let with = append_fcs(&[1, 2, 3, 4]);
+        for byte in 0..with.len() {
+            for bit in 0..8 {
+                let mut bad = with.clone();
+                bad[byte] ^= 1 << bit;
+                assert!(
+                    check_and_strip_fcs(&bad).is_none(),
+                    "flip byte {byte} bit {bit} passed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(check_and_strip_fcs(&[]).is_none());
+        assert!(check_and_strip_fcs(&[0x00]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(data in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let with = append_fcs(&data);
+            prop_assert_eq!(check_and_strip_fcs(&with), Some(data.as_slice()));
+        }
+
+        #[test]
+        fn prop_linearity(a in proptest::collection::vec(any::<u8>(), 16),
+                          b in proptest::collection::vec(any::<u8>(), 16)) {
+            let x: Vec<u8> = a.iter().zip(&b).map(|(p, q)| p ^ q).collect();
+            prop_assert_eq!(fcs16(&a) ^ fcs16(&b), fcs16(&x));
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! PPDU framing (paper §III-C): preamble · SFD · PHR · PSDU.
+
+use serde::{Deserialize, Serialize};
+
+use crate::dsss::{bytes_to_symbols, spread_symbols};
+
+/// The synchronisation header preamble: four zero bytes (eight `0000`
+/// symbols).
+pub const PREAMBLE_BYTES: [u8; 4] = [0x00; 4];
+
+/// Start-of-frame delimiter.
+///
+/// IEEE 802.15.4 specifies the value 0xA7; because symbols are transmitted
+/// low nibble first, the on-air symbol order is 7 then 10 — which is why the
+/// paper (and some sniffers) print the byte as 0x7A.
+pub const SFD: u8 = 0xA7;
+
+/// Maximum PSDU length (the PHR length field is 7 bits).
+pub const MAX_PSDU_LEN: usize = 127;
+
+/// Number of symbols in the synchronisation header (preamble + SFD).
+pub const SHR_SYMBOLS: usize = 10;
+
+/// A physical-layer protocol data unit: the PSDU plus framing.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dot154::Ppdu;
+/// let ppdu = Ppdu::new(vec![0x01, 0x02, 0x03]).unwrap();
+/// assert_eq!(ppdu.psdu(), &[0x01, 0x02, 0x03]);
+/// assert_eq!(ppdu.to_symbols().len(), 10 + 2 + 6);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Ppdu {
+    psdu: Vec<u8>,
+}
+
+impl Ppdu {
+    /// Wraps a PSDU (MAC frame including FCS).
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected payload when it exceeds [`MAX_PSDU_LEN`] bytes.
+    pub fn new(psdu: Vec<u8>) -> Result<Self, Vec<u8>> {
+        if psdu.len() > MAX_PSDU_LEN {
+            Err(psdu)
+        } else {
+            Ok(Ppdu { psdu })
+        }
+    }
+
+    /// The encapsulated PSDU.
+    pub fn psdu(&self) -> &[u8] {
+        &self.psdu
+    }
+
+    /// Consumes the PPDU, returning the PSDU.
+    pub fn into_psdu(self) -> Vec<u8> {
+        self.psdu
+    }
+
+    /// Serialises the full PPDU to bytes: preamble, SFD, PHR (length), PSDU.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.psdu.len());
+        out.extend_from_slice(&PREAMBLE_BYTES);
+        out.push(SFD);
+        out.push(self.psdu.len() as u8);
+        out.extend_from_slice(&self.psdu);
+        out
+    }
+
+    /// The PPDU as 4-bit symbols in transmission order.
+    pub fn to_symbols(&self) -> Vec<u8> {
+        bytes_to_symbols(&self.to_bytes())
+    }
+
+    /// The PPDU as a DSSS chip stream.
+    pub fn to_chips(&self) -> Vec<u8> {
+        spread_symbols(&self.to_symbols())
+    }
+
+    /// The synchronisation-header symbols every frame starts with: eight
+    /// `0` symbols (preamble) then the two SFD symbols.
+    pub fn shr_symbols() -> Vec<u8> {
+        let mut s = vec![0u8; 8];
+        s.push(SFD & 0x0F);
+        s.push(SFD >> 4);
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_matches_standard() {
+        let ppdu = Ppdu::new(vec![0xAB, 0xCD]).unwrap();
+        let bytes = ppdu.to_bytes();
+        assert_eq!(&bytes[..4], &[0, 0, 0, 0]);
+        assert_eq!(bytes[4], 0xA7);
+        assert_eq!(bytes[5], 2);
+        assert_eq!(&bytes[6..], &[0xAB, 0xCD]);
+    }
+
+    #[test]
+    fn shr_symbols_are_preamble_then_sfd() {
+        let s = Ppdu::shr_symbols();
+        assert_eq!(s.len(), SHR_SYMBOLS);
+        assert_eq!(&s[..8], &[0; 8]);
+        assert_eq!(&s[8..], &[0x7, 0xA]); // low nibble of 0xA7 first
+    }
+
+    #[test]
+    fn chip_count() {
+        let ppdu = Ppdu::new(vec![0; 10]).unwrap();
+        // (4 preamble + 1 SFD + 1 PHR + 10 PSDU) bytes × 2 symbols × 32 chips.
+        assert_eq!(ppdu.to_chips().len(), 16 * 2 * 32);
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        assert!(Ppdu::new(vec![0; 127]).is_ok());
+        let rejected = Ppdu::new(vec![0; 128]);
+        assert_eq!(rejected.unwrap_err().len(), 128);
+    }
+
+    #[test]
+    fn empty_psdu_is_legal() {
+        let ppdu = Ppdu::new(vec![]).unwrap();
+        assert_eq!(ppdu.to_bytes()[5], 0);
+        assert_eq!(ppdu.to_symbols().len(), 12);
+    }
+
+    #[test]
+    fn into_psdu_round_trip() {
+        let data = vec![9, 8, 7];
+        let ppdu = Ppdu::new(data.clone()).unwrap();
+        assert_eq!(ppdu.into_psdu(), data);
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! # wazabee-dot154
+//!
+//! Bit-accurate IEEE 802.15.4 PHY and MAC substrate for the WazaBee
+//! reproduction (Cayre et al., DSN 2021).
+//!
+//! Models the full transmit and receive chain of paper §III-C:
+//!
+//! * the 2.4 GHz channel plan ([`channel`]),
+//! * the sixteen DSSS PN sequences of paper Table I ([`pn`]),
+//! * spreading/despreading with minimum-Hamming symbol decisions ([`dsss`]),
+//! * the exact O-QPSK-half-sine ↔ MSK correspondence ([`msk`]),
+//! * O-QPSK modulation and a coherent chip-domain receiver ([`oqpsk`]),
+//! * PPDU framing ([`frame`]), the FCS ([`fcs`]) and MAC frames ([`mac`]),
+//! * a complete modem with an MSK-view reference receiver ([`modem`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_dot154::{fcs::append_fcs, mac::MacFrame, Dot154Modem, Ppdu};
+//!
+//! // A sensor reading crossing a clean simulated channel.
+//! let frame = MacFrame::data(0x1234, 0x0063, 0x0042, 1, vec![21]);
+//! let ppdu = Ppdu::new(frame.to_psdu()).unwrap();
+//! let modem = Dot154Modem::new(8);
+//! let rx = modem.receive(&modem.transmit(&ppdu)).unwrap();
+//! assert!(rx.fcs_ok());
+//! assert_eq!(MacFrame::from_psdu(&rx.psdu), Some(frame));
+//! ```
+
+pub mod channel;
+pub mod dsss;
+pub mod fcs;
+pub mod frame;
+pub mod mac;
+pub mod modem;
+pub mod msk;
+pub mod oqpsk;
+pub mod pn;
+
+pub use channel::Dot154Channel;
+pub use frame::Ppdu;
+pub use mac::MacFrame;
+pub use modem::{Dot154Modem, ReceivedPpdu};
+pub use pn::PN_SEQUENCES;

@@ -1,0 +1,428 @@
+//! 802.15.4 MAC-layer frames: frame control, addressing, and the frame kinds
+//! the attack scenarios need (data, ack, beacon, MAC commands).
+
+use serde::{Deserialize, Serialize};
+
+/// MAC frame type (frame-control bits 0–2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum FrameType {
+    /// Beacon frame.
+    Beacon = 0,
+    /// Data frame.
+    Data = 1,
+    /// Acknowledgement frame.
+    Ack = 2,
+    /// MAC command frame.
+    MacCommand = 3,
+}
+
+impl FrameType {
+    fn from_bits(v: u16) -> Option<Self> {
+        Some(match v & 0x7 {
+            0 => FrameType::Beacon,
+            1 => FrameType::Data,
+            2 => FrameType::Ack,
+            3 => FrameType::MacCommand,
+            _ => return None,
+        })
+    }
+}
+
+/// MAC command identifiers (first payload byte of a command frame).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum MacCommandId {
+    /// Association request.
+    AssociationRequest = 0x01,
+    /// Association response.
+    AssociationResponse = 0x02,
+    /// Disassociation notification.
+    DisassociationNotification = 0x03,
+    /// Data request.
+    DataRequest = 0x04,
+    /// PAN-ID conflict notification.
+    PanIdConflict = 0x05,
+    /// Orphan notification.
+    OrphanNotification = 0x06,
+    /// Beacon request — the probe Scenario B's active scan transmits.
+    BeaconRequest = 0x07,
+    /// Coordinator realignment.
+    CoordinatorRealignment = 0x08,
+    /// GTS request.
+    GtsRequest = 0x09,
+}
+
+impl MacCommandId {
+    /// Parses a command identifier byte.
+    pub fn from_byte(v: u8) -> Option<Self> {
+        Some(match v {
+            0x01 => MacCommandId::AssociationRequest,
+            0x02 => MacCommandId::AssociationResponse,
+            0x03 => MacCommandId::DisassociationNotification,
+            0x04 => MacCommandId::DataRequest,
+            0x05 => MacCommandId::PanIdConflict,
+            0x06 => MacCommandId::OrphanNotification,
+            0x07 => MacCommandId::BeaconRequest,
+            0x08 => MacCommandId::CoordinatorRealignment,
+            0x09 => MacCommandId::GtsRequest,
+            _ => return None,
+        })
+    }
+}
+
+/// A MAC address: absent, 16-bit short, or 64-bit extended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Address {
+    /// No address present.
+    None,
+    /// 16-bit short address.
+    Short(u16),
+    /// 64-bit extended (EUI-64) address.
+    Extended(u64),
+}
+
+impl Address {
+    fn mode_bits(self) -> u16 {
+        match self {
+            Address::None => 0,
+            Address::Short(_) => 2,
+            Address::Extended(_) => 3,
+        }
+    }
+
+    fn write(self, out: &mut Vec<u8>) {
+        match self {
+            Address::None => {}
+            Address::Short(a) => out.extend_from_slice(&a.to_le_bytes()),
+            Address::Extended(a) => out.extend_from_slice(&a.to_le_bytes()),
+        }
+    }
+
+    fn read(mode: u16, bytes: &[u8], at: &mut usize) -> Option<Address> {
+        match mode {
+            0 => Some(Address::None),
+            2 => {
+                let v = u16::from_le_bytes(bytes.get(*at..*at + 2)?.try_into().ok()?);
+                *at += 2;
+                Some(Address::Short(v))
+            }
+            3 => {
+                let v = u64::from_le_bytes(bytes.get(*at..*at + 8)?.try_into().ok()?);
+                *at += 8;
+                Some(Address::Extended(v))
+            }
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for Address {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Address::None => write!(f, "-"),
+            Address::Short(a) => write!(f, "0x{a:04X}"),
+            Address::Extended(a) => write!(f, "0x{a:016X}"),
+        }
+    }
+}
+
+/// The broadcast PAN identifier.
+pub const BROADCAST_PAN: u16 = 0xFFFF;
+/// The broadcast short address.
+pub const BROADCAST_SHORT: u16 = 0xFFFF;
+
+/// A parsed (or to-be-serialised) MAC frame, excluding the FCS.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MacFrame {
+    /// Frame type.
+    pub frame_type: FrameType,
+    /// Acknowledgement requested.
+    pub ack_request: bool,
+    /// PAN-ID compression: the source PAN equals the destination PAN and is
+    /// omitted on air.
+    pub pan_id_compression: bool,
+    /// Sequence number.
+    pub sequence: u8,
+    /// Destination PAN (present when a destination address is).
+    pub dest_pan: Option<u16>,
+    /// Destination address.
+    pub dest: Address,
+    /// Source PAN (omitted under PAN-ID compression).
+    pub src_pan: Option<u16>,
+    /// Source address.
+    pub src: Address,
+    /// MAC payload.
+    pub payload: Vec<u8>,
+}
+
+impl MacFrame {
+    /// Builds an intra-PAN data frame with short addressing (the common case
+    /// in the paper's testbed network).
+    pub fn data(pan: u16, src: u16, dest: u16, seq: u8, payload: Vec<u8>) -> Self {
+        MacFrame {
+            frame_type: FrameType::Data,
+            ack_request: true,
+            pan_id_compression: true,
+            sequence: seq,
+            dest_pan: Some(pan),
+            dest: Address::Short(dest),
+            src_pan: None,
+            src: Address::Short(src),
+            payload,
+        }
+    }
+
+    /// Builds an acknowledgement frame for a sequence number.
+    pub fn ack(seq: u8) -> Self {
+        MacFrame {
+            frame_type: FrameType::Ack,
+            ack_request: false,
+            pan_id_compression: false,
+            sequence: seq,
+            dest_pan: None,
+            dest: Address::None,
+            src_pan: None,
+            src: Address::None,
+            payload: Vec::new(),
+        }
+    }
+
+    /// Builds the broadcast beacon-request command used by active scanning
+    /// (Scenario B step 1).
+    pub fn beacon_request(seq: u8) -> Self {
+        MacFrame {
+            frame_type: FrameType::MacCommand,
+            ack_request: false,
+            pan_id_compression: false,
+            sequence: seq,
+            dest_pan: Some(BROADCAST_PAN),
+            dest: Address::Short(BROADCAST_SHORT),
+            src_pan: None,
+            src: Address::None,
+            payload: vec![MacCommandId::BeaconRequest as u8],
+        }
+    }
+
+    /// Builds a beacon frame advertising a coordinator on `pan`.
+    ///
+    /// The payload carries the 2-byte superframe specification (we use the
+    /// beacon-enabled-free value 0xCFFF: association permitted, coordinator)
+    /// followed by empty GTS/pending fields and the beacon payload.
+    pub fn beacon(pan: u16, coordinator: u16, seq: u8, beacon_payload: Vec<u8>) -> Self {
+        let mut payload = vec![0xFF, 0xCF, 0x00, 0x00];
+        payload.extend(beacon_payload);
+        MacFrame {
+            frame_type: FrameType::Beacon,
+            ack_request: false,
+            pan_id_compression: false,
+            sequence: seq,
+            dest_pan: None,
+            dest: Address::None,
+            src_pan: Some(pan),
+            src: Address::Short(coordinator),
+            payload,
+        }
+    }
+
+    /// The MAC command identifier, for command frames with a payload.
+    pub fn command_id(&self) -> Option<MacCommandId> {
+        if self.frame_type != FrameType::MacCommand {
+            return None;
+        }
+        MacCommandId::from_byte(*self.payload.first()?)
+    }
+
+    /// Serialises the frame (MHR + payload, no FCS).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let fc: u16 = (self.frame_type as u16)
+            | (u16::from(self.ack_request) << 5)
+            | (u16::from(self.pan_id_compression) << 6)
+            | (self.dest.mode_bits() << 10)
+            | (self.src.mode_bits() << 14);
+        let mut out = Vec::with_capacity(11 + self.payload.len());
+        out.extend_from_slice(&fc.to_le_bytes());
+        out.push(self.sequence);
+        if self.dest != Address::None {
+            out.extend_from_slice(&self.dest_pan.unwrap_or(BROADCAST_PAN).to_le_bytes());
+            self.dest.write(&mut out);
+        }
+        if self.src != Address::None {
+            if !self.pan_id_compression {
+                out.extend_from_slice(&self.src_pan.unwrap_or(BROADCAST_PAN).to_le_bytes());
+            }
+            self.src.write(&mut out);
+        }
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Serialises the frame and appends its FCS — ready for a PPDU.
+    pub fn to_psdu(&self) -> Vec<u8> {
+        crate::fcs::append_fcs(&self.to_bytes())
+    }
+
+    /// Parses a frame from MHR+payload bytes (no FCS).
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 3 {
+            return None;
+        }
+        let fc = u16::from_le_bytes([bytes[0], bytes[1]]);
+        let frame_type = FrameType::from_bits(fc)?;
+        let ack_request = fc & (1 << 5) != 0;
+        let pan_id_compression = fc & (1 << 6) != 0;
+        let dest_mode = (fc >> 10) & 0x3;
+        let src_mode = (fc >> 14) & 0x3;
+        let sequence = bytes[2];
+        let mut at = 3usize;
+        let mut dest_pan = None;
+        if dest_mode != 0 {
+            dest_pan = Some(u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?));
+            at += 2;
+        }
+        let dest = Address::read(dest_mode, bytes, &mut at)?;
+        let mut src_pan = None;
+        if src_mode != 0 && !pan_id_compression {
+            src_pan = Some(u16::from_le_bytes(bytes.get(at..at + 2)?.try_into().ok()?));
+            at += 2;
+        }
+        let src = Address::read(src_mode, bytes, &mut at)?;
+        Some(MacFrame {
+            frame_type,
+            ack_request,
+            pan_id_compression,
+            sequence,
+            dest_pan,
+            dest,
+            src_pan,
+            src,
+            payload: bytes[at..].to_vec(),
+        })
+    }
+
+    /// Parses a frame from a PSDU (MHR + payload + FCS), verifying the FCS.
+    pub fn from_psdu(psdu: &[u8]) -> Option<Self> {
+        Self::from_bytes(crate::fcs::check_and_strip_fcs(psdu)?)
+    }
+
+    /// Effective source PAN: the explicit one, or the destination PAN under
+    /// compression.
+    pub fn effective_src_pan(&self) -> Option<u16> {
+        self.src_pan
+            .or(if self.pan_id_compression { self.dest_pan } else { None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn data_frame_round_trip() {
+        let f = MacFrame::data(0x1234, 0x0063, 0x0042, 7, vec![0xAB, 0xCD]);
+        let parsed = MacFrame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed, f);
+        assert_eq!(parsed.effective_src_pan(), Some(0x1234));
+    }
+
+    #[test]
+    fn psdu_round_trip_with_fcs() {
+        let f = MacFrame::data(0x1234, 0x0063, 0x0042, 1, vec![42]);
+        let psdu = f.to_psdu();
+        assert_eq!(MacFrame::from_psdu(&psdu), Some(f));
+        let mut bad = psdu.clone();
+        bad[0] ^= 0x01;
+        assert_eq!(MacFrame::from_psdu(&bad), None);
+    }
+
+    #[test]
+    fn ack_is_minimal() {
+        let f = MacFrame::ack(9);
+        let bytes = f.to_bytes();
+        assert_eq!(bytes.len(), 3); // frame control + sequence only
+        assert_eq!(MacFrame::from_bytes(&bytes), Some(f));
+    }
+
+    #[test]
+    fn beacon_request_is_broadcast_command() {
+        let f = MacFrame::beacon_request(3);
+        assert_eq!(f.command_id(), Some(MacCommandId::BeaconRequest));
+        assert_eq!(f.dest, Address::Short(BROADCAST_SHORT));
+        assert_eq!(f.dest_pan, Some(BROADCAST_PAN));
+        let parsed = MacFrame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed, f);
+    }
+
+    #[test]
+    fn beacon_carries_pan_and_coordinator() {
+        let f = MacFrame::beacon(0x1234, 0x0042, 11, vec![1, 2]);
+        let parsed = MacFrame::from_bytes(&f.to_bytes()).unwrap();
+        assert_eq!(parsed.frame_type, FrameType::Beacon);
+        assert_eq!(parsed.src_pan, Some(0x1234));
+        assert_eq!(parsed.src, Address::Short(0x0042));
+        assert_eq!(&parsed.payload[4..], &[1, 2]);
+    }
+
+    #[test]
+    fn extended_addresses_round_trip() {
+        let f = MacFrame {
+            frame_type: FrameType::Data,
+            ack_request: false,
+            pan_id_compression: false,
+            sequence: 200,
+            dest_pan: Some(0xBEEF),
+            dest: Address::Extended(0x0011_2233_4455_6677),
+            src_pan: Some(0xCAFE),
+            src: Address::Extended(0x8899_AABB_CCDD_EEFF),
+            payload: vec![5; 10],
+        };
+        assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+    }
+
+    #[test]
+    fn truncated_frames_rejected() {
+        let f = MacFrame::data(0x1234, 1, 2, 3, vec![9, 9, 9]);
+        let bytes = f.to_bytes();
+        for cut in 0..9 {
+            assert!(MacFrame::from_bytes(&bytes[..cut]).is_none(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn command_id_parsing() {
+        for v in 1..=9u8 {
+            assert!(MacCommandId::from_byte(v).is_some());
+        }
+        assert!(MacCommandId::from_byte(0).is_none());
+        assert!(MacCommandId::from_byte(0x0A).is_none());
+        // Non-command frames have no command id.
+        assert_eq!(MacFrame::ack(0).command_id(), None);
+    }
+
+    #[test]
+    fn address_display() {
+        assert_eq!(format!("{}", Address::Short(0x63)), "0x0063");
+        assert_eq!(format!("{}", Address::None), "-");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_data_frame_round_trip(
+            pan in any::<u16>(), src in any::<u16>(), dest in any::<u16>(),
+            seq in any::<u8>(),
+            payload in proptest::collection::vec(any::<u8>(), 0..80),
+        ) {
+            let f = MacFrame::data(pan, src, dest, seq, payload);
+            prop_assert_eq!(MacFrame::from_bytes(&f.to_bytes()), Some(f));
+        }
+
+        #[test]
+        fn prop_psdu_never_panics_on_garbage(
+            bytes in proptest::collection::vec(any::<u8>(), 0..64),
+        ) {
+            let _ = MacFrame::from_psdu(&bytes);
+            let _ = MacFrame::from_bytes(&bytes);
+        }
+    }
+}

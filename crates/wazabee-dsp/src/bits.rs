@@ -1,0 +1,198 @@
+//! Bit-level utilities shared by every PHY in the workspace.
+//!
+//! Both BLE and 802.15.4 transmit bytes least-significant-bit first, so the
+//! canonical on-air representation used throughout this workspace is a
+//! `Vec<u8>` of 0/1 values in transmission order.
+
+/// Expands bytes into bits, least-significant bit first (BLE and 802.15.4
+/// on-air order).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::bits::bytes_to_bits_lsb;
+/// assert_eq!(bytes_to_bits_lsb(&[0b0000_0001]), vec![1, 0, 0, 0, 0, 0, 0, 0]);
+/// ```
+pub fn bytes_to_bits_lsb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &byte in bytes {
+        for k in 0..8 {
+            bits.push((byte >> k) & 1);
+        }
+    }
+    bits
+}
+
+/// Packs bits (LSB-first per byte) back into bytes.
+///
+/// The final partial byte, if any, is zero-padded in its high bits.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::bits::{bits_to_bytes_lsb, bytes_to_bits_lsb};
+/// let bytes = vec![0xA5, 0x3C];
+/// assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+/// ```
+pub fn bits_to_bytes_lsb(bits: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(bits.len().div_ceil(8));
+    for chunk in bits.chunks(8) {
+        let mut byte = 0u8;
+        for (k, &b) in chunk.iter().enumerate() {
+            byte |= (b & 1) << k;
+        }
+        bytes.push(byte);
+    }
+    bytes
+}
+
+/// Expands bytes into bits, most-significant bit first.
+///
+/// Used for printing and for the 802.15.4 PN-sequence literals, which the
+/// standard (and paper Table I) writes chip `c0` first.
+pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<u8> {
+    let mut bits = Vec::with_capacity(bytes.len() * 8);
+    for &byte in bytes {
+        for k in (0..8).rev() {
+            bits.push((byte >> k) & 1);
+        }
+    }
+    bits
+}
+
+/// Hamming distance between two equal-length bit slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn hamming(a: &[u8], b: &[u8]) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming distance needs equal lengths");
+    a.iter().zip(b).filter(|(x, y)| (**x ^ **y) & 1 == 1).count()
+}
+
+/// Parses a whitespace-separated string of `0`/`1` characters into bits.
+///
+/// Any character other than `0`, `1` or ASCII whitespace is rejected.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::bits::parse_bits;
+/// assert_eq!(parse_bits("1101 1001").unwrap(), vec![1, 1, 0, 1, 1, 0, 0, 1]);
+/// assert!(parse_bits("10x").is_none());
+/// ```
+pub fn parse_bits(s: &str) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '0' => out.push(0),
+            '1' => out.push(1),
+            c if c.is_ascii_whitespace() => {}
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+/// Renders bits as a compact string of `0`/`1` characters.
+pub fn format_bits(bits: &[u8]) -> String {
+    bits.iter().map(|&b| if b & 1 == 1 { '1' } else { '0' }).collect()
+}
+
+/// Inverts every bit in place.
+pub fn invert_bits(bits: &mut [u8]) {
+    for b in bits {
+        *b ^= 1;
+    }
+}
+
+/// Reverses the bit order of a byte (b7..b0 → b0..b7).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::bits::reverse_byte;
+/// assert_eq!(reverse_byte(0b1000_0000), 0b0000_0001);
+/// ```
+pub const fn reverse_byte(byte: u8) -> u8 {
+    byte.reverse_bits()
+}
+
+/// Maps bits to bipolar symbols: 1 → +1.0, 0 → −1.0.
+pub fn bits_to_nrz(bits: &[u8]) -> Vec<f64> {
+    bits.iter().map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 }).collect()
+}
+
+/// Maps bipolar soft values back to hard bits (ties round to 1).
+pub fn nrz_to_bits(symbols: &[f64]) -> Vec<u8> {
+    symbols.iter().map(|&s| u8::from(s >= 0.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lsb_expansion_order() {
+        // 0x55 is the BLE preamble: alternating bits starting with 1 (LSB).
+        assert_eq!(bytes_to_bits_lsb(&[0x55]), vec![1, 0, 1, 0, 1, 0, 1, 0]);
+    }
+
+    #[test]
+    fn msb_expansion_order() {
+        assert_eq!(bytes_to_bits_msb(&[0b1101_1001]), vec![1, 1, 0, 1, 1, 0, 0, 1]);
+    }
+
+    #[test]
+    fn pack_round_trip_all_bytes() {
+        let bytes: Vec<u8> = (0..=255).collect();
+        assert_eq!(bits_to_bytes_lsb(&bytes_to_bits_lsb(&bytes)), bytes);
+    }
+
+    #[test]
+    fn pack_partial_byte_pads_high_bits() {
+        assert_eq!(bits_to_bytes_lsb(&[1, 1, 1]), vec![0b0000_0111]);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        assert_eq!(hamming(&[0, 1, 1, 0], &[0, 1, 0, 1]), 2);
+        assert_eq!(hamming(&[], &[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal lengths")]
+    fn hamming_rejects_mismatched_lengths() {
+        let _ = hamming(&[0], &[0, 1]);
+    }
+
+    #[test]
+    fn parse_and_format_round_trip() {
+        let s = "11011001 11000011 01010010 00101110";
+        let bits = parse_bits(s).unwrap();
+        assert_eq!(bits.len(), 32);
+        assert_eq!(format_bits(&bits), s.replace(' ', ""));
+    }
+
+    #[test]
+    fn nrz_round_trip() {
+        let bits = vec![1, 0, 0, 1, 1, 0];
+        assert_eq!(nrz_to_bits(&bits_to_nrz(&bits)), bits);
+    }
+
+    #[test]
+    fn invert_is_involutive() {
+        let mut bits = vec![1, 0, 1, 1];
+        invert_bits(&mut bits);
+        assert_eq!(bits, vec![0, 1, 0, 0]);
+        invert_bits(&mut bits);
+        assert_eq!(bits, vec![1, 0, 1, 1]);
+    }
+
+    #[test]
+    fn reverse_byte_known_values() {
+        assert_eq!(reverse_byte(0x01), 0x80);
+        assert_eq!(reverse_byte(0xA5), 0xA5); // palindromic bit pattern
+        assert_eq!(reverse_byte(0x0F), 0xF0);
+    }
+}

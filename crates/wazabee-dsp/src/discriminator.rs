@@ -1,0 +1,131 @@
+//! FM discrimination: recovering the instantaneous frequency of a complex
+//! baseband signal.
+//!
+//! The paper's equation (5) links instantaneous frequency and phase:
+//! `f(t) = (1/2π)·dφ/dt`. A polar discriminator estimates the derivative from
+//! the angle of `x[n]·conj(x[n−1])`, which is exactly how low-IF FSK receivers
+//! (including the BLE radios WazaBee diverts) recover the modulating signal.
+
+use crate::iq::Iq;
+
+/// Instantaneous-frequency estimate per sample, in radians/sample.
+///
+/// Output has `x.len() − 1` entries (first differences). Positive values mean
+/// counter-clockwise phase rotation — a frequency above the carrier, i.e. a
+/// `1` symbol in BLE's 2-FSK convention (paper Figure 1).
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::{discriminator::discriminate, Nco};
+/// let mut nco = Nco::new(1.0e6, 8.0e6);
+/// let tone: Vec<_> = (0..32).map(|_| nco.next_sample()).collect();
+/// let f = discriminate(&tone);
+/// let step = std::f64::consts::TAU * 1.0e6 / 8.0e6;
+/// assert!(f.iter().all(|&v| (v - step).abs() < 1e-9));
+/// ```
+pub fn discriminate(x: &[Iq]) -> Vec<f64> {
+    if x.len() < 2 {
+        return Vec::new();
+    }
+    x.windows(2).map(|w| (w[1] * w[0].conj()).phase()).collect()
+}
+
+/// Like [`discriminate`] but normalised so that a frequency deviation of
+/// `deviation_hz` maps to ±1.0.
+///
+/// # Panics
+///
+/// Panics if `deviation_hz` or `sample_rate_hz` is not strictly positive.
+pub fn discriminate_normalized(x: &[Iq], deviation_hz: f64, sample_rate_hz: f64) -> Vec<f64> {
+    assert!(deviation_hz > 0.0, "deviation must be positive");
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    let scale = sample_rate_hz / (std::f64::consts::TAU * deviation_hz);
+    discriminate(x).into_iter().map(|v| v * scale).collect()
+}
+
+/// Phase trajectory of a signal: cumulative sum of the discriminator output,
+/// anchored at the phase of the first sample.
+///
+/// Useful for waveform-level equivalence checks between MSK and O-QPSK.
+pub fn phase_trajectory(x: &[Iq]) -> Vec<f64> {
+    if x.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(x.len());
+    let mut acc = x[0].phase();
+    out.push(acc);
+    for d in discriminate(x) {
+        acc += d;
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Nco;
+    use std::f64::consts::TAU;
+
+    #[test]
+    fn tone_frequency_recovered() {
+        let fs = 16.0e6;
+        for f in [-2.0e6, -0.5e6, 0.5e6, 3.0e6] {
+            let mut nco = Nco::new(f, fs);
+            let tone: Vec<Iq> = (0..64).map(|_| nco.next_sample()).collect();
+            let est = discriminate(&tone);
+            let expect = TAU * f / fs;
+            for v in est {
+                assert!((v - expect).abs() < 1e-9, "freq {f}: {v} vs {expect}");
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_output_is_plus_minus_one() {
+        let fs = 16.0e6;
+        let dev = 0.5e6;
+        let mut nco = Nco::new(dev, fs);
+        let tone: Vec<Iq> = (0..32).map(|_| nco.next_sample()).collect();
+        let est = discriminate_normalized(&tone, dev, fs);
+        for v in est {
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn amplitude_invariance() {
+        // The polar discriminator ignores envelope amplitude.
+        let fs = 8.0e6;
+        let mut nco = Nco::new(1.0e6, fs);
+        let tone: Vec<Iq> = (0..32)
+            .map(|k| nco.next_sample().scale(1.0 + 0.5 * (k % 3) as f64))
+            .collect();
+        let est = discriminate(&tone);
+        let expect = TAU * 1.0e6 / fs;
+        for v in est {
+            assert!((v - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn phase_trajectory_matches_nco() {
+        let fs = 8.0e6;
+        let mut nco = Nco::new(1.3e6, fs);
+        let tone: Vec<Iq> = (0..64).map(|_| nco.next_sample()).collect();
+        let traj = phase_trajectory(&tone);
+        let step = TAU * 1.3e6 / fs;
+        for (k, p) in traj.iter().enumerate() {
+            assert!((p - k as f64 * step).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn short_inputs_yield_empty() {
+        assert!(discriminate(&[]).is_empty());
+        assert!(discriminate(&[Iq::ONE]).is_empty());
+        assert!(phase_trajectory(&[]).is_empty());
+        assert_eq!(phase_trajectory(&[Iq::ONE]).len(), 1);
+    }
+}

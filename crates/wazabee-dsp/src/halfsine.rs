@@ -1,0 +1,97 @@
+//! Half-sine pulse shaping for O-QPSK (802.15.4).
+//!
+//! 802.15.4's O-QPSK maps even chips onto I and odd chips onto Q, each as a
+//! half-sine pulse of duration `2·Tc` (two chip periods), with Q delayed by
+//! one chip period `Tc` (paper §III-C, Figure 2).
+
+/// Generates one half-sine pulse spanning `2 * samples_per_chip` samples.
+///
+/// The pulse is `sin(π t / (2Tc))` for `t ∈ [0, 2Tc)` — zero at both ends,
+/// peaking at `t = Tc`.
+///
+/// # Panics
+///
+/// Panics if `samples_per_chip` is zero.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::halfsine::half_sine_pulse;
+/// let p = half_sine_pulse(4);
+/// assert_eq!(p.len(), 8);
+/// assert!((p[4] - 1.0).abs() < 1e-12); // peak at the centre
+/// assert!(p[0].abs() < 1e-12);
+/// ```
+pub fn half_sine_pulse(samples_per_chip: usize) -> Vec<f64> {
+    assert!(samples_per_chip > 0, "need at least one sample per chip");
+    let n = 2 * samples_per_chip;
+    (0..n)
+        .map(|k| (std::f64::consts::PI * k as f64 / n as f64).sin())
+        .collect()
+}
+
+/// Shapes a bipolar chip stream (±1) into a half-sine pulse train.
+///
+/// Chip `k` contributes a pulse starting at sample `k * 2 * samples_per_chip`.
+/// Consecutive chips on the same rail are spaced `2·Tc` apart, so their pulses
+/// abut without overlapping. Output length is
+/// `(chips.len() + …tail) * 2 * samples_per_chip` — precisely
+/// `chips.len() * 2 * spc` since pulses do not overlap on one rail.
+pub fn shape_half_sine(chips: &[f64], samples_per_chip: usize) -> Vec<f64> {
+    let pulse = half_sine_pulse(samples_per_chip);
+    let stride = 2 * samples_per_chip;
+    let mut out = vec![0.0; chips.len() * stride];
+    for (k, &c) in chips.iter().enumerate() {
+        let base = k * stride;
+        for (j, &p) in pulse.iter().enumerate() {
+            out[base + j] += c * p;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pulse_starts_and_ends_near_zero() {
+        let p = half_sine_pulse(8);
+        assert!(p[0].abs() < 1e-12);
+        // Last sample is sin(π·15/16) — small but non-zero.
+        assert!(p[p.len() - 1] < 0.2);
+    }
+
+    #[test]
+    fn pulse_is_symmetric_about_peak() {
+        let p = half_sine_pulse(8);
+        let n = p.len();
+        for k in 1..n / 2 {
+            assert!((p[k] - p[n - k]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn shaping_respects_chip_sign() {
+        let y = shape_half_sine(&[1.0, -1.0], 4);
+        assert_eq!(y.len(), 16);
+        assert!(y[4] > 0.9); // positive pulse peak
+        assert!(y[12] < -0.9); // negative pulse peak
+    }
+
+    #[test]
+    fn shaped_train_has_no_rail_overlap() {
+        // Pulses on one rail abut: energy of the train equals the sum of
+        // individual pulse energies.
+        let single: f64 = half_sine_pulse(8).iter().map(|x| x * x).sum();
+        let train = shape_half_sine(&[1.0, 1.0, -1.0, 1.0], 8);
+        let total: f64 = train.iter().map(|x| x * x).sum();
+        assert!((total - 4.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_oversampling_rejected() {
+        let _ = half_sine_pulse(0);
+    }
+}

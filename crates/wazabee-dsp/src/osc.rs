@@ -1,0 +1,156 @@
+//! Numerically controlled oscillator and frequency shifting.
+
+use std::f64::consts::TAU;
+
+use crate::iq::Iq;
+
+/// A numerically controlled oscillator producing `e^{j(2π f n / fs + φ0)}`.
+///
+/// Used to model carrier-frequency offsets between transmitter and receiver
+/// and to shift signals between channel frequencies inside the simulated
+/// ISM band.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::Nco;
+/// let mut nco = Nco::new(1.0e6, 8.0e6); // 1 MHz tone at 8 Msps
+/// let s0 = nco.next_sample();
+/// let s2 = { nco.next_sample(); nco.next_sample() };
+/// // After 2 samples of a tone at fs/8, phase advanced by 2·2π/8 = π/2.
+/// assert!((s2.phase() - s0.phase() - std::f64::consts::FRAC_PI_2).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Nco {
+    phase: f64,
+    step: f64,
+}
+
+impl Nco {
+    /// Creates an oscillator at `freq_hz` for a stream sampled at `sample_rate_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sample_rate_hz` is not strictly positive or not finite.
+    pub fn new(freq_hz: f64, sample_rate_hz: f64) -> Self {
+        assert!(
+            sample_rate_hz.is_finite() && sample_rate_hz > 0.0,
+            "sample rate must be positive"
+        );
+        Nco {
+            phase: 0.0,
+            step: TAU * freq_hz / sample_rate_hz,
+        }
+    }
+
+    /// Creates an oscillator with an explicit initial phase (radians).
+    pub fn with_phase(freq_hz: f64, sample_rate_hz: f64, phase: f64) -> Self {
+        let mut nco = Nco::new(freq_hz, sample_rate_hz);
+        nco.phase = phase;
+        nco
+    }
+
+    /// Current phase in radians (not wrapped).
+    pub fn phase(&self) -> f64 {
+        self.phase
+    }
+
+    /// Phase increment per sample in radians.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Produces the sample for the current phase, then advances.
+    #[inline]
+    pub fn next_sample(&mut self) -> Iq {
+        let s = Iq::from_polar(1.0, self.phase);
+        self.phase += self.step;
+        // Keep the accumulator bounded so precision never degrades on long runs.
+        if self.phase > 1e9 || self.phase < -1e9 {
+            self.phase = self.phase.rem_euclid(TAU);
+        }
+        s
+    }
+
+    /// Mixes (multiplies) a buffer with this oscillator in place, shifting its
+    /// spectrum by the oscillator frequency.
+    pub fn mix_in_place(&mut self, samples: &mut [Iq]) {
+        for s in samples {
+            *s *= self.next_sample();
+        }
+    }
+}
+
+/// Frequency-shifts a buffer by `freq_hz` and returns the shifted copy.
+///
+/// Convenience wrapper over [`Nco::mix_in_place`] starting at phase 0.
+pub fn frequency_shift(samples: &[Iq], freq_hz: f64, sample_rate_hz: f64) -> Vec<Iq> {
+    let mut out = samples.to_vec();
+    Nco::new(freq_hz, sample_rate_hz).mix_in_place(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::iq::unwrap_phases;
+
+    #[test]
+    fn tone_phase_ramp_is_linear() {
+        let fs = 16.0e6;
+        let f = 2.0e6;
+        let mut nco = Nco::new(f, fs);
+        let samples: Vec<Iq> = (0..64).map(|_| nco.next_sample()).collect();
+        let phases: Vec<f64> = samples.iter().map(|s| s.phase()).collect();
+        let un = unwrap_phases(&phases);
+        let step = TAU * f / fs;
+        for k in 1..un.len() {
+            assert!((un[k] - un[k - 1] - step).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_frequency_rotates_clockwise() {
+        let mut nco = Nco::new(-1.0e6, 8.0e6);
+        nco.next_sample();
+        let s = nco.next_sample();
+        assert!(s.phase() < 0.0, "expected clockwise rotation, got {}", s.phase());
+    }
+
+    #[test]
+    fn shift_up_then_down_is_identity() {
+        let fs = 16.0e6;
+        let src: Vec<Iq> = (0..128)
+            .map(|k| Iq::from_polar(1.0, 0.01 * k as f64))
+            .collect();
+        let up = frequency_shift(&src, 3.0e6, fs);
+        let back = frequency_shift(&up, -3.0e6, fs);
+        for (a, b) in src.iter().zip(&back) {
+            assert!((a.i - b.i).abs() < 1e-9 && (a.q - b.q).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_frequency_is_constant_one() {
+        let mut nco = Nco::new(0.0, 1.0e6);
+        for _ in 0..16 {
+            let s = nco.next_sample();
+            assert!((s - Iq::ONE).amplitude() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sample rate must be positive")]
+    fn rejects_zero_sample_rate() {
+        let _ = Nco::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn amplitude_stays_unit_over_long_run() {
+        let mut nco = Nco::new(1.9e6, 16.0e6);
+        for _ in 0..100_000 {
+            let s = nco.next_sample();
+            assert!((s.amplitude() - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Fractional-delay resampling, used by the medium simulator to model
+//! sampling-clock misalignment between transmitter and receiver.
+
+use crate::iq::Iq;
+
+/// Applies a fractional-sample delay via linear interpolation.
+///
+/// `delay` must be in `[0, 1)`: the output sample `y[k]` approximates
+/// `x(k − delay)`. Output has `x.len()` samples; the first sample repeats
+/// `x[0]` for the unavailable history.
+///
+/// # Panics
+///
+/// Panics if `delay` is outside `[0, 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::{resample::fractional_delay, Iq};
+/// let x = vec![Iq::new(0.0, 0.0), Iq::new(1.0, 0.0), Iq::new(2.0, 0.0)];
+/// let y = fractional_delay(&x, 0.5);
+/// assert!((y[2].i - 1.5).abs() < 1e-12);
+/// ```
+pub fn fractional_delay(x: &[Iq], delay: f64) -> Vec<Iq> {
+    assert!((0.0..1.0).contains(&delay), "delay must be in [0, 1)");
+    if x.is_empty() || delay == 0.0 {
+        return x.to_vec();
+    }
+    let mut y = Vec::with_capacity(x.len());
+    for k in 0..x.len() {
+        let prev = if k == 0 { x[0] } else { x[k - 1] };
+        y.push(x[k].scale(1.0 - delay) + prev.scale(delay));
+    }
+    y
+}
+
+/// Drops `n` samples from the head of the buffer, modelling integer sampling
+/// offset. Returns an empty vector when `n >= x.len()`.
+pub fn integer_delay(x: &[Iq], n: usize) -> Vec<Iq> {
+    if n >= x.len() {
+        return Vec::new();
+    }
+    x[n..].to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Nco;
+
+    #[test]
+    fn zero_delay_is_identity() {
+        let x = vec![Iq::new(1.0, 2.0), Iq::new(3.0, 4.0)];
+        assert_eq!(fractional_delay(&x, 0.0), x);
+    }
+
+    #[test]
+    fn half_delay_averages_neighbours() {
+        let x = vec![Iq::new(0.0, 0.0), Iq::new(2.0, 4.0)];
+        let y = fractional_delay(&x, 0.5);
+        assert!((y[1].i - 1.0).abs() < 1e-12);
+        assert!((y[1].q - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn delayed_tone_keeps_frequency() {
+        let fs = 16.0e6;
+        let mut nco = Nco::new(1.0e6, fs);
+        let tone: Vec<Iq> = (0..128).map(|_| nco.next_sample()).collect();
+        let y = fractional_delay(&tone, 0.3);
+        let f = crate::discriminator::discriminate(&y[4..]);
+        let expect = std::f64::consts::TAU * 1.0e6 / fs;
+        for v in f {
+            assert!((v - expect).abs() < 0.05 * expect);
+        }
+    }
+
+    #[test]
+    fn integer_delay_truncates() {
+        let x = vec![Iq::ONE; 5];
+        assert_eq!(integer_delay(&x, 2).len(), 3);
+        assert!(integer_delay(&x, 5).is_empty());
+        assert!(integer_delay(&x, 9).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "delay must be in")]
+    fn out_of_range_delay_rejected() {
+        let _ = fractional_delay(&[Iq::ONE], 1.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Spectral analysis: a radix-2 FFT and periodogram utilities.
+//!
+//! Used by the intrusion-detection crate to estimate the occupied bandwidth
+//! and centre-frequency offset of captured bursts, and by tests to verify
+//! modulator spectra (GFSK's Gaussian filter visibly narrows the main lobe).
+
+use crate::iq::Iq;
+
+/// In-place radix-2 decimation-in-time FFT.
+///
+/// # Panics
+///
+/// Panics if the length is not a power of two.
+pub fn fft_in_place(buf: &mut [Iq]) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        if j > i {
+            buf.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let mut len = 2;
+    while len <= n {
+        let angle = -std::f64::consts::TAU / len as f64;
+        let wlen = Iq::from_polar(1.0, angle);
+        for start in (0..n).step_by(len) {
+            let mut w = Iq::ONE;
+            for k in 0..len / 2 {
+                let a = buf[start + k];
+                let b = buf[start + k + len / 2] * w;
+                buf[start + k] = a + b;
+                buf[start + k + len / 2] = a - b;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Power spectral density estimate (Hann-windowed periodogram), fftshifted
+/// so index 0 is the most negative frequency.
+///
+/// The input is truncated to the largest power-of-two length.
+///
+/// Returns an empty vector for inputs shorter than 2 samples.
+pub fn periodogram(samples: &[Iq]) -> Vec<f64> {
+    if samples.len() < 2 {
+        return Vec::new();
+    }
+    let n = 1usize << (usize::BITS - 1 - samples.len().leading_zeros());
+    let mut buf: Vec<Iq> = samples[..n]
+        .iter()
+        .enumerate()
+        .map(|(k, &s)| {
+            let w = 0.5 - 0.5 * (std::f64::consts::TAU * k as f64 / n as f64).cos();
+            s.scale(w)
+        })
+        .collect();
+    fft_in_place(&mut buf);
+    let mut psd: Vec<f64> = buf.iter().map(|s| s.power() / n as f64).collect();
+    psd.rotate_right(n / 2); // fftshift
+    psd
+}
+
+/// Frequency (Hz) of bin `k` of an fftshifted `n`-point spectrum at
+/// `sample_rate`.
+pub fn bin_frequency(k: usize, n: usize, sample_rate: f64) -> f64 {
+    (k as f64 - n as f64 / 2.0) * sample_rate / n as f64
+}
+
+/// Summary statistics of a burst's spectrum.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectrumSummary {
+    /// Power-weighted mean frequency (Hz relative to the capture centre).
+    pub center_hz: f64,
+    /// Bandwidth containing 90 % of the power, in Hz.
+    pub occupied_bw_hz: f64,
+    /// Total power (linear).
+    pub total_power: f64,
+}
+
+/// Estimates centre and occupied bandwidth of a capture.
+///
+/// Returns `None` when the capture is too short or carries no power.
+pub fn summarize(samples: &[Iq], sample_rate: f64) -> Option<SpectrumSummary> {
+    let psd = periodogram(samples);
+    if psd.is_empty() {
+        return None;
+    }
+    let n = psd.len();
+    let total_power: f64 = psd.iter().sum();
+    if total_power <= 0.0 {
+        return None;
+    }
+    let center_hz = psd
+        .iter()
+        .enumerate()
+        .map(|(k, &p)| bin_frequency(k, n, sample_rate) * p)
+        .sum::<f64>()
+        / total_power;
+    // Occupied bandwidth: grow a window around the peak until 90 % of power.
+    let peak = psd
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.total_cmp(b.1))
+        .map(|(k, _)| k)
+        .unwrap_or(n / 2);
+    let (mut lo, mut hi) = (peak, peak);
+    let mut acc = psd[peak];
+    while acc < 0.9 * total_power && (lo > 0 || hi < n - 1) {
+        let left = if lo > 0 { psd[lo - 1] } else { -1.0 };
+        let right = if hi < n - 1 { psd[hi + 1] } else { -1.0 };
+        if left >= right {
+            lo -= 1;
+            acc += psd[lo];
+        } else {
+            hi += 1;
+            acc += psd[hi];
+        }
+    }
+    let occupied_bw_hz = (hi - lo + 1) as f64 * sample_rate / n as f64;
+    Some(SpectrumSummary {
+        center_hz,
+        occupied_bw_hz,
+        total_power,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::osc::Nco;
+
+    fn tone(freq: f64, fs: f64, n: usize) -> Vec<Iq> {
+        let mut nco = Nco::new(freq, fs);
+        (0..n).map(|_| nco.next_sample()).collect()
+    }
+
+    #[test]
+    fn fft_of_dc_is_impulse_at_zero() {
+        let mut buf = vec![Iq::ONE; 16];
+        fft_in_place(&mut buf);
+        assert!((buf[0].i - 16.0).abs() < 1e-9);
+        for s in &buf[1..] {
+            assert!(s.amplitude() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn fft_matches_dft_on_random_input() {
+        let n = 32;
+        let input: Vec<Iq> = (0..n)
+            .map(|k| Iq::new((k as f64 * 0.7).sin(), (k as f64 * 1.3).cos()))
+            .collect();
+        let mut fast = input.clone();
+        fft_in_place(&mut fast);
+        for bin in 0..n {
+            let mut acc = Iq::ZERO;
+            for (k, &x) in input.iter().enumerate() {
+                let angle = -std::f64::consts::TAU * bin as f64 * k as f64 / n as f64;
+                acc += x * Iq::from_polar(1.0, angle);
+            }
+            assert!(
+                (fast[bin] - acc).amplitude() < 1e-6,
+                "bin {bin}: {} vs {}",
+                fast[bin],
+                acc
+            );
+        }
+    }
+
+    #[test]
+    fn parseval_holds() {
+        let input = tone(1.1e6, 16.0e6, 64);
+        let time_energy: f64 = input.iter().map(|s| s.power()).sum();
+        let mut buf = input;
+        fft_in_place(&mut buf);
+        let freq_energy: f64 = buf.iter().map(|s| s.power()).sum::<f64>() / 64.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    fn periodogram_peaks_at_tone_frequency() {
+        let fs = 16.0e6;
+        let f = 3.0e6;
+        let psd = periodogram(&tone(f, fs, 1024));
+        let n = psd.len();
+        let peak = psd
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        let peak_freq = bin_frequency(peak, n, fs);
+        assert!(
+            (peak_freq - f).abs() < 2.0 * fs / n as f64,
+            "peak at {peak_freq} Hz"
+        );
+    }
+
+    #[test]
+    fn summary_of_tone_is_narrow() {
+        let fs = 16.0e6;
+        let s = summarize(&tone(-2.0e6, fs, 2048), fs).unwrap();
+        assert!((s.center_hz + 2.0e6).abs() < 50.0e3, "center {}", s.center_hz);
+        assert!(s.occupied_bw_hz < 200.0e3, "bw {}", s.occupied_bw_hz);
+    }
+
+    #[test]
+    fn summary_of_noise_is_wide() {
+        let mut noise = vec![Iq::ZERO; 2048];
+        crate::AwgnSource::new(5, 1.0).add_to(&mut noise);
+        let s = summarize(&noise, 16.0e6).unwrap();
+        assert!(s.occupied_bw_hz > 8.0e6, "bw {}", s.occupied_bw_hz);
+    }
+
+    #[test]
+    fn empty_and_silent_inputs() {
+        assert!(periodogram(&[]).is_empty());
+        assert!(summarize(&[Iq::ZERO; 64], 1.0e6).is_none());
+        assert!(summarize(&[Iq::ONE], 1.0e6).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn fft_rejects_non_power_of_two() {
+        let mut buf = vec![Iq::ZERO; 12];
+        fft_in_place(&mut buf);
+    }
+
+    #[test]
+    fn bin_frequency_edges() {
+        assert_eq!(bin_frequency(0, 8, 8.0), -4.0);
+        assert_eq!(bin_frequency(4, 8, 8.0), 0.0);
+        assert_eq!(bin_frequency(7, 8, 8.0), 3.0);
+    }
+}

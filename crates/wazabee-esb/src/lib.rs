@@ -1,0 +1,27 @@
+#![warn(missing_docs)]
+
+//! # wazabee-esb
+//!
+//! Enhanced ShockBurst (nRF24-style) PHY substrate for the WazaBee
+//! reproduction (Cayre et al., DSN 2021).
+//!
+//! The paper's Scenario B runs WazaBee from a BLE tracker built on an
+//! nRF51822, a chip *without* the LE 2M PHY the attack needs. Its escape
+//! hatch is ESB at 2 Mbit/s — the same GFSK waveform with different framing —
+//! which this crate models: packet format ([`packet`]) and modem ([`modem`]).
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_esb::{EsbModem, EsbPacket};
+//! let modem = EsbModem::new(8);
+//! let pkt = EsbPacket::new([0xE7; 5], vec![0xDE, 0xAD]).unwrap();
+//! let rx = modem.receive(&modem.transmit(&pkt), pkt.address()).unwrap();
+//! assert_eq!(rx.payload(), pkt.payload());
+//! ```
+
+pub mod modem;
+pub mod packet;
+
+pub use modem::EsbModem;
+pub use packet::{EsbPacket, MAX_PAYLOAD};

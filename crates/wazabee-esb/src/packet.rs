@@ -1,0 +1,247 @@
+//! Enhanced ShockBurst (nRF24-style) packet format.
+//!
+//! Unlike BLE, ESB transmits most-significant bit first, applies no
+//! whitening, and uses a 9-bit packet-control field that leaves the payload
+//! non-byte-aligned on air. The nRF51822 of the paper's Scenario B supports
+//! ESB at 2 Mbit/s, which WazaBee substitutes for the missing LE 2M PHY.
+
+/// Packs bits into bytes, most-significant bit first (ESB's on-air order).
+fn pack_msb(bits: &[u8]) -> Vec<u8> {
+    bits.chunks(8)
+        .map(|chunk| chunk.iter().fold(0u8, |b, &bit| (b << 1) | (bit & 1)))
+        .collect()
+}
+
+/// CRC-16/CCITT-FALSE over a bit stream (MSB-first semantics), as ESB
+/// computes it over address + PCF + payload.
+pub fn esb_crc16(bits: &[u8]) -> u16 {
+    let mut crc: u16 = 0xFFFF;
+    for &bit in bits {
+        let top = ((crc >> 15) & 1) as u8;
+        crc <<= 1;
+        if top ^ (bit & 1) == 1 {
+            crc ^= 0x1021;
+        }
+    }
+    crc
+}
+
+/// An Enhanced ShockBurst packet.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_esb::EsbPacket;
+/// let pkt = EsbPacket::new([0xE7, 0xE7, 0xE7, 0xE7, 0xE7], vec![1, 2, 3]).unwrap();
+/// let bits = pkt.to_air_bits();
+/// let back = EsbPacket::from_air_bits(&bits, 5).unwrap();
+/// assert_eq!(back.payload(), pkt.payload());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EsbPacket {
+    address: [u8; 5],
+    payload: Vec<u8>,
+    pid: u8,
+    no_ack: bool,
+}
+
+/// Maximum ESB payload length.
+pub const MAX_PAYLOAD: usize = 32;
+
+impl EsbPacket {
+    /// Creates a packet with packet id 0 and acknowledgement enabled.
+    ///
+    /// # Errors
+    ///
+    /// Returns the rejected payload when it exceeds [`MAX_PAYLOAD`] bytes.
+    pub fn new(address: [u8; 5], payload: Vec<u8>) -> Result<Self, Vec<u8>> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(payload);
+        }
+        Ok(EsbPacket {
+            address,
+            payload,
+            pid: 0,
+            no_ack: false,
+        })
+    }
+
+    /// Sets the 2-bit packet id.
+    pub fn with_pid(mut self, pid: u8) -> Self {
+        self.pid = pid & 0x3;
+        self
+    }
+
+    /// The 5-byte address.
+    pub fn address(&self) -> [u8; 5] {
+        self.address
+    }
+
+    /// The payload bytes.
+    pub fn payload(&self) -> &[u8] {
+        &self.payload
+    }
+
+    /// The 2-bit packet id.
+    pub fn pid(&self) -> u8 {
+        self.pid
+    }
+
+    /// Preamble byte: `0xAA` when the address MSB is 1, else `0x55`.
+    pub fn preamble_byte(&self) -> u8 {
+        if self.address[0] & 0x80 != 0 {
+            0xAA
+        } else {
+            0x55
+        }
+    }
+
+    /// On-air bits of the address alone, MSB-first — the pattern an ESB
+    /// receiver's address correlator matches (and the register WazaBee-style
+    /// attacks have historically diverted, paper §II-B).
+    pub fn address_bits(address: &[u8; 5]) -> Vec<u8> {
+        wazabee_dsp::bits::bytes_to_bits_msb(address)
+    }
+
+    /// Serialises the packet to on-air bits: preamble · address · PCF ·
+    /// payload · CRC-16, all MSB-first.
+    pub fn to_air_bits(&self) -> Vec<u8> {
+        let mut bits = wazabee_dsp::bits::bytes_to_bits_msb(&[self.preamble_byte()]);
+        let mut protected = Self::address_bits(&self.address);
+        // 9-bit PCF: 6-bit length, 2-bit PID, 1-bit no-ack.
+        let len = self.payload.len() as u8;
+        for k in (0..6).rev() {
+            protected.push((len >> k) & 1);
+        }
+        protected.push((self.pid >> 1) & 1);
+        protected.push(self.pid & 1);
+        protected.push(u8::from(self.no_ack));
+        protected.extend(wazabee_dsp::bits::bytes_to_bits_msb(&self.payload));
+        let crc = esb_crc16(&protected);
+        bits.extend(protected);
+        for k in (0..16).rev() {
+            bits.push(((crc >> k) & 1) as u8);
+        }
+        bits
+    }
+
+    /// Parses a packet from on-air bits starting at the preamble, for a given
+    /// address length (3–5 bytes; we model 5).
+    ///
+    /// Returns `None` on truncation or CRC failure.
+    pub fn from_air_bits(bits: &[u8], address_len: usize) -> Option<Self> {
+        if !(3..=5).contains(&address_len) {
+            return None;
+        }
+        let head = 8 + address_len * 8 + 9;
+        if bits.len() < head + 16 {
+            return None;
+        }
+        let addr_bits = &bits[8..8 + address_len * 8];
+        let mut address = [0u8; 5];
+        for (k, byte) in pack_msb(addr_bits).into_iter().enumerate() {
+            address[k] = byte;
+        }
+        let pcf = &bits[8 + address_len * 8..head];
+        let len = pcf[..6].iter().fold(0usize, |a, &b| (a << 1) | b as usize);
+        if len > MAX_PAYLOAD {
+            return None;
+        }
+        let pid = (pcf[6] << 1) | pcf[7];
+        let no_ack = pcf[8] == 1;
+        let total = head + len * 8 + 16;
+        if bits.len() < total {
+            return None;
+        }
+        let payload = pack_msb(&bits[head..head + len * 8]);
+        let crc_bits = &bits[head + len * 8..total];
+        let crc_rx = crc_bits.iter().fold(0u16, |a, &b| (a << 1) | u16::from(b));
+        let crc_calc = esb_crc16(&bits[8..head + len * 8]);
+        if crc_rx != crc_calc {
+            return None;
+        }
+        Some(EsbPacket {
+            address,
+            payload,
+            pid,
+            no_ack,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const ADDR: [u8; 5] = [0xE7, 0xE7, 0xE7, 0xE7, 0xE7];
+
+    #[test]
+    fn crc_ccitt_false_check_value() {
+        // CRC-16/CCITT-FALSE("123456789") = 0x29B1.
+        let bits = wazabee_dsp::bits::bytes_to_bits_msb(b"123456789");
+        assert_eq!(esb_crc16(&bits), 0x29B1);
+    }
+
+    #[test]
+    fn round_trip() {
+        let pkt = EsbPacket::new(ADDR, vec![10, 20, 30]).unwrap().with_pid(2);
+        let parsed = EsbPacket::from_air_bits(&pkt.to_air_bits(), 5).unwrap();
+        assert_eq!(parsed, pkt);
+    }
+
+    #[test]
+    fn empty_payload_round_trip() {
+        let pkt = EsbPacket::new(ADDR, vec![]).unwrap();
+        let parsed = EsbPacket::from_air_bits(&pkt.to_air_bits(), 5).unwrap();
+        assert_eq!(parsed.payload(), &[] as &[u8]);
+    }
+
+    #[test]
+    fn preamble_follows_address_msb() {
+        assert_eq!(EsbPacket::new(ADDR, vec![]).unwrap().preamble_byte(), 0xAA);
+        let low = EsbPacket::new([0x17, 0, 0, 0, 0], vec![]).unwrap();
+        assert_eq!(low.preamble_byte(), 0x55);
+    }
+
+    #[test]
+    fn bit_corruption_rejected_by_crc() {
+        let pkt = EsbPacket::new(ADDR, vec![0x42; 8]).unwrap();
+        let bits = pkt.to_air_bits();
+        // Flip each protected bit (skip the preamble, which carries no data).
+        for k in 8..bits.len() {
+            let mut bad = bits.clone();
+            bad[k] ^= 1;
+            let parsed = EsbPacket::from_air_bits(&bad, 5);
+            // A corrupted length field may truncate parsing instead; either
+            // way the original packet must not come back.
+            assert_ne!(parsed.as_ref(), Some(&pkt), "flip at bit {k} accepted");
+        }
+    }
+
+    #[test]
+    fn payload_length_limit() {
+        assert!(EsbPacket::new(ADDR, vec![0; 32]).is_ok());
+        assert!(EsbPacket::new(ADDR, vec![0; 33]).is_err());
+    }
+
+    #[test]
+    fn truncated_bits_rejected() {
+        let bits = EsbPacket::new(ADDR, vec![1, 2, 3]).unwrap().to_air_bits();
+        for cut in [0, 10, 40, bits.len() - 1] {
+            assert!(EsbPacket::from_air_bits(&bits[..cut], 5).is_none());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(
+            addr in proptest::array::uniform5(any::<u8>()),
+            payload in proptest::collection::vec(any::<u8>(), 0..=32),
+            pid in 0u8..4,
+        ) {
+            let pkt = EsbPacket::new(addr, payload).unwrap().with_pid(pid);
+            prop_assert_eq!(EsbPacket::from_air_bits(&pkt.to_air_bits(), 5), Some(pkt));
+        }
+    }
+}

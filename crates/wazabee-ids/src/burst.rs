@@ -1,0 +1,172 @@
+//! Energy-based burst detection: the front end of a radio monitor.
+//!
+//! The paper's countermeasure discussion (§VII) points at intrusion
+//! detection systems that watch signal strength across frequency bands.
+//! This module segments a monitored channel's IQ stream into transmission
+//! bursts by windowed power thresholding.
+
+use wazabee_dsp::iq::Iq;
+
+/// One detected transmission burst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Burst {
+    /// First sample of the burst.
+    pub start: usize,
+    /// One past the last sample.
+    pub end: usize,
+}
+
+impl Burst {
+    /// Burst length in samples.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the burst is empty (never produced by the detector).
+    pub fn is_empty(&self) -> bool {
+        self.end <= self.start
+    }
+
+    /// Burst duration in microseconds at a given sample rate.
+    pub fn duration_us(&self, sample_rate: f64) -> f64 {
+        self.len() as f64 / sample_rate * 1.0e6
+    }
+}
+
+/// Configuration of the burst detector.
+#[derive(Debug, Clone, Copy)]
+pub struct BurstDetectorConfig {
+    /// Power threshold (linear) above which a window counts as active.
+    pub threshold: f64,
+    /// Window length in samples for power averaging.
+    pub window: usize,
+    /// Bursts closer than this many samples are merged.
+    pub merge_gap: usize,
+    /// Bursts shorter than this many samples are discarded.
+    pub min_len: usize,
+}
+
+impl Default for BurstDetectorConfig {
+    fn default() -> Self {
+        BurstDetectorConfig {
+            threshold: 0.25,
+            window: 32,
+            merge_gap: 64,
+            min_len: 128,
+        }
+    }
+}
+
+/// Segments an IQ stream into bursts.
+///
+/// # Panics
+///
+/// Panics if the window length is zero.
+pub fn detect_bursts(samples: &[Iq], cfg: &BurstDetectorConfig) -> Vec<Burst> {
+    assert!(cfg.window > 0, "window must be non-zero");
+    let mut active: Vec<(usize, usize)> = Vec::new();
+    let mut current: Option<(usize, usize)> = None;
+    let mut k = 0;
+    while k + cfg.window <= samples.len() {
+        let power: f64 = samples[k..k + cfg.window].iter().map(|s| s.power()).sum::<f64>()
+            / cfg.window as f64;
+        if power >= cfg.threshold {
+            current = match current {
+                Some((s, _)) => Some((s, k + cfg.window)),
+                None => Some((k, k + cfg.window)),
+            };
+        } else if let Some(span) = current.take() {
+            active.push(span);
+        }
+        k += cfg.window;
+    }
+    if let Some(span) = current {
+        active.push(span);
+    }
+    // Merge nearby spans, then filter short ones.
+    let mut merged: Vec<Burst> = Vec::new();
+    for (s, e) in active {
+        match merged.last_mut() {
+            Some(last) if s.saturating_sub(last.end) <= cfg.merge_gap => last.end = e,
+            _ => merged.push(Burst { start: s, end: e }),
+        }
+    }
+    merged.retain(|b| b.len() >= cfg.min_len);
+    merged
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazabee_dsp::{AwgnSource, Nco};
+
+    fn silence(n: usize) -> Vec<Iq> {
+        vec![Iq::ZERO; n]
+    }
+
+    fn tone(n: usize) -> Vec<Iq> {
+        let mut nco = Nco::new(0.3e6, 16.0e6);
+        (0..n).map(|_| nco.next_sample()).collect()
+    }
+
+    #[test]
+    fn finds_a_single_burst() {
+        let mut buf = silence(1000);
+        buf.extend(tone(2000));
+        buf.extend(silence(1000));
+        let bursts = detect_bursts(&buf, &BurstDetectorConfig::default());
+        assert_eq!(bursts.len(), 1);
+        let b = bursts[0];
+        assert!(b.start >= 900 && b.start <= 1100, "start {}", b.start);
+        assert!(b.end >= 2900 && b.end <= 3100, "end {}", b.end);
+    }
+
+    #[test]
+    fn finds_two_separated_bursts() {
+        let mut buf = silence(500);
+        buf.extend(tone(1500));
+        buf.extend(silence(2000));
+        buf.extend(tone(1500));
+        buf.extend(silence(500));
+        let bursts = detect_bursts(&buf, &BurstDetectorConfig::default());
+        assert_eq!(bursts.len(), 2);
+        assert!(bursts[0].end < bursts[1].start);
+    }
+
+    #[test]
+    fn merges_bursts_across_small_gaps() {
+        let mut buf = silence(500);
+        buf.extend(tone(800));
+        buf.extend(silence(40)); // below merge_gap
+        buf.extend(tone(800));
+        buf.extend(silence(500));
+        let bursts = detect_bursts(&buf, &BurstDetectorConfig::default());
+        assert_eq!(bursts.len(), 1);
+    }
+
+    #[test]
+    fn ignores_noise_floor_and_short_blips() {
+        let mut buf = silence(8000);
+        AwgnSource::new(1, 0.2).add_to(&mut buf); // power 0.08 < threshold
+        buf.splice(4000..4064, tone(64)); // too short
+        let bursts = detect_bursts(&buf, &BurstDetectorConfig::default());
+        assert!(bursts.is_empty(), "{bursts:?}");
+    }
+
+    #[test]
+    fn burst_at_end_of_buffer_is_closed() {
+        let mut buf = silence(500);
+        buf.extend(tone(1000));
+        let bursts = detect_bursts(&buf, &BurstDetectorConfig::default());
+        assert_eq!(bursts.len(), 1);
+        assert!(bursts[0].end >= 1400);
+    }
+
+    #[test]
+    fn duration_math() {
+        let b = Burst { start: 100, end: 1700 };
+        assert_eq!(b.len(), 1600);
+        assert!((b.duration_us(16.0e6) - 100.0).abs() < 1e-9);
+        assert!(!b.is_empty());
+    }
+}

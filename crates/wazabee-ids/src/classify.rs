@@ -1,0 +1,240 @@
+//! Protocol classification of a captured burst.
+//!
+//! The monitor tries each protocol's receiver on the burst; whichever
+//! synchronises and parses wins. Crucially — and this is the WazaBee
+//! signature — *both* may succeed at once: a BLE extended advertisement
+//! whose whitened payload embeds a decodable 802.15.4 frame.
+
+use serde::{Deserialize, Serialize};
+use wazabee_ble::{AuxAdvInd, BleChannel, BleModem, BlePhy};
+use wazabee_dot154::{Dot154Modem, ReceivedPpdu};
+use wazabee_dsp::iq::Iq;
+
+/// What a burst decoded as.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Classification {
+    /// A BLE packet, if the burst carries one (advertising access address,
+    /// LE 1M or LE 2M).
+    pub ble: Option<BleDecode>,
+    /// An 802.15.4 frame, if the burst carries one.
+    pub dot154: Option<Dot154Decode>,
+}
+
+/// A successful BLE decode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BleDecode {
+    /// PHY that synchronised.
+    pub phy_2m: bool,
+    /// The PDU bytes.
+    pub pdu: Vec<u8>,
+    /// CRC validity.
+    pub crc_ok: bool,
+}
+
+/// A successful 802.15.4 decode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dot154Decode {
+    /// The PSDU bytes.
+    pub psdu: Vec<u8>,
+    /// FCS validity.
+    pub fcs_ok: bool,
+}
+
+impl Classification {
+    /// The WazaBee Scenario-A signature: one emission valid under *both*
+    /// protocol grammars.
+    pub fn is_cross_protocol(&self) -> bool {
+        matches!(&self.ble, Some(b) if b.crc_ok)
+            && matches!(&self.dot154, Some(d) if d.fcs_ok)
+    }
+
+    /// Pure 802.15.4 (no valid BLE framing).
+    pub fn is_dot154_only(&self) -> bool {
+        matches!(&self.dot154, Some(d) if d.fcs_ok) && !matches!(&self.ble, Some(b) if b.crc_ok)
+    }
+
+    /// Pure BLE.
+    pub fn is_ble_only(&self) -> bool {
+        matches!(&self.ble, Some(b) if b.crc_ok) && !matches!(&self.dot154, Some(d) if d.fcs_ok)
+    }
+}
+
+/// A multi-protocol burst classifier for one monitored channel.
+#[derive(Debug, Clone)]
+pub struct Classifier {
+    ble_1m: BleModem,
+    ble_2m: BleModem,
+    dot154: Dot154Modem,
+    /// The BLE channel whose whitening applies on this frequency (if the
+    /// monitored frequency is a BLE channel centre).
+    ble_channel: Option<BleChannel>,
+    /// Access addresses worth trying (always includes the advertising one).
+    known_access_addresses: Vec<u32>,
+}
+
+impl Classifier {
+    /// Creates a classifier for a monitored centre frequency.
+    ///
+    /// `samples_per_symbol` is the oversampling of the 2 Msym/s capture; the
+    /// LE 1M decoder doubles it so both modems agree on the sample rate.
+    pub fn new(center_mhz: u32, samples_per_symbol: usize) -> Self {
+        Classifier {
+            ble_1m: BleModem::new(BlePhy::Le1M, samples_per_symbol * 2),
+            ble_2m: BleModem::new(BlePhy::Le2M, samples_per_symbol),
+            dot154: Dot154Modem::new(samples_per_symbol),
+            ble_channel: BleChannel::from_center_mhz(center_mhz),
+            known_access_addresses: vec![wazabee_ble::ADV_ACCESS_ADDRESS],
+        }
+    }
+
+    /// Registers an access address the monitor has learned (e.g. from an
+    /// `ADV_EXT_IND`'s AuxPtr chain or connection sniffing).
+    pub fn learn_access_address(&mut self, aa: u32) {
+        if !self.known_access_addresses.contains(&aa) {
+            self.known_access_addresses.push(aa);
+        }
+    }
+
+    /// The monitored BLE channel, if the frequency is a BLE centre.
+    pub fn ble_channel(&self) -> Option<BleChannel> {
+        self.ble_channel
+    }
+
+    /// Attempts a BLE decode with every known access address on both PHYs.
+    pub fn try_ble(&self, samples: &[Iq]) -> Option<BleDecode> {
+        let channel = self.ble_channel?;
+        let mut best: Option<BleDecode> = None;
+        for &aa in &self.known_access_addresses {
+            for (modem, phy_2m) in [(&self.ble_2m, true), (&self.ble_1m, false)] {
+                if let Some(pkt) = modem.receive(samples, aa, channel, true) {
+                    let decode = BleDecode {
+                        phy_2m,
+                        pdu: pkt.pdu().to_vec(),
+                        crc_ok: pkt.crc_ok(),
+                    };
+                    if decode.crc_ok {
+                        return Some(decode);
+                    }
+                    best.get_or_insert(decode);
+                }
+            }
+        }
+        best
+    }
+
+    /// Attempts an 802.15.4 decode.
+    pub fn try_dot154(&self, samples: &[Iq]) -> Option<Dot154Decode> {
+        self.dot154.receive(samples).map(|r: ReceivedPpdu| Dot154Decode {
+            fcs_ok: r.fcs_ok(),
+            psdu: r.psdu,
+        })
+    }
+
+    /// Classifies one burst under both protocol grammars.
+    pub fn classify(&self, samples: &[Iq]) -> Classification {
+        Classification {
+            ble: self.try_ble(samples),
+            dot154: self.try_dot154(samples),
+        }
+    }
+
+    /// Extracts the advertiser context from a BLE decode when it is an
+    /// extended advertisement (used for forensics and AA learning).
+    pub fn parse_aux_adv(decode: &BleDecode) -> Option<AuxAdvInd> {
+        AuxAdvInd::from_bytes(&decode.pdu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazabee_ble::BlePacket;
+
+    #[test]
+    fn le1m_advertising_on_the_shared_capture_rate_decodes() {
+        // The monitor captures at the 2 Msym/s grid; a legacy LE 1M
+        // advertisement must still classify as BLE.
+        let c = classifier();
+        let modem = BleModem::new(BlePhy::Le1M, 16); // same 16 Msps capture
+        let ch = BleChannel::new(8).unwrap();
+        let pkt = BlePacket::advertising(vec![0x02, 0x02, 9, 9]);
+        let burst = modem.transmit(&pkt, ch, true);
+        let cls = c.classify(&burst);
+        assert!(cls.is_ble_only(), "{cls:?}");
+        assert!(!cls.ble.unwrap().phy_2m);
+    }
+
+    #[test]
+    fn parse_aux_adv_extracts_the_advertiser() {
+        let aux = wazabee_ble::AuxAdvInd::with_manufacturer_data(
+            wazabee_ble::adv::BleAddress::new([1, 2, 3, 4, 5, 6]),
+            7,
+            0x59,
+            vec![1],
+        );
+        let decode = BleDecode {
+            phy_2m: true,
+            pdu: aux.to_bytes(),
+            crc_ok: true,
+        };
+        let parsed = Classifier::parse_aux_adv(&decode).unwrap();
+        assert_eq!(parsed, aux);
+    }
+
+    fn classifier() -> Classifier {
+        Classifier::new(2420, 8)
+    }
+
+    #[test]
+    fn classifies_plain_ble_advertising() {
+        let c = classifier();
+        let modem = BleModem::new(BlePhy::Le2M, 8);
+        let ch = BleChannel::new(8).unwrap();
+        let pkt = BlePacket::advertising(vec![0x02, 0x03, 1, 2, 3]);
+        let burst = modem.transmit(&pkt, ch, true);
+        let cls = c.classify(&burst);
+        assert!(cls.is_ble_only(), "{cls:?}");
+        assert!(!cls.is_cross_protocol());
+    }
+
+    #[test]
+    fn classifies_plain_dot154() {
+        let c = classifier();
+        let modem = Dot154Modem::new(8);
+        let ppdu = wazabee_dot154::Ppdu::new(wazabee_dot154::fcs::append_fcs(&[9, 9])).unwrap();
+        let burst = modem.transmit(&ppdu);
+        let cls = c.classify(&burst);
+        assert!(cls.is_dot154_only(), "{cls:?}");
+    }
+
+    #[test]
+    fn non_ble_frequency_never_decodes_ble() {
+        // 2405 MHz (Zigbee 11) is not a BLE channel centre: whitening is
+        // undefined there, so the monitor only runs the 802.15.4 grammar.
+        let c = Classifier::new(2405, 8);
+        assert!(c.ble_channel().is_none());
+        let modem = BleModem::new(BlePhy::Le2M, 8);
+        let pkt = BlePacket::advertising(vec![0x02, 0x01, 0xFF]);
+        let burst = modem.transmit(&pkt, BleChannel::new(8).unwrap(), true);
+        assert!(c.try_ble(&burst).is_none());
+    }
+
+    #[test]
+    fn learned_access_addresses_are_deduplicated() {
+        let mut c = classifier();
+        c.learn_access_address(0x1234_5678);
+        c.learn_access_address(0x1234_5678);
+        c.learn_access_address(wazabee_ble::ADV_ACCESS_ADDRESS);
+        assert_eq!(c.known_access_addresses.len(), 2);
+    }
+
+    #[test]
+    fn noise_classifies_as_nothing() {
+        let c = classifier();
+        let mut noise = vec![Iq::ZERO; 30_000];
+        wazabee_dsp::AwgnSource::new(3, 0.6).add_to(&mut noise);
+        let cls = c.classify(&noise);
+        assert!(cls.ble.is_none() || !cls.ble.as_ref().unwrap().crc_ok);
+        assert!(cls.dot154.is_none());
+    }
+}

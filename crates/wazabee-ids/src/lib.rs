@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! # wazabee-ids
+//!
+//! A multi-protocol radio intrusion detection system against WazaBee-style
+//! cross-technology attacks — the countermeasure direction of paper §VII and
+//! the authors' announced future work (§VIII).
+//!
+//! The paper argues that environments exposed to BLE devices must be
+//! monitored under the assumption that attacks may arrive *through 802.15.4*,
+//! and points at radio-level IDSes (RadIoT) that watch multiple protocols at
+//! once. This crate builds that monitor on top of the workspace's simulated
+//! radios:
+//!
+//! * [`burst`] — energy-based burst segmentation,
+//! * [`classify`] — per-burst decoding under both the BLE and 802.15.4
+//!   grammars (including the double-valid WazaBee signature),
+//! * [`detector`] — alerts: cross-protocol frames, non-whitelisted 802.15.4
+//!   traffic, and burst-rate anomalies.
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
+//! use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+//! use wazabee_dsp::Iq;
+//!
+//! // A monitor on 2420 MHz where no Zigbee deployment is expected.
+//! let mut monitor = ChannelMonitor::new(2420, 8, MonitorConfig::default());
+//! let rogue = Dot154Modem::new(8).transmit(&Ppdu::new(append_fcs(&[1, 2])).unwrap());
+//! let mut window = vec![Iq::ZERO; 512];
+//! window.extend(rogue);
+//! window.extend(vec![Iq::ZERO; 512]);
+//! let alerts = monitor.observe(&window);
+//! assert!(alerts.iter().any(|a| matches!(a, Alert::UnexpectedDot154 { .. })));
+//! ```
+
+pub mod burst;
+pub mod classify;
+pub mod detector;
+
+pub use burst::{detect_bursts, Burst, BurstDetectorConfig};
+pub use classify::{Classification, Classifier};
+pub use detector::{Alert, ChannelMonitor, MonitorConfig};

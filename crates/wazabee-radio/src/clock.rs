@@ -1,0 +1,161 @@
+//! Virtual time for network simulations: a microsecond clock and an event
+//! queue with stable ordering.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// A point in simulated time, in microseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Instant(pub u64);
+
+impl Instant {
+    /// Adds a duration in microseconds.
+    pub fn plus_us(self, us: u64) -> Instant {
+        Instant(self.0 + us)
+    }
+
+    /// Adds a duration in milliseconds.
+    pub fn plus_ms(self, ms: u64) -> Instant {
+        Instant(self.0 + ms * 1_000)
+    }
+
+    /// Microseconds since simulation start.
+    pub fn as_us(self) -> u64 {
+        self.0
+    }
+}
+
+impl std::fmt::Display for Instant {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={}µs", self.0)
+    }
+}
+
+/// A deterministic event queue: events fire in time order, ties broken by
+/// insertion order.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_radio::clock::{EventQueue, Instant};
+/// let mut q: EventQueue<&str> = EventQueue::new();
+/// q.schedule(Instant(20), "b");
+/// q.schedule(Instant(10), "a");
+/// assert_eq!(q.pop(), Some((Instant(10), "a")));
+/// assert_eq!(q.pop(), Some((Instant(20), "b")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Instant, u64, usize)>>,
+    events: Vec<Option<E>>,
+    counter: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            events: Vec::new(),
+            counter: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `when`.
+    pub fn schedule(&mut self, when: Instant, event: E) {
+        let slot = self.events.len();
+        self.events.push(Some(event));
+        self.heap.push(Reverse((when, self.counter, slot)));
+        self.counter += 1;
+    }
+
+    /// Pops the earliest pending event.
+    pub fn pop(&mut self) -> Option<(Instant, E)> {
+        while let Some(Reverse((when, _, slot))) = self.heap.pop() {
+            if let Some(event) = self.events[slot].take() {
+                return Some((when, event));
+            }
+        }
+        None
+    }
+
+    /// Time of the next pending event without removing it.
+    pub fn peek_time(&self) -> Option<Instant> {
+        self.heap.peek().map(|Reverse((when, _, _))| *when)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.events.iter().filter(|e| e.is_some()).count()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant(30), 3);
+        q.schedule(Instant(10), 1);
+        q.schedule(Instant(20), 2);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant(5), "first");
+        q.schedule(Instant(5), "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Instant(7), ());
+        assert_eq!(q.peek_time(), Some(Instant(7)));
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn instant_arithmetic() {
+        let t = Instant(0).plus_ms(2).plus_us(5);
+        assert_eq!(t.as_us(), 2005);
+        assert_eq!(format!("{t}"), "t=2005µs");
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop() {
+        let mut q = EventQueue::new();
+        q.schedule(Instant(10), 1);
+        assert_eq!(q.pop().unwrap().1, 1);
+        q.schedule(Instant(5), 2);
+        q.schedule(Instant(50), 3);
+        assert_eq!(q.pop().unwrap().1, 2);
+        q.schedule(Instant(20), 4);
+        assert_eq!(q.pop().unwrap().1, 4);
+        assert_eq!(q.pop().unwrap().1, 3);
+        assert_eq!(q.pop(), None);
+    }
+}

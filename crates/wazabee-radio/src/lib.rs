@@ -1,0 +1,40 @@
+#![warn(missing_docs)]
+
+//! # wazabee-radio
+//!
+//! The simulated 2.4 GHz ISM medium of the WazaBee reproduction (Cayre et
+//! al., DSN 2021).
+//!
+//! The paper's benchmarks ran over 3 metres of office air shared with WiFi;
+//! this crate substitutes a deterministic channel model:
+//!
+//! * [`medium`] — point-to-point IQ delivery with spectral shifting, path
+//!   gain, CFO, timing offset, random lead-in and AWGN,
+//! * [`wifi`] — the bursty WiFi interference responsible for the Table III
+//!   reception dips on Zigbee channels 17/18 and 21–23,
+//! * [`clock`] — virtual time and a deterministic event queue for the
+//!   network-level simulations of the attack scenarios.
+//!
+//! ## Example
+//!
+//! ```
+//! use wazabee_dsp::{Iq, Nco};
+//! use wazabee_radio::{Link, LinkConfig, RfFrame};
+//!
+//! // Deliver a tone transmitted at 2420 MHz to a receiver on the same
+//! // channel over the paper's office link.
+//! let fs = 16.0e6;
+//! let mut nco = Nco::new(0.1e6, fs);
+//! let tx: Vec<Iq> = (0..1024).map(|_| nco.next_sample()).collect();
+//! let mut link = Link::new(LinkConfig::office_3m(), 42);
+//! let rx = link.deliver(&RfFrame::new(2420, tx, fs), 2420);
+//! assert!(rx.len() >= 1024);
+//! ```
+
+pub mod clock;
+pub mod medium;
+pub mod wifi;
+
+pub use clock::{EventQueue, Instant};
+pub use medium::{combine_at, Link, LinkConfig, RfFrame};
+pub use wifi::{WifiChannel, WifiInterferer};

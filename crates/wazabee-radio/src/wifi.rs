@@ -1,0 +1,145 @@
+//! WiFi-shaped interference model.
+//!
+//! The paper's testbed shared the air with WiFi channels 6 and 11, which is
+//! visible in Table III as a reception dip on Zigbee channels 17/18 and
+//! 21–23. We model a WiFi interferer as a bursty wideband noise source whose
+//! power couples into a 2 MHz-wide victim channel proportionally to spectral
+//! overlap.
+
+use serde::{Deserialize, Serialize};
+
+/// A 2.4 GHz WiFi (802.11b/g/n, 20 MHz) channel, 1–13.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WifiChannel(u8);
+
+impl WifiChannel {
+    /// Creates a channel, rejecting numbers outside 1–13.
+    pub fn new(number: u8) -> Option<Self> {
+        (1..=13).contains(&number).then_some(WifiChannel(number))
+    }
+
+    /// The channel number.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// Centre frequency in MHz: `2407 + 5·n`.
+    pub fn center_mhz(self) -> u32 {
+        2407 + 5 * u32::from(self.0)
+    }
+
+    /// Half-width of the occupied spectrum we model, in MHz (the outer edge
+    /// of the interference skirt in [`WifiChannel::overlap_with`]).
+    pub const HALF_WIDTH_MHZ: f64 = 9.5;
+
+    /// Fraction (0..=1) of this channel's power that lands in a 2 MHz-wide
+    /// victim channel centred at `victim_center_mhz`.
+    ///
+    /// The 20 MHz OFDM spectrum is approximated as flat over ±6 MHz with a
+    /// linear skirt to ±9.5 MHz — wide enough to reproduce the paper's mild
+    /// dip on Zigbee channels 16 and 21 (7 MHz from a WiFi centre) while
+    /// leaving channels ≥ 10 MHz away untouched.
+    pub fn overlap_with(self, victim_center_mhz: u32) -> f64 {
+        let delta = (f64::from(self.center_mhz()) - f64::from(victim_center_mhz)).abs();
+        let flat = 6.0;
+        let edge = Self::HALF_WIDTH_MHZ;
+        if delta <= flat {
+            1.0
+        } else if delta < edge {
+            1.0 - (delta - flat) / (edge - flat)
+        } else {
+            0.0
+        }
+    }
+}
+
+impl std::fmt::Display for WifiChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "WiFi ch {} ({} MHz)", self.0, self.center_mhz())
+    }
+}
+
+/// A bursty WiFi interferer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WifiInterferer {
+    /// The WiFi channel this interferer occupies.
+    pub channel: WifiChannel,
+    /// In-band interference power (linear, relative to unit signal power)
+    /// when fully overlapping the victim channel.
+    pub power: f64,
+    /// Probability that a given victim frame experiences a burst.
+    pub burst_probability: f64,
+    /// Fraction of the victim frame a burst covers (0..=1).
+    pub burst_fraction: f64,
+}
+
+impl WifiInterferer {
+    /// A calibrated model of the paper's office environment: enough to lose
+    /// or corrupt a few percent of frames on overlapping channels.
+    pub fn office(channel: WifiChannel) -> Self {
+        WifiInterferer {
+            channel,
+            power: 1.8,
+            burst_probability: 0.055,
+            burst_fraction: 0.30,
+        }
+    }
+
+    /// Effective in-band power on a victim channel (0 when disjoint).
+    pub fn power_into(&self, victim_center_mhz: u32) -> f64 {
+        self.power * self.channel.overlap_with(victim_center_mhz)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_frequencies() {
+        assert_eq!(WifiChannel::new(1).unwrap().center_mhz(), 2412);
+        assert_eq!(WifiChannel::new(6).unwrap().center_mhz(), 2437);
+        assert_eq!(WifiChannel::new(11).unwrap().center_mhz(), 2462);
+        assert!(WifiChannel::new(0).is_none());
+        assert!(WifiChannel::new(14).is_none());
+    }
+
+    #[test]
+    fn paper_dip_channels_overlap_wifi6() {
+        // Zigbee 17 (2435) and 18 (2440) sit inside WiFi 6's spectrum.
+        let w6 = WifiChannel::new(6).unwrap();
+        assert!(w6.overlap_with(2435) > 0.9);
+        assert!(w6.overlap_with(2440) > 0.9);
+        // Zigbee 14 (2420), the paper's testbed channel, is clear of WiFi 6.
+        assert_eq!(w6.overlap_with(2420), 0.0);
+    }
+
+    #[test]
+    fn paper_dip_channels_overlap_wifi11() {
+        let w11 = WifiChannel::new(11).unwrap();
+        assert!(w11.overlap_with(2455) > 0.0); // Zigbee 21
+        assert!(w11.overlap_with(2460) > 0.9); // Zigbee 22
+        assert!(w11.overlap_with(2465) > 0.9); // Zigbee 23
+        assert_eq!(w11.overlap_with(2450), 0.0); // Zigbee 20 clear
+    }
+
+    #[test]
+    fn overlap_is_monotone_in_distance() {
+        let w = WifiChannel::new(6).unwrap();
+        let mut prev = 1.0;
+        for victim in (2437..2455).step_by(2) {
+            let o = w.overlap_with(victim);
+            assert!(o <= prev + 1e-12, "overlap increased at {victim}");
+            prev = o;
+        }
+    }
+
+    #[test]
+    fn interferer_power_scales_with_overlap() {
+        let i = WifiInterferer::office(WifiChannel::new(6).unwrap());
+        assert_eq!(i.power_into(2437), i.power);
+        assert_eq!(i.power_into(2480), 0.0);
+        assert!(i.power_into(2444) < i.power); // on the skirt
+        assert!(i.power_into(2444) > 0.0);
+    }
+}

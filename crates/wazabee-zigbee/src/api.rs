@@ -1,0 +1,381 @@
+//! XBee serial API framing (API mode 1, unescaped).
+//!
+//! The paper's testbed drives its XBee transceivers from host applications —
+//! the sensor script and the coordinator's HTML graph — over Digi's serial
+//! API. The framing is public: `0x7E · length(u16 BE) · frame data ·
+//! checksum`, where the checksum is `0xFF − (sum of frame data) & 0xFF`.
+//! This module implements the subset those applications use.
+
+use wazabee_dot154::mac::{Address, MacFrame};
+
+/// The frame start delimiter.
+pub const START_DELIMITER: u8 = 0x7E;
+
+/// The API checksum: `0xFF − (sum of frame-data bytes) mod 256`.
+fn checksum(frame_data: &[u8]) -> u8 {
+    0xFFu8.wrapping_sub(frame_data.iter().fold(0u8, |a, &b| a.wrapping_add(b)))
+}
+
+/// A parsed API frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApiFrame {
+    /// Local AT command (type 0x08).
+    AtCommand {
+        /// Correlation id (0 = no response requested).
+        frame_id: u8,
+        /// Two-letter command name.
+        command: [u8; 2],
+        /// Parameter bytes.
+        parameter: Vec<u8>,
+    },
+    /// Local AT command response (type 0x88).
+    AtResponse {
+        /// Echoed correlation id.
+        frame_id: u8,
+        /// Echoed command name.
+        command: [u8; 2],
+        /// 0 = OK, 1 = error.
+        status: u8,
+        /// Returned value bytes.
+        value: Vec<u8>,
+    },
+    /// Transmit request, 16-bit addressing (type 0x01).
+    TxRequest16 {
+        /// Correlation id.
+        frame_id: u8,
+        /// Destination short address.
+        dest: u16,
+        /// Options bitfield (0x01 = disable ack).
+        options: u8,
+        /// Application payload.
+        data: Vec<u8>,
+    },
+    /// Transmit status (type 0x89).
+    TxStatus {
+        /// Echoed correlation id.
+        frame_id: u8,
+        /// 0 = success, 1 = no ack.
+        status: u8,
+    },
+    /// Received packet, 16-bit addressing (type 0x81).
+    RxPacket16 {
+        /// Source short address.
+        source: u16,
+        /// Received signal strength (−dBm).
+        rssi: u8,
+        /// Options bitfield.
+        options: u8,
+        /// Application payload.
+        data: Vec<u8>,
+    },
+}
+
+impl ApiFrame {
+    /// The frame-type byte.
+    pub fn frame_type(&self) -> u8 {
+        match self {
+            ApiFrame::AtCommand { .. } => 0x08,
+            ApiFrame::AtResponse { .. } => 0x88,
+            ApiFrame::TxRequest16 { .. } => 0x01,
+            ApiFrame::TxStatus { .. } => 0x89,
+            ApiFrame::RxPacket16 { .. } => 0x81,
+        }
+    }
+
+    fn frame_data(&self) -> Vec<u8> {
+        let mut d = vec![self.frame_type()];
+        match self {
+            ApiFrame::AtCommand {
+                frame_id,
+                command,
+                parameter,
+            } => {
+                d.push(*frame_id);
+                d.extend_from_slice(command);
+                d.extend_from_slice(parameter);
+            }
+            ApiFrame::AtResponse {
+                frame_id,
+                command,
+                status,
+                value,
+            } => {
+                d.push(*frame_id);
+                d.extend_from_slice(command);
+                d.push(*status);
+                d.extend_from_slice(value);
+            }
+            ApiFrame::TxRequest16 {
+                frame_id,
+                dest,
+                options,
+                data,
+            } => {
+                d.push(*frame_id);
+                d.extend_from_slice(&dest.to_be_bytes());
+                d.push(*options);
+                d.extend_from_slice(data);
+            }
+            ApiFrame::TxStatus { frame_id, status } => {
+                d.push(*frame_id);
+                d.push(*status);
+            }
+            ApiFrame::RxPacket16 {
+                source,
+                rssi,
+                options,
+                data,
+            } => {
+                d.extend_from_slice(&source.to_be_bytes());
+                d.push(*rssi);
+                d.push(*options);
+                d.extend_from_slice(data);
+            }
+        }
+        d
+    }
+
+    /// Serialises to the on-wire byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let data = self.frame_data();
+        let mut out = Vec::with_capacity(4 + data.len());
+        out.push(START_DELIMITER);
+        out.extend_from_slice(&(data.len() as u16).to_be_bytes());
+        let check = checksum(&data);
+        out.extend_from_slice(&data);
+        out.push(check);
+        out
+    }
+
+    /// Parses one frame from the head of a byte stream; returns the frame
+    /// and the number of bytes consumed.
+    ///
+    /// Returns `None` on truncation, bad delimiter, bad checksum or an
+    /// unknown frame type.
+    pub fn from_bytes(bytes: &[u8]) -> Option<(ApiFrame, usize)> {
+        if bytes.len() < 5 || bytes[0] != START_DELIMITER {
+            return None;
+        }
+        let len = usize::from(u16::from_be_bytes([bytes[1], bytes[2]]));
+        let total = 3 + len + 1;
+        if bytes.len() < total || len == 0 {
+            return None;
+        }
+        let data = &bytes[3..3 + len];
+        if bytes[3 + len] != checksum(data) {
+            return None;
+        }
+        let frame = match data[0] {
+            0x08 if len >= 4 => ApiFrame::AtCommand {
+                frame_id: data[1],
+                command: [data[2], data[3]],
+                parameter: data[4..].to_vec(),
+            },
+            0x88 if len >= 5 => ApiFrame::AtResponse {
+                frame_id: data[1],
+                command: [data[2], data[3]],
+                status: data[4],
+                value: data[5..].to_vec(),
+            },
+            0x01 if len >= 5 => ApiFrame::TxRequest16 {
+                frame_id: data[1],
+                dest: u16::from_be_bytes([data[2], data[3]]),
+                options: data[4],
+                data: data[5..].to_vec(),
+            },
+            0x89 if len == 3 => ApiFrame::TxStatus {
+                frame_id: data[1],
+                status: data[2],
+            },
+            0x81 if len >= 5 => ApiFrame::RxPacket16 {
+                source: u16::from_be_bytes([data[1], data[2]]),
+                rssi: data[3],
+                options: data[4],
+                data: data[5..].to_vec(),
+            },
+            _ => return None,
+        };
+        Some((frame, total))
+    }
+
+    /// Builds the RX indication a module delivers to its host for a received
+    /// MAC data frame.
+    pub fn rx_indication(frame: &MacFrame, rssi: u8) -> Option<ApiFrame> {
+        let source = match frame.src {
+            Address::Short(a) => a,
+            _ => return None,
+        };
+        Some(ApiFrame::RxPacket16 {
+            source,
+            rssi,
+            options: 0,
+            data: frame.payload.clone(),
+        })
+    }
+}
+
+/// Splits a serial byte stream into API frames, skipping garbage between
+/// delimiters (resynchronisation, as real hosts do).
+pub fn parse_stream(mut bytes: &[u8]) -> Vec<ApiFrame> {
+    let mut frames = Vec::new();
+    while !bytes.is_empty() {
+        match bytes.iter().position(|&b| b == START_DELIMITER) {
+            None => break,
+            Some(at) => {
+                bytes = &bytes[at..];
+                match ApiFrame::from_bytes(bytes) {
+                    Some((frame, used)) => {
+                        frames.push(frame);
+                        bytes = &bytes[used..];
+                    }
+                    None => bytes = &bytes[1..],
+                }
+            }
+        }
+    }
+    frames
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn digi_documentation_example() {
+        // The canonical example from Digi's manual: AT command "MY" with
+        // frame id 0x52 → 7E 00 04 08 52 4D 59 FF.
+        let frame = ApiFrame::AtCommand {
+            frame_id: 0x52,
+            command: *b"MY",
+            parameter: vec![],
+        };
+        assert_eq!(frame.to_bytes(), vec![0x7E, 0x00, 0x04, 0x08, 0x52, 0x4D, 0x59, 0xFF]);
+    }
+
+    #[test]
+    fn round_trip_all_variants() {
+        let frames = vec![
+            ApiFrame::AtCommand {
+                frame_id: 1,
+                command: *b"CH",
+                parameter: vec![14],
+            },
+            ApiFrame::AtResponse {
+                frame_id: 1,
+                command: *b"CH",
+                status: 0,
+                value: vec![14],
+            },
+            ApiFrame::TxRequest16 {
+                frame_id: 2,
+                dest: 0x0042,
+                options: 0,
+                data: vec![21, 0],
+            },
+            ApiFrame::TxStatus {
+                frame_id: 2,
+                status: 0,
+            },
+            ApiFrame::RxPacket16 {
+                source: 0x0063,
+                rssi: 40,
+                options: 0,
+                data: vec![1, 2, 3],
+            },
+        ];
+        for f in frames {
+            let bytes = f.to_bytes();
+            let (parsed, used) = ApiFrame::from_bytes(&bytes).expect("parse");
+            assert_eq!(parsed, f);
+            assert_eq!(used, bytes.len());
+        }
+    }
+
+    #[test]
+    fn checksum_corruption_rejected() {
+        let f = ApiFrame::TxStatus {
+            frame_id: 9,
+            status: 0,
+        };
+        let mut bytes = f.to_bytes();
+        let n = bytes.len();
+        bytes[n - 1] ^= 0x01;
+        assert!(ApiFrame::from_bytes(&bytes).is_none());
+        // ...and corrupting the body is caught by the checksum too.
+        let mut bytes = f.to_bytes();
+        bytes[4] ^= 0x10;
+        assert!(ApiFrame::from_bytes(&bytes).is_none());
+    }
+
+    #[test]
+    fn stream_parser_resynchronises() {
+        let a = ApiFrame::TxStatus {
+            frame_id: 1,
+            status: 0,
+        };
+        let b = ApiFrame::AtCommand {
+            frame_id: 2,
+            command: *b"ID",
+            parameter: vec![0x34, 0x12],
+        };
+        let mut stream = vec![0x00, 0x13, 0x37]; // line noise
+        stream.extend(a.to_bytes());
+        stream.extend([0x7E, 0x00]); // truncated garbage frame
+        stream.extend(b.to_bytes());
+        let frames = parse_stream(&stream);
+        assert_eq!(frames, vec![a, b]);
+    }
+
+    #[test]
+    fn rx_indication_from_mac_frame() {
+        let mac = MacFrame::data(0x1234, 0x0063, 0x0042, 5, vec![9, 8, 7]);
+        let api = ApiFrame::rx_indication(&mac, 42).unwrap();
+        match api {
+            ApiFrame::RxPacket16 {
+                source,
+                rssi,
+                data,
+                ..
+            } => {
+                assert_eq!(source, 0x0063);
+                assert_eq!(rssi, 42);
+                assert_eq!(data, vec![9, 8, 7]);
+            }
+            other => panic!("wrong frame: {other:?}"),
+        }
+        // Frames without a short source address have no RX indication.
+        let ack = MacFrame::ack(1);
+        assert!(ApiFrame::rx_indication(&ack, 0).is_none());
+    }
+
+    #[test]
+    fn truncated_inputs_rejected() {
+        assert!(ApiFrame::from_bytes(&[]).is_none());
+        assert!(ApiFrame::from_bytes(&[0x7E]).is_none());
+        assert!(ApiFrame::from_bytes(&[0x7E, 0x00, 0x04, 0x08]).is_none());
+        assert!(ApiFrame::from_bytes(&[0x00, 0x00, 0x01, 0x89, 0x76]).is_none());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_tx_request_round_trip(
+            frame_id in any::<u8>(),
+            dest in any::<u16>(),
+            options in any::<u8>(),
+            data in proptest::collection::vec(any::<u8>(), 0..100),
+        ) {
+            let f = ApiFrame::TxRequest16 { frame_id, dest, options, data };
+            let (parsed, _) = ApiFrame::from_bytes(&f.to_bytes()).unwrap();
+            prop_assert_eq!(parsed, f);
+        }
+
+        #[test]
+        fn prop_parser_never_panics_on_garbage(
+            bytes in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let _ = parse_stream(&bytes);
+            let _ = ApiFrame::from_bytes(&bytes);
+        }
+    }
+}

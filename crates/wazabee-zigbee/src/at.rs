@@ -1,0 +1,131 @@
+//! XBee-style AT commands.
+//!
+//! Scenario B's denial-of-service step abuses *remote AT commands* — the
+//! configuration channel XBee modules expose over the air [Vaccari et al.,
+//! 2017] — to force the victim sensor onto another channel. Digi's exact
+//! OTA encoding is proprietary; this module implements a semantically
+//! equivalent encoding (documented in DESIGN.md) carrying the same commands.
+
+use serde::{Deserialize, Serialize};
+
+/// An AT command with its parameter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AtCommand {
+    /// `CH` — set the radio channel (11–26).
+    Channel(u8),
+    /// `ID` — set the PAN identifier.
+    PanId(u16),
+    /// `MY` — set the 16-bit source address.
+    ShortAddress(u16),
+    /// `WR` — write settings to non-volatile memory.
+    Write,
+    /// `AC` — apply queued changes.
+    ApplyChanges,
+}
+
+impl AtCommand {
+    /// The two-letter AT command name.
+    pub fn name(self) -> [u8; 2] {
+        match self {
+            AtCommand::Channel(_) => *b"CH",
+            AtCommand::PanId(_) => *b"ID",
+            AtCommand::ShortAddress(_) => *b"MY",
+            AtCommand::Write => *b"WR",
+            AtCommand::ApplyChanges => *b"AC",
+        }
+    }
+
+    /// Serialises name + parameter.
+    pub fn to_bytes(self) -> Vec<u8> {
+        let mut out = self.name().to_vec();
+        match self {
+            AtCommand::Channel(ch) => out.push(ch),
+            AtCommand::PanId(id) => out.extend_from_slice(&id.to_le_bytes()),
+            AtCommand::ShortAddress(a) => out.extend_from_slice(&a.to_le_bytes()),
+            AtCommand::Write | AtCommand::ApplyChanges => {}
+        }
+        out
+    }
+
+    /// Parses name + parameter.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() < 2 {
+            return None;
+        }
+        match &bytes[..2] {
+            b"CH" if bytes.len() == 3 => Some(AtCommand::Channel(bytes[2])),
+            b"ID" if bytes.len() == 4 => {
+                Some(AtCommand::PanId(u16::from_le_bytes([bytes[2], bytes[3]])))
+            }
+            b"MY" if bytes.len() == 4 => Some(AtCommand::ShortAddress(u16::from_le_bytes([
+                bytes[2], bytes[3],
+            ]))),
+            b"WR" if bytes.len() == 2 => Some(AtCommand::Write),
+            b"AC" if bytes.len() == 2 => Some(AtCommand::ApplyChanges),
+            _ => None,
+        }
+    }
+}
+
+/// Status of an executed AT command.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum AtStatus {
+    /// The command executed.
+    Ok = 0,
+    /// The command or parameter was invalid.
+    Error = 1,
+}
+
+impl AtStatus {
+    /// Parses a status byte.
+    pub fn from_byte(v: u8) -> Option<Self> {
+        match v {
+            0 => Some(AtStatus::Ok),
+            1 => Some(AtStatus::Error),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_all_commands() {
+        for cmd in [
+            AtCommand::Channel(14),
+            AtCommand::PanId(0x1234),
+            AtCommand::ShortAddress(0x0063),
+            AtCommand::Write,
+            AtCommand::ApplyChanges,
+        ] {
+            assert_eq!(AtCommand::from_bytes(&cmd.to_bytes()), Some(cmd));
+        }
+    }
+
+    #[test]
+    fn names_are_ascii() {
+        assert_eq!(&AtCommand::Channel(11).name(), b"CH");
+        assert_eq!(&AtCommand::PanId(0).name(), b"ID");
+        assert_eq!(&AtCommand::ShortAddress(0).name(), b"MY");
+    }
+
+    #[test]
+    fn malformed_rejected() {
+        assert_eq!(AtCommand::from_bytes(b""), None);
+        assert_eq!(AtCommand::from_bytes(b"C"), None);
+        assert_eq!(AtCommand::from_bytes(b"CH"), None); // missing parameter
+        assert_eq!(AtCommand::from_bytes(b"ID\x01"), None); // short parameter
+        assert_eq!(AtCommand::from_bytes(b"ZZ\x00"), None); // unknown name
+        assert_eq!(AtCommand::from_bytes(b"WR\x00"), None); // unexpected parameter
+    }
+
+    #[test]
+    fn status_bytes() {
+        assert_eq!(AtStatus::from_byte(0), Some(AtStatus::Ok));
+        assert_eq!(AtStatus::from_byte(1), Some(AtStatus::Error));
+        assert_eq!(AtStatus::from_byte(7), None);
+    }
+}

@@ -1,0 +1,726 @@
+//! XBee-style node behaviour: the sensor and coordinator of the paper's
+//! experimental testbed (§VI-A).
+
+use wazabee_dot154::mac::{Address, FrameType, MacCommandId, MacFrame};
+use wazabee_dot154::Dot154Channel;
+use wazabee_radio::Instant;
+
+use crate::at::{AtCommand, AtStatus};
+use crate::xbee::XbeePayload;
+
+/// Static node configuration (the XBee settings AT commands mutate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeConfig {
+    /// PAN identifier.
+    pub pan: u16,
+    /// 16-bit short address.
+    pub short_addr: u16,
+    /// Radio channel.
+    pub channel: Dot154Channel,
+}
+
+/// What kind of node this is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeRole {
+    /// The coordinator: acknowledges data and records readings.
+    Coordinator,
+    /// An end device transmitting a counter reading periodically.
+    Sensor {
+        /// Transmission period in milliseconds (2000 in the paper).
+        interval_ms: u64,
+    },
+}
+
+/// One recorded sensor reading on the coordinator's display.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reading {
+    /// When the reading arrived.
+    pub time: Instant,
+    /// The reported value.
+    pub value: u16,
+    /// The short address the frame claimed as source.
+    pub reported_by: u16,
+}
+
+/// A simulated XBee node.
+#[derive(Debug, Clone)]
+pub struct XbeeNode {
+    /// Current radio/network configuration.
+    pub config: NodeConfig,
+    role: NodeRole,
+    seq: u8,
+    counter: u16,
+    readings: Vec<Reading>,
+    at_log: Vec<AtCommand>,
+    join: JoinState,
+    /// Coordinator-side: next short address to hand out to an associating
+    /// device.
+    next_assigned_addr: u16,
+    /// EUI-64-style extended identifier used to disambiguate concurrent
+    /// association handshakes (all joiners share short address 0xFFFE).
+    ext_id: u64,
+}
+
+/// Association progress of an end device (802.15.4 MAC association).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinState {
+    /// Operating with a configured address (factory-joined, as in the
+    /// paper's testbed).
+    Joined,
+    /// Searching for a coordinator (broadcasting beacon requests).
+    Scanning,
+    /// Association request sent, awaiting the response.
+    Associating {
+        /// The coordinator being joined.
+        coordinator: u16,
+    },
+}
+
+impl XbeeNode {
+    /// Creates a node.
+    pub fn new(config: NodeConfig, role: NodeRole) -> Self {
+        XbeeNode {
+            config,
+            role,
+            seq: 0,
+            counter: 0,
+            readings: Vec::new(),
+            at_log: Vec::new(),
+            join: JoinState::Joined,
+            next_assigned_addr: 0x0100,
+            ext_id: 0,
+        }
+    }
+
+    /// Creates an *unjoined* sensor that must first discover a coordinator
+    /// and associate (MAC association procedure) before reporting readings.
+    ///
+    /// `ext_id` is the device's EUI-64-style identifier; concurrent joiners
+    /// must use distinct values (real radios burn one in at the factory).
+    pub fn new_unjoined_sensor(channel: Dot154Channel, interval_ms: u64) -> Self {
+        Self::new_unjoined_sensor_with_id(channel, interval_ms, 0xACE0_F00D_0000_0001)
+    }
+
+    /// Like [`XbeeNode::new_unjoined_sensor`] with an explicit extended id.
+    pub fn new_unjoined_sensor_with_id(
+        channel: Dot154Channel,
+        interval_ms: u64,
+        ext_id: u64,
+    ) -> Self {
+        let mut node = XbeeNode::new(
+            NodeConfig {
+                pan: wazabee_dot154::mac::BROADCAST_PAN,
+                short_addr: 0xFFFE,
+                channel,
+            },
+            NodeRole::Sensor { interval_ms },
+        );
+        node.join = JoinState::Scanning;
+        node.ext_id = ext_id;
+        node
+    }
+
+    /// The node's association state.
+    pub fn join_state(&self) -> JoinState {
+        self.join
+    }
+
+    /// Whether the node is operational on a PAN.
+    pub fn is_joined(&self) -> bool {
+        self.join == JoinState::Joined
+    }
+
+    /// The node's role.
+    pub fn role(&self) -> NodeRole {
+        self.role
+    }
+
+    /// Readings recorded by a coordinator (the paper's "HTML graph").
+    pub fn readings(&self) -> &[Reading] {
+        &self.readings
+    }
+
+    /// AT commands this node has executed (for forensics in tests).
+    pub fn at_log(&self) -> &[AtCommand] {
+        &self.at_log
+    }
+
+    /// The sensor's next timer period, if it has one.
+    pub fn timer_interval_ms(&self) -> Option<u64> {
+        match self.role {
+            NodeRole::Sensor { interval_ms } => Some(interval_ms),
+            NodeRole::Coordinator => None,
+        }
+    }
+
+    fn next_seq(&mut self) -> u8 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+
+    /// Fires the node's periodic timer; joined sensors emit their reading
+    /// frame, unjoined ones keep probing for a coordinator.
+    pub fn on_timer(&mut self, _now: Instant) -> Vec<MacFrame> {
+        match self.role {
+            NodeRole::Sensor { .. } => {
+                if self.join != JoinState::Joined {
+                    // Re-scan: the earlier probe or association may be lost.
+                    self.join = JoinState::Scanning;
+                    let seq = self.next_seq();
+                    return vec![MacFrame::beacon_request(seq)];
+                }
+                self.counter = self.counter.wrapping_add(1);
+                let seq = self.next_seq();
+                let payload = XbeePayload::reading(self.counter).to_bytes();
+                vec![MacFrame::data(
+                    self.config.pan,
+                    self.config.short_addr,
+                    0x0042,
+                    seq,
+                    payload,
+                )]
+            }
+            NodeRole::Coordinator => Vec::new(),
+        }
+    }
+
+    fn addressed_to_me(&self, frame: &MacFrame) -> bool {
+        let pan_ok = frame.dest_pan.map_or(true, |p| {
+            p == self.config.pan || p == wazabee_dot154::mac::BROADCAST_PAN
+        });
+        let addr_ok = match frame.dest {
+            Address::Short(a) => {
+                a == self.config.short_addr || a == wazabee_dot154::mac::BROADCAST_SHORT
+            }
+            Address::None => true,
+            Address::Extended(_) => false,
+        };
+        pan_ok && addr_ok
+    }
+
+    /// Handles a received frame, returning any frames to transmit in
+    /// response.
+    pub fn on_receive(&mut self, frame: &MacFrame, now: Instant) -> Vec<MacFrame> {
+        if !self.addressed_to_me(frame) {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        // Hardware-style immediate ack for acknowledged unicast frames.
+        if frame.ack_request && matches!(frame.dest, Address::Short(a) if a != wazabee_dot154::mac::BROADCAST_SHORT)
+        {
+            out.push(MacFrame::ack(frame.sequence));
+        }
+        match frame.frame_type {
+            FrameType::MacCommand => out.extend(self.on_mac_command(frame)),
+            FrameType::Data => {
+                if let Some(payload) = XbeePayload::from_bytes(&frame.payload) {
+                    out.extend(self.on_app_payload(frame, payload, now));
+                }
+            }
+            FrameType::Beacon => {
+                // An unjoined sensor answers the first beacon it hears with
+                // an association request.
+                if self.join == JoinState::Scanning {
+                    if let (Some(pan), Address::Short(coordinator)) = (frame.src_pan, frame.src) {
+                        self.config.pan = pan;
+                        self.join = JoinState::Associating { coordinator };
+                        let seq = self.next_seq();
+                        let mut payload = vec![MacCommandId::AssociationRequest as u8, 0x80];
+                        payload.extend_from_slice(&self.ext_id.to_le_bytes());
+                        out.push(MacFrame {
+                            frame_type: FrameType::MacCommand,
+                            ack_request: true,
+                            pan_id_compression: true,
+                            sequence: seq,
+                            dest_pan: Some(pan),
+                            dest: Address::Short(coordinator),
+                            src_pan: None,
+                            src: Address::Short(self.config.short_addr),
+                            payload,
+                        });
+                    }
+                }
+            }
+            FrameType::Ack => {}
+        }
+        out
+    }
+
+    fn on_mac_command(&mut self, frame: &MacFrame) -> Vec<MacFrame> {
+        let mut out = Vec::new();
+        match frame.command_id() {
+            Some(MacCommandId::BeaconRequest) => {
+                if self.role == NodeRole::Coordinator {
+                    let seq = self.next_seq();
+                    out.push(MacFrame::beacon(
+                        self.config.pan,
+                        self.config.short_addr,
+                        seq,
+                        Vec::new(),
+                    ));
+                }
+            }
+            Some(MacCommandId::AssociationRequest) => {
+                if self.role == NodeRole::Coordinator && frame.payload.len() >= 10 {
+                    if let Address::Short(requester) = frame.src {
+                        let requester_ext: [u8; 8] =
+                            frame.payload[2..10].try_into().expect("checked length");
+                        let assigned = self.next_assigned_addr;
+                        // Wrap within the dynamic pool; never hand out the
+                        // broadcast or unassigned reserved values.
+                        self.next_assigned_addr = if self.next_assigned_addr >= 0xFFF0 {
+                            0x0100
+                        } else {
+                            self.next_assigned_addr + 1
+                        };
+                        let seq = self.next_seq();
+                        let mut payload =
+                            vec![MacCommandId::AssociationResponse as u8];
+                        payload.extend_from_slice(&assigned.to_le_bytes());
+                        payload.push(0x00); // status: association successful
+                        payload.extend_from_slice(&requester_ext); // echo the joiner's id
+                        out.push(MacFrame {
+                            frame_type: FrameType::MacCommand,
+                            ack_request: true,
+                            pan_id_compression: true,
+                            sequence: seq,
+                            dest_pan: Some(self.config.pan),
+                            dest: Address::Short(requester),
+                            src_pan: None,
+                            src: Address::Short(self.config.short_addr),
+                            payload,
+                        });
+                    }
+                }
+            }
+            Some(MacCommandId::AssociationResponse) => {
+                if let JoinState::Associating { coordinator } = self.join {
+                    // Accept only a success response from the coordinator we
+                    // asked, echoing our own extended id — concurrent joiners
+                    // all listen on 0xFFFE, so the id is what disambiguates.
+                    if frame.src == Address::Short(coordinator)
+                        && frame.payload.len() >= 12
+                        && frame.payload[3] == 0x00
+                        && frame.payload[4..12] == self.ext_id.to_le_bytes()
+                    {
+                        self.config.short_addr =
+                            u16::from_le_bytes([frame.payload[1], frame.payload[2]]);
+                        self.join = JoinState::Joined;
+                    }
+                }
+            }
+            _ => {}
+        }
+        out
+    }
+
+    fn on_app_payload(
+        &mut self,
+        frame: &MacFrame,
+        payload: XbeePayload,
+        now: Instant,
+    ) -> Vec<MacFrame> {
+        match payload {
+            XbeePayload::AppData(_) => {
+                if self.role == NodeRole::Coordinator {
+                    if let Some(value) = payload.as_reading() {
+                        let reported_by = match frame.src {
+                            Address::Short(a) => a,
+                            _ => 0xFFFF,
+                        };
+                        self.readings.push(Reading {
+                            time: now,
+                            value,
+                            reported_by,
+                        });
+                    }
+                }
+                Vec::new()
+            }
+            XbeePayload::RemoteAtCommand { frame_id, command } => {
+                let status = self.apply_at(command);
+                let src = match frame.src {
+                    Address::Short(a) => a,
+                    _ => return Vec::new(),
+                };
+                let seq = self.next_seq();
+                let reply = XbeePayload::RemoteAtResponse { frame_id, status };
+                vec![MacFrame::data(
+                    self.config.pan,
+                    self.config.short_addr,
+                    src,
+                    seq,
+                    reply.to_bytes(),
+                )]
+            }
+            XbeePayload::RemoteAtResponse { .. } => Vec::new(),
+        }
+    }
+
+    fn apply_at(&mut self, command: AtCommand) -> AtStatus {
+        let status = match command {
+            AtCommand::Channel(ch) => match Dot154Channel::new(ch) {
+                Some(channel) => {
+                    self.config.channel = channel;
+                    AtStatus::Ok
+                }
+                None => AtStatus::Error,
+            },
+            AtCommand::PanId(id) => {
+                self.config.pan = id;
+                AtStatus::Ok
+            }
+            AtCommand::ShortAddress(a) => {
+                self.config.short_addr = a;
+                AtStatus::Ok
+            }
+            AtCommand::Write | AtCommand::ApplyChanges => AtStatus::Ok,
+        };
+        if status == AtStatus::Ok {
+            self.at_log.push(command);
+        }
+        status
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ch(n: u8) -> Dot154Channel {
+        Dot154Channel::new(n).unwrap()
+    }
+
+    fn sensor() -> XbeeNode {
+        XbeeNode::new(
+            NodeConfig {
+                pan: 0x1234,
+                short_addr: 0x0063,
+                channel: ch(14),
+            },
+            NodeRole::Sensor { interval_ms: 2000 },
+        )
+    }
+
+    fn coordinator() -> XbeeNode {
+        XbeeNode::new(
+            NodeConfig {
+                pan: 0x1234,
+                short_addr: 0x0042,
+                channel: ch(14),
+            },
+            NodeRole::Coordinator,
+        )
+    }
+
+    #[test]
+    fn sensor_emits_incrementing_counter() {
+        let mut s = sensor();
+        let f1 = s.on_timer(Instant(0)).pop().unwrap();
+        let f2 = s.on_timer(Instant(2_000_000)).pop().unwrap();
+        let v1 = XbeePayload::from_bytes(&f1.payload).unwrap().as_reading().unwrap();
+        let v2 = XbeePayload::from_bytes(&f2.payload).unwrap().as_reading().unwrap();
+        assert_eq!(v2, v1 + 1);
+        assert_eq!(f1.dest, Address::Short(0x0042));
+        assert!(f1.ack_request);
+    }
+
+    #[test]
+    fn coordinator_acks_and_records_reading() {
+        let mut c = coordinator();
+        let mut s = sensor();
+        let data = s.on_timer(Instant(0)).pop().unwrap();
+        let replies = c.on_receive(&data, Instant(100));
+        assert_eq!(replies.len(), 1);
+        assert_eq!(replies[0].frame_type, FrameType::Ack);
+        assert_eq!(replies[0].sequence, data.sequence);
+        assert_eq!(c.readings().len(), 1);
+        assert_eq!(c.readings()[0].value, 1);
+        assert_eq!(c.readings()[0].reported_by, 0x0063);
+    }
+
+    #[test]
+    fn coordinator_answers_beacon_request() {
+        let mut c = coordinator();
+        let replies = c.on_receive(&MacFrame::beacon_request(1), Instant(0));
+        let beacon = replies
+            .iter()
+            .find(|f| f.frame_type == FrameType::Beacon)
+            .expect("no beacon");
+        assert_eq!(beacon.src_pan, Some(0x1234));
+        assert_eq!(beacon.src, Address::Short(0x0042));
+    }
+
+    #[test]
+    fn sensor_ignores_beacon_request() {
+        let mut s = sensor();
+        assert!(s.on_receive(&MacFrame::beacon_request(1), Instant(0)).is_empty());
+    }
+
+    #[test]
+    fn remote_at_changes_channel_and_responds() {
+        // The DoS step of Scenario B: a forged remote AT command (spoofing
+        // the coordinator) moves the sensor to another channel.
+        let mut s = sensor();
+        let cmd = XbeePayload::RemoteAtCommand {
+            frame_id: 7,
+            command: AtCommand::Channel(25),
+        };
+        let forged = MacFrame::data(0x1234, 0x0042, 0x0063, 99, cmd.to_bytes());
+        let replies = s.on_receive(&forged, Instant(0));
+        assert_eq!(s.config.channel, ch(25));
+        assert_eq!(s.at_log(), &[AtCommand::Channel(25)]);
+        // Ack + AT response.
+        assert!(replies.iter().any(|f| f.frame_type == FrameType::Ack));
+        let resp = replies
+            .iter()
+            .find(|f| f.frame_type == FrameType::Data)
+            .unwrap();
+        assert_eq!(
+            XbeePayload::from_bytes(&resp.payload),
+            Some(XbeePayload::RemoteAtResponse {
+                frame_id: 7,
+                status: AtStatus::Ok
+            })
+        );
+    }
+
+    #[test]
+    fn invalid_channel_rejected() {
+        let mut s = sensor();
+        let cmd = XbeePayload::RemoteAtCommand {
+            frame_id: 1,
+            command: AtCommand::Channel(42),
+        };
+        let forged = MacFrame::data(0x1234, 0x0042, 0x0063, 1, cmd.to_bytes());
+        let replies = s.on_receive(&forged, Instant(0));
+        assert_eq!(s.config.channel, ch(14), "channel must not change");
+        let resp = replies.iter().find(|f| f.frame_type == FrameType::Data).unwrap();
+        assert_eq!(
+            XbeePayload::from_bytes(&resp.payload),
+            Some(XbeePayload::RemoteAtResponse {
+                frame_id: 1,
+                status: AtStatus::Error
+            })
+        );
+    }
+
+    #[test]
+    fn frames_for_other_pans_ignored() {
+        let mut s = sensor();
+        let other = MacFrame::data(0xBEEF, 0x0042, 0x0063, 1, XbeePayload::reading(9).to_bytes());
+        assert!(s.on_receive(&other, Instant(0)).is_empty());
+    }
+
+    #[test]
+    fn frames_for_other_addresses_ignored() {
+        let mut c = coordinator();
+        let other = MacFrame::data(0x1234, 0x0063, 0x0077, 1, XbeePayload::reading(9).to_bytes());
+        assert!(c.on_receive(&other, Instant(0)).is_empty());
+        assert!(c.readings().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod association_tests {
+    use super::*;
+
+    fn ch14() -> Dot154Channel {
+        Dot154Channel::new(14).unwrap()
+    }
+
+    fn coordinator() -> XbeeNode {
+        XbeeNode::new(
+            NodeConfig {
+                pan: 0x1234,
+                short_addr: 0x0042,
+                channel: ch14(),
+            },
+            NodeRole::Coordinator,
+        )
+    }
+
+    /// Drives a full association handshake between two nodes, returning the
+    /// frames exchanged.
+    fn associate(sensor: &mut XbeeNode, coord: &mut XbeeNode) {
+        let probe = sensor.on_timer(Instant(0));
+        assert_eq!(probe.len(), 1, "unjoined sensor must probe");
+        let beacons = coord.on_receive(&probe[0], Instant(10));
+        let beacon = beacons
+            .iter()
+            .find(|f| f.frame_type == FrameType::Beacon)
+            .expect("beacon");
+        let requests = sensor.on_receive(beacon, Instant(20));
+        let request = requests
+            .iter()
+            .find(|f| f.frame_type == FrameType::MacCommand)
+            .expect("association request");
+        assert_eq!(
+            request.command_id(),
+            Some(MacCommandId::AssociationRequest)
+        );
+        let responses = coord.on_receive(request, Instant(30));
+        let response = responses
+            .iter()
+            .find(|f| f.frame_type == FrameType::MacCommand)
+            .expect("association response");
+        let _ = sensor.on_receive(response, Instant(40));
+    }
+
+    #[test]
+    fn full_association_handshake() {
+        let mut sensor = XbeeNode::new_unjoined_sensor(ch14(), 2000);
+        let mut coord = coordinator();
+        assert_eq!(sensor.join_state(), JoinState::Scanning);
+        assert!(!sensor.is_joined());
+        associate(&mut sensor, &mut coord);
+        assert!(sensor.is_joined());
+        assert_eq!(sensor.config.pan, 0x1234);
+        assert_eq!(sensor.config.short_addr, 0x0100);
+    }
+
+    #[test]
+    fn joined_sensor_starts_reporting() {
+        let mut sensor = XbeeNode::new_unjoined_sensor(ch14(), 2000);
+        let mut coord = coordinator();
+        associate(&mut sensor, &mut coord);
+        let frames = sensor.on_timer(Instant(100));
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].frame_type, FrameType::Data);
+        assert_eq!(frames[0].src, Address::Short(0x0100));
+    }
+
+    #[test]
+    fn two_sensors_get_distinct_addresses() {
+        let mut a = XbeeNode::new_unjoined_sensor_with_id(ch14(), 2000, 0xA);
+        let mut b = XbeeNode::new_unjoined_sensor_with_id(ch14(), 2000, 0xB);
+        let mut coord = coordinator();
+        associate(&mut a, &mut coord);
+        associate(&mut b, &mut coord);
+        assert_ne!(a.config.short_addr, b.config.short_addr);
+        assert!(a.is_joined() && b.is_joined());
+    }
+
+    #[test]
+    fn unjoined_sensor_keeps_probing_without_a_coordinator() {
+        let mut sensor = XbeeNode::new_unjoined_sensor(ch14(), 2000);
+        for k in 0..3 {
+            let frames = sensor.on_timer(Instant(k * 2_000_000));
+            assert_eq!(frames.len(), 1, "probe {k}");
+            assert_eq!(
+                frames[0].command_id(),
+                Some(MacCommandId::BeaconRequest)
+            );
+        }
+        assert!(!sensor.is_joined());
+    }
+
+    #[test]
+    fn response_from_wrong_coordinator_ignored() {
+        let mut sensor = XbeeNode::new_unjoined_sensor(ch14(), 2000);
+        let mut coord = coordinator();
+        // Get the sensor into Associating state.
+        let probe = sensor.on_timer(Instant(0));
+        let beacons = coord.on_receive(&probe[0], Instant(10));
+        let beacon = beacons.iter().find(|f| f.frame_type == FrameType::Beacon).unwrap();
+        sensor.on_receive(beacon, Instant(20));
+        assert!(matches!(sensor.join_state(), JoinState::Associating { .. }));
+        // A forged response from a different address must not complete it.
+        let mut payload = vec![MacCommandId::AssociationResponse as u8];
+        payload.extend_from_slice(&0x6666u16.to_le_bytes());
+        payload.push(0x00);
+        payload.extend_from_slice(&0xACE0_F00D_0000_0001u64.to_le_bytes());
+        let forged = MacFrame {
+            frame_type: FrameType::MacCommand,
+            ack_request: false,
+            pan_id_compression: true,
+            sequence: 1,
+            dest_pan: Some(0x1234),
+            dest: Address::Short(0xFFFE),
+            src_pan: None,
+            src: Address::Short(0x0666),
+            payload,
+        };
+        sensor.on_receive(&forged, Instant(30));
+        assert!(!sensor.is_joined());
+    }
+
+    #[test]
+    fn failed_status_keeps_sensor_unjoined() {
+        let mut sensor = XbeeNode::new_unjoined_sensor(ch14(), 2000);
+        let mut coord = coordinator();
+        let probe = sensor.on_timer(Instant(0));
+        let beacons = coord.on_receive(&probe[0], Instant(10));
+        let beacon = beacons.iter().find(|f| f.frame_type == FrameType::Beacon).unwrap();
+        sensor.on_receive(beacon, Instant(20));
+        let mut payload = vec![MacCommandId::AssociationResponse as u8];
+        payload.extend_from_slice(&0x0100u16.to_le_bytes());
+        payload.push(0x01); // PAN at capacity
+        payload.extend_from_slice(&0xACE0_F00D_0000_0001u64.to_le_bytes());
+        let response = MacFrame {
+            frame_type: FrameType::MacCommand,
+            ack_request: false,
+            pan_id_compression: true,
+            sequence: 1,
+            dest_pan: Some(0x1234),
+            dest: Address::Short(0xFFFE),
+            src_pan: None,
+            src: Address::Short(0x0042),
+            payload,
+        };
+        sensor.on_receive(&response, Instant(30));
+        assert!(!sensor.is_joined());
+    }
+}
+
+#[cfg(test)]
+mod concurrent_association_tests {
+    use super::*;
+
+    /// Two sensors race: the coordinator's response to A must not be
+    /// accepted by B (the ambiguity the extended-id echo resolves).
+    #[test]
+    fn response_is_bound_to_the_requesting_device() {
+        let ch = Dot154Channel::new(14).unwrap();
+        let mut a = XbeeNode::new_unjoined_sensor_with_id(ch, 2000, 0xAAAA);
+        let mut b = XbeeNode::new_unjoined_sensor_with_id(ch, 2000, 0xBBBB);
+        let mut coord = XbeeNode::new(
+            NodeConfig {
+                pan: 0x1234,
+                short_addr: 0x0042,
+                channel: ch,
+            },
+            NodeRole::Coordinator,
+        );
+        // Both sensors hear the same beacon and request concurrently.
+        let probe = a.on_timer(Instant(0));
+        let beacons = coord.on_receive(&probe[0], Instant(1));
+        let beacon = beacons
+            .iter()
+            .find(|f| f.frame_type == FrameType::Beacon)
+            .unwrap()
+            .clone();
+        let req_a = a.on_receive(&beacon, Instant(2)).pop().unwrap();
+        let req_b = b.on_receive(&beacon, Instant(2)).pop().unwrap();
+        // The coordinator answers A first; both sensors hear that response
+        // (they share short address 0xFFFE on the air).
+        let resp_a = coord
+            .on_receive(&req_a, Instant(3))
+            .into_iter()
+            .find(|f| f.frame_type == FrameType::MacCommand)
+            .unwrap();
+        a.on_receive(&resp_a, Instant(4));
+        b.on_receive(&resp_a, Instant(4));
+        assert!(a.is_joined());
+        assert!(!b.is_joined(), "B stole A's association response");
+        // B completes with its own response.
+        let resp_b = coord
+            .on_receive(&req_b, Instant(5))
+            .into_iter()
+            .find(|f| f.frame_type == FrameType::MacCommand)
+            .unwrap();
+        b.on_receive(&resp_b, Instant(6));
+        assert!(b.is_joined());
+        assert_ne!(a.config.short_addr, b.config.short_addr);
+    }
+}

@@ -1,0 +1,138 @@
+//! The over-the-air application payloads of our XBee-style nodes.
+//!
+//! A one-byte kind tag selects between plain application data, a remote AT
+//! command, and its response. This stands in for Digi's proprietary OTA
+//! framing (see DESIGN.md) while preserving the semantics Scenario B needs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::at::{AtCommand, AtStatus};
+
+/// An application-layer payload carried in a MAC data frame.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum XbeePayload {
+    /// Opaque application data (e.g. a sensor reading).
+    AppData(Vec<u8>),
+    /// A remote AT command addressed to the receiving node.
+    RemoteAtCommand {
+        /// Correlates the response with the request.
+        frame_id: u8,
+        /// The command to execute.
+        command: AtCommand,
+    },
+    /// The response to a remote AT command.
+    RemoteAtResponse {
+        /// Echoed from the request.
+        frame_id: u8,
+        /// Execution status.
+        status: AtStatus,
+    },
+}
+
+const KIND_APP_DATA: u8 = 0x01;
+const KIND_REMOTE_AT: u8 = 0x02;
+const KIND_AT_RESPONSE: u8 = 0x03;
+
+impl XbeePayload {
+    /// Serialises the payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        match self {
+            XbeePayload::AppData(data) => {
+                let mut out = vec![KIND_APP_DATA];
+                out.extend_from_slice(data);
+                out
+            }
+            XbeePayload::RemoteAtCommand { frame_id, command } => {
+                let mut out = vec![KIND_REMOTE_AT, *frame_id];
+                out.extend(command.to_bytes());
+                out
+            }
+            XbeePayload::RemoteAtResponse { frame_id, status } => {
+                vec![KIND_AT_RESPONSE, *frame_id, *status as u8]
+            }
+        }
+    }
+
+    /// Parses a payload.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Self> {
+        match *bytes.first()? {
+            KIND_APP_DATA => Some(XbeePayload::AppData(bytes[1..].to_vec())),
+            KIND_REMOTE_AT if bytes.len() >= 4 => Some(XbeePayload::RemoteAtCommand {
+                frame_id: bytes[1],
+                command: AtCommand::from_bytes(&bytes[2..])?,
+            }),
+            KIND_AT_RESPONSE if bytes.len() == 3 => Some(XbeePayload::RemoteAtResponse {
+                frame_id: bytes[1],
+                status: AtStatus::from_byte(bytes[2])?,
+            }),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor: a little-endian `u16` sensor reading, the
+    /// payload shape of the paper's testbed sensor.
+    pub fn reading(value: u16) -> Self {
+        XbeePayload::AppData(value.to_le_bytes().to_vec())
+    }
+
+    /// Extracts a `u16` reading back out of an [`XbeePayload::AppData`].
+    pub fn as_reading(&self) -> Option<u16> {
+        match self {
+            XbeePayload::AppData(d) if d.len() == 2 => Some(u16::from_le_bytes([d[0], d[1]])),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_app_data() {
+        let p = XbeePayload::AppData(vec![1, 2, 3]);
+        assert_eq!(XbeePayload::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn round_trip_remote_at() {
+        let p = XbeePayload::RemoteAtCommand {
+            frame_id: 9,
+            command: AtCommand::Channel(21),
+        };
+        assert_eq!(XbeePayload::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn round_trip_response() {
+        let p = XbeePayload::RemoteAtResponse {
+            frame_id: 9,
+            status: AtStatus::Ok,
+        };
+        assert_eq!(XbeePayload::from_bytes(&p.to_bytes()), Some(p));
+    }
+
+    #[test]
+    fn reading_helpers() {
+        let p = XbeePayload::reading(0x2A0B);
+        assert_eq!(p.as_reading(), Some(0x2A0B));
+        assert_eq!(XbeePayload::AppData(vec![1]).as_reading(), None);
+        assert_eq!(
+            XbeePayload::RemoteAtResponse {
+                frame_id: 0,
+                status: AtStatus::Ok
+            }
+            .as_reading(),
+            None
+        );
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert_eq!(XbeePayload::from_bytes(&[]), None);
+        assert_eq!(XbeePayload::from_bytes(&[0xFF, 1, 2]), None);
+        assert_eq!(XbeePayload::from_bytes(&[KIND_REMOTE_AT, 1]), None);
+        assert_eq!(XbeePayload::from_bytes(&[KIND_AT_RESPONSE, 1]), None);
+        assert_eq!(XbeePayload::from_bytes(&[KIND_AT_RESPONSE, 1, 9]), None);
+    }
+}

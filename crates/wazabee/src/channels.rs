@@ -1,0 +1,106 @@
+//! Zigbee ↔ BLE channel mapping (paper Table II).
+//!
+//! BLE and 802.15.4 channels share the 2 MHz bandwidth, and eight of the
+//! sixteen Zigbee channels sit exactly on a BLE channel's centre frequency.
+//! Chips that can only tune to BLE channels (no arbitrary-frequency API) are
+//! restricted to this subset; chips with free tuning reach all sixteen.
+
+use wazabee_ble::BleChannel;
+use wazabee_dot154::Dot154Channel;
+
+/// One row of paper Table II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CommonChannel {
+    /// The Zigbee (802.15.4) channel.
+    pub zigbee: Dot154Channel,
+    /// The BLE channel sharing its centre frequency.
+    pub ble: BleChannel,
+}
+
+impl CommonChannel {
+    /// The shared centre frequency in MHz.
+    pub fn center_mhz(self) -> u32 {
+        self.zigbee.center_mhz()
+    }
+}
+
+/// All Zigbee/BLE channel pairs with a common centre frequency, in Zigbee
+/// channel order — exactly the eight rows of paper Table II.
+pub fn common_channels() -> Vec<CommonChannel> {
+    let mut out = Vec::new();
+    for zigbee in Dot154Channel::all() {
+        if let Some(ble) = BleChannel::from_center_mhz(zigbee.center_mhz()) {
+            out.push(CommonChannel { zigbee, ble });
+        }
+    }
+    out
+}
+
+/// The BLE channel sharing a Zigbee channel's frequency, if one exists.
+pub fn ble_channel_for_zigbee(zigbee: Dot154Channel) -> Option<BleChannel> {
+    BleChannel::from_center_mhz(zigbee.center_mhz())
+}
+
+/// The Zigbee channel sharing a BLE channel's frequency, if one exists.
+pub fn zigbee_channel_for_ble(ble: BleChannel) -> Option<Dot154Channel> {
+    Dot154Channel::from_center_mhz(ble.center_mhz())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_the_eight_rows_of_table_2() {
+        let rows = common_channels();
+        let expect: [(u8, u8, u32); 8] = [
+            (12, 3, 2410),
+            (14, 8, 2420),
+            (16, 12, 2430),
+            (18, 17, 2440),
+            (20, 22, 2450),
+            (22, 27, 2460),
+            (24, 32, 2470),
+            (26, 39, 2480),
+        ];
+        assert_eq!(rows.len(), 8);
+        for (row, (z, b, f)) in rows.iter().zip(expect) {
+            assert_eq!(row.zigbee.number(), z);
+            assert_eq!(row.ble.index(), b);
+            assert_eq!(row.center_mhz(), f);
+            assert_eq!(row.ble.center_mhz(), f);
+        }
+    }
+
+    #[test]
+    fn only_even_zigbee_channels_are_common() {
+        for row in common_channels() {
+            assert_eq!(row.zigbee.number() % 2, 0);
+        }
+        // Odd Zigbee channels sit between BLE channels.
+        for z in [11u8, 13, 15, 17, 19, 21, 23, 25] {
+            assert!(ble_channel_for_zigbee(Dot154Channel::new(z).unwrap()).is_none());
+        }
+    }
+
+    #[test]
+    fn lookups_are_inverse() {
+        for row in common_channels() {
+            assert_eq!(ble_channel_for_zigbee(row.zigbee), Some(row.ble));
+            assert_eq!(zigbee_channel_for_ble(row.ble), Some(row.zigbee));
+        }
+    }
+
+    #[test]
+    fn paper_testbed_channel_14_maps_to_ble_8() {
+        let z14 = Dot154Channel::new(14).unwrap();
+        assert_eq!(ble_channel_for_zigbee(z14).unwrap().index(), 8);
+    }
+
+    #[test]
+    fn ble_advertising_channel_39_reaches_zigbee_26() {
+        // The only primary advertising channel overlapping Zigbee.
+        let b39 = BleChannel::new(39).unwrap();
+        assert_eq!(zigbee_channel_for_ble(b39).unwrap().number(), 26);
+    }
+}

@@ -1,0 +1,87 @@
+//! Error types of the WazaBee attack library.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why a WazaBee primitive could not be constructed or executed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WazaBeeError {
+    /// The radio's data rate is not the 2 Mbit/s the attack requires
+    /// (paper §IV-D, requirement 1).
+    UnsupportedDataRate {
+        /// The radio's actual symbol rate in symbols per second.
+        actual: f64,
+    },
+    /// The chip cannot tune to the requested frequency (requirement 2).
+    ChannelUnavailable {
+        /// The frequency that was requested, in MHz.
+        requested_mhz: u32,
+    },
+    /// The chip does not expose control over the modulator input
+    /// (requirement 3) or demodulator output (requirement 4).
+    NoRawAccess {
+        /// The capability that is missing.
+        capability: &'static str,
+    },
+    /// The frame exceeds what the transport can carry.
+    FrameTooLong {
+        /// Actual length in bytes.
+        len: usize,
+        /// Maximum length in bytes.
+        max: usize,
+    },
+    /// No 802.15.4 synchronisation header was found in the capture.
+    NoSync,
+    /// A frame was found but could not be parsed to completion.
+    Truncated,
+}
+
+impl fmt::Display for WazaBeeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WazaBeeError::UnsupportedDataRate { actual } => {
+                write!(f, "radio runs at {actual} sym/s, attack needs 2e6")
+            }
+            WazaBeeError::ChannelUnavailable { requested_mhz } => {
+                write!(f, "chip cannot tune to {requested_mhz} MHz")
+            }
+            WazaBeeError::NoRawAccess { capability } => {
+                write!(f, "chip lacks required capability: {capability}")
+            }
+            WazaBeeError::FrameTooLong { len, max } => {
+                write!(f, "frame of {len} bytes exceeds the {max}-byte maximum")
+            }
+            WazaBeeError::NoSync => write!(f, "no 802.15.4 synchronisation header found"),
+            WazaBeeError::Truncated => write!(f, "frame truncated before completion"),
+        }
+    }
+}
+
+impl Error for WazaBeeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(WazaBeeError, &str)> = vec![
+            (WazaBeeError::UnsupportedDataRate { actual: 1.0e6 }, "2e6"),
+            (WazaBeeError::ChannelUnavailable { requested_mhz: 2425 }, "2425"),
+            (WazaBeeError::NoRawAccess { capability: "crc disable" }, "crc"),
+            (WazaBeeError::FrameTooLong { len: 300, max: 127 }, "300"),
+            (WazaBeeError::NoSync, "synchronisation"),
+            (WazaBeeError::Truncated, "truncated"),
+        ];
+        for (err, needle) in cases {
+            let msg = err.to_string();
+            assert!(msg.contains(needle), "{msg:?} lacks {needle:?}");
+        }
+    }
+
+    #[test]
+    fn implements_std_error() {
+        fn assert_error<E: Error + Send + Sync + 'static>() {}
+        assert_error::<WazaBeeError>();
+    }
+}

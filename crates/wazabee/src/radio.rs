@@ -1,0 +1,110 @@
+//! The minimal radio interface the attack needs: raw bit transmit and
+//! pattern-triggered raw capture at 2 Mbit/s.
+//!
+//! Both the BLE LE 2M modem and the Enhanced ShockBurst 2 Mbit/s modem
+//! satisfy it — which is precisely the paper's point: the attack cares only
+//! about the waveform, not the protocol the chip thinks it is speaking.
+
+use wazabee_ble::gfsk::RawCapture;
+use wazabee_ble::BleModem;
+use wazabee_dsp::iq::Iq;
+use wazabee_esb::EsbModem;
+
+/// Raw FSK transmit/capture access, as diverted by WazaBee.
+pub trait RawFskRadio {
+    /// Modulates arbitrary bits with no framing.
+    fn transmit_raw(&self, bits: &[u8]) -> Vec<Iq>;
+
+    /// Captures up to `capture_bits` demodulated bits following `sync`
+    /// (tolerating `max_sync_errors` mismatches in the pattern).
+    fn receive_raw(
+        &self,
+        samples: &[Iq],
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture>;
+
+    /// The radio's symbol rate in symbols per second.
+    fn symbol_rate(&self) -> f64;
+
+    /// The simulation sample rate in samples per second.
+    fn sample_rate(&self) -> f64;
+}
+
+impl RawFskRadio for BleModem {
+    fn transmit_raw(&self, bits: &[u8]) -> Vec<Iq> {
+        BleModem::transmit_raw(self, bits)
+    }
+
+    fn receive_raw(
+        &self,
+        samples: &[Iq],
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        BleModem::receive_raw(self, samples, sync, max_sync_errors, capture_bits)
+    }
+
+    fn symbol_rate(&self) -> f64 {
+        self.params().symbol_rate
+    }
+
+    fn sample_rate(&self) -> f64 {
+        BleModem::sample_rate(self)
+    }
+}
+
+impl RawFskRadio for EsbModem {
+    fn transmit_raw(&self, bits: &[u8]) -> Vec<Iq> {
+        EsbModem::transmit_raw(self, bits)
+    }
+
+    fn receive_raw(
+        &self,
+        samples: &[Iq],
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        EsbModem::receive_raw(self, samples, sync, max_sync_errors, capture_bits)
+    }
+
+    fn symbol_rate(&self) -> f64 {
+        self.params().symbol_rate
+    }
+
+    fn sample_rate(&self) -> f64 {
+        EsbModem::sample_rate(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazabee_ble::BlePhy;
+
+    #[test]
+    fn ble_le2m_satisfies_the_trait() {
+        let modem = BleModem::new(BlePhy::Le2M, 8);
+        let radio: &dyn RawFskRadio = &modem;
+        assert_eq!(radio.symbol_rate(), 2.0e6);
+        assert_eq!(radio.sample_rate(), 16.0e6);
+        let iq = radio.transmit_raw(&[1, 0, 1, 1]);
+        assert!(!iq.is_empty());
+    }
+
+    #[test]
+    fn esb_2m_satisfies_the_trait() {
+        let modem = EsbModem::new(8);
+        let radio: &dyn RawFskRadio = &modem;
+        assert_eq!(radio.symbol_rate(), 2.0e6);
+    }
+
+    #[test]
+    fn ble_le1m_is_detectably_wrong_rate() {
+        let modem = BleModem::new(BlePhy::Le1M, 8);
+        assert_eq!(RawFskRadio::symbol_rate(&modem), 1.0e6);
+    }
+}

@@ -1,0 +1,314 @@
+//! The WazaBee reception primitive (paper §IV-D).
+//!
+//! The diverted chip's access-address correlator is programmed with the MSK
+//! image of the 802.15.4 `0000` symbol, CRC checking is disabled, and the
+//! capture length is maxed out. Each captured 32-bit block is then matched
+//! against the sixteen MSK images by Hamming distance to recover symbols —
+//! tolerating both the GMSK≈MSK approximation error and channel bitflips.
+
+use wazabee_dot154::modem::ReceivedPpdu;
+use wazabee_dot154::msk::{boundary_msk_bit, closest_symbol_msk, pn_msk_image};
+use wazabee_dot154::pn::pn_sequence;
+
+use crate::error::WazaBeeError;
+use crate::msk::despread_msk_block;
+use crate::radio::RawFskRadio;
+
+/// Which correspondence table despreading uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DespreadTable {
+    /// The paper's Algorithm-1 table (§IV-C) — faithful to the original
+    /// implementation, at most one bit of distance from the waveform truth.
+    #[default]
+    Algorithm1,
+    /// The waveform-exact MSK images — the ablation alternative.
+    Waveform,
+}
+
+/// The 32-bit sync pattern for the diverted access-address correlator: the
+/// boundary transition between two consecutive `0000` symbols followed by
+/// the 31-bit MSK image of the `0000` PN sequence.
+///
+/// Because the 802.15.4 preamble is eight `0000` symbols, this pattern
+/// repeats throughout the preamble and guarantees symbol-aligned sync.
+pub fn access_address_pattern() -> Vec<u8> {
+    let pn0 = pn_sequence(0);
+    let mut bits = vec![boundary_msk_bit(pn0[31], pn0[0], false)];
+    bits.extend(pn_msk_image(0));
+    bits
+}
+
+/// The same pattern packed as the 32-bit value a real chip's access-address
+/// register would hold (first-transmitted bit in the least significant
+/// position, as BLE serialises access addresses).
+pub fn access_address_value() -> u32 {
+    access_address_pattern()
+        .iter()
+        .enumerate()
+        .fold(0u32, |acc, (k, &b)| acc | (u32::from(b) << k))
+}
+
+/// The WazaBee reception primitive bound to a diverted radio.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee::{WazaBeeRx, WazaBeeTx};
+/// use wazabee_ble::{BleModem, BlePhy};
+/// use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
+///
+/// // A genuine 802.15.4 transmitter, received by a diverted BLE chip.
+/// let ppdu = Ppdu::new(append_fcs(&[1, 2, 3])).unwrap();
+/// let air = Dot154Modem::new(8).transmit(&ppdu);
+/// let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+/// let frame = rx.receive(&air).unwrap();
+/// assert_eq!(frame.psdu, ppdu.psdu());
+/// assert!(frame.fcs_ok());
+/// ```
+#[derive(Debug, Clone)]
+pub struct WazaBeeRx<R> {
+    radio: R,
+    table: DespreadTable,
+    max_sync_errors: usize,
+}
+
+/// Upper bound on captured bits: enough for the remaining preamble, SFD,
+/// PHR and a maximum-length PSDU.
+const MAX_CAPTURE_BITS: usize = (8 + 2 + 2 + 2 * 127) * 32 + 64;
+
+/// How many leading `0000` symbols may follow the sync match before the SFD
+/// must appear (the preamble is 8 symbols; sync consumes at least one).
+const MAX_PREAMBLE_SYMBOLS: usize = 8;
+
+impl<R: RawFskRadio> WazaBeeRx<R> {
+    /// Binds the primitive to a radio, verifying the 2 Mbit/s requirement.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WazaBeeError::UnsupportedDataRate`] when the radio does not
+    /// run at 2 Msym/s.
+    pub fn new(radio: R) -> Result<Self, WazaBeeError> {
+        let rate = radio.symbol_rate();
+        if (rate - 2.0e6).abs() > 1.0 {
+            return Err(WazaBeeError::UnsupportedDataRate { actual: rate });
+        }
+        Ok(WazaBeeRx {
+            radio,
+            table: DespreadTable::Algorithm1,
+            max_sync_errors: 3,
+        })
+    }
+
+    /// Selects the despreading table (ablation knob).
+    pub fn with_table(mut self, table: DespreadTable) -> Self {
+        self.table = table;
+        self
+    }
+
+    /// Adjusts the access-address correlator tolerance (bits out of 32).
+    pub fn with_max_sync_errors(mut self, max: usize) -> Self {
+        self.max_sync_errors = max;
+        self
+    }
+
+    /// The underlying radio.
+    pub fn radio(&self) -> &R {
+        &self.radio
+    }
+
+    fn despread(&self, block: &[u8]) -> (u8, usize) {
+        match self.table {
+            DespreadTable::Algorithm1 => despread_msk_block(block),
+            DespreadTable::Waveform => closest_symbol_msk(block),
+        }
+    }
+
+    /// Attempts to receive one 802.15.4 frame from a capture buffer.
+    ///
+    /// # Errors
+    ///
+    /// [`WazaBeeError::NoSync`] when the preamble pattern is absent,
+    /// [`WazaBeeError::Truncated`] when the capture ends mid-frame or no SFD
+    /// follows the preamble.
+    pub fn try_receive(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
+        let sync = access_address_pattern();
+        let capture = self
+            .radio
+            .receive_raw(samples, &sync, self.max_sync_errors, MAX_CAPTURE_BITS)
+            .ok_or(WazaBeeError::NoSync)?;
+        let bits = &capture.bits;
+        // The capture is a sequence of 32-bit blocks: [boundary, 31-bit image].
+        let block = |k: usize| -> Result<&[u8], WazaBeeError> {
+            let start = k * 32 + 1;
+            let end = start + 31;
+            if end <= bits.len() {
+                Ok(&bits[start..end])
+            } else {
+                Err(WazaBeeError::Truncated)
+            }
+        };
+        // Skip remaining preamble symbols, then expect the SFD pair (7, A).
+        let mut k = 0usize;
+        let mut chip_errors = 0usize;
+        loop {
+            let (sym, errs) = self.despread(block(k)?);
+            k += 1;
+            if sym == 0 {
+                if k > MAX_PREAMBLE_SYMBOLS {
+                    return Err(WazaBeeError::Truncated);
+                }
+                chip_errors += errs;
+                continue;
+            }
+            if sym != 0x7 {
+                return Err(WazaBeeError::Truncated);
+            }
+            chip_errors += errs;
+            break;
+        }
+        let (sfd_hi, errs) = self.despread(block(k)?);
+        k += 1;
+        if sfd_hi != 0xA {
+            return Err(WazaBeeError::Truncated);
+        }
+        chip_errors += errs;
+        // PHR: frame length.
+        let (len_lo, e1) = self.despread(block(k)?);
+        let (len_hi, e2) = self.despread(block(k + 1)?);
+        k += 2;
+        chip_errors += e1 + e2;
+        let psdu_len = usize::from((len_hi << 4) | len_lo) & 0x7F;
+        let mut symbols = Vec::with_capacity(psdu_len * 2);
+        for j in 0..psdu_len * 2 {
+            let (sym, errs) = self.despread(block(k + j)?);
+            symbols.push(sym);
+            chip_errors += errs;
+        }
+        Ok(ReceivedPpdu {
+            psdu: wazabee_dot154::dsss::symbols_to_bytes(&symbols),
+            chip_errors,
+            shr_errors: capture.sync_errors,
+        })
+    }
+
+    /// Like [`WazaBeeRx::try_receive`] but collapsing all errors to `None`.
+    pub fn receive(&self, samples: &[wazabee_dsp::Iq]) -> Option<ReceivedPpdu> {
+        self.try_receive(samples).ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wazabee_ble::{BleModem, BlePhy};
+    use wazabee_dot154::fcs::append_fcs;
+    use wazabee_dot154::{Dot154Modem, MacFrame, Ppdu};
+    use wazabee_dsp::AwgnSource;
+    use wazabee_esb::EsbModem;
+
+    fn ble_rx() -> WazaBeeRx<BleModem> {
+        WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap()
+    }
+
+    fn ppdu(payload: &[u8]) -> Ppdu {
+        Ppdu::new(append_fcs(payload)).unwrap()
+    }
+
+    #[test]
+    fn sync_pattern_is_32_bits() {
+        assert_eq!(access_address_pattern().len(), 32);
+        // The register value round-trips through the bit pattern.
+        let v = access_address_value();
+        let bits: Vec<u8> = (0..32).map(|k| ((v >> k) & 1) as u8).collect();
+        assert_eq!(bits, access_address_pattern());
+    }
+
+    #[test]
+    fn receives_genuine_oqpsk_transmission() {
+        let frame = MacFrame::data(0x1234, 0x0063, 0x0042, 9, vec![0x2A]);
+        let p = Ppdu::new(frame.to_psdu()).unwrap();
+        let air = Dot154Modem::new(8).transmit(&p);
+        let rx = ble_rx().receive(&air).unwrap();
+        assert_eq!(rx.psdu, p.psdu());
+        assert!(rx.fcs_ok());
+        assert_eq!(MacFrame::from_psdu(&rx.psdu), Some(frame));
+    }
+
+    #[test]
+    fn receives_under_noise() {
+        let p = ppdu(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let mut air = Dot154Modem::new(8).transmit(&p);
+        AwgnSource::from_snr_db(11, 12.0, 1.0).add_to(&mut air);
+        let rx = ble_rx().receive(&air).unwrap();
+        assert_eq!(rx.psdu, p.psdu());
+        assert!(rx.fcs_ok());
+    }
+
+    #[test]
+    fn esb_radio_receives_too() {
+        let p = ppdu(&[0x10, 0x20, 0x30]);
+        let air = Dot154Modem::new(8).transmit(&p);
+        let rx = WazaBeeRx::new(EsbModem::new(8)).unwrap().receive(&air).unwrap();
+        assert_eq!(rx.psdu, p.psdu());
+    }
+
+    #[test]
+    fn waveform_table_also_decodes() {
+        let p = ppdu(&[6, 6, 6]);
+        let air = Dot154Modem::new(8).transmit(&p);
+        let rx = ble_rx()
+            .with_table(DespreadTable::Waveform)
+            .receive(&air)
+            .unwrap();
+        assert_eq!(rx.psdu, p.psdu());
+        assert_eq!(rx.chip_errors, 0, "waveform table should be exact here");
+    }
+
+    #[test]
+    fn loopback_with_wazabee_tx() {
+        // BLE chip → BLE chip, both diverted: full cross-technology channel.
+        let tx = crate::WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+        let p = ppdu(&[0xAA, 0xBB, 0xCC, 0xDD]);
+        let rx = ble_rx().receive(&tx.transmit(&p)).unwrap();
+        assert_eq!(rx.psdu, p.psdu());
+        assert!(rx.fcs_ok());
+    }
+
+    #[test]
+    fn no_sync_in_noise() {
+        let mut noise = vec![wazabee_dsp::Iq::ZERO; 40_000];
+        AwgnSource::new(13, 0.7).add_to(&mut noise);
+        assert_eq!(ble_rx().try_receive(&noise), Err(WazaBeeError::NoSync));
+    }
+
+    #[test]
+    fn truncated_capture_reported() {
+        let p = ppdu(&vec![7; 60]);
+        let air = Dot154Modem::new(8).transmit(&p);
+        let cut = air.len() / 2;
+        assert_eq!(
+            ble_rx().try_receive(&air[..cut]),
+            Err(WazaBeeError::Truncated)
+        );
+    }
+
+    #[test]
+    fn le1m_radio_rejected() {
+        let err = WazaBeeRx::new(BleModem::new(BlePhy::Le1M, 8)).unwrap_err();
+        assert!(matches!(err, WazaBeeError::UnsupportedDataRate { .. }));
+    }
+
+    #[test]
+    fn corrupted_fcs_still_delivered() {
+        // The attack disables CRC/FCS filtering: corrupt frames reach the
+        // attacker, flagged by fcs_ok().
+        let mut psdu = append_fcs(&[1, 1, 1]);
+        let n = psdu.len();
+        psdu[n - 1] ^= 0x55;
+        let p = Ppdu::new(psdu.clone()).unwrap();
+        let air = Dot154Modem::new(8).transmit(&p);
+        let rx = ble_rx().receive(&air).unwrap();
+        assert_eq!(rx.psdu, psdu);
+        assert!(!rx.fcs_ok());
+    }
+}

@@ -1,0 +1,336 @@
+//! A modulation-similarity metric (the paper's §VIII future work).
+//!
+//! The paper closes by proposing *"a metric to measure the similarities
+//! between two modulations"* to anticipate which protocol pairs are
+//! vulnerable to WazaBee-style pivoting. This module implements one: the
+//! **cross-demodulation agreement** — modulate a random bit stream with
+//! waveform family A, demodulate with family B's receiver at a reference
+//! SNR, and measure the fraction of bits that survive. Two families are
+//! pivot-compatible exactly when this score stays near 1.0.
+//!
+//! The common currency between families is the MSK transition-bit stream:
+//! every constant-envelope family here maps one bit to one ±phase excursion
+//! per symbol period, which is precisely the property WazaBee exploits.
+
+use wazabee_ble::gfsk::{modulate as gfsk_modulate, GfskParams};
+use wazabee_dsp::bits::nrz_to_bits;
+use wazabee_dsp::discriminator::discriminate;
+use wazabee_dsp::fir::integrate_and_dump;
+use wazabee_dsp::iq::Iq;
+use wazabee_dsp::AwgnSource;
+
+use wazabee_dot154::msk::msk_to_chips;
+use wazabee_dot154::oqpsk::modulate_chips;
+
+/// A waveform family whose pivot-compatibility can be scored.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WaveformFamily {
+    /// Frequency shift keying with rectangular shaping and modulation
+    /// index `h` (`h = 0.5` is MSK — BLE's idealised waveform).
+    Fsk {
+        /// Modulation index.
+        modulation_index: f64,
+    },
+    /// Gaussian FSK: BLE's actual waveform (`h = 0.5`, `bt = 0.5`).
+    Gfsk {
+        /// Modulation index.
+        modulation_index: f64,
+        /// Bandwidth-time product of the Gaussian filter.
+        bt: f64,
+    },
+    /// O-QPSK with half-sine pulse shaping — 802.15.4's waveform, driven
+    /// through the MSK-equivalent chip precoding.
+    OqpskHalfSine,
+    /// On-off keying: an amplitude modulation, included as the negative
+    /// control — no FSK receiver should be able to read it.
+    Ook,
+}
+
+impl WaveformFamily {
+    /// Short display name.
+    pub fn name(&self) -> String {
+        match self {
+            WaveformFamily::Fsk { modulation_index } => format!("2-FSK(h={modulation_index})"),
+            WaveformFamily::Gfsk {
+                modulation_index,
+                bt,
+            } => format!("GFSK(h={modulation_index},BT={bt})"),
+            WaveformFamily::OqpskHalfSine => "O-QPSK-halfsine".to_string(),
+            WaveformFamily::Ook => "OOK".to_string(),
+        }
+    }
+
+    /// BLE LE 2M's nominal waveform.
+    pub fn ble_le2m() -> Self {
+        WaveformFamily::Gfsk {
+            modulation_index: 0.5,
+            bt: 0.5,
+        }
+    }
+
+    /// Modulates an MSK-domain bit stream (one bit per symbol period).
+    pub fn modulate(&self, bits: &[u8], samples_per_symbol: usize) -> Vec<Iq> {
+        match *self {
+            WaveformFamily::Fsk { modulation_index } => gfsk_modulate(
+                &fsk_params(modulation_index, None, samples_per_symbol),
+                bits,
+            ),
+            WaveformFamily::Gfsk {
+                modulation_index,
+                bt,
+            } => gfsk_modulate(
+                &fsk_params(modulation_index, Some(bt), samples_per_symbol),
+                bits,
+            ),
+            WaveformFamily::OqpskHalfSine => {
+                // Precode the transition bits to chips, then shape half-sine.
+                let chips = msk_to_chips(bits, 0, false);
+                modulate_chips(&chips, samples_per_symbol)
+            }
+            WaveformFamily::Ook => bits
+                .iter()
+                .flat_map(|&b| {
+                    std::iter::repeat(Iq::new(f64::from(b), 0.0)).take(samples_per_symbol)
+                })
+                .collect(),
+        }
+    }
+
+    /// Demodulates back to MSK-domain bits with this family's receiver.
+    ///
+    /// All FSK-family receivers are FM discriminators with per-symbol
+    /// integration; the OOK receiver is an envelope detector.
+    pub fn demodulate(&self, samples: &[Iq], samples_per_symbol: usize) -> Vec<u8> {
+        match self {
+            WaveformFamily::Ook => samples
+                .chunks_exact(samples_per_symbol)
+                .map(|c| {
+                    let p: f64 = c.iter().map(|s| s.power()).sum::<f64>()
+                        / samples_per_symbol as f64;
+                    u8::from(p > 0.5)
+                })
+                .collect(),
+            _ => {
+                let freq = discriminate(samples);
+                nrz_to_bits(&integrate_and_dump(&freq, samples_per_symbol))
+            }
+        }
+    }
+}
+
+/// FSK-family parameters at the common 2 Msym/s comparison rate, reusing the
+/// BLE crate's modulator rather than re-implementing FM synthesis.
+fn fsk_params(modulation_index: f64, bt: Option<f64>, samples_per_symbol: usize) -> GfskParams {
+    GfskParams {
+        symbol_rate: 2.0e6,
+        samples_per_symbol,
+        modulation_index,
+        bt,
+        gaussian_span: 3,
+    }
+}
+
+/// The similarity score of transmitting with `tx` and receiving with `rx`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimilarityScore {
+    /// Fraction of bits recovered (1.0 = perfectly pivot-compatible,
+    /// ≈ 0.5 = uncorrelated).
+    pub agreement: f64,
+    /// Number of bits compared.
+    pub bits: usize,
+}
+
+impl SimilarityScore {
+    /// Whether the pair is practically divertible: agreement high enough
+    /// that DSSS-style coding closes the residual gap.
+    pub fn pivot_compatible(&self) -> bool {
+        self.agreement >= 0.9
+    }
+}
+
+/// Measures cross-demodulation agreement between two waveform families at a
+/// reference SNR.
+///
+/// Deterministic for a given `seed`. The first and last bits are excluded
+/// from scoring (modulator ramp-in/out are implementation details, not
+/// waveform properties).
+///
+/// # Panics
+///
+/// Panics if `n_bits < 8` or `samples_per_symbol < 2`.
+pub fn cross_similarity(
+    tx: WaveformFamily,
+    rx: WaveformFamily,
+    n_bits: usize,
+    samples_per_symbol: usize,
+    snr_db: f64,
+    seed: u64,
+) -> SimilarityScore {
+    assert!(n_bits >= 8, "need at least 8 bits");
+    assert!(samples_per_symbol >= 2, "need at least 2 samples per symbol");
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let bits: Vec<u8> = (0..n_bits).map(|_| rng.gen_range(0..=1)).collect();
+    let mut waveform = tx.modulate(&bits, samples_per_symbol);
+    AwgnSource::from_snr_db(seed ^ 0x5EED, snr_db, 1.0).add_to(&mut waveform);
+    let decoded = rx.demodulate(&waveform, samples_per_symbol);
+    let n = decoded.len().min(bits.len());
+    if n < 3 {
+        return SimilarityScore {
+            agreement: 0.0,
+            bits: 0,
+        };
+    }
+    let compared = &bits[1..n - 1];
+    let got = &decoded[1..n - 1];
+    let agree = compared.iter().zip(got).filter(|(a, b)| a == b).count();
+    SimilarityScore {
+        agreement: agree as f64 / compared.len() as f64,
+        bits: compared.len(),
+    }
+}
+
+/// Scores every ordered pair of a family list (the matrix the paper's
+/// future-work section asks for).
+pub fn similarity_matrix(
+    families: &[WaveformFamily],
+    n_bits: usize,
+    samples_per_symbol: usize,
+    snr_db: f64,
+    seed: u64,
+) -> Vec<Vec<SimilarityScore>> {
+    families
+        .iter()
+        .map(|&tx| {
+            families
+                .iter()
+                .map(|&rx| cross_similarity(tx, rx, n_bits, samples_per_symbol, snr_db, seed))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SPS: usize = 8;
+    const SNR: f64 = 12.0;
+
+    fn score(tx: WaveformFamily, rx: WaveformFamily) -> f64 {
+        cross_similarity(tx, rx, 512, SPS, SNR, 7).agreement
+    }
+
+    #[test]
+    fn msk_and_oqpsk_are_pivot_compatible_both_ways() {
+        // The core of the paper, as a metric.
+        let msk = WaveformFamily::Fsk {
+            modulation_index: 0.5,
+        };
+        let oqpsk = WaveformFamily::OqpskHalfSine;
+        assert!(score(msk, oqpsk) > 0.99, "MSK→O-QPSK: {}", score(msk, oqpsk));
+        assert!(score(oqpsk, msk) > 0.99, "O-QPSK→MSK: {}", score(oqpsk, msk));
+    }
+
+    #[test]
+    fn ble_gfsk_is_pivot_compatible_with_oqpsk() {
+        let ble = WaveformFamily::ble_le2m();
+        let oqpsk = WaveformFamily::OqpskHalfSine;
+        let s = cross_similarity(ble, oqpsk, 512, SPS, SNR, 9);
+        assert!(s.pivot_compatible(), "agreement {}", s.agreement);
+        assert!(s.agreement > 0.93, "agreement {}", s.agreement);
+    }
+
+    #[test]
+    fn gaussian_filter_costs_a_little_agreement() {
+        let msk = WaveformFamily::Fsk {
+            modulation_index: 0.5,
+        };
+        let gmsk = WaveformFamily::ble_le2m();
+        let oqpsk = WaveformFamily::OqpskHalfSine;
+        let clean = score(msk, oqpsk);
+        let filtered = score(gmsk, oqpsk);
+        assert!(filtered <= clean + 1e-9, "gaussian better than ideal?");
+    }
+
+    #[test]
+    fn ook_is_not_divertible_to_fsk() {
+        // The negative control the metric must catch: amplitude modulation
+        // carries nothing an FM discriminator can read.
+        let ook = WaveformFamily::Ook;
+        let msk = WaveformFamily::Fsk {
+            modulation_index: 0.5,
+        };
+        let s = cross_similarity(ook, msk, 512, SPS, SNR, 11);
+        assert!(!s.pivot_compatible(), "agreement {}", s.agreement);
+        assert!(s.agreement < 0.75, "agreement {}", s.agreement);
+    }
+
+    #[test]
+    fn low_modulation_index_degrades_under_noise() {
+        // h = 0.1 leaves almost no frequency margin: at the reference SNR
+        // agreement drops well below the h = 0.5 score.
+        let weak = WaveformFamily::Fsk {
+            modulation_index: 0.1,
+        };
+        let strong = WaveformFamily::Fsk {
+            modulation_index: 0.5,
+        };
+        let rx = WaveformFamily::OqpskHalfSine;
+        let snr = 2.0;
+        let s_weak = cross_similarity(weak, rx, 1024, SPS, snr, 13).agreement;
+        let s_strong = cross_similarity(strong, rx, 1024, SPS, snr, 13).agreement;
+        assert!(
+            s_weak + 0.02 < s_strong,
+            "weak {s_weak} not worse than strong {s_strong}"
+        );
+    }
+
+    #[test]
+    fn self_similarity_is_high_for_every_family() {
+        for fam in [
+            WaveformFamily::Fsk {
+                modulation_index: 0.5,
+            },
+            WaveformFamily::ble_le2m(),
+            WaveformFamily::OqpskHalfSine,
+            WaveformFamily::Ook,
+        ] {
+            let s = cross_similarity(fam, fam, 256, SPS, 15.0, 17);
+            assert!(s.agreement > 0.95, "{} self-score {}", fam.name(), s.agreement);
+        }
+    }
+
+    #[test]
+    fn matrix_shape_and_determinism() {
+        let fams = [
+            WaveformFamily::ble_le2m(),
+            WaveformFamily::OqpskHalfSine,
+            WaveformFamily::Ook,
+        ];
+        let a = similarity_matrix(&fams, 128, SPS, SNR, 3);
+        let b = similarity_matrix(&fams, 128, SPS, SNR, 3);
+        assert_eq!(a.len(), 3);
+        assert!(a.iter().all(|row| row.len() == 3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn names_are_informative() {
+        assert!(WaveformFamily::ble_le2m().name().contains("GFSK"));
+        assert!(WaveformFamily::OqpskHalfSine.name().contains("O-QPSK"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8 bits")]
+    fn too_few_bits_rejected() {
+        let _ = cross_similarity(
+            WaveformFamily::Ook,
+            WaveformFamily::Ook,
+            4,
+            8,
+            10.0,
+            0,
+        );
+    }
+}

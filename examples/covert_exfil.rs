@@ -1,0 +1,82 @@
+//! The covert-channel use case from the paper's introduction: a compromised
+//! BLE device exfiltrates data over 802.15.4 — "a protocol that is not
+//! supposed to be monitored in the targeted environment" — while a
+//! multi-protocol IDS demonstrates why such monitoring matters.
+//!
+//! Run with: `cargo run -p wazabee-examples --bin covert_exfil`
+
+use wazabee::exfil::{exfil_frames, ExfilCollector, ExfilConfig};
+use wazabee::WazaBeeTx;
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::{Dot154Modem, MacFrame};
+use wazabee_dsp::Iq;
+use wazabee_examples::banner;
+use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
+use wazabee_radio::{Link, LinkConfig, RfFrame};
+
+fn main() {
+    banner("covert exfiltration over WazaBee");
+    let secret = b"Q3 acquisition shortlist: [REDACTED-1], [REDACTED-2], [REDACTED-3]".to_vec();
+    println!("payload: {} bytes across 2410 MHz (Zigbee 12 — no Zigbee deployed there)", secret.len());
+
+    let cfg = ExfilConfig {
+        chunk_size: 32,
+        ..ExfilConfig::default()
+    };
+    let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).expect("LE 2M");
+    let receiver = Dot154Modem::new(8); // the attacker's remote 802.15.4 dongle
+    let mut link = Link::new(LinkConfig::office_3m(), 66);
+    let mut collector = ExfilCollector::new();
+
+    // The defender's monitor on the same frequency.
+    let mut monitor = ChannelMonitor::new(2410, 8, MonitorConfig::default());
+    let mut alerts_total = 0usize;
+
+    banner("transmission");
+    let frames = exfil_frames(&secret, 1, &cfg).expect("fits");
+    println!("{} chunks of ≤{} bytes", frames.len(), cfg.chunk_size);
+    let mut recovered = None;
+    for (k, ppdu) in frames.iter().enumerate() {
+        let air = tx.transmit(ppdu);
+        let heard = link.deliver(&RfFrame::new(2410, air.clone(), receiver.sample_rate()), 2410);
+        if let Some(rx) = receiver.receive(&heard) {
+            if rx.fcs_ok() {
+                if let Some(mac) = MacFrame::from_psdu(&rx.psdu) {
+                    recovered = collector.ingest(&mac).or(recovered);
+                    println!(
+                        "chunk {k}: delivered ({} chip errors){}",
+                        rx.chip_errors,
+                        collector
+                            .progress(1)
+                            .map(|(got, total)| format!(" — {got}/{total} collected"))
+                            .unwrap_or_else(|| " — stream complete".into())
+                    );
+                }
+            }
+        }
+        // The defender hears the same burst.
+        let mut window = vec![Iq::ZERO; 600];
+        window.extend(link.deliver(&RfFrame::new(2410, air, receiver.sample_rate()), 2410));
+        let alerts = monitor.observe(&window);
+        alerts_total += alerts
+            .iter()
+            .filter(|a| matches!(a, Alert::UnexpectedDot154 { .. }))
+            .count();
+    }
+
+    banner("result");
+    match recovered {
+        Some(data) => {
+            println!("attacker reassembled {} bytes:", data.len());
+            println!("  {:?}", String::from_utf8_lossy(&data));
+            assert_eq!(data, secret);
+        }
+        None => println!("exfiltration incomplete"),
+    }
+    println!();
+    println!(
+        "defender's IDS on the same band raised {alerts_total}/{} unexpected-802.15.4 alerts — \
+         the monitoring the paper's §VII calls for works",
+        frames.len()
+    );
+}

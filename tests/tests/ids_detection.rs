@@ -1,0 +1,138 @@
+//! The countermeasure closing the loop: the multi-protocol IDS of
+//! `wazabee-ids` detecting the actual attacks of this reproduction.
+
+use wazabee::scenario_a::{craft_manufacturer_data, ScenarioA};
+use wazabee::WazaBeeTx;
+use wazabee_ble::adv::BleAddress;
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_chips::Smartphone;
+use wazabee_dot154::{fcs::append_fcs, Dot154Channel, Dot154Modem, MacFrame, Ppdu};
+use wazabee_dsp::Iq;
+use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
+
+fn pad(samples: Vec<Iq>) -> Vec<Iq> {
+    let mut buf = vec![Iq::ZERO; 600];
+    buf.extend(samples);
+    buf.extend(vec![Iq::ZERO; 600]);
+    buf
+}
+
+#[test]
+fn scenario_a_aux_packet_trips_the_cross_protocol_detector() {
+    // Build the real Scenario A emission: an AUX_ADV_IND whose whitened
+    // payload embeds a Zigbee frame.
+    let target = Dot154Channel::new(14).unwrap();
+    let phone = Smartphone::new(BleAddress::new([9, 9, 9, 9, 9, 9]), 8);
+    let aa = phone.access_address();
+    let mut scenario = ScenarioA::new(phone, target, 8).unwrap();
+    let forged = MacFrame::data(0x1234, 0x0063, 0x0042, 1, vec![0xBE, 0xEF]);
+    scenario.arm(&Ppdu::new(forged.to_psdu()).unwrap()).unwrap();
+
+    // Drive advertising events until one lands on the monitored frequency.
+    let mut link = wazabee_radio::Link::new(wazabee_radio::LinkConfig::ideal(), 1);
+    let mut aux_on_target = None;
+    // Access the waveform through the chips API: re-run the phone directly.
+    let mut phone2 = Smartphone::new(BleAddress::new([9, 9, 9, 9, 9, 9]), 8);
+    phone2
+        .set_manufacturer_data(
+            craft_manufacturer_data(
+                &Ppdu::new(forged.to_psdu()).unwrap(),
+                scenario.target_ble_channel(),
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    for _ in 0..300 {
+        let ev = phone2.advertising_event().unwrap();
+        if ev.aux_channel == scenario.target_ble_channel() {
+            aux_on_target = Some(ev.aux_samples);
+            break;
+        }
+    }
+    let aux = aux_on_target.expect("CSA#2 never hit the target channel");
+    let _ = link;
+
+    // The monitor sits on the shared frequency; it knows Zigbee is deployed
+    // there (whitelisted), so a plain Zigbee frame would be fine — but the
+    // double-valid emission is not.
+    let mut monitor = ChannelMonitor::new(
+        2420,
+        8,
+        MonitorConfig {
+            dot154_whitelisted: true,
+            ..MonitorConfig::default()
+        },
+    );
+    monitor.classifier_mut().learn_access_address(aa);
+    let alerts = monitor.observe(&pad(aux));
+    let cross: Vec<_> = alerts
+        .iter()
+        .filter_map(|a| match a {
+            Alert::CrossProtocolFrame { psdu, .. } => Some(psdu),
+            _ => None,
+        })
+        .collect();
+    assert!(!cross.is_empty(), "injection not detected: {alerts:?}");
+    assert_eq!(cross[0], &forged.to_psdu(), "wrong embedded frame recovered");
+}
+
+#[test]
+fn raw_wazabee_tx_is_flagged_as_unexpected_dot154() {
+    // A diverted nRF52832 transmitting raw (no BLE framing at all) on a
+    // frequency with no legitimate Zigbee deployment.
+    let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+    let ppdu = Ppdu::new(append_fcs(&[0x42; 6])).unwrap();
+    let mut monitor = ChannelMonitor::new(2410, 8, MonitorConfig::default());
+    let alerts = monitor.observe(&pad(tx.transmit(&ppdu)));
+    assert!(
+        alerts
+            .iter()
+            .any(|a| matches!(a, Alert::UnexpectedDot154 { psdu, .. } if *psdu == ppdu.psdu())),
+        "{alerts:?}"
+    );
+}
+
+#[test]
+fn legitimate_zigbee_on_deployed_channel_stays_quiet() {
+    let zigbee = Dot154Modem::new(8);
+    let ppdu = Ppdu::new(append_fcs(&[1, 2, 3])).unwrap();
+    let mut monitor = ChannelMonitor::new(
+        2420,
+        8,
+        MonitorConfig {
+            dot154_whitelisted: true,
+            ..MonitorConfig::default()
+        },
+    );
+    assert!(monitor.observe(&pad(zigbee.transmit(&ppdu))).is_empty());
+}
+
+#[test]
+fn scenario_b_scan_storm_raises_an_anomaly() {
+    // The tracker's active scan fires beacon requests in a rapid burst —
+    // far above the learned baseline of a quiet channel.
+    let mut monitor = ChannelMonitor::new(
+        2420,
+        8,
+        MonitorConfig {
+            dot154_whitelisted: true,
+            ..MonitorConfig::default()
+        },
+    );
+    let zigbee = Dot154Modem::new(8);
+    // Quiet baseline.
+    for _ in 0..4 {
+        assert!(monitor.observe(&vec![Iq::ZERO; 20_000]).is_empty());
+    }
+    // The storm window: eight beacon requests back to back.
+    let mut storm = Vec::new();
+    for seq in 0..8 {
+        let ppdu = Ppdu::new(MacFrame::beacon_request(seq).to_psdu()).unwrap();
+        storm.extend(pad(zigbee.transmit(&ppdu)));
+    }
+    let alerts = monitor.observe(&storm);
+    assert!(
+        alerts.iter().any(|a| matches!(a, Alert::TrafficAnomaly { .. })),
+        "{alerts:?}"
+    );
+}

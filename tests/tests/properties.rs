@@ -1,0 +1,102 @@
+//! Cross-crate property tests: invariants of the full attack pipeline under
+//! randomly generated inputs.
+
+use proptest::prelude::*;
+use wazabee::{encode_ppdu_msk, prewhiten_bits, WazaBeeRx, WazaBeeTx};
+use wazabee_ble::{BleChannel, BleModem, BlePhy, Whitener};
+use wazabee_dot154::msk::{frame_chips_to_msk, msk_to_chips};
+use wazabee_dot154::{Dot154Modem, MacFrame, Ppdu};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any random MAC frame survives the diverted-BLE → genuine-Zigbee path
+    /// bit-for-bit on a clean channel.
+    #[test]
+    fn prop_ble_tx_zigbee_rx_lossless(
+        pan in any::<u16>(),
+        src in any::<u16>(),
+        dest in any::<u16>(),
+        seq in any::<u8>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..40),
+    ) {
+        let frame = MacFrame::data(pan, src, dest, seq, payload);
+        let ppdu = Ppdu::new(frame.to_psdu()).unwrap();
+        let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+        let zigbee = Dot154Modem::new(8);
+        let rx = zigbee.receive(&tx.transmit(&ppdu)).expect("frame lost");
+        prop_assert!(rx.fcs_ok());
+        prop_assert_eq!(rx.psdu, ppdu.psdu().to_vec());
+    }
+
+    /// Any random MAC frame survives the genuine-Zigbee → diverted-BLE path.
+    #[test]
+    fn prop_zigbee_tx_ble_rx_lossless(
+        payload in proptest::collection::vec(any::<u8>(), 0..40),
+        seq in any::<u8>(),
+    ) {
+        let frame = MacFrame::data(0x1234, 0x0063, 0x0042, seq, payload);
+        let ppdu = Ppdu::new(frame.to_psdu()).unwrap();
+        let zigbee = Dot154Modem::new(8);
+        let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+        let got = rx.receive(&zigbee.transmit(&ppdu)).expect("frame lost");
+        prop_assert!(got.fcs_ok());
+        prop_assert_eq!(got.psdu, ppdu.psdu().to_vec());
+    }
+
+    /// The TX encoding is invertible: decoding the MSK stream recovers the
+    /// exact chip sequence of the PPDU.
+    #[test]
+    fn prop_encode_is_invertible(
+        payload in proptest::collection::vec(any::<u8>(), 0..60),
+    ) {
+        let ppdu = Ppdu::new(wazabee_dot154::fcs::append_fcs(&payload)).unwrap();
+        let bits = encode_ppdu_msk(&ppdu);
+        let body = &bits[wazabee::tx::TX_WARMUP_BITS..];
+        let chips = msk_to_chips(&body[1..], body_first_chip(body), true);
+        let mut expect = ppdu.to_chips();
+        expect.remove(0);
+        prop_assert_eq!(chips, expect);
+    }
+
+    /// Pre-whitening then hardware whitening is the identity on every
+    /// channel — the §IV-D requirement-3 workaround.
+    #[test]
+    fn prop_prewhitening_cancels_hardware_whitening(
+        bits in proptest::collection::vec(0u8..=1, 1..500),
+        channel in 0u8..40,
+    ) {
+        let ch = BleChannel::new(channel).unwrap();
+        let staged = prewhiten_bits(&bits, ch);
+        let on_air = Whitener::new(ch).whiten_bits(&staged);
+        prop_assert_eq!(on_air, bits);
+    }
+
+    /// The frame-level chip↔MSK conversion round-trips for arbitrary chip
+    /// streams and both virtual previous chips.
+    #[test]
+    fn prop_frame_msk_round_trip(
+        chips in proptest::collection::vec(0u8..=1, 1..300),
+        prev in 0u8..=1,
+    ) {
+        let msk = frame_chips_to_msk(&chips, prev);
+        prop_assert_eq!(msk.len(), chips.len());
+        let back = msk_to_chips(&msk, prev, false);
+        prop_assert_eq!(back, chips);
+    }
+}
+
+/// Recovers chip 0 from the first MSK bit of a frame stream (the encoder
+/// uses virtual previous chip 0 at an even boundary: `m0 = 0 ^ c0 ^ 0`).
+fn body_first_chip(body: &[u8]) -> u8 {
+    body[0]
+}
+
+#[test]
+fn warmup_bits_are_alternating() {
+    let ppdu = Ppdu::new(wazabee_dot154::fcs::append_fcs(&[1])).unwrap();
+    let bits = encode_ppdu_msk(&ppdu);
+    for (k, &b) in bits[..wazabee::tx::TX_WARMUP_BITS].iter().enumerate() {
+        assert_eq!(b, (k % 2) as u8);
+    }
+}

@@ -1,0 +1,74 @@
+//! Scenario A end to end: the smartphone's extended-advertising injection
+//! lands spoofed readings on the victim network's coordinator display.
+
+use wazabee::scenario_a::{EventOutcome, ScenarioA};
+use wazabee_ble::adv::BleAddress;
+use wazabee_chips::{smartphone_ble5, Smartphone};
+use wazabee_dot154::{Dot154Channel, MacFrame, Ppdu};
+use wazabee_radio::{Link, LinkConfig};
+use wazabee_zigbee::ZigbeeNetwork;
+
+#[test]
+fn injected_frames_reach_the_coordinator_display() {
+    let target = Dot154Channel::new(14).unwrap();
+    let phone = Smartphone::new(BleAddress::new([0x11, 0x22, 0x33, 0x44, 0x55, 0x66]), 8);
+    let mut scenario = ScenarioA::new(phone, target, 8).unwrap();
+
+    // The forged frame: a fake reading from the sensor's address.
+    let forged = MacFrame::data(0x1234, 0x0063, 0x0042, 42, {
+        wazabee_zigbee::XbeePayload::reading(31337).to_bytes()
+    });
+    scenario.arm(&Ppdu::new(forged.to_psdu()).unwrap()).unwrap();
+
+    let mut net = ZigbeeNetwork::paper_testbed();
+    let mut link = Link::new(LinkConfig::office_3m(), 2);
+    let mut injections = 0usize;
+    for _ in 0..400 {
+        if let EventOutcome::Injected(ppdu) = scenario.run_event(&mut link) {
+            // What the reference receiver decoded goes into the network —
+            // exactly what the XBee coordinator's radio would have seen.
+            net.inject(target, ppdu.psdu);
+            injections += 1;
+        }
+    }
+    assert!(injections > 0, "CSA#2 never hit the target in 400 events");
+    let deadline = net.now().plus_ms(50);
+    net.run_until(deadline);
+    let spoofed = net
+        .coordinator()
+        .readings()
+        .iter()
+        .filter(|r| r.value == 31337 && r.reported_by == 0x0063)
+        .count();
+    assert_eq!(spoofed, injections, "not every injection reached the display");
+}
+
+#[test]
+fn smartphone_capabilities_match_the_scenario() {
+    // The capability sheet says the phone cannot run the raw primitives —
+    // and yet Scenario A works, which is the paper's headline point.
+    let caps = smartphone_ble5();
+    assert!(!caps.can_raw_transmit());
+    assert!(!caps.can_raw_receive());
+    assert!(caps.le_2m);
+}
+
+#[test]
+fn injection_works_on_every_table2_data_channel() {
+    // All Table II channels except Zigbee 26 (whose BLE twin is a primary
+    // advertising channel) are reachable from the high-level API.
+    for z in [12u8, 14, 16, 18, 20, 22, 24] {
+        let target = Dot154Channel::new(z).unwrap();
+        let phone = Smartphone::new(BleAddress::new([z, 1, 2, 3, 4, 5]), 8);
+        let mut scenario = ScenarioA::new(phone, target, 8).unwrap();
+        let ppdu = Ppdu::new(wazabee_dot154::fcs::append_fcs(&[z, 0xAB])).unwrap();
+        scenario.arm(&ppdu).unwrap();
+        let mut link = Link::new(LinkConfig::ideal(), u64::from(z));
+        let outcomes = scenario.run_events(200, &mut link);
+        let hit = outcomes.iter().any(|o| match o {
+            EventOutcome::Injected(p) => p.psdu == ppdu.psdu(),
+            _ => false,
+        });
+        assert!(hit, "no injection on Zigbee channel {z} within 200 events");
+    }
+}

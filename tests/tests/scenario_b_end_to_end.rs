@@ -1,0 +1,86 @@
+//! Scenario B end to end: the four-step tracker attack under realistic link
+//! impairments, with assertions on the victim network's ground truth.
+
+use wazabee::TrackerAttack;
+use wazabee_dot154::Dot154Channel;
+use wazabee_radio::{Link, LinkConfig};
+use wazabee_zigbee::{AtCommand, NodeRole, ZigbeeNetwork};
+
+#[test]
+fn full_attack_under_noisy_link() {
+    let mut net = ZigbeeNetwork::paper_testbed();
+    let mut attack = TrackerAttack::new(8).unwrap();
+    let mut link = Link::new(LinkConfig::office_3m(), 31);
+    let report = attack.execute(&mut net, &mut link);
+    assert!(report.complete(), "attack incomplete: {report:?}");
+    assert_eq!(report.discovered.unwrap().pan, 0x1234);
+    assert_eq!(report.sensor, Some(0x0063));
+}
+
+#[test]
+fn dos_silences_the_legitimate_sensor() {
+    let mut net = ZigbeeNetwork::paper_testbed();
+    let mut attack = TrackerAttack::new(8).unwrap();
+    let mut link = Link::new(LinkConfig::office_3m(), 32);
+
+    let pan = attack.active_scan(&mut net, &mut link).unwrap();
+    let sensor = attack.eavesdrop(&mut net, &mut link, pan, 8_000).unwrap();
+    assert!(attack.inject_remote_at(&mut net, &mut link, pan, sensor));
+
+    // After the DoS, the sensor transmits on the exile channel; no further
+    // legitimate reading reaches the coordinator.
+    let before = net.coordinator().readings().len();
+    let deadline = net.now().plus_ms(10_000);
+    net.run_until(deadline);
+    let after = net.coordinator().readings().len();
+    assert_eq!(after, before, "coordinator still hears the sensor after DoS");
+
+    // The sensor's own AT log records the forged command.
+    assert_eq!(
+        net.node(1).at_log(),
+        &[AtCommand::Channel(attack.dos_channel.number())]
+    );
+}
+
+#[test]
+fn scan_finds_networks_on_any_channel() {
+    // Move the victim network around the band; the scan must find it.
+    for ch in [11u8, 15, 20, 26] {
+        let channel = Dot154Channel::new(ch).unwrap();
+        let mut net = ZigbeeNetwork::new();
+        net.add_node(wazabee_zigbee::XbeeNode::new(
+            wazabee_zigbee::NodeConfig {
+                pan: 0xBEE0 + u16::from(ch),
+                short_addr: 0x0001,
+                channel,
+            },
+            NodeRole::Coordinator,
+        ));
+        let mut attack = TrackerAttack::new(8).unwrap();
+        let mut link = Link::new(LinkConfig::office_3m(), u64::from(ch));
+        let pan = attack
+            .active_scan(&mut net, &mut link)
+            .unwrap_or_else(|| panic!("scan missed the network on channel {ch}"));
+        assert_eq!(pan.channel, channel);
+        assert_eq!(pan.pan, 0xBEE0 + u16::from(ch));
+    }
+}
+
+#[test]
+fn fake_readings_carry_the_attackers_values() {
+    let mut net = ZigbeeNetwork::paper_testbed();
+    let mut attack = TrackerAttack::new(8).unwrap();
+    let mut link = Link::new(LinkConfig::office_3m(), 35);
+    let pan = attack.active_scan(&mut net, &mut link).unwrap();
+    let accepted =
+        attack.inject_fake_readings(&mut net, &mut link, pan, 0x0063, 0xF000, 4, 300);
+    assert_eq!(accepted, 4);
+    let values: Vec<u16> = net
+        .coordinator()
+        .readings()
+        .iter()
+        .filter(|r| r.value >= 0xF000)
+        .map(|r| r.value)
+        .collect();
+    assert_eq!(values, vec![0xF000, 0xF001, 0xF002, 0xF003]);
+}
