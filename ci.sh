@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Offline CI for the wazabee workspace. Run from the repo root.
+#
+# Steps:
+#   1. release build, telemetry on (default features)
+#   2. release build, telemetry off (--no-default-features) — proves the
+#      probes compile away
+#   3. full test suite
+#   4. clippy, warnings as errors
+#   5. rustfmt check
+#   6. telemetry-overhead smoke: the Criterion bench compiles and runs in
+#      test mode in both feature states
+set -euo pipefail
+cd "$(dirname "$0")"
+
+run() {
+    echo
+    echo "=== $* ==="
+    "$@"
+}
+
+run cargo build --release --workspace --offline
+run cargo build --release --workspace --offline --no-default-features
+run cargo test -q --workspace --offline
+run cargo clippy --workspace --all-targets --offline -- -D warnings
+run cargo fmt --all -- --check
+run cargo bench -p wazabee-bench --bench telemetry_overhead --offline -- --test
+run cargo bench -p wazabee-bench --bench telemetry_overhead --offline --no-default-features -- --test
+
+echo
+echo "ci.sh: all checks passed"

@@ -21,7 +21,12 @@ fn padded_zigbee_burst() -> Vec<Iq> {
 fn bench_ids(c: &mut Criterion) {
     let burst = padded_zigbee_burst();
     c.bench_function("ids_burst_detection", |b| {
-        b.iter(|| detect_bursts(std::hint::black_box(&burst), &BurstDetectorConfig::default()))
+        b.iter(|| {
+            detect_bursts(
+                std::hint::black_box(&burst),
+                &BurstDetectorConfig::default(),
+            )
+        })
     });
     let classifier = Classifier::new(2420, 8);
     c.bench_function("ids_classify_burst", |b| {

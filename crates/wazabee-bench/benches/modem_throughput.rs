@@ -49,7 +49,14 @@ fn bench_packet_paths(c: &mut Criterion) {
     });
     let air_ble = ble.transmit(&pkt, ch, true);
     g.bench_function("ble_packet_rx", |b| {
-        b.iter(|| ble.receive(std::hint::black_box(&air_ble), pkt.access_address(), ch, true))
+        b.iter(|| {
+            ble.receive(
+                std::hint::black_box(&air_ble),
+                pkt.access_address(),
+                ch,
+                true,
+            )
+        })
     });
     g.bench_function("dot154_ppdu_tx", |b| {
         b.iter(|| zigbee.transmit(std::hint::black_box(&ppdu)))

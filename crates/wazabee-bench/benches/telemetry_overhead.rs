@@ -1,0 +1,60 @@
+//! Measures what the telemetry instrumentation costs the modem hot paths.
+//!
+//! Run twice and compare:
+//!
+//! ```sh
+//! cargo bench -p wazabee-bench --bench telemetry_overhead
+//! cargo bench -p wazabee-bench --bench telemetry_overhead --no-default-features
+//! ```
+//!
+//! With the `telemetry` feature off every counter/histogram/span call site
+//! compiles to an empty inline no-op, so the two runs must agree to within
+//! measurement noise. The `zero_cost_when_disabled` smoke test in
+//! `wazabee-bench` asserts the disabled build really is dead code.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use wazabee_ble::gfsk::{demodulate_aligned, modulate, GfskParams};
+use wazabee_ble::BlePhy;
+use wazabee_dot154::dsss::{despread_to_bytes, spread_bytes};
+
+fn bench_instrumented_kernels(c: &mut Criterion) {
+    let params = GfskParams::ble(BlePhy::Le2M, 8);
+    let bits: Vec<u8> = (0..2048).map(|k| (k * 7 % 3 == 0) as u8).collect();
+    let iq = modulate(&params, &bits);
+    let psdu: Vec<u8> = (0..32).collect();
+    let chips = spread_bytes(&psdu);
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(bits.len() as u64));
+    g.bench_function("gfsk_modulate", |b| {
+        b.iter(|| modulate(&params, std::hint::black_box(&bits)))
+    });
+    g.bench_function("gfsk_demodulate", |b| {
+        b.iter(|| demodulate_aligned(&params, std::hint::black_box(&iq), 0))
+    });
+    g.bench_function("dsss_despread", |b| {
+        b.iter(|| despread_to_bytes(std::hint::black_box(&chips)))
+    });
+    g.finish();
+
+    // Bare-primitive cost so regressions in the counter fast path are visible
+    // without the modem arithmetic drowning them out.
+    let mut p = c.benchmark_group("telemetry_primitives");
+    p.bench_function("counter_inc", |b| {
+        b.iter(|| wazabee_telemetry::counter!("bench.counter").inc())
+    });
+    p.bench_function("value_histogram_record", |b| {
+        b.iter(|| {
+            wazabee_telemetry::value_histogram!("bench.vhist", 0.0, 64.0)
+                .record(std::hint::black_box(17.0))
+        })
+    });
+    p.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_instrumented_kernels
+}
+criterion_main!(benches);

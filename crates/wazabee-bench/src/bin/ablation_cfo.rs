@@ -10,12 +10,17 @@ use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     let sps = 8;
     let zigbee = Dot154Modem::new(sps);
     let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
     let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
-    println!("# Cross-technology link vs carrier frequency offset ({frames} frames per cell, 18 dB)");
+    println!(
+        "# Cross-technology link vs carrier frequency offset ({frames} frames per cell, 18 dB)"
+    );
     println!("cfo_khz,direction,valid,chip_errors_per_frame");
     for cfo_khz in [0.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0] {
         for dir in ["ble_to_zigbee", "zigbee_to_ble"] {
@@ -33,13 +38,16 @@ fn main() {
                         &RfFrame::new(2420, tx.transmit(&ppdu), zigbee.sample_rate()),
                         2420,
                     );
-                    zigbee.receive(&heard).map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
+                    zigbee
+                        .receive(&heard)
+                        .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
                 } else {
                     let heard = link.deliver(
                         &RfFrame::new(2420, zigbee.transmit(&ppdu), zigbee.sample_rate()),
                         2420,
                     );
-                    rx.receive(&heard).map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
+                    rx.receive(&heard)
+                        .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
                 };
                 if let Some((fcs, psdu, ce)) = got {
                     if fcs && psdu == ppdu.psdu() {
@@ -48,7 +56,10 @@ fn main() {
                     }
                 }
             }
-            println!("{cfo_khz},{dir},{valid},{:.2}", errs as f64 / valid.max(1) as f64);
+            println!(
+                "{cfo_khz},{dir},{valid},{:.2}",
+                errs as f64 / valid.max(1) as f64
+            );
         }
     }
 }

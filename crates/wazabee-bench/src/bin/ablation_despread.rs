@@ -10,10 +10,15 @@ use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
     let sps = 8;
     let zigbee = Dot154Modem::new(sps);
-    println!("# RX primitive: Algorithm-1 table vs waveform-exact table ({frames} frames per cell)");
+    println!(
+        "# RX primitive: Algorithm-1 table vs waveform-exact table ({frames} frames per cell)"
+    );
     println!("snr_db,table,valid,chip_errors_per_frame");
     for snr in [6.0, 8.0, 10.0, 14.0, 20.0] {
         for (name, table) in [
@@ -40,7 +45,10 @@ fn main() {
                     }
                 }
             }
-            println!("{snr},{name},{valid},{:.2}", errs as f64 / valid.max(1) as f64);
+            println!(
+                "{snr},{name},{valid},{:.2}",
+                errs as f64 / valid.max(1) as f64
+            );
         }
     }
 }

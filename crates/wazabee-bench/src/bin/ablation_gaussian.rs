@@ -37,7 +37,10 @@ fn run(shaping: &str, params: GfskParams, frames: usize, snr_db: f64) -> (usize,
 }
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
     println!("# Gaussian-filter cost on the TX primitive ({frames} frames per cell)");
     println!("snr_db,shaping,valid,chip_errors_per_frame");
     for snr in [8.0, 10.0, 12.0, 16.0, 22.0] {

@@ -11,7 +11,10 @@ use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50);
     let sps = 8;
     let zigbee = Dot154Modem::new(sps);
     println!("# TX primitive frame delivery vs BLE modulation index (h), {frames} frames each");

@@ -9,7 +9,10 @@ use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(30);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(30);
     println!("# Cross-technology link quality vs samples per symbol ({frames} frames per cell)");
     println!("sps,direction,valid,chip_errors_per_frame");
     for sps in [4usize, 8, 16] {
@@ -23,14 +26,17 @@ fn main() {
                 let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
                 let result = if dir == "ble_to_zigbee" {
                     let air = tx.transmit(&ppdu);
-                    let heard =
-                        link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
-                    zigbee.receive(&heard).map(|r| (r.fcs_ok(), r.psdu, r.chip_errors)).map(|(f, p, c)| (p, c, f))
+                    let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+                    zigbee
+                        .receive(&heard)
+                        .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
+                        .map(|(f, p, c)| (p, c, f))
                 } else {
                     let air = zigbee.transmit(&ppdu);
-                    let heard =
-                        link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
-                    rx.receive(&heard).map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors)).map(|(f, p, c)| (p, c, f))
+                    let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+                    rx.receive(&heard)
+                        .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
+                        .map(|(f, p, c)| (p, c, f))
                 };
                 if let Some((psdu, ce, fcs)) = result {
                     if fcs && psdu == ppdu.psdu() {
@@ -39,7 +45,10 @@ fn main() {
                     }
                 }
             }
-            println!("{sps},{dir},{valid},{:.2}", errs as f64 / valid.max(1) as f64);
+            println!(
+                "{sps},{dir},{valid},{:.2}",
+                errs as f64 / valid.max(1) as f64
+            );
         }
     }
 }

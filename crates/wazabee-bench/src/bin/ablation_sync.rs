@@ -11,7 +11,10 @@ use wazabee_dsp::{AwgnSource, Iq};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
-    let frames: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(40);
+    let frames: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40);
     let sps = 8;
     let zigbee = Dot154Modem::new(sps);
     println!("# RX sync tolerance sweep at 7 dB SNR ({frames} frames; plus false-sync probe on pure noise)");

@@ -14,7 +14,7 @@ fn main() {
     println!("# Figure 1 — I/Q representation of 2-FSK (h = 0.5)");
     println!("bit,sample,i,q,phase_rad");
     for bit in [1u8, 0u8] {
-        let tx = modulate(&p, &vec![bit; 4]);
+        let tx = modulate(&p, &[bit; 4]);
         let phases = phase_trajectory(&tx);
         for (k, (s, ph)) in tx.iter().zip(&phases).enumerate() {
             println!("{bit},{k},{:.6},{:.6},{:.6}", s.i, s.q, ph);

@@ -12,7 +12,10 @@ fn main() {
     let chips = [1u8, 1, 0, 1, 0, 0, 1, 0];
     let spc = 32;
     let t = traces(&chips, spc);
-    println!("# Figure 2 — O-QPSK with half-sine pulse shaping, chips {:?}", chips);
+    println!(
+        "# Figure 2 — O-QPSK with half-sine pulse shaping, chips {:?}",
+        chips
+    );
     println!("sample,m,i,q,envelope,phase_rad");
     for k in 0..t.i.len() {
         let m = t.m.get(k).copied().unwrap_or(0.0);

@@ -12,7 +12,11 @@ fn main() {
     println!("# Constellation states (at half-chip instants): label = (even chip, odd chip)");
     for (label, angle) in [("11", 45.0), ("01", 135.0), ("00", 225.0), ("10", 315.0)] {
         let rad = angle * std::f64::consts::PI / 180.0;
-        println!("state {label}: ({:+.4}, {:+.4}) at {angle}°", rad.cos(), rad.sin());
+        println!(
+            "state {label}: ({:+.4}, {:+.4}) at {angle}°",
+            rad.cos(),
+            rad.sin()
+        );
     }
     println!();
     println!("# Transitions: every chip rotates the phase by ±π/2");
@@ -31,7 +35,11 @@ fn main() {
                 let phase = phase_trajectory(&samples);
                 let idx = if rail == "even" { 2 } else { 1 };
                 let d = phase[(idx + 1) * spc] - phase[idx * spc];
-                let dir = if d > 0.0 { "+π/2 (CCW, msk 1)" } else { "-π/2 (CW, msk 0)" };
+                let dir = if d > 0.0 {
+                    "+π/2 (CCW, msk 1)"
+                } else {
+                    "-π/2 (CW, msk 0)"
+                };
                 println!("{prev},{new},{rail},{dir}");
             }
         }

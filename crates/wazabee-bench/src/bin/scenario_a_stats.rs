@@ -11,12 +11,20 @@ use wazabee_dot154::{fcs::append_fcs, Dot154Channel, Ppdu};
 use wazabee_radio::{Link, LinkConfig};
 
 fn main() {
-    let phones: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(20);
-    let events: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let phones: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20);
+    let events: usize = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
     let target = Dot154Channel::new(14).expect("channel 14");
     let ppdu = Ppdu::new(append_fcs(&[0x01, 0x39, 0x05])).expect("fits");
 
-    println!("# Scenario A statistics — {phones} phones x {events} advertising events, target {target}");
+    println!(
+        "# Scenario A statistics — {phones} phones x {events} advertising events, target {target}"
+    );
     println!("phone,access_address,events,on_target,injected,first_success_event");
     let mut total_events = 0usize;
     let mut total_injected = 0usize;
@@ -44,7 +52,9 @@ fn main() {
         }
         println!(
             "{p},0x{aa:08X},{events},{on_target},{injected},{}",
-            first.map(|f| (f + 1).to_string()).unwrap_or_else(|| "-".into())
+            first
+                .map(|f| (f + 1).to_string())
+                .unwrap_or_else(|| "-".into())
         );
         total_events += events;
         total_injected += injected;

@@ -9,7 +9,10 @@ use wazabee_radio::{Link, LinkConfig};
 use wazabee_zigbee::ZigbeeNetwork;
 
 fn main() {
-    let runs: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let runs: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     println!("# Scenario B statistics — {runs} full attack runs over the office link");
     println!("run,scan_ok,eavesdrop_ok,dos_ok,fakes_accepted,complete");
     let mut complete = 0usize;

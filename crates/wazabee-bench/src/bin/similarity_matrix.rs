@@ -7,12 +7,22 @@
 use wazabee::{similarity_matrix, WaveformFamily};
 
 fn main() {
-    let snr: f64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(12.0);
+    let snr: f64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12.0);
     let families = [
-        WaveformFamily::Fsk { modulation_index: 0.5 },
+        WaveformFamily::Fsk {
+            modulation_index: 0.5,
+        },
         WaveformFamily::ble_le2m(),
-        WaveformFamily::Gfsk { modulation_index: 0.45, bt: 0.5 },
-        WaveformFamily::Fsk { modulation_index: 0.25 },
+        WaveformFamily::Gfsk {
+            modulation_index: 0.45,
+            bt: 0.5,
+        },
+        WaveformFamily::Fsk {
+            modulation_index: 0.25,
+        },
         WaveformFamily::OqpskHalfSine,
         WaveformFamily::Ook,
     ];

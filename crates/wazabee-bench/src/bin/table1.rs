@@ -15,16 +15,20 @@ fn bits(b: &[u8]) -> String {
 
 fn main() {
     println!("Table I — block / PN sequence correspondence (b0 first, c0 first)");
-    println!("{:<8} {}", "block", "PN sequence (c0..c31)");
+    println!("{:<8} PN sequence (c0..c31)", "block");
     for (symbol, pn) in PN_SEQUENCES.iter().enumerate() {
-        let block: String = (0..4).map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8)).collect();
+        let block: String = (0..4)
+            .map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8))
+            .collect();
         println!("{block:<8} {}", bits(pn));
     }
     println!();
     println!("Derived MSK correspondence table (paper §IV-C, Algorithm 1; 31 bits per symbol)");
-    println!("{:<8} {}", "block", "MSK sequence (m0..m30)");
+    println!("{:<8} MSK sequence (m0..m30)", "block");
     for (symbol, msk) in correspondence_table().iter().enumerate() {
-        let block: String = (0..4).map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8)).collect();
+        let block: String = (0..4)
+            .map(|k| char::from(b'0' + ((symbol >> k) & 1) as u8))
+            .collect();
         println!("{block:<8} {}", bits(msk));
     }
 }

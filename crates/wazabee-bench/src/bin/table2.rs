@@ -7,7 +7,10 @@ use wazabee::common_channels;
 
 fn main() {
     println!("Table II — Zigbee and BLE common channels");
-    println!("{:>15} | {:>12} | {:>22}", "Zigbee channel", "BLE channel", "centre frequency (fc)");
+    println!(
+        "{:>15} | {:>12} | {:>22}",
+        "Zigbee channel", "BLE channel", "centre frequency (fc)"
+    );
     println!("{}", "-".repeat(56));
     for row in common_channels() {
         println!(

@@ -37,7 +37,10 @@ fn main() {
     let tx_cc = run_primitive(&cc, Primitive::Transmission, &cfg);
     eprintln!("  CC1352-R1 transmission done");
     println!("Table III — reception and transmission primitives assessment");
-    println!("({} frames per cell; 'corr' = received with integrity corruption)", cfg.frames);
+    println!(
+        "({} frames per cell; 'corr' = received with integrity corruption)",
+        cfg.frames
+    );
     println!();
     print!(
         "{}",

@@ -58,7 +58,7 @@ impl Default for Table3Config {
             snr_db: 4.3,
             wifi: true,
             samples_per_symbol: 8,
-            seed: 0xDA7A_B33,
+            seed: 0x0DA7_AB34,
         }
     }
 }
@@ -124,16 +124,18 @@ fn make_link(cfg: &Table3Config, chip: &ChipCapabilities, channel_seed: u64) -> 
 
 /// The counter frame of the paper's protocol.
 fn counter_frame(counter: u16) -> Ppdu {
-    let mac = MacFrame::data(0x1234, 0x0063, 0x0042, counter as u8, counter.to_le_bytes().to_vec());
+    let mac = MacFrame::data(
+        0x1234,
+        0x0063,
+        0x0042,
+        counter as u8,
+        counter.to_le_bytes().to_vec(),
+    );
     Ppdu::new(mac.to_psdu()).expect("counter frame fits")
 }
 
 /// Classifies a received PSDU against the expectation.
-fn classify(
-    result: Option<(Vec<u8>, bool)>,
-    expected: &Ppdu,
-    out: &mut ChannelResult,
-) {
+fn classify(result: Option<(Vec<u8>, bool)>, expected: &Ppdu, out: &mut ChannelResult) {
     match result {
         None => out.lost += 1,
         Some((psdu, fcs_ok)) => {
@@ -180,14 +182,20 @@ pub fn run_primitive(
                         let air = zigbee.transmit(&ppdu);
                         let heard =
                             link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-                        ble_rx.receive(&heard).map(|r| (r.fcs_ok(), r)).map(|(f, r)| (r.psdu, f))
+                        ble_rx
+                            .receive(&heard)
+                            .map(|r| (r.fcs_ok(), r))
+                            .map(|(f, r)| (r.psdu, f))
                     }
                     Primitive::Transmission => {
                         // Diverted BLE TX, genuine Zigbee RX (the RZUSBStick).
                         let air = ble_tx.transmit(&ppdu);
                         let heard =
                             link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-                        zigbee.receive(&heard).map(|r| (r.fcs_ok(), r)).map(|(f, r)| (r.psdu, f))
+                        zigbee
+                            .receive(&heard)
+                            .map(|r| (r.fcs_ok(), r))
+                            .map(|(f, r)| (r.psdu, f))
                     }
                 };
                 classify(rx_result, &ppdu, &mut out);
@@ -334,7 +342,13 @@ mod tests {
         let rx = run_primitive(&nrf52832(), Primitive::Reception, &cfg);
         let tx = run_primitive(&nrf52832(), Primitive::Transmission, &cfg);
         let table = render_table("nRF52832", &rx, &tx, "CC1352-R1", &rx, &tx);
-        assert_eq!(table.lines().filter(|l| l.starts_with(char::is_numeric)).count(), 16);
+        assert_eq!(
+            table
+                .lines()
+                .filter(|l| l.starts_with(char::is_numeric))
+                .count(),
+            16
+        );
         assert!(table.contains("avg valid"));
     }
 

@@ -437,12 +437,8 @@ mod tests {
         // The constant the paper reports for Scenario A: the attacker's bytes
         // start 16 bytes into the PDU.
         let marker = vec![0xD6, 0xBE, 0x89, 0x8E];
-        let pdu = AuxAdvInd::with_manufacturer_data(
-            BleAddress::default(),
-            0,
-            0x0059,
-            marker.clone(),
-        );
+        let pdu =
+            AuxAdvInd::with_manufacturer_data(BleAddress::default(), 0, 0x0059, marker.clone());
         let bytes = pdu.to_bytes();
         assert_eq!(
             &bytes[AUX_ADV_MANUFACTURER_PADDING..AUX_ADV_MANUFACTURER_PADDING + 4],
@@ -456,12 +452,8 @@ mod tests {
         // our header layout (16 bytes ahead of the payload, 2 of which are
         // the PDU header outside the length count) leaves room for 241 bytes
         // of manufacturer payload before the one-byte PDU length saturates.
-        let pdu = AuxAdvInd::with_manufacturer_data(
-            BleAddress::default(),
-            0,
-            0x0059,
-            vec![0x55; 241],
-        );
+        let pdu =
+            AuxAdvInd::with_manufacturer_data(BleAddress::default(), 0, 0x0059, vec![0x55; 241]);
         let bytes = pdu.to_bytes();
         assert!(bytes[1] as usize == bytes.len() - 2);
         assert_eq!(AuxAdvInd::from_bytes(&bytes), Some(pdu));

@@ -254,7 +254,10 @@ mod tests {
         let mut central = Connection::new(params());
         let mut peripheral = Connection::new(params());
         for _ in 0..100 {
-            assert_eq!(central.next_event_channel(), peripheral.next_event_channel());
+            assert_eq!(
+                central.next_event_channel(),
+                peripheral.next_event_channel()
+            );
         }
         assert_eq!(central.event_counter(), 100);
     }

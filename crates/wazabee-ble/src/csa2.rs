@@ -239,7 +239,9 @@ mod tests {
     #[test]
     fn sequence_iterator_matches_direct_calls() {
         let map = ChannelMap::all_data_channels();
-        let seq: Vec<_> = EventChannelSequence::new(0xCAFE_F00D, map).take(16).collect();
+        let seq: Vec<_> = EventChannelSequence::new(0xCAFE_F00D, map)
+            .take(16)
+            .collect();
         for (ev, ch) in seq.iter().enumerate() {
             assert_eq!(*ch, select_channel(0xCAFE_F00D, ev as u16, &map));
         }

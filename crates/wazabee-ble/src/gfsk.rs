@@ -102,6 +102,7 @@ impl GfskParams {
 ///
 /// Panics if `params` fail [`GfskParams::validate`].
 pub fn modulate(params: &GfskParams, bits: &[u8]) -> Vec<Iq> {
+    let _t = wazabee_telemetry::timed_scope!("ble.gfsk.modulate_ns");
     params.validate().expect("invalid GFSK parameters");
     let nrz = wazabee_dsp::bits::bits_to_nrz(bits);
     let shaped = match params.bt {
@@ -133,9 +134,11 @@ pub fn modulate(params: &GfskParams, bits: &[u8]) -> Vec<Iq> {
 /// Demodulates to per-sample soft frequency values, normalised so the nominal
 /// deviation maps to ±1.
 pub fn demodulate_soft(params: &GfskParams, samples: &[Iq]) -> Vec<f64> {
-    let scale =
-        params.samples_per_symbol as f64 / (std::f64::consts::PI * params.modulation_index);
-    discriminate(samples).into_iter().map(|v| v * scale).collect()
+    let scale = params.samples_per_symbol as f64 / (std::f64::consts::PI * params.modulation_index);
+    discriminate(samples)
+        .into_iter()
+        .map(|v| v * scale)
+        .collect()
 }
 
 /// Demodulates hard bits assuming the first symbol starts at sample `offset`.
@@ -146,6 +149,7 @@ pub fn demodulate_soft(params: &GfskParams, samples: &[Iq]) -> Vec<f64> {
 /// that every diff-based FSK receiver shares. Decisions remain exact in the
 /// noiseless case for `sps ≥ 2`.
 pub fn demodulate_aligned(params: &GfskParams, samples: &[Iq], offset: usize) -> Vec<u8> {
+    let _t = wazabee_telemetry::timed_scope!("ble.gfsk.demodulate_ns");
     let soft = demodulate_soft(params, samples);
     if offset >= soft.len() {
         return Vec::new();
@@ -220,7 +224,7 @@ impl GfskReceiver {
             else {
                 continue;
             };
-            if best.as_ref().map_or(true, |b| errors < b.sync_errors) {
+            if best.as_ref().is_none_or(|b| errors < b.sync_errors) {
                 let start = index + sync.len();
                 let end = (start + capture_bits).min(bits.len());
                 best = Some(RawCapture {
@@ -233,6 +237,14 @@ impl GfskReceiver {
                     break;
                 }
             }
+        }
+        match &best {
+            Some(c) => {
+                wazabee_telemetry::counter!("ble.sync.hit").inc();
+                wazabee_telemetry::value_histogram!("ble.sync_errors", 0.0, 33.0)
+                    .record(c.sync_errors as f64);
+            }
+            None => wazabee_telemetry::counter!("ble.sync.miss").inc(),
         }
         best
     }

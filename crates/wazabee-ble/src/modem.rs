@@ -69,6 +69,12 @@ impl BleModem {
 
     /// Modulates a full packet (preamble · AA · whitened PDU+CRC) to IQ.
     pub fn transmit(&self, packet: &BlePacket, channel: BleChannel, whitening: bool) -> Vec<Iq> {
+        wazabee_telemetry::counter!("ble.tx.packets").inc();
+        if whitening {
+            wazabee_telemetry::counter!("ble.tx.whitening.on").inc();
+        } else {
+            wazabee_telemetry::counter!("ble.tx.whitening.off").inc();
+        }
         let bits = packet.to_air_bits(channel, self.phy, whitening);
         modulate(&self.params, &bits)
     }
@@ -94,7 +100,15 @@ impl BleModem {
         let sync = BlePacket::access_address_bits(access_address);
         let rx = GfskReceiver::new(self.params);
         let capture = rx.capture(samples, &sync, 1, MAX_BODY_BITS)?;
-        BlePacket::from_body_bits(access_address, &capture.bits, channel, whitening)
+        let packet = BlePacket::from_body_bits(access_address, &capture.bits, channel, whitening);
+        if let Some(p) = &packet {
+            if p.crc_ok() {
+                wazabee_telemetry::counter!("ble.crc.ok").inc();
+            } else {
+                wazabee_telemetry::counter!("ble.crc.fail").inc();
+            }
+        }
+        packet
     }
 
     /// Captures raw demodulated bits after an arbitrary sync pattern — the

@@ -259,7 +259,7 @@ mod tests {
         // Two packets with different payload lengths parse to their own sizes.
         for len in [0usize, 1, 10, 37] {
             let mut pdu = vec![0x02, len as u8];
-            pdu.extend(std::iter::repeat(0x5A).take(len));
+            pdu.extend(std::iter::repeat_n(0x5A, len));
             let pkt = BlePacket::advertising(pdu.clone());
             let bits = pkt.to_air_bits(ch(12), BlePhy::Le2M, true);
             let back = BlePacket::from_air_bits(&bits, ch(12), BlePhy::Le2M, true).unwrap();

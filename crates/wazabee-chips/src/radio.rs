@@ -171,7 +171,10 @@ mod tests {
         );
         // BLE-centre tuning only.
         assert!(radio.tune_mhz(2420).is_ok()); // BLE channel 8
-        assert_eq!(radio.tune_mhz(2405).unwrap_err(), ChipError::CannotTune { mhz: 2405 });
+        assert_eq!(
+            radio.tune_mhz(2405).unwrap_err(),
+            ChipError::CannotTune { mhz: 2405 }
+        );
     }
 
     #[test]
@@ -192,8 +195,12 @@ mod tests {
 
     #[test]
     fn errors_display() {
-        assert!(ChipError::CannotTune { mhz: 2425 }.to_string().contains("2425"));
-        let e = ChipError::MissingCapability { capability: "CRC disable" };
+        assert!(ChipError::CannotTune { mhz: 2425 }
+            .to_string()
+            .contains("2425"));
+        let e = ChipError::MissingCapability {
+            capability: "CRC disable",
+        };
         assert!(e.to_string().contains("CRC"));
     }
 }

@@ -195,8 +195,12 @@ mod tests {
     #[test]
     fn data_length_enforced() {
         let mut p = phone();
-        assert!(p.set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA]).is_ok());
-        assert!(p.set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA + 1]).is_err());
+        assert!(p
+            .set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA])
+            .is_ok());
+        assert!(p
+            .set_manufacturer_data(vec![0; MAX_MANUFACTURER_DATA + 1])
+            .is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@ pub fn bytes_to_symbols(bytes: &[u8]) -> Vec<u8> {
 ///
 /// Panics if the symbol count is odd.
 pub fn symbols_to_bytes(symbols: &[u8]) -> Vec<u8> {
-    assert!(symbols.len() % 2 == 0, "symbol count must be even");
+    assert!(symbols.len().is_multiple_of(2), "symbol count must be even");
     symbols
         .chunks_exact(2)
         .map(|p| (p[0] & 0x0F) | (p[1] << 4))

@@ -308,8 +308,11 @@ impl MacFrame {
     /// Effective source PAN: the explicit one, or the destination PAN under
     /// compression.
     pub fn effective_src_pan(&self) -> Option<u16> {
-        self.src_pan
-            .or(if self.pan_id_compression { self.dest_pan } else { None })
+        self.src_pan.or(if self.pan_id_compression {
+            self.dest_pan
+        } else {
+            None
+        })
     }
 }
 

@@ -98,6 +98,7 @@ impl Dot154Modem {
 
     /// Modulates a PPDU to complex baseband.
     pub fn transmit(&self, ppdu: &Ppdu) -> Vec<Iq> {
+        let _t = wazabee_telemetry::timed_scope!("dot154.oqpsk.modulate_ns");
         modulate_chips(&ppdu.to_chips(), self.samples_per_chip)
     }
 
@@ -129,6 +130,7 @@ impl Dot154Modem {
     /// Returns `None` when no synchronisation header is found or the stream
     /// ends before the announced PSDU completes.
     pub fn receive(&self, samples: &[Iq]) -> Option<ReceivedPpdu> {
+        let _t = wazabee_telemetry::timed_scope!("dot154.msk_rx_ns");
         let shr = Self::shr_msk_image();
         let mut best: Option<(usize, wazabee_dsp::correlate::PatternMatch)> = None;
         let mut cached_bits: Option<Vec<u8>> = None;
@@ -137,7 +139,7 @@ impl Dot154Modem {
             if let Some(m) =
                 wazabee_dsp::correlate::find_pattern(&bits, &shr, 0, self.max_shr_errors)
             {
-                if best.as_ref().map_or(true, |(_, b)| m.errors < b.errors) {
+                if best.as_ref().is_none_or(|(_, b)| m.errors < b.errors) {
                     best = Some((offset, m));
                     cached_bits = Some(bits);
                     if m.errors == 0 {
@@ -145,6 +147,14 @@ impl Dot154Modem {
                     }
                 }
             }
+        }
+        match &best {
+            Some((_, m)) => {
+                wazabee_telemetry::counter!("dot154.sync.hit").inc();
+                wazabee_telemetry::value_histogram!("dot154.shr_errors", 0.0, 64.0)
+                    .record(m.errors as f64);
+            }
+            None => wazabee_telemetry::counter!("dot154.sync.miss").inc(),
         }
         let (_, m) = best?;
         let bits = cached_bits.expect("bits cached with best match");
@@ -165,14 +175,23 @@ impl Dot154Modem {
         for k in 0..psdu_len * 2 {
             let block = symbol_block(SHR_SYMBOLS + 2 + k)?;
             let (sym, errs) = closest_symbol_msk(block);
+            wazabee_telemetry::counter!("dot154.despread.symbols").inc();
+            wazabee_telemetry::value_histogram!("dot154.despread_hamming", 0.0, 32.0)
+                .record(errs as f64);
             symbols.push(sym);
             chip_errors += errs;
         }
-        Some(ReceivedPpdu {
+        let rx = ReceivedPpdu {
             psdu: symbols_to_bytes(&symbols),
             chip_errors,
             shr_errors: m.errors,
-        })
+        };
+        if rx.fcs_ok() {
+            wazabee_telemetry::counter!("dot154.fcs.ok").inc();
+        } else {
+            wazabee_telemetry::counter!("dot154.fcs.fail").inc();
+        }
+        Some(rx)
     }
 
     /// Receives a frame with the coherent chip-domain receiver of

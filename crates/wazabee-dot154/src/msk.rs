@@ -184,8 +184,8 @@ mod tests {
         // that inverts *every* transition bit.
         let table = msk_correspondence_table();
         for s in 0..8usize {
-            for k in 0..31 {
-                assert_eq!(table[s][k] ^ 1, table[s + 8][k], "symbol {s} bit {k}");
+            for (k, &bit) in table[s].iter().enumerate() {
+                assert_eq!(bit ^ 1, table[s + 8][k], "symbol {s} bit {k}");
             }
         }
     }

@@ -64,9 +64,7 @@ pub fn traces(chips: &[u8], samples_per_chip: usize) -> OqpskTraces {
     let samples = modulate_chips(chips, samples_per_chip);
     let m: Vec<f64> = chips
         .iter()
-        .flat_map(|&c| {
-            std::iter::repeat(if c & 1 == 1 { 1.0 } else { -1.0 }).take(samples_per_chip)
-        })
+        .flat_map(|&c| std::iter::repeat_n(if c & 1 == 1 { 1.0 } else { -1.0 }, samples_per_chip))
         .collect();
     let i: Vec<f64> = samples.iter().map(|s| s.i).collect();
     let q: Vec<f64> = samples.iter().map(|s| s.q).collect();
@@ -135,7 +133,7 @@ impl CoherentReceiver {
                 acc += rx[lag + k] * t.conj();
             }
             let quality = acc.amplitude() / energy;
-            if best.map_or(true, |b| quality > b.quality) {
+            if best.is_none_or(|b| quality > b.quality) {
                 best = Some(CoherentSync {
                     sample_index: lag,
                     carrier_phase: acc.phase(),
@@ -294,7 +292,10 @@ mod tests {
         let n = decoded.len().min(chips.len());
         assert!(n >= chips.len() - 1, "lost {} chips", chips.len() - n);
         let errors = wazabee_dsp::bits::hamming(&decoded[..n], &chips[..n]);
-        assert!(errors < chips.len() / 20, "{errors}/{n} chip errors at 8 dB");
+        assert!(
+            errors < chips.len() / 20,
+            "{errors}/{n} chip errors at 8 dB"
+        );
     }
 
     #[test]

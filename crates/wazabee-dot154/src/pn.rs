@@ -12,37 +12,85 @@ use crate::channel::CHIPS_PER_SYMBOL;
 /// paper Table I (chip `c0` first).
 pub const PN_SEQUENCES: [[u8; 32]; 16] = [
     // 0: 0000
-    [1,1,0,1,1,0,0,1, 1,1,0,0,0,0,1,1, 0,1,0,1,0,0,1,0, 0,0,1,0,1,1,1,0],
+    [
+        1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1,
+        1, 0,
+    ],
     // 1: 1000
-    [1,1,1,0,1,1,0,1, 1,0,0,1,1,1,0,0, 0,0,1,1,0,1,0,1, 0,0,1,0,0,0,1,0],
+    [
+        1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0,
+        1, 0,
+    ],
     // 2: 0100
-    [0,0,1,0,1,1,1,0, 1,1,0,1,1,0,0,1, 1,1,0,0,0,0,1,1, 0,1,0,1,0,0,1,0],
+    [
+        0, 0, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0,
+        1, 0,
+    ],
     // 3: 1100
-    [0,0,1,0,0,0,1,0, 1,1,1,0,1,1,0,1, 1,0,0,1,1,1,0,0, 0,0,1,1,0,1,0,1],
+    [
+        0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1,
+        0, 1,
+    ],
     // 4: 0010
-    [0,1,0,1,0,0,1,0, 0,0,1,0,1,1,1,0, 1,1,0,1,1,0,0,1, 1,1,0,0,0,0,1,1],
+    [
+        0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1, 1, 0, 0, 0, 0,
+        1, 1,
+    ],
     // 5: 1010
-    [0,0,1,1,0,1,0,1, 0,0,1,0,0,0,1,0, 1,1,1,0,1,1,0,1, 1,0,0,1,1,1,0,0],
+    [
+        0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0, 0, 1, 1, 1,
+        0, 0,
+    ],
     // 6: 0110
-    [1,1,0,0,0,0,1,1, 0,1,0,1,0,0,1,0, 0,0,1,0,1,1,1,0, 1,1,0,1,1,0,0,1],
+    [
+        1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 1, 0, 1, 1, 0,
+        0, 1,
+    ],
     // 7: 1110
-    [1,0,0,1,1,1,0,0, 0,0,1,1,0,1,0,1, 0,0,1,0,0,0,1,0, 1,1,1,0,1,1,0,1],
+    [
+        1, 0, 0, 1, 1, 1, 0, 0, 0, 0, 1, 1, 0, 1, 0, 1, 0, 0, 1, 0, 0, 0, 1, 0, 1, 1, 1, 0, 1, 1,
+        0, 1,
+    ],
     // 8: 0001
-    [1,0,0,0,1,1,0,0, 1,0,0,1,0,1,1,0, 0,0,0,0,0,1,1,1, 0,1,1,1,1,0,1,1],
+    [
+        1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0,
+        1, 1,
+    ],
     // 9: 1001
-    [1,0,1,1,1,0,0,0, 1,1,0,0,1,0,0,1, 0,1,1,0,0,0,0,0, 0,1,1,1,0,1,1,1],
+    [
+        1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1,
+        1, 1,
+    ],
     // 10: 0101
-    [0,1,1,1,1,0,1,1, 1,0,0,0,1,1,0,0, 1,0,0,1,0,1,1,0, 0,0,0,0,0,1,1,1],
+    [
+        0, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1,
+        1, 1,
+    ],
     // 11: 1101
-    [0,1,1,1,0,1,1,1, 1,0,1,1,1,0,0,0, 1,1,0,0,1,0,0,1, 0,1,1,0,0,0,0,0],
+    [
+        0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 0,
+        0, 0,
+    ],
     // 12: 0011
-    [0,0,0,0,0,1,1,1, 0,1,1,1,1,0,1,1, 1,0,0,0,1,1,0,0, 1,0,0,1,0,1,1,0],
+    [
+        0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0, 0, 1, 0, 1,
+        1, 0,
+    ],
     // 13: 1011
-    [0,1,1,0,0,0,0,0, 0,1,1,1,0,1,1,1, 1,0,1,1,1,0,0,0, 1,1,0,0,1,0,0,1],
+    [
+        0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1, 0, 0, 1, 0,
+        0, 1,
+    ],
     // 14: 0111
-    [1,0,0,1,0,1,1,0, 0,0,0,0,0,1,1,1, 0,1,1,1,1,0,1,1, 1,0,0,0,1,1,0,0],
+    [
+        1, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 0, 0, 0, 1, 1,
+        0, 0,
+    ],
     // 15: 1111
-    [1,1,0,0,1,0,0,1, 0,1,1,0,0,0,0,0, 0,1,1,1,0,1,1,1, 1,0,1,1,1,0,0,0],
+    [
+        1, 1, 0, 0, 1, 0, 0, 1, 0, 1, 1, 0, 0, 0, 0, 0, 0, 1, 1, 1, 0, 1, 1, 1, 1, 0, 1, 1, 1, 0,
+        0, 0,
+    ],
 ];
 
 /// Returns the PN sequence for a symbol value.
@@ -79,10 +127,9 @@ pub fn closest_symbol(chips: &[u8]) -> (u8, usize) {
 /// Hamming-despreading of the paper (§IV-D) relies on.
 pub fn min_pairwise_distance() -> usize {
     let mut min = usize::MAX;
-    for a in 0..16 {
-        for b in (a + 1)..16 {
-            let d = wazabee_dsp::bits::hamming(&PN_SEQUENCES[a], &PN_SEQUENCES[b]);
-            min = min.min(d);
+    for (a, seq_a) in PN_SEQUENCES.iter().enumerate() {
+        for seq_b in PN_SEQUENCES.iter().skip(a + 1) {
+            min = min.min(wazabee_dsp::bits::hamming(seq_a, seq_b));
         }
     }
     min
@@ -94,9 +141,9 @@ mod tests {
 
     #[test]
     fn all_sequences_have_32_chips_and_are_distinct() {
-        for a in 0..16 {
-            for b in (a + 1)..16 {
-                assert_ne!(PN_SEQUENCES[a], PN_SEQUENCES[b], "symbols {a} and {b} collide");
+        for (a, seq_a) in PN_SEQUENCES.iter().enumerate() {
+            for (b, seq_b) in PN_SEQUENCES.iter().enumerate().skip(a + 1) {
+                assert_ne!(seq_a, seq_b, "symbols {a} and {b} collide");
             }
         }
     }
@@ -104,14 +151,10 @@ mod tests {
     #[test]
     fn symbols_1_to_7_are_rotations_of_symbol_0() {
         // Symbol s (1..=7) is symbol 0 rotated right by 4·s chips.
-        for s in 1..8usize {
+        for (s, seq) in PN_SEQUENCES.iter().enumerate().take(8).skip(1) {
             let shift = 4 * s;
-            for i in 0..32 {
-                assert_eq!(
-                    PN_SEQUENCES[s][(i + shift) % 32],
-                    PN_SEQUENCES[0][i],
-                    "symbol {s} chip {i}"
-                );
+            for (i, &chip) in PN_SEQUENCES[0].iter().enumerate() {
+                assert_eq!(seq[(i + shift) % 32], chip, "symbol {s} chip {i}");
             }
         }
     }
@@ -120,8 +163,8 @@ mod tests {
     fn symbols_8_to_15_are_odd_chip_conjugates() {
         // Symbol s+8 equals symbol s with every odd-indexed chip inverted.
         for s in 0..8usize {
-            for i in 0..32 {
-                let expect = PN_SEQUENCES[s][i] ^ (i as u8 & 1);
+            for (i, &chip) in PN_SEQUENCES[s].iter().enumerate() {
+                let expect = chip ^ (i as u8 & 1);
                 assert_eq!(PN_SEQUENCES[s + 8][i], expect, "symbol {} chip {i}", s + 8);
             }
         }

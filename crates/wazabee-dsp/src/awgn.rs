@@ -35,7 +35,10 @@ impl AwgnSource {
     ///
     /// Panics if `sigma` is negative or not finite.
     pub fn new(seed: u64, sigma: f64) -> Self {
-        assert!(sigma.is_finite() && sigma >= 0.0, "sigma must be non-negative");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "sigma must be non-negative"
+        );
         AwgnSource {
             rng: ChaCha8Rng::seed_from_u64(seed),
             sigma,
@@ -106,7 +109,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = AwgnSource::new(1, 0.3);
         let mut b = AwgnSource::new(2, 0.3);
-        let same = (0..32).filter(|_| a.next_sample() == b.next_sample()).count();
+        let same = (0..32)
+            .filter(|_| a.next_sample() == b.next_sample())
+            .count();
         assert!(same < 4);
     }
 
@@ -116,7 +121,10 @@ mod tests {
         let buf: Vec<Iq> = (0..200_000).map(|_| src.next_sample()).collect();
         let p = mean_power(&buf);
         let expect = 2.0 * 0.5 * 0.5;
-        assert!((p - expect).abs() / expect < 0.02, "measured {p}, expected {expect}");
+        assert!(
+            (p - expect).abs() / expect < 0.02,
+            "measured {p}, expected {expect}"
+        );
     }
 
     #[test]

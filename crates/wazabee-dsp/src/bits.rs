@@ -67,7 +67,10 @@ pub fn bytes_to_bits_msb(bytes: &[u8]) -> Vec<u8> {
 /// Panics if the slices have different lengths.
 pub fn hamming(a: &[u8], b: &[u8]) -> usize {
     assert_eq!(a.len(), b.len(), "hamming distance needs equal lengths");
-    a.iter().zip(b).filter(|(x, y)| (**x ^ **y) & 1 == 1).count()
+    a.iter()
+        .zip(b)
+        .filter(|(x, y)| (**x ^ **y) & 1 == 1)
+        .count()
 }
 
 /// Parses a whitespace-separated string of `0`/`1` characters into bits.
@@ -96,7 +99,9 @@ pub fn parse_bits(s: &str) -> Option<Vec<u8>> {
 
 /// Renders bits as a compact string of `0`/`1` characters.
 pub fn format_bits(bits: &[u8]) -> String {
-    bits.iter().map(|&b| if b & 1 == 1 { '1' } else { '0' }).collect()
+    bits.iter()
+        .map(|&b| if b & 1 == 1 { '1' } else { '0' })
+        .collect()
 }
 
 /// Inverts every bit in place.
@@ -120,7 +125,9 @@ pub const fn reverse_byte(byte: u8) -> u8 {
 
 /// Maps bits to bipolar symbols: 1 → +1.0, 0 → −1.0.
 pub fn bits_to_nrz(bits: &[u8]) -> Vec<f64> {
-    bits.iter().map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 }).collect()
+    bits.iter()
+        .map(|&b| if b & 1 == 1 { 1.0 } else { -1.0 })
+        .collect()
 }
 
 /// Maps bipolar soft values back to hard bits (ties round to 1).
@@ -140,7 +147,10 @@ mod tests {
 
     #[test]
     fn msb_expansion_order() {
-        assert_eq!(bytes_to_bits_msb(&[0b1101_1001]), vec![1, 1, 0, 1, 1, 0, 0, 1]);
+        assert_eq!(
+            bytes_to_bits_msb(&[0b1101_1001]),
+            vec![1, 1, 0, 1, 1, 0, 0, 1]
+        );
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub fn best_pattern_match(stream: &[u8], pattern: &[u8]) -> Option<PatternMatch>
     let mut best: Option<PatternMatch> = None;
     for index in 0..=last {
         let errors = hamming(&stream[index..index + pattern.len()], pattern);
-        if best.map_or(true, |b| errors < b.errors) {
+        if best.is_none_or(|b| errors < b.errors) {
             best = Some(PatternMatch { index, errors });
             if errors == 0 {
                 break;
@@ -111,7 +111,13 @@ mod tests {
     fn exact_match_found() {
         let stream = [1, 1, 0, 1, 0, 0, 1];
         let m = find_pattern(&stream, &[0, 1, 0], 0, 0).unwrap();
-        assert_eq!(m, PatternMatch { index: 2, errors: 0 });
+        assert_eq!(
+            m,
+            PatternMatch {
+                index: 2,
+                errors: 0
+            }
+        );
     }
 
     #[test]

@@ -34,7 +34,10 @@ use crate::fir::Fir;
 /// ```
 pub fn gaussian_filter(bt: f64, samples_per_symbol: usize, span_symbols: usize) -> Fir {
     assert!(bt > 0.0, "BT product must be positive");
-    assert!(samples_per_symbol > 0, "need at least one sample per symbol");
+    assert!(
+        samples_per_symbol > 0,
+        "need at least one sample per symbol"
+    );
     assert!(span_symbols > 0, "span must cover at least one symbol");
 
     // Standard GMSK Gaussian impulse response:
@@ -63,10 +66,16 @@ pub fn gaussian_filter(bt: f64, samples_per_symbol: usize, span_symbols: usize) 
 /// Output length is `symbols.len() * samples_per_symbol` — the filter's group
 /// delay is compensated so sample `k*sps .. (k+1)*sps` corresponds to symbol
 /// `k`.
-pub fn shape_nrz(symbols: &[f64], bt: f64, samples_per_symbol: usize, span_symbols: usize) -> Vec<f64> {
+pub fn shape_nrz(
+    symbols: &[f64],
+    bt: f64,
+    samples_per_symbol: usize,
+    span_symbols: usize,
+) -> Vec<f64> {
+    let _t = wazabee_telemetry::timed_scope!("dsp.gaussian_fir_ns");
     let rect: Vec<f64> = symbols
         .iter()
-        .flat_map(|&s| std::iter::repeat(s).take(samples_per_symbol))
+        .flat_map(|&s| std::iter::repeat_n(s, samples_per_symbol))
         .collect();
     let filter = gaussian_filter(bt, samples_per_symbol, span_symbols);
     filter.filter_real_same(&rect)
@@ -77,7 +86,7 @@ pub fn shape_nrz(symbols: &[f64], bt: f64, samples_per_symbol: usize, span_symbo
 pub fn shape_nrz_rect(symbols: &[f64], samples_per_symbol: usize) -> Vec<f64> {
     symbols
         .iter()
-        .flat_map(|&s| std::iter::repeat(s).take(samples_per_symbol))
+        .flat_map(|&s| std::iter::repeat_n(s, samples_per_symbol))
         .collect()
 }
 

@@ -114,7 +114,11 @@ mod tests {
         let mut nco = Nco::new(-1.0e6, 8.0e6);
         nco.next_sample();
         let s = nco.next_sample();
-        assert!(s.phase() < 0.0, "expected clockwise rotation, got {}", s.phase());
+        assert!(
+            s.phase() < 0.0,
+            "expected clockwise rotation, got {}",
+            s.phase()
+        );
     }
 
     #[test]

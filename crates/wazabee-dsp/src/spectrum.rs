@@ -20,7 +20,7 @@ pub fn fft_in_place(buf: &mut [Iq]) {
     // Bit-reversal permutation.
     let bits = n.trailing_zeros();
     for i in 0..n {
-        let j = (i.reverse_bits() >> (usize::BITS - bits)) as usize;
+        let j = i.reverse_bits() >> (usize::BITS - bits);
         if j > i {
             buf.swap(i, j);
         }
@@ -161,18 +161,13 @@ mod tests {
             .collect();
         let mut fast = input.clone();
         fft_in_place(&mut fast);
-        for bin in 0..n {
+        for (bin, &f) in fast.iter().enumerate() {
             let mut acc = Iq::ZERO;
             for (k, &x) in input.iter().enumerate() {
                 let angle = -std::f64::consts::TAU * bin as f64 * k as f64 / n as f64;
                 acc += x * Iq::from_polar(1.0, angle);
             }
-            assert!(
-                (fast[bin] - acc).amplitude() < 1e-6,
-                "bin {bin}: {} vs {}",
-                fast[bin],
-                acc
-            );
+            assert!((f - acc).amplitude() < 1e-6, "bin {bin}: {f} vs {acc}");
         }
     }
 
@@ -209,7 +204,11 @@ mod tests {
     fn summary_of_tone_is_narrow() {
         let fs = 16.0e6;
         let s = summarize(&tone(-2.0e6, fs, 2048), fs).unwrap();
-        assert!((s.center_hz + 2.0e6).abs() < 50.0e3, "center {}", s.center_hz);
+        assert!(
+            (s.center_hz + 2.0e6).abs() < 50.0e3,
+            "center {}",
+            s.center_hz
+        );
         assert!(s.occupied_bw_hz < 200.0e3, "bw {}", s.occupied_bw_hz);
     }
 

@@ -67,8 +67,11 @@ impl EsbModem {
         let capture = rx.capture(samples, &sync, 1, MAX_TAIL_BITS)?;
         // Rebuild the full on-air stream the parser expects: preamble bits
         // are irrelevant to parsing, so substitute the nominal ones.
-        let mut bits =
-            wazabee_dsp::bits::bytes_to_bits_msb(&[if address[0] & 0x80 != 0 { 0xAA } else { 0x55 }]);
+        let mut bits = wazabee_dsp::bits::bytes_to_bits_msb(&[if address[0] & 0x80 != 0 {
+            0xAA
+        } else {
+            0x55
+        }]);
         bits.extend_from_slice(&sync);
         bits.extend_from_slice(&capture.bits);
         EsbPacket::from_air_bits(&bits, 5)

@@ -68,7 +68,10 @@ pub fn detect_bursts(samples: &[Iq], cfg: &BurstDetectorConfig) -> Vec<Burst> {
     let mut current: Option<(usize, usize)> = None;
     let mut k = 0;
     while k + cfg.window <= samples.len() {
-        let power: f64 = samples[k..k + cfg.window].iter().map(|s| s.power()).sum::<f64>()
+        let power: f64 = samples[k..k + cfg.window]
+            .iter()
+            .map(|s| s.power())
+            .sum::<f64>()
             / cfg.window as f64;
         if power >= cfg.threshold {
             current = match current {
@@ -164,7 +167,10 @@ mod tests {
 
     #[test]
     fn duration_math() {
-        let b = Burst { start: 100, end: 1700 };
+        let b = Burst {
+            start: 100,
+            end: 1700,
+        };
         assert_eq!(b.len(), 1600);
         assert!((b.duration_us(16.0e6) - 100.0).abs() < 1e-9);
         assert!(!b.is_empty());

@@ -44,8 +44,7 @@ impl Classification {
     /// The WazaBee Scenario-A signature: one emission valid under *both*
     /// protocol grammars.
     pub fn is_cross_protocol(&self) -> bool {
-        matches!(&self.ble, Some(b) if b.crc_ok)
-            && matches!(&self.dot154, Some(d) if d.fcs_ok)
+        matches!(&self.ble, Some(b) if b.crc_ok) && matches!(&self.dot154, Some(d) if d.fcs_ok)
     }
 
     /// Pure 802.15.4 (no valid BLE framing).
@@ -124,10 +123,12 @@ impl Classifier {
 
     /// Attempts an 802.15.4 decode.
     pub fn try_dot154(&self, samples: &[Iq]) -> Option<Dot154Decode> {
-        self.dot154.receive(samples).map(|r: ReceivedPpdu| Dot154Decode {
-            fcs_ok: r.fcs_ok(),
-            psdu: r.psdu,
-        })
+        self.dot154
+            .receive(samples)
+            .map(|r: ReceivedPpdu| Dot154Decode {
+                fcs_ok: r.fcs_ok(),
+                psdu: r.psdu,
+            })
     }
 
     /// Classifies one burst under both protocol grammars.

@@ -128,8 +128,10 @@ impl ChannelMonitor {
 
     /// Processes one observation window of IQ samples, returning any alerts.
     pub fn observe(&mut self, samples: &[Iq]) -> Vec<Alert> {
+        let _t = wazabee_telemetry::timed_scope!("ids.observe_ns");
         let mut alerts = Vec::new();
         let bursts = detect_bursts(samples, &self.config.burst);
+        wazabee_telemetry::counter!("ids.bursts").add(bursts.len() as u64);
 
         // Traffic anomaly check against the learned baseline.
         let observed = bursts.len();
@@ -179,6 +181,7 @@ impl ChannelMonitor {
                 });
             }
         }
+        wazabee_telemetry::counter!("ids.alerts").add(alerts.len() as u64);
         alerts
     }
 }

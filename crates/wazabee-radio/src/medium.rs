@@ -128,7 +128,11 @@ impl Link {
     /// Delivers `frame` to a receiver tuned to `rx_center_mhz`, producing the
     /// sample buffer the receiver's demodulator sees.
     pub fn deliver(&mut self, frame: &RfFrame, rx_center_mhz: u32) -> Vec<Iq> {
+        let _t = wazabee_telemetry::timed_scope!("radio.medium.deliver_ns");
+        wazabee_telemetry::counter!("radio.medium.deliveries").inc();
         let cfg = self.config;
+        wazabee_telemetry::value_histogram!("radio.medium.cfo_hz", 0.0, 64.0e3)
+            .record(cfg.cfo_hz.abs());
         // 1. Spectral shift by the TX/RX centre difference plus CFO.
         let delta_hz =
             (f64::from(frame.center_mhz) - f64::from(rx_center_mhz)) * 1.0e6 + cfg.cfo_hz;
@@ -147,15 +151,19 @@ impl Link {
         if cfg.timing_offset != 0.0 {
             signal = fractional_delay(&signal, cfg.timing_offset);
         }
-        // 4. Lead-in / lead-out.
+        // 4. Lead-in / lead-out. The bound is inclusive: `max_lead_in` is
+        // documented as the upper bound, so a draw of exactly that many
+        // samples must be possible.
         let lead_in = if cfg.max_lead_in > 0 {
-            self.rng.gen_range(0..cfg.max_lead_in)
+            self.rng.gen_range(0..=cfg.max_lead_in)
         } else {
             0
         };
+        wazabee_telemetry::value_histogram!("radio.medium.lead_in", 0.0, 1024.0)
+            .record(lead_in as f64);
         let mut buf = vec![Iq::ZERO; lead_in];
         buf.extend(signal);
-        buf.extend(std::iter::repeat(Iq::ZERO).take(cfg.lead_out));
+        buf.extend(std::iter::repeat_n(Iq::ZERO, cfg.lead_out));
         // 5. Thermal noise over the whole observation window.
         if let Some(snr) = cfg.snr_db {
             let signal_power = cfg.path_gain * cfg.path_gain;
@@ -169,8 +177,8 @@ impl Link {
                 continue;
             }
             if self.rng.gen::<f64>() < i.burst_probability {
-                let burst_len =
-                    ((buf.len() as f64) * i.burst_fraction).round().max(1.0) as usize;
+                wazabee_telemetry::counter!("radio.medium.wifi_bursts").inc();
+                let burst_len = ((buf.len() as f64) * i.burst_fraction).round().max(1.0) as usize;
                 let burst_len = burst_len.min(buf.len());
                 let start = self.rng.gen_range(0..=buf.len() - burst_len);
                 let sigma = (in_band / 2.0).sqrt();
@@ -178,6 +186,7 @@ impl Link {
                 burst.add_to(&mut buf[start..start + burst_len]);
             }
         }
+        wazabee_telemetry::counter!("radio.medium.samples").add(buf.len() as u64);
         buf
     }
 }
@@ -209,8 +218,10 @@ mod tests {
     fn co_channel_delivery_preserves_tone() {
         let fs = 16.0e6;
         let frame = tone_frame(2420, 2048, fs);
-        let mut cfg = LinkConfig::default();
-        cfg.snr_db = Some(30.0);
+        let cfg = LinkConfig {
+            snr_db: Some(30.0),
+            ..LinkConfig::default()
+        };
         let mut link = Link::new(cfg, 2);
         let rx = link.deliver(&frame, 2420);
         // The tone should dominate: total power ≈ signal power (1.0) + noise.
@@ -228,7 +239,10 @@ mod tests {
         let f = wazabee_dsp::discriminator::discriminate(&rx);
         let mean_step = f.iter().sum::<f64>() / f.len() as f64;
         let expect = std::f64::consts::TAU * 2.25e6 / fs;
-        assert!((mean_step - expect).abs() < 0.01 * expect, "step {mean_step}");
+        assert!(
+            (mean_step - expect).abs() < 0.01 * expect,
+            "step {mean_step}"
+        );
     }
 
     #[test]
@@ -241,10 +255,26 @@ mod tests {
         let mut lengths = std::collections::HashSet::new();
         for _ in 0..16 {
             let rx = link.deliver(&frame, 2420);
-            assert!(rx.len() >= 74 && rx.len() < 174);
+            assert!(rx.len() >= 74 && rx.len() <= 174);
             lengths.insert(rx.len());
         }
         assert!(lengths.len() > 4, "lead-in not randomised");
+    }
+
+    #[test]
+    fn lead_in_bound_is_inclusive() {
+        // Regression: `max_lead_in = 1` used to draw from `0..1`, which is
+        // always 0 — the documented upper bound was unreachable.
+        let frame = tone_frame(2420, 64, 16.0e6);
+        let mut cfg = LinkConfig::ideal();
+        cfg.max_lead_in = 1;
+        let mut link = Link::new(cfg, 11);
+        let mut lengths = std::collections::HashSet::new();
+        for _ in 0..64 {
+            lengths.insert(link.deliver(&frame, 2420).len());
+        }
+        assert!(lengths.contains(&64), "lead-in of 0 never drawn");
+        assert!(lengths.contains(&65), "lead-in of max_lead_in never drawn");
     }
 
     #[test]

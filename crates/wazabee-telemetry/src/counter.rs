@@ -1,0 +1,119 @@
+//! Lock-free atomic event counters.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A monotonically increasing event counter.
+///
+/// `const`-constructible so each [`crate::counter!`] call site owns a static
+/// instance; the first increment registers it with the global registry.
+/// Increments are a single relaxed `fetch_add` — safe and scalable across
+/// threads.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    value: AtomicU64,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// Creates an unregistered counter (use via [`crate::counter!`]).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        Counter {
+            name,
+            #[cfg(feature = "enabled")]
+            value: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The metric name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one.
+    #[inline]
+    pub fn inc(&'static self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        #[cfg(feature = "enabled")]
+        {
+            if !self.registered.load(Ordering::Relaxed) {
+                self.register_slow();
+            }
+            self.value.fetch_add(n, Ordering::Relaxed);
+        }
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when the `enabled` feature is off).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.value.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    #[cfg(feature = "enabled")]
+    #[cold]
+    fn register_slow(&'static self) {
+        if !self.registered.swap(true, Ordering::AcqRel) {
+            crate::registry::register_counter(self);
+        }
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_and_merges_by_callsite() {
+        let _lock = crate::test_lock();
+        let c = crate::counter!("counter.test.basic");
+        let before = c.get();
+        c.inc();
+        c.add(9);
+        assert_eq!(c.get(), before + 10);
+    }
+
+    #[test]
+    fn atomic_under_contention() {
+        let _lock = crate::test_lock();
+        // 8 threads × 10_000 increments must never lose an update.
+        static C: Counter = Counter::new("counter.test.contended");
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10_000 {
+                        C.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(C.get(), 80_000);
+    }
+}

@@ -1,0 +1,56 @@
+//! Global registry of every metric static touched so far.
+//!
+//! Statics register themselves on first use (a one-time `swap` + mutex push),
+//! so the sinks can enumerate exactly the metrics the run exercised — no
+//! central declaration list to maintain.
+
+#[cfg(feature = "enabled")]
+use std::sync::{Mutex, OnceLock};
+
+#[cfg(feature = "enabled")]
+use crate::{Counter, TimeHistogram, ValueHistogram};
+
+#[cfg(feature = "enabled")]
+#[derive(Default)]
+pub(crate) struct Registry {
+    pub counters: Mutex<Vec<&'static Counter>>,
+    pub value_hists: Mutex<Vec<&'static ValueHistogram>>,
+    pub time_hists: Mutex<Vec<&'static TimeHistogram>>,
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn registry() -> &'static Registry {
+    static REGISTRY: OnceLock<Registry> = OnceLock::new();
+    REGISTRY.get_or_init(Registry::default)
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_counter(c: &'static Counter) {
+    registry().counters.lock().unwrap().push(c);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_value_hist(h: &'static ValueHistogram) {
+    registry().value_hists.lock().unwrap().push(h);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_time_hist(h: &'static TimeHistogram) {
+    registry().time_hists.lock().unwrap().push(h);
+}
+
+/// Zeroes every registered metric (they stay registered).
+pub(crate) fn reset() {
+    #[cfg(feature = "enabled")]
+    {
+        for c in registry().counters.lock().unwrap().iter() {
+            c.reset();
+        }
+        for h in registry().value_hists.lock().unwrap().iter() {
+            h.reset();
+        }
+        for h in registry().time_hists.lock().unwrap().iter() {
+            h.reset();
+        }
+    }
+}

@@ -1,0 +1,387 @@
+//! Output sinks: end-of-run console summary and JSONL export.
+//!
+//! Both sinks read the global registry (every counter/histogram touched this
+//! run) and the trace ring. The summary derives the headline figures of the
+//! paper's evaluation — sync-hit rate, CRC-24/FCS pass rates, PER — from
+//! counter naming conventions: any `*.hit`/`*.miss` or `*.ok`/`*.fail` pair
+//! yields a rate line, and `*frames_tx` vs `*frames_ok` totals yield PER.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::span::{snapshot_trace, TraceKind};
+
+/// Environment variable naming a JSONL dump path (see [`dump_from_env`]).
+pub const ENV_OUT: &str = "WAZABEE_TELEMETRY_OUT";
+
+#[cfg(feature = "enabled")]
+fn merged_counters() -> BTreeMap<&'static str, u64> {
+    let mut merged: BTreeMap<&'static str, u64> = BTreeMap::new();
+    for c in crate::registry::registry().counters.lock().unwrap().iter() {
+        *merged.entry(c.name()).or_insert(0) += c.get();
+    }
+    merged
+}
+
+#[cfg(not(feature = "enabled"))]
+fn merged_counters() -> BTreeMap<&'static str, u64> {
+    BTreeMap::new()
+}
+
+/// Sums counters whose name ends with `suffix`.
+#[cfg(feature = "enabled")]
+fn total_with_suffix(counters: &BTreeMap<&'static str, u64>, suffix: &str) -> u64 {
+    counters
+        .iter()
+        .filter(|(name, _)| name.ends_with(suffix))
+        .map(|(_, v)| v)
+        .sum()
+}
+
+#[cfg(feature = "enabled")]
+fn rate_line(label: &str, pass: u64, fail: u64) -> Option<String> {
+    let total = pass + fail;
+    (total > 0).then(|| {
+        format!(
+            "  {label:<28} {pass}/{total} ({:.2}%)",
+            100.0 * pass as f64 / total as f64
+        )
+    })
+}
+
+/// Renders the end-of-run console summary table.
+///
+/// Sections: derived rates (sync success, CRC/FCS pass, PER), counters,
+/// value histograms (count/mean/p50/p99), timing histograms
+/// (count/total/p50/p99), and span aggregates from the trace ring.
+/// With the `enabled` feature off, returns a single "disabled" line.
+#[must_use]
+pub fn summary() -> String {
+    #[cfg(not(feature = "enabled"))]
+    {
+        return "wazabee-telemetry: disabled (build with the `telemetry` feature)\n".to_string();
+    }
+    #[cfg(feature = "enabled")]
+    {
+        let mut out = String::new();
+        let _ = writeln!(out, "=== wazabee telemetry summary ===");
+
+        let counters = merged_counters();
+
+        // Derived headline rates from naming conventions.
+        let mut derived = Vec::new();
+        let sync_hit = total_with_suffix(&counters, ".sync.hit");
+        let sync_miss = total_with_suffix(&counters, ".sync.miss");
+        if let Some(l) = rate_line("sync-hit rate", sync_hit, sync_miss) {
+            derived.push(l);
+        }
+        let crc_ok = total_with_suffix(&counters, ".crc.ok");
+        let crc_fail = total_with_suffix(&counters, ".crc.fail");
+        if let Some(l) = rate_line("CRC-24 pass rate", crc_ok, crc_fail) {
+            derived.push(l);
+        }
+        let fcs_ok = total_with_suffix(&counters, ".fcs.ok");
+        let fcs_fail = total_with_suffix(&counters, ".fcs.fail");
+        if let Some(l) = rate_line("FCS pass rate", fcs_ok, fcs_fail) {
+            derived.push(l);
+        }
+        let frames_tx = total_with_suffix(&counters, "frames_tx");
+        let frames_ok = total_with_suffix(&counters, "frames_ok");
+        if frames_tx > 0 {
+            let per = 1.0 - (frames_ok.min(frames_tx) as f64 / frames_tx as f64);
+            derived.push(format!(
+                "  {:<28} {:.4} ({frames_ok}/{frames_tx} frames ok)",
+                "PER", per
+            ));
+        }
+        if !derived.is_empty() {
+            let _ = writeln!(out, "-- derived --");
+            for l in derived {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+
+        if !counters.is_empty() {
+            let _ = writeln!(out, "-- counters --");
+            for (name, value) in &counters {
+                let _ = writeln!(out, "  {name:<40} {value}");
+            }
+        }
+
+        let vhists = crate::registry::registry().value_hists.lock().unwrap();
+        if !vhists.is_empty() {
+            let _ = writeln!(out, "-- value histograms --");
+            for h in vhists.iter() {
+                let n = h.count();
+                if n == 0 {
+                    let _ = writeln!(out, "  {:<40} (empty)", h.name());
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<40} n={n} mean={:.3} p50={:.3} p99={:.3}",
+                    h.name(),
+                    h.mean().unwrap_or(f64::NAN),
+                    h.quantile(0.5).unwrap_or(f64::NAN),
+                    h.quantile(0.99).unwrap_or(f64::NAN),
+                );
+            }
+        }
+        drop(vhists);
+
+        let thists = crate::registry::registry().time_hists.lock().unwrap();
+        if !thists.is_empty() {
+            let _ = writeln!(out, "-- timing histograms (ns) --");
+            for h in thists.iter() {
+                let n = h.count();
+                if n == 0 {
+                    let _ = writeln!(out, "  {:<40} (empty)", h.name());
+                    continue;
+                }
+                let _ = writeln!(
+                    out,
+                    "  {:<40} n={n} total={} p50~{} p99~{}",
+                    h.name(),
+                    h.sum_ns(),
+                    h.quantile_ns(0.5).unwrap_or(0),
+                    h.quantile_ns(0.99).unwrap_or(0),
+                );
+            }
+        }
+        drop(thists);
+
+        // Span aggregates: completed-span count and total time per name.
+        let mut spans: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        let mut events: BTreeMap<&'static str, u64> = BTreeMap::new();
+        for ev in snapshot_trace() {
+            match ev.kind {
+                TraceKind::SpanExit { dur_ns } => {
+                    let e = spans.entry(ev.name).or_insert((0, 0));
+                    e.0 += 1;
+                    e.1 += dur_ns;
+                }
+                TraceKind::Instant { .. } => *events.entry(ev.name).or_insert(0) += 1,
+                TraceKind::SpanEnter => {}
+            }
+        }
+        if !spans.is_empty() {
+            let _ = writeln!(out, "-- spans --");
+            for (name, (n, total_ns)) in &spans {
+                let _ = writeln!(out, "  {name:<40} n={n} total={total_ns}ns");
+            }
+        }
+        if !events.is_empty() {
+            let _ = writeln!(out, "-- events --");
+            for (name, n) in &events {
+                let _ = writeln!(out, "  {name:<40} n={n}");
+            }
+        }
+        out
+    }
+}
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an f64 as a JSON value (`null` for non-finite).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_f64)
+}
+
+#[cfg(feature = "enabled")]
+fn json_u64_array(vals: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{v}");
+    }
+    out.push(']');
+    out
+}
+
+/// Writes every registered metric and buffered trace record as JSON Lines.
+///
+/// Record shapes (one JSON object per line, `type` discriminates):
+/// `counter`, `value_histogram`, `time_histogram`, `trace`.
+/// The trace ring is *not* drained — records stay available to [`summary`].
+pub fn write_jsonl(w: &mut dyn Write) -> io::Result<()> {
+    for (name, value) in &merged_counters() {
+        writeln!(
+            w,
+            "{{\"type\":\"counter\",\"name\":\"{}\",\"value\":{value}}}",
+            json_escape(name)
+        )?;
+    }
+    #[cfg(feature = "enabled")]
+    {
+        for h in crate::registry::registry()
+            .value_hists
+            .lock()
+            .unwrap()
+            .iter()
+        {
+            let (lo, hi) = h.range();
+            let (under, interior, over) = h.snapshot();
+            writeln!(
+                w,
+                "{{\"type\":\"value_histogram\",\"name\":\"{}\",\"lo\":{},\"hi\":{},\
+                 \"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{},\
+                 \"underflow\":{under},\"overflow\":{over},\"buckets\":{}}}",
+                json_escape(h.name()),
+                json_f64(lo),
+                json_f64(hi),
+                h.count(),
+                json_f64(h.sum()),
+                json_opt_f64(h.mean()),
+                json_opt_f64(h.quantile(0.5)),
+                json_opt_f64(h.quantile(0.99)),
+                json_u64_array(&interior),
+            )?;
+        }
+        for h in crate::registry::registry()
+            .time_hists
+            .lock()
+            .unwrap()
+            .iter()
+        {
+            writeln!(
+                w,
+                "{{\"type\":\"time_histogram\",\"name\":\"{}\",\"count\":{},\
+                 \"sum_ns\":{},\"p50_ns\":{},\"p99_ns\":{},\"buckets\":{}}}",
+                json_escape(h.name()),
+                h.count(),
+                h.sum_ns(),
+                h.quantile_ns(0.5).unwrap_or(0),
+                h.quantile_ns(0.99).unwrap_or(0),
+                json_u64_array(&h.snapshot()),
+            )?;
+        }
+    }
+    for ev in snapshot_trace() {
+        let (kind, dur, value) = match ev.kind {
+            TraceKind::SpanEnter => ("enter", "null".to_string(), "null".to_string()),
+            TraceKind::SpanExit { dur_ns } => ("exit", format!("{dur_ns}"), "null".to_string()),
+            TraceKind::Instant { value } => ("instant", "null".to_string(), json_opt_f64(value)),
+        };
+        writeln!(
+            w,
+            "{{\"type\":\"trace\",\"ts_ns\":{},\"name\":\"{}\",\"kind\":\"{kind}\",\
+             \"dur_ns\":{dur},\"value\":{value}}}",
+            ev.ts_ns,
+            json_escape(ev.name),
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the JSONL dump (see [`write_jsonl`]) to `path`, truncating it.
+pub fn dump_jsonl_to(path: &Path) -> io::Result<()> {
+    let mut file = io::BufWriter::new(std::fs::File::create(path)?);
+    write_jsonl(&mut file)?;
+    file.flush()
+}
+
+/// If the `WAZABEE_TELEMETRY_OUT` environment variable is set, dumps JSONL
+/// to that path and returns `Ok(true)`; otherwise returns `Ok(false)`.
+pub fn dump_from_env() -> io::Result<bool> {
+    match std::env::var_os(ENV_OUT) {
+        Some(path) if !path.is_empty() => {
+            dump_jsonl_to(Path::new(&path))?;
+            Ok(true)
+        }
+        _ => Ok(false),
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_derives_rates_from_counter_names() {
+        let _lock = crate::test_lock();
+        crate::counter!("sink.test.sync.hit").add(9);
+        crate::counter!("sink.test.sync.miss").add(1);
+        crate::counter!("sink.test.crc.ok").add(7);
+        crate::counter!("sink.test.crc.fail").add(3);
+        crate::counter!("sink.test.frames_tx").add(10);
+        crate::counter!("sink.test.frames_ok").add(8);
+        let s = summary();
+        assert!(s.contains("sync-hit rate"), "summary:\n{s}");
+        assert!(s.contains("90.00%"), "summary:\n{s}");
+        assert!(s.contains("CRC-24 pass rate"), "summary:\n{s}");
+        assert!(s.contains("70.00%"), "summary:\n{s}");
+        assert!(s.contains("PER"), "summary:\n{s}");
+        assert!(s.contains("0.2000"), "summary:\n{s}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_well_formed() {
+        let _lock = crate::test_lock();
+        crate::counter!("sink.test.jsonl.count").add(2);
+        crate::value_histogram!("sink.test.jsonl.vals", 0.0, 8.0).record(3.0);
+        crate::event!("sink.test.jsonl.ev", 1.25);
+        let mut buf = Vec::new();
+        write_jsonl(&mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text
+            .lines()
+            .any(|l| l.contains("\"sink.test.jsonl.count\"") && l.contains("\"value\":2")));
+        assert!(text.lines().any(|l| l.contains("\"sink.test.jsonl.vals\"")
+            && l.contains("\"type\":\"value_histogram\"")));
+        assert!(text
+            .lines()
+            .any(|l| l.contains("\"sink.test.jsonl.ev\"") && l.contains("\"kind\":\"instant\"")));
+        // Every line must be a single braced object with balanced quotes.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('{') && line.ends_with('}'),
+                "bad line: {line}"
+            );
+            assert_eq!(line.matches('"').count() % 2, 0, "bad line: {line}");
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn dump_from_env_is_noop_when_unset() {
+        // Other tests may race on env in theory, but nothing in this crate
+        // sets ENV_OUT, so absence is stable.
+        if std::env::var_os(ENV_OUT).is_none() {
+            assert!(!dump_from_env().unwrap());
+        }
+    }
+}

@@ -1,0 +1,231 @@
+//! Lightweight span/event tracing over a bounded ring buffer.
+//!
+//! Tracing is coarser than counters — a mutex-guarded ring of the most recent
+//! [`TRACE_CAPACITY`] records, oldest overwritten first. Spans are scoped
+//! guards: enter on construction, exit (with duration) on drop.
+
+#[cfg(feature = "enabled")]
+use std::collections::VecDeque;
+#[cfg(feature = "enabled")]
+use std::sync::{Mutex, OnceLock};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Maximum trace records retained (oldest evicted beyond this).
+pub const TRACE_CAPACITY: usize = 4096;
+
+/// What a trace record describes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceKind {
+    /// A span opened.
+    SpanEnter,
+    /// A span closed; duration in nanoseconds.
+    SpanExit {
+        /// Time between enter and exit.
+        dur_ns: u64,
+    },
+    /// An instantaneous event, optionally carrying a value.
+    Instant {
+        /// Attached numeric payload, if any.
+        value: Option<f64>,
+    },
+}
+
+/// One record in the trace ring.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the first telemetry record of the process.
+    pub ts_ns: u64,
+    /// The span/event name.
+    pub name: &'static str,
+    /// Record kind.
+    pub kind: TraceKind,
+}
+
+#[cfg(feature = "enabled")]
+struct Ring {
+    buf: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+#[cfg(feature = "enabled")]
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: VecDeque::with_capacity(TRACE_CAPACITY),
+            dropped: 0,
+        })
+    })
+}
+
+#[cfg(feature = "enabled")]
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[cfg(feature = "enabled")]
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+}
+
+#[cfg(feature = "enabled")]
+fn push(ev: TraceEvent) {
+    let mut ring = ring().lock().unwrap();
+    if ring.buf.len() == TRACE_CAPACITY {
+        ring.buf.pop_front();
+        ring.dropped += 1;
+    }
+    ring.buf.push_back(ev);
+}
+
+/// Records an instantaneous event (see also the [`crate::event!`] macro).
+#[inline]
+pub fn event(name: &'static str, value: Option<f64>) {
+    #[cfg(feature = "enabled")]
+    push(TraceEvent {
+        ts_ns: now_ns(),
+        name,
+        kind: TraceKind::Instant { value },
+    });
+    #[cfg(not(feature = "enabled"))]
+    let _ = (name, value);
+}
+
+/// Takes every buffered trace record (and the evicted-record count),
+/// emptying the ring.
+pub fn drain_trace() -> (Vec<TraceEvent>, u64) {
+    #[cfg(feature = "enabled")]
+    {
+        let mut ring = ring().lock().unwrap();
+        let events = ring.buf.drain(..).collect();
+        let dropped = ring.dropped;
+        ring.dropped = 0;
+        (events, dropped)
+    }
+    #[cfg(not(feature = "enabled"))]
+    (Vec::new(), 0)
+}
+
+/// Empties the ring without returning anything.
+pub(crate) fn clear() {
+    #[cfg(feature = "enabled")]
+    {
+        let mut ring = ring().lock().unwrap();
+        ring.buf.clear();
+        ring.dropped = 0;
+    }
+}
+
+/// Peeks at the buffered records without draining.
+#[must_use]
+pub(crate) fn snapshot_trace() -> Vec<TraceEvent> {
+    #[cfg(feature = "enabled")]
+    {
+        ring().lock().unwrap().buf.iter().copied().collect()
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// RAII span guard (see the [`crate::span!`] macro).
+#[must_use = "the span closes when the guard drops; binding it to _ drops immediately"]
+pub struct SpanGuard {
+    #[cfg(feature = "enabled")]
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    entered: Instant,
+}
+
+impl SpanGuard {
+    /// Opens a span, recording the enter event.
+    #[inline]
+    pub fn enter(name: &'static str) -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            push(TraceEvent {
+                ts_ns: now_ns(),
+                name,
+                kind: TraceKind::SpanEnter,
+            });
+            SpanGuard {
+                name,
+                entered: Instant::now(),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = name;
+            SpanGuard {}
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        {
+            let dur = self.entered.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            push(TraceEvent {
+                ts_ns: now_ns(),
+                name: self.name,
+                kind: TraceKind::SpanExit { dur_ns: dur },
+            });
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_drain() {
+        let _lock = crate::test_lock();
+        clear();
+        {
+            let _outer = SpanGuard::enter("span.test.outer");
+            {
+                let _inner = SpanGuard::enter("span.test.inner");
+                event("span.test.mark", Some(1.5));
+            }
+        }
+        let (events, dropped) = drain_trace();
+        assert_eq!(dropped, 0);
+        let names: Vec<_> = events.iter().map(|e| e.name).collect();
+        assert_eq!(
+            names,
+            [
+                "span.test.outer",
+                "span.test.inner",
+                "span.test.mark",
+                "span.test.inner",
+                "span.test.outer",
+            ]
+        );
+        assert!(matches!(events[0].kind, TraceKind::SpanEnter));
+        assert!(matches!(events[3].kind, TraceKind::SpanExit { .. }));
+        assert!(matches!(
+            events[2].kind,
+            TraceKind::Instant { value: Some(v) } if (v - 1.5).abs() < 1e-12
+        ));
+        // Timestamps are monotone.
+        for w in events.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let _lock = crate::test_lock();
+        clear();
+        for _ in 0..TRACE_CAPACITY + 10 {
+            event("span.test.flood", None);
+        }
+        let (events, dropped) = drain_trace();
+        assert_eq!(events.len(), TRACE_CAPACITY);
+        assert_eq!(dropped, 10);
+    }
+}

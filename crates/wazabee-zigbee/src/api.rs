@@ -250,7 +250,10 @@ mod tests {
             command: *b"MY",
             parameter: vec![],
         };
-        assert_eq!(frame.to_bytes(), vec![0x7E, 0x00, 0x04, 0x08, 0x52, 0x4D, 0x59, 0xFF]);
+        assert_eq!(
+            frame.to_bytes(),
+            vec![0x7E, 0x00, 0x04, 0x08, 0x52, 0x4D, 0x59, 0xFF]
+        );
     }
 
     #[test]
@@ -333,10 +336,7 @@ mod tests {
         let api = ApiFrame::rx_indication(&mac, 42).unwrap();
         match api {
             ApiFrame::RxPacket16 {
-                source,
-                rssi,
-                data,
-                ..
+                source, rssi, data, ..
             } => {
                 assert_eq!(source, 0x0063);
                 assert_eq!(rssi, 42);

@@ -27,8 +27,14 @@ pub struct AirRecord {
 
 #[derive(Debug, Clone)]
 enum Event {
-    Timer { node: usize },
-    Deliver { channel: Dot154Channel, psdu: Vec<u8>, skip: Option<usize> },
+    Timer {
+        node: usize,
+    },
+    Deliver {
+        channel: Dot154Channel,
+        psdu: Vec<u8>,
+        skip: Option<usize>,
+    },
 }
 
 /// Propagation plus processing delay applied to deliveries, in microseconds.
@@ -95,7 +101,8 @@ impl ZigbeeNetwork {
     pub fn add_node(&mut self, node: XbeeNode) -> usize {
         let idx = self.nodes.len();
         if let Some(ms) = node.timer_interval_ms() {
-            self.queue.schedule(self.now.plus_ms(ms), Event::Timer { node: idx });
+            self.queue
+                .schedule(self.now.plus_ms(ms), Event::Timer { node: idx });
         }
         self.nodes.push(node);
         idx
@@ -150,7 +157,11 @@ impl ZigbeeNetwork {
         });
         self.queue.schedule(
             self.now.plus_us(DELIVERY_DELAY_US),
-            Event::Deliver { channel, psdu, skip: None },
+            Event::Deliver {
+                channel,
+                psdu,
+                skip: None,
+            },
         );
     }
 
@@ -196,7 +207,11 @@ impl ZigbeeNetwork {
                             .schedule(self.now.plus_ms(ms), Event::Timer { node });
                     }
                 }
-                Event::Deliver { channel, psdu, skip } => {
+                Event::Deliver {
+                    channel,
+                    psdu,
+                    skip,
+                } => {
                     let Some(frame) = MacFrame::from_psdu(&psdu) else {
                         continue; // bad FCS: dropped by every radio
                     };
@@ -249,9 +264,7 @@ mod tests {
         let data = net
             .log()
             .iter()
-            .filter(|r| {
-                MacFrame::from_psdu(&r.psdu).map(|f| f.frame_type) == Some(FrameType::Data)
-            })
+            .filter(|r| MacFrame::from_psdu(&r.psdu).map(|f| f.frame_type) == Some(FrameType::Data))
             .count();
         let acks = net
             .log()
@@ -309,7 +322,13 @@ mod tests {
         // The essence of Scenario B's final step.
         let mut net = ZigbeeNetwork::paper_testbed();
         let ch14 = Dot154Channel::new(14).unwrap();
-        let fake = MacFrame::data(0x1234, 0x0063, 0x0042, 77, XbeePayload::reading(9999).to_bytes());
+        let fake = MacFrame::data(
+            0x1234,
+            0x0063,
+            0x0042,
+            77,
+            XbeePayload::reading(9999).to_bytes(),
+        );
         net.inject(ch14, fake.to_psdu());
         net.run_until(Instant(0).plus_ms(100));
         let readings = net.coordinator().readings();
@@ -357,7 +376,11 @@ mod association_network_tests {
         assert_eq!(net.node(sensor).join_state(), JoinState::Scanning);
         // First timer fires at 2 s: probe → beacon → request → response.
         net.run_until(Instant(0).plus_ms(2_500));
-        assert!(net.node(sensor).is_joined(), "{:?}", net.node(sensor).join_state());
+        assert!(
+            net.node(sensor).is_joined(),
+            "{:?}",
+            net.node(sensor).join_state()
+        );
         assert_eq!(net.node(sensor).config.pan, 0x1234);
         // After joining, readings flow: two more periods.
         net.run_until(Instant(0).plus_ms(6_500));
@@ -392,4 +415,3 @@ mod association_network_tests {
         assert_eq!(net.node(sensor).config.pan, 0xBEEF);
     }
 }
-

@@ -185,9 +185,9 @@ impl XbeeNode {
     }
 
     fn addressed_to_me(&self, frame: &MacFrame) -> bool {
-        let pan_ok = frame.dest_pan.map_or(true, |p| {
-            p == self.config.pan || p == wazabee_dot154::mac::BROADCAST_PAN
-        });
+        let pan_ok = frame
+            .dest_pan
+            .is_none_or(|p| p == self.config.pan || p == wazabee_dot154::mac::BROADCAST_PAN);
         let addr_ok = match frame.dest {
             Address::Short(a) => {
                 a == self.config.short_addr || a == wazabee_dot154::mac::BROADCAST_SHORT
@@ -206,7 +206,8 @@ impl XbeeNode {
         }
         let mut out = Vec::new();
         // Hardware-style immediate ack for acknowledged unicast frames.
-        if frame.ack_request && matches!(frame.dest, Address::Short(a) if a != wazabee_dot154::mac::BROADCAST_SHORT)
+        if frame.ack_request
+            && matches!(frame.dest, Address::Short(a) if a != wazabee_dot154::mac::BROADCAST_SHORT)
         {
             out.push(MacFrame::ack(frame.sequence));
         }
@@ -249,48 +250,45 @@ impl XbeeNode {
     fn on_mac_command(&mut self, frame: &MacFrame) -> Vec<MacFrame> {
         let mut out = Vec::new();
         match frame.command_id() {
-            Some(MacCommandId::BeaconRequest) => {
-                if self.role == NodeRole::Coordinator {
-                    let seq = self.next_seq();
-                    out.push(MacFrame::beacon(
-                        self.config.pan,
-                        self.config.short_addr,
-                        seq,
-                        Vec::new(),
-                    ));
-                }
+            Some(MacCommandId::BeaconRequest) if self.role == NodeRole::Coordinator => {
+                let seq = self.next_seq();
+                out.push(MacFrame::beacon(
+                    self.config.pan,
+                    self.config.short_addr,
+                    seq,
+                    Vec::new(),
+                ));
             }
-            Some(MacCommandId::AssociationRequest) => {
-                if self.role == NodeRole::Coordinator && frame.payload.len() >= 10 {
-                    if let Address::Short(requester) = frame.src {
-                        let requester_ext: [u8; 8] =
-                            frame.payload[2..10].try_into().expect("checked length");
-                        let assigned = self.next_assigned_addr;
-                        // Wrap within the dynamic pool; never hand out the
-                        // broadcast or unassigned reserved values.
-                        self.next_assigned_addr = if self.next_assigned_addr >= 0xFFF0 {
-                            0x0100
-                        } else {
-                            self.next_assigned_addr + 1
-                        };
-                        let seq = self.next_seq();
-                        let mut payload =
-                            vec![MacCommandId::AssociationResponse as u8];
-                        payload.extend_from_slice(&assigned.to_le_bytes());
-                        payload.push(0x00); // status: association successful
-                        payload.extend_from_slice(&requester_ext); // echo the joiner's id
-                        out.push(MacFrame {
-                            frame_type: FrameType::MacCommand,
-                            ack_request: true,
-                            pan_id_compression: true,
-                            sequence: seq,
-                            dest_pan: Some(self.config.pan),
-                            dest: Address::Short(requester),
-                            src_pan: None,
-                            src: Address::Short(self.config.short_addr),
-                            payload,
-                        });
-                    }
+            Some(MacCommandId::AssociationRequest)
+                if self.role == NodeRole::Coordinator && frame.payload.len() >= 10 =>
+            {
+                if let Address::Short(requester) = frame.src {
+                    let requester_ext: [u8; 8] =
+                        frame.payload[2..10].try_into().expect("checked length");
+                    let assigned = self.next_assigned_addr;
+                    // Wrap within the dynamic pool; never hand out the
+                    // broadcast or unassigned reserved values.
+                    self.next_assigned_addr = if self.next_assigned_addr >= 0xFFF0 {
+                        0x0100
+                    } else {
+                        self.next_assigned_addr + 1
+                    };
+                    let seq = self.next_seq();
+                    let mut payload = vec![MacCommandId::AssociationResponse as u8];
+                    payload.extend_from_slice(&assigned.to_le_bytes());
+                    payload.push(0x00); // status: association successful
+                    payload.extend_from_slice(&requester_ext); // echo the joiner's id
+                    out.push(MacFrame {
+                        frame_type: FrameType::MacCommand,
+                        ack_request: true,
+                        pan_id_compression: true,
+                        sequence: seq,
+                        dest_pan: Some(self.config.pan),
+                        dest: Address::Short(requester),
+                        src_pan: None,
+                        src: Address::Short(self.config.short_addr),
+                        payload,
+                    });
                 }
             }
             Some(MacCommandId::AssociationResponse) => {
@@ -418,8 +416,14 @@ mod tests {
         let mut s = sensor();
         let f1 = s.on_timer(Instant(0)).pop().unwrap();
         let f2 = s.on_timer(Instant(2_000_000)).pop().unwrap();
-        let v1 = XbeePayload::from_bytes(&f1.payload).unwrap().as_reading().unwrap();
-        let v2 = XbeePayload::from_bytes(&f2.payload).unwrap().as_reading().unwrap();
+        let v1 = XbeePayload::from_bytes(&f1.payload)
+            .unwrap()
+            .as_reading()
+            .unwrap();
+        let v2 = XbeePayload::from_bytes(&f2.payload)
+            .unwrap()
+            .as_reading()
+            .unwrap();
         assert_eq!(v2, v1 + 1);
         assert_eq!(f1.dest, Address::Short(0x0042));
         assert!(f1.ack_request);
@@ -454,7 +458,9 @@ mod tests {
     #[test]
     fn sensor_ignores_beacon_request() {
         let mut s = sensor();
-        assert!(s.on_receive(&MacFrame::beacon_request(1), Instant(0)).is_empty());
+        assert!(s
+            .on_receive(&MacFrame::beacon_request(1), Instant(0))
+            .is_empty());
     }
 
     #[test]
@@ -495,7 +501,10 @@ mod tests {
         let forged = MacFrame::data(0x1234, 0x0042, 0x0063, 1, cmd.to_bytes());
         let replies = s.on_receive(&forged, Instant(0));
         assert_eq!(s.config.channel, ch(14), "channel must not change");
-        let resp = replies.iter().find(|f| f.frame_type == FrameType::Data).unwrap();
+        let resp = replies
+            .iter()
+            .find(|f| f.frame_type == FrameType::Data)
+            .unwrap();
         assert_eq!(
             XbeePayload::from_bytes(&resp.payload),
             Some(XbeePayload::RemoteAtResponse {
@@ -508,14 +517,26 @@ mod tests {
     #[test]
     fn frames_for_other_pans_ignored() {
         let mut s = sensor();
-        let other = MacFrame::data(0xBEEF, 0x0042, 0x0063, 1, XbeePayload::reading(9).to_bytes());
+        let other = MacFrame::data(
+            0xBEEF,
+            0x0042,
+            0x0063,
+            1,
+            XbeePayload::reading(9).to_bytes(),
+        );
         assert!(s.on_receive(&other, Instant(0)).is_empty());
     }
 
     #[test]
     fn frames_for_other_addresses_ignored() {
         let mut c = coordinator();
-        let other = MacFrame::data(0x1234, 0x0063, 0x0077, 1, XbeePayload::reading(9).to_bytes());
+        let other = MacFrame::data(
+            0x1234,
+            0x0063,
+            0x0077,
+            1,
+            XbeePayload::reading(9).to_bytes(),
+        );
         assert!(c.on_receive(&other, Instant(0)).is_empty());
         assert!(c.readings().is_empty());
     }
@@ -555,10 +576,7 @@ mod association_tests {
             .iter()
             .find(|f| f.frame_type == FrameType::MacCommand)
             .expect("association request");
-        assert_eq!(
-            request.command_id(),
-            Some(MacCommandId::AssociationRequest)
-        );
+        assert_eq!(request.command_id(), Some(MacCommandId::AssociationRequest));
         let responses = coord.on_receive(request, Instant(30));
         let response = responses
             .iter()
@@ -607,10 +625,7 @@ mod association_tests {
         for k in 0..3 {
             let frames = sensor.on_timer(Instant(k * 2_000_000));
             assert_eq!(frames.len(), 1, "probe {k}");
-            assert_eq!(
-                frames[0].command_id(),
-                Some(MacCommandId::BeaconRequest)
-            );
+            assert_eq!(frames[0].command_id(), Some(MacCommandId::BeaconRequest));
         }
         assert!(!sensor.is_joined());
     }
@@ -622,7 +637,10 @@ mod association_tests {
         // Get the sensor into Associating state.
         let probe = sensor.on_timer(Instant(0));
         let beacons = coord.on_receive(&probe[0], Instant(10));
-        let beacon = beacons.iter().find(|f| f.frame_type == FrameType::Beacon).unwrap();
+        let beacon = beacons
+            .iter()
+            .find(|f| f.frame_type == FrameType::Beacon)
+            .unwrap();
         sensor.on_receive(beacon, Instant(20));
         assert!(matches!(sensor.join_state(), JoinState::Associating { .. }));
         // A forged response from a different address must not complete it.
@@ -651,7 +669,10 @@ mod association_tests {
         let mut coord = coordinator();
         let probe = sensor.on_timer(Instant(0));
         let beacons = coord.on_receive(&probe[0], Instant(10));
-        let beacon = beacons.iter().find(|f| f.frame_type == FrameType::Beacon).unwrap();
+        let beacon = beacons
+            .iter()
+            .find(|f| f.frame_type == FrameType::Beacon)
+            .unwrap();
         sensor.on_receive(beacon, Instant(20));
         let mut payload = vec![MacCommandId::AssociationResponse as u8];
         payload.extend_from_slice(&0x0100u16.to_le_bytes());

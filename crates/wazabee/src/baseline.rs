@@ -228,8 +228,14 @@ mod tests {
 
     #[test]
     fn limitations_display() {
-        assert!(BaselineLimitation::RequiresConnection.to_string().contains("connection"));
-        assert!(BaselineLimitation::ChannelNotSelectable.to_string().contains("hop"));
-        assert!(BaselineLimitation::RequiresCooperativeSender.to_string().contains("sender"));
+        assert!(BaselineLimitation::RequiresConnection
+            .to_string()
+            .contains("connection"));
+        assert!(BaselineLimitation::ChannelNotSelectable
+            .to_string()
+            .contains("hop"));
+        assert!(BaselineLimitation::RequiresCooperativeSender
+            .to_string()
+            .contains("sender"));
     }
 }

@@ -67,8 +67,18 @@ mod tests {
     fn display_messages_are_informative() {
         let cases: Vec<(WazaBeeError, &str)> = vec![
             (WazaBeeError::UnsupportedDataRate { actual: 1.0e6 }, "2e6"),
-            (WazaBeeError::ChannelUnavailable { requested_mhz: 2425 }, "2425"),
-            (WazaBeeError::NoRawAccess { capability: "crc disable" }, "crc"),
+            (
+                WazaBeeError::ChannelUnavailable {
+                    requested_mhz: 2425,
+                },
+                "2425",
+            ),
+            (
+                WazaBeeError::NoRawAccess {
+                    capability: "crc disable",
+                },
+                "crc",
+            ),
             (WazaBeeError::FrameTooLong { len: 300, max: 127 }, "300"),
             (WazaBeeError::NoSync, "synchronisation"),
             (WazaBeeError::Truncated, "truncated"),

@@ -89,11 +89,7 @@ impl Default for ExfilConfig {
 ///
 /// [`WazaBeeError::FrameTooLong`] when `chunk_size` exceeds [`MAX_CHUNK`] or
 /// the data needs more than 65535 chunks.
-pub fn exfil_frames(
-    data: &[u8],
-    stream: u8,
-    cfg: &ExfilConfig,
-) -> Result<Vec<Ppdu>, WazaBeeError> {
+pub fn exfil_frames(data: &[u8], stream: u8, cfg: &ExfilConfig) -> Result<Vec<Ppdu>, WazaBeeError> {
     if cfg.chunk_size == 0 || cfg.chunk_size > MAX_CHUNK {
         return Err(WazaBeeError::FrameTooLong {
             len: cfg.chunk_size,
@@ -348,7 +344,7 @@ mod tests {
             chunk_size: MAX_CHUNK,
             ..ExfilConfig::default()
         };
-        let frames = exfil_frames(&vec![9; MAX_CHUNK], 0, &cfg).unwrap();
+        let frames = exfil_frames(&[9; MAX_CHUNK], 0, &cfg).unwrap();
         assert_eq!(frames.len(), 1);
         assert!(frames[0].psdu().len() <= 127);
     }

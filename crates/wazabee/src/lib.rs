@@ -50,11 +50,13 @@ pub mod scenario_b;
 pub mod similarity;
 pub mod tx;
 
-pub use channels::{ble_channel_for_zigbee, common_channels, zigbee_channel_for_ble, CommonChannel};
+pub use channels::{
+    ble_channel_for_zigbee, common_channels, zigbee_channel_for_ble, CommonChannel,
+};
 pub use error::WazaBeeError;
+pub use radio::RawFskRadio;
+pub use rx::{access_address_pattern, access_address_value, DespreadTable, WazaBeeRx};
 pub use scenario_a::ScenarioA;
 pub use scenario_b::{AttackReport, TrackerAttack};
 pub use similarity::{cross_similarity, similarity_matrix, SimilarityScore, WaveformFamily};
-pub use radio::RawFskRadio;
-pub use rx::{access_address_pattern, access_address_value, DespreadTable, WazaBeeRx};
 pub use tx::{encode_ppdu_msk, prewhiten_bits, WazaBeeTx};

@@ -30,7 +30,11 @@ pub fn pn_to_msk_algorithm1(oqpsk_sequence: &[u8; 32]) -> [u8; 31] {
     let mut current_state: usize = 0;
     let mut msk = [0u8; 31];
     for i in 1..32 {
-        let states = if i % 2 == 1 { &odd_states } else { &even_states };
+        let states = if i % 2 == 1 {
+            &odd_states
+        } else {
+            &even_states
+        };
         if oqpsk_sequence[i] == states[(current_state + 1) % 4] {
             current_state = (current_state + 1) % 4;
             msk[i - 1] = 1;
@@ -134,8 +138,8 @@ mod tests {
         // every phase transition.
         let table = correspondence_table();
         for s in 0..8usize {
-            for k in 0..31 {
-                assert_eq!(table[s][k] ^ 1, table[s + 8][k], "symbol {s} bit {k}");
+            for (k, &bit) in table[s].iter().enumerate() {
+                assert_eq!(bit ^ 1, table[s + 8][k], "symbol {s} bit {k}");
             }
         }
     }

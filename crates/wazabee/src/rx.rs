@@ -77,8 +77,9 @@ pub struct WazaBeeRx<R> {
 const MAX_CAPTURE_BITS: usize = (8 + 2 + 2 + 2 * 127) * 32 + 64;
 
 /// How many leading `0000` symbols may follow the sync match before the SFD
-/// must appear (the preamble is 8 symbols; sync consumes at least one).
-const MAX_PREAMBLE_SYMBOLS: usize = 8;
+/// must appear. The preamble is 8 symbols and the sync pattern consumes at
+/// least one of them, so at most 7 whole `0000` symbols can remain.
+const MAX_PREAMBLE_SYMBOLS: usize = 7;
 
 impl<R: RawFskRadio> WazaBeeRx<R> {
     /// Binds the primitive to a radio, verifying the 2 Mbit/s requirement.
@@ -117,10 +118,14 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
     }
 
     fn despread(&self, block: &[u8]) -> (u8, usize) {
-        match self.table {
+        let decision = match self.table {
             DespreadTable::Algorithm1 => despread_msk_block(block),
             DespreadTable::Waveform => closest_symbol_msk(block),
-        }
+        };
+        wazabee_telemetry::counter!("wazabee.rx.despread.symbols").inc();
+        wazabee_telemetry::value_histogram!("wazabee.rx.despread_hamming", 0.0, 32.0)
+            .record(decision.1 as f64);
+        decision
     }
 
     /// Attempts to receive one 802.15.4 frame from a capture buffer.
@@ -131,11 +136,34 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
     /// [`WazaBeeError::Truncated`] when the capture ends mid-frame or no SFD
     /// follows the preamble.
     pub fn try_receive(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
+        let result = self.try_receive_impl(samples);
+        match &result {
+            Ok(rx) => {
+                if rx.fcs_ok() {
+                    wazabee_telemetry::counter!("wazabee.rx.fcs.ok").inc();
+                } else {
+                    wazabee_telemetry::counter!("wazabee.rx.fcs.fail").inc();
+                }
+            }
+            Err(WazaBeeError::NoSync) => {
+                wazabee_telemetry::counter!("wazabee.rx.sync.miss").inc();
+            }
+            Err(WazaBeeError::Truncated) => {
+                wazabee_telemetry::counter!("wazabee.rx.truncated").inc();
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    fn try_receive_impl(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
+        let _t = wazabee_telemetry::timed_scope!("wazabee.rx.receive_ns");
         let sync = access_address_pattern();
         let capture = self
             .radio
             .receive_raw(samples, &sync, self.max_sync_errors, MAX_CAPTURE_BITS)
             .ok_or(WazaBeeError::NoSync)?;
+        wazabee_telemetry::counter!("wazabee.rx.sync.hit").inc();
         let bits = &capture.bits;
         // The capture is a sequence of 32-bit blocks: [boundary, 31-bit image].
         let block = |k: usize| -> Result<&[u8], WazaBeeError> {
@@ -248,7 +276,10 @@ mod tests {
     fn esb_radio_receives_too() {
         let p = ppdu(&[0x10, 0x20, 0x30]);
         let air = Dot154Modem::new(8).transmit(&p);
-        let rx = WazaBeeRx::new(EsbModem::new(8)).unwrap().receive(&air).unwrap();
+        let rx = WazaBeeRx::new(EsbModem::new(8))
+            .unwrap()
+            .receive(&air)
+            .unwrap();
         assert_eq!(rx.psdu, p.psdu());
     }
 
@@ -282,8 +313,26 @@ mod tests {
     }
 
     #[test]
+    fn overlong_preamble_rejected() {
+        // Regression: the preamble budget used to be 8, but the sync pattern
+        // consumes at least one of the eight `0000` symbols, so a stream
+        // with 8 whole symbols *after* sync can only come from a non-standard
+        // (attacker-lengthened) preamble and must be rejected.
+        use wazabee_dot154::msk::frame_chips_to_msk;
+        let p = ppdu(&[3, 2, 1]);
+        let mut chips: Vec<u8> = pn_sequence(0).to_vec();
+        chips.extend(p.to_chips());
+        let mut bits: Vec<u8> = (0..crate::tx::TX_WARMUP_BITS)
+            .map(|k| (k % 2) as u8)
+            .collect();
+        bits.extend(frame_chips_to_msk(&chips, 0));
+        let air = BleModem::new(BlePhy::Le2M, 8).transmit_raw(&bits);
+        assert_eq!(ble_rx().try_receive(&air), Err(WazaBeeError::Truncated));
+    }
+
+    #[test]
     fn truncated_capture_reported() {
-        let p = ppdu(&vec![7; 60]);
+        let p = ppdu(&[7; 60]);
         let air = Dot154Modem::new(8).transmit(&p);
         let cut = air.len() / 2;
         assert_eq!(

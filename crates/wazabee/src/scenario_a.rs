@@ -155,21 +155,32 @@ impl ScenarioA {
 
     /// Runs one advertising event and reports what the Zigbee receiver saw.
     pub fn run_event(&mut self, link: &mut Link) -> EventOutcome {
+        let _s = wazabee_telemetry::span!("scenario_a.event");
+        wazabee_telemetry::counter!("scenario_a.events").inc();
         let Some(event) = self.phone.advertising_event() else {
             return EventOutcome::NotDecoded;
         };
         let aux_mhz = event.aux_channel.center_mhz();
         let target_mhz = self.target_zigbee.center_mhz();
         if aux_mhz != target_mhz {
+            wazabee_telemetry::counter!("scenario_a.wrong_channel").inc();
             return EventOutcome::WrongChannel(event.aux_channel);
         }
+        // On the target frequency: this event is an injection attempt.
+        wazabee_telemetry::counter!("scenario_a.frames_tx").inc();
         // The phone's LE 2M modem and the 802.15.4 receiver share the same
         // 2 Msym/s × samples_per_chip grid, so one sample rate labels both.
         let frame = RfFrame::new(aux_mhz, event.aux_samples, self.receiver.sample_rate());
         let rx = link.deliver(&frame, target_mhz);
         match self.receiver.receive(&rx) {
-            Some(ppdu) if ppdu.fcs_ok() => EventOutcome::Injected(ppdu),
-            _ => EventOutcome::NotDecoded,
+            Some(ppdu) if ppdu.fcs_ok() => {
+                wazabee_telemetry::counter!("scenario_a.frames_ok").inc();
+                EventOutcome::Injected(ppdu)
+            }
+            _ => {
+                wazabee_telemetry::counter!("scenario_a.not_decoded").inc();
+                EventOutcome::NotDecoded
+            }
         }
     }
 
@@ -218,12 +229,15 @@ mod tests {
         padded.extend_from_slice(&data);
         let rewhitened = Whitener::new(ble8).whiten_bytes(&padded);
         let expect = bits_to_bytes_lsb(&encode_ppdu_msk(&ppdu));
-        assert_eq!(&rewhitened[AUX_ADV_MANUFACTURER_PADDING..], expect.as_slice());
+        assert_eq!(
+            &rewhitened[AUX_ADV_MANUFACTURER_PADDING..],
+            expect.as_slice()
+        );
     }
 
     #[test]
     fn oversized_frame_rejected() {
-        let ppdu = Ppdu::new(append_fcs(&vec![0; 70])).unwrap();
+        let ppdu = Ppdu::new(append_fcs(&[0; 70])).unwrap();
         let err = craft_manufacturer_data(&ppdu, BleChannel::new(8).unwrap()).unwrap_err();
         assert!(matches!(err, WazaBeeError::FrameTooLong { .. }));
     }
@@ -249,7 +263,7 @@ mod tests {
             assert_eq!(MacFrame::from_psdu(&p.psdu).as_ref(), Some(&frame));
         }
         // Never a decode failure on an ideal link: on-target means injected.
-        assert!(!outcomes.iter().any(|o| *o == EventOutcome::NotDecoded));
+        assert!(!outcomes.contains(&EventOutcome::NotDecoded));
     }
 
     #[test]

@@ -105,11 +105,13 @@ impl TrackerAttack {
         let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
             return false;
         };
+        wazabee_telemetry::counter!("scenario_b.frames_tx").inc();
         let air = self.tx.transmit(&ppdu);
         let rf = RfFrame::new(channel.center_mhz(), air, self.xbee_radio.sample_rate());
         let heard = link.deliver(&rf, channel.center_mhz());
         match self.xbee_radio.receive(&heard) {
             Some(rx) if rx.fcs_ok() => {
+                wazabee_telemetry::counter!("scenario_b.frames_ok").inc();
                 net.inject(channel, rx.psdu);
                 true
             }
@@ -119,13 +121,9 @@ impl TrackerAttack {
 
     /// Attempts to sniff one PSDU through the PHY path: XBee 802.15.4 TX →
     /// medium → ESB WazaBee RX.
-    fn phy_sniff(
-        &self,
-        link: &mut Link,
-        channel: Dot154Channel,
-        psdu: &[u8],
-    ) -> Option<MacFrame> {
+    fn phy_sniff(&self, link: &mut Link, channel: Dot154Channel, psdu: &[u8]) -> Option<MacFrame> {
         let ppdu = Ppdu::new(psdu.to_vec()).ok()?;
+        wazabee_telemetry::counter!("scenario_b.sniff.attempts").inc();
         let air = self.xbee_radio.transmit(&ppdu);
         let rf = RfFrame::new(channel.center_mhz(), air, self.xbee_radio.sample_rate());
         let heard = link.deliver(&rf, channel.center_mhz());
@@ -133,11 +131,17 @@ impl TrackerAttack {
         if !rx.fcs_ok() {
             return None;
         }
+        wazabee_telemetry::counter!("scenario_b.sniff.ok").inc();
         MacFrame::from_psdu(&rx.psdu)
     }
 
     /// Step 1: active scanning across all sixteen channels.
-    pub fn active_scan(&mut self, net: &mut ZigbeeNetwork, link: &mut Link) -> Option<DiscoveredPan> {
+    pub fn active_scan(
+        &mut self,
+        net: &mut ZigbeeNetwork,
+        link: &mut Link,
+    ) -> Option<DiscoveredPan> {
+        let _s = wazabee_telemetry::span!("scenario_b.active_scan");
         for channel in Dot154Channel::all() {
             let cursor = net.log().len();
             let seq = self.next_seq();
@@ -155,8 +159,7 @@ impl TrackerAttack {
             for record in records {
                 if let Some(frame) = self.phy_sniff(link, channel, &record.psdu) {
                     if frame.frame_type == FrameType::Beacon {
-                        if let (Some(pan), Address::Short(coordinator)) =
-                            (frame.src_pan, frame.src)
+                        if let (Some(pan), Address::Short(coordinator)) = (frame.src_pan, frame.src)
                         {
                             return Some(DiscoveredPan {
                                 channel,
@@ -180,6 +183,7 @@ impl TrackerAttack {
         pan: DiscoveredPan,
         timeout_ms: u64,
     ) -> Option<u16> {
+        let _s = wazabee_telemetry::span!("scenario_b.eavesdrop");
         let deadline = net.now().plus_ms(timeout_ms);
         let mut cursor = net.log().len();
         while net.now() < deadline {
@@ -196,8 +200,7 @@ impl TrackerAttack {
                 let Some(frame) = self.phy_sniff(link, pan.channel, &record.psdu) else {
                     continue;
                 };
-                if frame.frame_type == FrameType::Data
-                    && frame.effective_src_pan() == Some(pan.pan)
+                if frame.frame_type == FrameType::Data && frame.effective_src_pan() == Some(pan.pan)
                 {
                     if let Address::Short(src) = frame.src {
                         if src != pan.coordinator {
@@ -220,6 +223,7 @@ impl TrackerAttack {
         pan: DiscoveredPan,
         sensor: u16,
     ) -> bool {
+        let _s = wazabee_telemetry::span!("scenario_b.inject_remote_at");
         let cursor = net.log().len();
         let payload = XbeePayload::RemoteAtCommand {
             frame_id: 0x42,
@@ -242,8 +246,10 @@ impl TrackerAttack {
             let Some(frame) = self.phy_sniff(link, record.channel, &record.psdu) else {
                 continue;
             };
-            if let Some(XbeePayload::RemoteAtResponse { frame_id: 0x42, status }) =
-                XbeePayload::from_bytes(&frame.payload)
+            if let Some(XbeePayload::RemoteAtResponse {
+                frame_id: 0x42,
+                status,
+            }) = XbeePayload::from_bytes(&frame.payload)
             {
                 return status == wazabee_zigbee::AtStatus::Ok;
             }
@@ -253,6 +259,7 @@ impl TrackerAttack {
 
     /// Step 4: impersonate the silenced sensor with `count` fake readings,
     /// spaced `interval_ms` apart, starting at `first_value` and counting up.
+    #[allow(clippy::too_many_arguments)]
     pub fn inject_fake_readings(
         &mut self,
         net: &mut ZigbeeNetwork,
@@ -263,6 +270,7 @@ impl TrackerAttack {
         count: usize,
         interval_ms: u64,
     ) -> usize {
+        let _s = wazabee_telemetry::span!("scenario_b.inject_fake_readings");
         let spoofed = |net: &ZigbeeNetwork| {
             net.coordinator()
                 .readings()

@@ -89,9 +89,7 @@ impl WaveformFamily {
             }
             WaveformFamily::Ook => bits
                 .iter()
-                .flat_map(|&b| {
-                    std::iter::repeat(Iq::new(f64::from(b), 0.0)).take(samples_per_symbol)
-                })
+                .flat_map(|&b| std::iter::repeat_n(Iq::new(f64::from(b), 0.0), samples_per_symbol))
                 .collect(),
         }
     }
@@ -105,8 +103,8 @@ impl WaveformFamily {
             WaveformFamily::Ook => samples
                 .chunks_exact(samples_per_symbol)
                 .map(|c| {
-                    let p: f64 = c.iter().map(|s| s.power()).sum::<f64>()
-                        / samples_per_symbol as f64;
+                    let p: f64 =
+                        c.iter().map(|s| s.power()).sum::<f64>() / samples_per_symbol as f64;
                     u8::from(p > 0.5)
                 })
                 .collect(),
@@ -167,7 +165,10 @@ pub fn cross_similarity(
     seed: u64,
 ) -> SimilarityScore {
     assert!(n_bits >= 8, "need at least 8 bits");
-    assert!(samples_per_symbol >= 2, "need at least 2 samples per symbol");
+    assert!(
+        samples_per_symbol >= 2,
+        "need at least 2 samples per symbol"
+    );
     use rand::{Rng, SeedableRng};
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
     let bits: Vec<u8> = (0..n_bits).map(|_| rng.gen_range(0..=1)).collect();
@@ -228,8 +229,16 @@ mod tests {
             modulation_index: 0.5,
         };
         let oqpsk = WaveformFamily::OqpskHalfSine;
-        assert!(score(msk, oqpsk) > 0.99, "MSK→O-QPSK: {}", score(msk, oqpsk));
-        assert!(score(oqpsk, msk) > 0.99, "O-QPSK→MSK: {}", score(oqpsk, msk));
+        assert!(
+            score(msk, oqpsk) > 0.99,
+            "MSK→O-QPSK: {}",
+            score(msk, oqpsk)
+        );
+        assert!(
+            score(oqpsk, msk) > 0.99,
+            "O-QPSK→MSK: {}",
+            score(oqpsk, msk)
+        );
     }
 
     #[test]
@@ -297,7 +306,12 @@ mod tests {
             WaveformFamily::Ook,
         ] {
             let s = cross_similarity(fam, fam, 256, SPS, 15.0, 17);
-            assert!(s.agreement > 0.95, "{} self-score {}", fam.name(), s.agreement);
+            assert!(
+                s.agreement > 0.95,
+                "{} self-score {}",
+                fam.name(),
+                s.agreement
+            );
         }
     }
 
@@ -324,13 +338,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least 8 bits")]
     fn too_few_bits_rejected() {
-        let _ = cross_similarity(
-            WaveformFamily::Ook,
-            WaveformFamily::Ook,
-            4,
-            8,
-            10.0,
-            0,
-        );
+        let _ = cross_similarity(WaveformFamily::Ook, WaveformFamily::Ook, 4, 8, 10.0, 0);
     }
 }

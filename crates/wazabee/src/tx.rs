@@ -83,6 +83,8 @@ impl<R: RawFskRadio> WazaBeeTx<R> {
     /// Transmits an 802.15.4 frame: encodes to MSK bits and modulates raw
     /// (whitening disabled on the chip).
     pub fn transmit(&self, ppdu: &Ppdu) -> Vec<Iq> {
+        let _t = wazabee_telemetry::timed_scope!("wazabee.tx.transmit_ns");
+        wazabee_telemetry::counter!("wazabee.tx.frames").inc();
         self.radio.transmit_raw(&encode_ppdu_msk(ppdu))
     }
 
@@ -91,6 +93,9 @@ impl<R: RawFskRadio> WazaBeeTx<R> {
     ///
     /// The produced waveform is bit-identical to [`WazaBeeTx::transmit`].
     pub fn transmit_via_forced_whitening(&self, ppdu: &Ppdu, channel: BleChannel) -> Vec<Iq> {
+        let _t = wazabee_telemetry::timed_scope!("wazabee.tx.transmit_ns");
+        wazabee_telemetry::counter!("wazabee.tx.frames").inc();
+        wazabee_telemetry::counter!("wazabee.tx.forced_whitening").inc();
         let target = encode_ppdu_msk(ppdu);
         let staged = prewhiten_bits(&target, channel);
         // The chip's hardware whitening re-applies the same keystream.
@@ -135,7 +140,9 @@ mod tests {
         // another discriminator.
         let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
         let p = ppdu(&[0xCA, 0xFE, 0xBA, 0xBE, 0x01, 0x02]);
-        let rx = Dot154Modem::new(8).receive_coherent(&tx.transmit(&p)).unwrap();
+        let rx = Dot154Modem::new(8)
+            .receive_coherent(&tx.transmit(&p))
+            .unwrap();
         assert_eq!(rx.psdu, p.psdu());
         assert!(rx.fcs_ok());
     }
@@ -182,7 +189,7 @@ mod tests {
     #[test]
     fn max_length_frame_transmits() {
         let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
-        let p = ppdu(&vec![0xA5; 125]);
+        let p = ppdu(&[0xA5; 125]);
         assert_eq!(p.psdu().len(), 127);
         let rx = Dot154Modem::new(8).receive(&tx.transmit(&p)).unwrap();
         assert_eq!(rx.psdu, p.psdu());

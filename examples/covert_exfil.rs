@@ -10,14 +10,17 @@ use wazabee::WazaBeeTx;
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Modem, MacFrame};
 use wazabee_dsp::Iq;
-use wazabee_examples::banner;
+use wazabee_examples::{banner, telemetry_footer};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
     banner("covert exfiltration over WazaBee");
     let secret = b"Q3 acquisition shortlist: [REDACTED-1], [REDACTED-2], [REDACTED-3]".to_vec();
-    println!("payload: {} bytes across 2410 MHz (Zigbee 12 — no Zigbee deployed there)", secret.len());
+    println!(
+        "payload: {} bytes across 2410 MHz (Zigbee 12 — no Zigbee deployed there)",
+        secret.len()
+    );
 
     let cfg = ExfilConfig {
         chunk_size: 32,
@@ -38,7 +41,10 @@ fn main() {
     let mut recovered = None;
     for (k, ppdu) in frames.iter().enumerate() {
         let air = tx.transmit(ppdu);
-        let heard = link.deliver(&RfFrame::new(2410, air.clone(), receiver.sample_rate()), 2410);
+        let heard = link.deliver(
+            &RfFrame::new(2410, air.clone(), receiver.sample_rate()),
+            2410,
+        );
         if let Some(rx) = receiver.receive(&heard) {
             if rx.fcs_ok() {
                 if let Some(mac) = MacFrame::from_psdu(&rx.psdu) {
@@ -79,4 +85,7 @@ fn main() {
          the monitoring the paper's §VII calls for works",
         frames.len()
     );
+
+    banner("telemetry");
+    telemetry_footer();
 }

@@ -11,7 +11,7 @@ use wazabee_ble::{BleChannel, BleModem, BlePacket, BlePhy};
 use wazabee_chips::Smartphone;
 use wazabee_dot154::{fcs::append_fcs, Dot154Modem, MacFrame, Ppdu};
 use wazabee_dsp::Iq;
-use wazabee_examples::banner;
+use wazabee_examples::{banner, telemetry_footer};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 
 fn pad(samples: Vec<Iq>) -> Vec<Iq> {
@@ -53,12 +53,18 @@ fn main() {
     let ble = BleModem::new(BlePhy::Le2M, 8);
     let ch8 = BleChannel::new(8).expect("channel 8");
     let adv = BlePacket::advertising(vec![0x02, 0x05, 2, 1, 6, 0xFF, 0x59]);
-    report("legitimate BLE advertising", &monitor.observe(&pad(ble.transmit(&adv, ch8, true))));
+    report(
+        "legitimate BLE advertising",
+        &monitor.observe(&pad(ble.transmit(&adv, ch8, true))),
+    );
 
     // 2. Legitimate Zigbee sensor reading (whitelisted).
     let zigbee = Dot154Modem::new(8);
     let reading = Ppdu::new(MacFrame::data(0x1234, 0x63, 0x42, 1, vec![21, 0]).to_psdu()).unwrap();
-    report("legitimate Zigbee reading", &monitor.observe(&pad(zigbee.transmit(&reading))));
+    report(
+        "legitimate Zigbee reading",
+        &monitor.observe(&pad(zigbee.transmit(&reading))),
+    );
 
     // 3. A raw WazaBee transmission from a diverted nRF52832.
     let wazabee_tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).expect("LE 2M");
@@ -81,7 +87,9 @@ fn main() {
             craft_manufacturer_data(&Ppdu::new(embedded.to_psdu()).unwrap(), ch8).unwrap(),
         )
         .unwrap();
-    monitor.classifier_mut().learn_access_address(phone.access_address());
+    monitor
+        .classifier_mut()
+        .learn_access_address(phone.access_address());
     let aux = loop {
         let ev = phone.advertising_event().unwrap();
         if ev.aux_channel == ch8 {
@@ -98,11 +106,17 @@ fn main() {
                 psdu.len()
             );
             if let Some(mac) = MacFrame::from_psdu(psdu) {
-                println!("    embedded frame: {:?} from {} to {}", mac.frame_type, mac.src, mac.dest);
+                println!(
+                    "    embedded frame: {:?} from {} to {}",
+                    mac.frame_type, mac.src, mac.dest
+                );
             }
         }
     }
 
     banner("verdict");
     println!("Legitimate traffic passes; both WazaBee transmission styles are detected.");
+
+    banner("telemetry");
+    telemetry_footer();
 }

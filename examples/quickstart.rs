@@ -6,7 +6,7 @@
 use wazabee::{WazaBeeRx, WazaBeeTx};
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Modem, MacFrame, Ppdu};
-use wazabee_examples::{banner, hex};
+use wazabee_examples::{banner, hex, telemetry_footer};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
@@ -77,4 +77,7 @@ fn main() {
 
     banner("done");
     println!("Both directions of the cross-technology channel work.");
+
+    banner("telemetry");
+    telemetry_footer();
 }

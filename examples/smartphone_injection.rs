@@ -8,7 +8,7 @@ use wazabee::scenario_a::{EventOutcome, ScenarioA};
 use wazabee_ble::adv::BleAddress;
 use wazabee_chips::Smartphone;
 use wazabee_dot154::{Dot154Channel, MacFrame, Ppdu};
-use wazabee_examples::banner;
+use wazabee_examples::{banner, telemetry_footer};
 use wazabee_radio::{Link, LinkConfig};
 
 fn main() {
@@ -34,7 +34,10 @@ fn main() {
     let forged = MacFrame::data(0x1234, 0x0063, 0x0042, 99, vec![0x01, 0x39, 0x05]);
     let ppdu = Ppdu::new(forged.to_psdu()).expect("fits");
     scenario.arm(&ppdu).expect("frame fits in advertising data");
-    println!("armed: {}-byte forged PSDU in manufacturer data", ppdu.psdu().len());
+    println!(
+        "armed: {}-byte forged PSDU in manufacturer data",
+        ppdu.psdu().len()
+    );
 
     banner("advertising campaign");
     let mut link = Link::new(LinkConfig::office_3m(), 42);
@@ -61,10 +64,16 @@ fn main() {
     }
     banner("results");
     println!("advertising events: {events}");
-    println!("events on the target frequency: {on_target} (expected ≈ {})", events / 37);
+    println!(
+        "events on the target frequency: {on_target} (expected ≈ {})",
+        events / 37
+    );
     println!("frames decoded by the Zigbee receiver: {injected}");
     println!(
         "injection rate per event: {:.1}% (CSA#2 is uniform over 37 channels → ≈2.7%)",
         100.0 * injected as f64 / events as f64
     );
+
+    banner("telemetry");
+    telemetry_footer();
 }

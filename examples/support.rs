@@ -6,6 +6,20 @@ pub fn banner(title: &str) {
     println!("=== {title} ===");
 }
 
+/// Prints the end-of-run telemetry summary and, when `WAZABEE_TELEMETRY_OUT`
+/// is set, dumps every metric and trace record as JSONL to that path.
+pub fn telemetry_footer() {
+    print!("{}", wazabee_telemetry::summary());
+    match wazabee_telemetry::dump_from_env() {
+        Ok(true) => println!(
+            "telemetry dumped to {}",
+            std::env::var(wazabee_telemetry::ENV_OUT).unwrap_or_default()
+        ),
+        Ok(false) => {}
+        Err(e) => eprintln!("telemetry dump failed: {e}"),
+    }
+}
+
 /// Formats bytes as a hex dump line.
 pub fn hex(bytes: &[u8]) -> String {
     bytes

@@ -6,7 +6,7 @@
 
 use wazabee::TrackerAttack;
 use wazabee_chips::nrf51822;
-use wazabee_examples::banner;
+use wazabee_examples::{banner, telemetry_footer};
 use wazabee_radio::{Link, LinkConfig};
 use wazabee_zigbee::ZigbeeNetwork;
 
@@ -19,7 +19,9 @@ fn main() {
     );
 
     let mut net = ZigbeeNetwork::paper_testbed();
-    println!("victim: PAN 0x1234 on channel 14 — sensor 0x0063 reports every 2 s to coordinator 0x0042");
+    println!(
+        "victim: PAN 0x1234 on channel 14 — sensor 0x0063 reports every 2 s to coordinator 0x0042"
+    );
 
     let mut attack = TrackerAttack::new(8).expect("ESB is 2 Mbit/s");
     let mut link = Link::new(LinkConfig::office_3m(), 7);
@@ -48,7 +50,11 @@ fn main() {
         attack.dos_channel.number(),
         pan.coordinator,
         sensor,
-        if ok { "ACKNOWLEDGED — sensor exiled" } else { "failed" }
+        if ok {
+            "ACKNOWLEDGED — sensor exiled"
+        } else {
+            "failed"
+        }
     );
 
     banner("step 4 — fake data injection");
@@ -58,11 +64,24 @@ fn main() {
     banner("result");
     let readings = net.coordinator().readings();
     println!("coordinator display ({} readings):", readings.len());
-    for r in readings.iter().rev().take(10).collect::<Vec<_>>().iter().rev() {
-        println!("  {}  value {:5}  from 0x{:04X}", r.time, r.value, r.reported_by);
+    for r in readings
+        .iter()
+        .rev()
+        .take(10)
+        .collect::<Vec<_>>()
+        .iter()
+        .rev()
+    {
+        println!(
+            "  {}  value {:5}  from 0x{:04X}",
+            r.time, r.value, r.reported_by
+        );
     }
     println!(
         "the tail values are the attacker's — the real sensor now idles on {}",
         attack.dos_channel
     );
+
+    banner("telemetry");
+    telemetry_footer();
 }

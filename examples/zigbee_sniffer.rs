@@ -7,14 +7,17 @@
 use wazabee::WazaBeeRx;
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Channel, Dot154Modem, MacFrame, Ppdu};
-use wazabee_examples::{banner, hex};
+use wazabee_examples::{banner, hex, telemetry_footer};
 use wazabee_radio::{Instant, Link, LinkConfig, RfFrame};
 use wazabee_zigbee::{XbeePayload, ZigbeeNetwork};
 
 fn main() {
     banner("WazaBee Zigbee sniffer on a BLE chip");
     let channel = Dot154Channel::new(14).expect("channel 14");
-    println!("listening on {channel} with access address 0x{:08X}", wazabee::access_address_value());
+    println!(
+        "listening on {channel} with access address 0x{:08X}",
+        wazabee::access_address_value()
+    );
 
     let mut net = ZigbeeNetwork::paper_testbed();
     let sniffer = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).expect("LE 2M");
@@ -42,7 +45,11 @@ fn main() {
         };
         heard += 1;
         let rssi = wazabee_dsp::iq::rssi_dbfs(&rx_samples);
-        let fcs = if captured.fcs_ok() { "FCS ok " } else { "FCS BAD" };
+        let fcs = if captured.fcs_ok() {
+            "FCS ok "
+        } else {
+            "FCS BAD"
+        };
         match MacFrame::from_psdu(&captured.psdu) {
             Some(frame) => {
                 let detail = XbeePayload::from_bytes(&frame.payload)
@@ -72,4 +79,7 @@ fn main() {
         net.log().iter().filter(|r| r.channel == channel).count(),
         channel
     );
+
+    banner("telemetry");
+    telemetry_footer();
 }

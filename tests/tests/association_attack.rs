@@ -86,5 +86,8 @@ fn dos_forces_rejoin_scanning_behaviour() {
         .iter()
         .filter(|r| r.channel == attack.dos_channel && r.source == Some(sensor_idx))
         .count();
-    assert!(exiled_traffic > 0, "sensor went silent instead of being exiled");
+    assert!(
+        exiled_traffic > 0,
+        "sensor went silent instead of being exiled"
+    );
 }

@@ -84,7 +84,10 @@ fn tail_collision_corrupts_but_preamble_survives() {
     let chunk = air.len() / 3;
     combine_at(&mut air, &interferer[..chunk], offset);
     match zigbee.receive(&air) {
-        Some(r) => assert!(!r.fcs_ok() || r.psdu != victim.psdu(), "tail collision harmless?"),
+        Some(r) => assert!(
+            !r.fcs_ok() || r.psdu != victim.psdu(),
+            "tail collision harmless?"
+        ),
         None => panic!("preamble region was clean; sync should have held"),
     }
 }

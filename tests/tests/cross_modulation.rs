@@ -24,7 +24,9 @@ fn ble_tx_to_zigbee_rx_on_every_channel() {
         let air = tx.transmit(&p);
         let mhz = channel.center_mhz();
         let heard = link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-        let rx = zigbee.receive(&heard).unwrap_or_else(|| panic!("lost on {channel}"));
+        let rx = zigbee
+            .receive(&heard)
+            .unwrap_or_else(|| panic!("lost on {channel}"));
         assert_eq!(rx.psdu, p.psdu(), "mismatch on {channel}");
         assert!(rx.fcs_ok(), "FCS broken on {channel}");
     }
@@ -41,7 +43,9 @@ fn zigbee_tx_to_ble_rx_on_every_channel() {
         let air = zigbee.transmit(&p);
         let mhz = channel.center_mhz();
         let heard = link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-        let got = rx.receive(&heard).unwrap_or_else(|| panic!("lost on {channel}"));
+        let got = rx
+            .receive(&heard)
+            .unwrap_or_else(|| panic!("lost on {channel}"));
         assert_eq!(got.psdu, p.psdu(), "mismatch on {channel}");
         assert!(got.fcs_ok());
     }
@@ -58,8 +62,13 @@ fn ble_generated_waveform_passes_a_coherent_oqpsk_receiver() {
     let frame = MacFrame::data(0x1234, 0x0063, 0x0042, 3, b"coherent".to_vec());
     let p = Ppdu::new(frame.to_psdu()).unwrap();
     let mut link = Link::new(LinkConfig::ideal(), 5);
-    let heard = link.deliver(&RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()), 2420);
-    let rx = zigbee.receive_coherent(&heard).expect("coherent receiver lost the frame");
+    let heard = link.deliver(
+        &RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()),
+        2420,
+    );
+    let rx = zigbee
+        .receive_coherent(&heard)
+        .expect("coherent receiver lost the frame");
     assert_eq!(rx.psdu, p.psdu());
     assert!(rx.fcs_ok());
 }
@@ -74,9 +83,15 @@ fn esb_radio_is_a_drop_in_substitute() {
     let zigbee = Dot154Modem::new(sps);
     let mut link = Link::new(LinkConfig::office_3m(), 77);
     let p = ppdu(&[0xE5, 0xB0]);
-    let heard = link.deliver(&RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()), 2420);
+    let heard = link.deliver(
+        &RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()),
+        2420,
+    );
     assert!(zigbee.receive(&heard).map(|r| r.fcs_ok()).unwrap_or(false));
-    let heard = link.deliver(&RfFrame::new(2420, zigbee.transmit(&p), zigbee.sample_rate()), 2420);
+    let heard = link.deliver(
+        &RfFrame::new(2420, zigbee.transmit(&p), zigbee.sample_rate()),
+        2420,
+    );
     assert!(rx.receive(&heard).map(|r| r.fcs_ok()).unwrap_or(false));
 }
 
@@ -88,10 +103,16 @@ fn off_channel_transmissions_are_not_received() {
     let zigbee = Dot154Modem::new(sps);
     let mut link = Link::new(LinkConfig::office_3m(), 13);
     let p = ppdu(&[9; 10]);
-    let heard = link.deliver(&RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()), 2430);
+    let heard = link.deliver(
+        &RfFrame::new(2420, tx.transmit(&p), zigbee.sample_rate()),
+        2430,
+    );
     match zigbee.receive(&heard) {
         None => {}
-        Some(r) => assert!(!r.fcs_ok() || r.psdu != p.psdu(), "decoded 10 MHz off channel"),
+        Some(r) => assert!(
+            !r.fcs_ok() || r.psdu != p.psdu(),
+            "decoded 10 MHz off channel"
+        ),
     }
 }
 

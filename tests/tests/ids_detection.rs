@@ -29,7 +29,7 @@ fn scenario_a_aux_packet_trips_the_cross_protocol_detector() {
     scenario.arm(&Ppdu::new(forged.to_psdu()).unwrap()).unwrap();
 
     // Drive advertising events until one lands on the monitored frequency.
-    let mut link = wazabee_radio::Link::new(wazabee_radio::LinkConfig::ideal(), 1);
+    let link = wazabee_radio::Link::new(wazabee_radio::LinkConfig::ideal(), 1);
     let mut aux_on_target = None;
     // Access the waveform through the chips API: re-run the phone directly.
     let mut phone2 = Smartphone::new(BleAddress::new([9, 9, 9, 9, 9, 9]), 8);
@@ -73,7 +73,11 @@ fn scenario_a_aux_packet_trips_the_cross_protocol_detector() {
         })
         .collect();
     assert!(!cross.is_empty(), "injection not detected: {alerts:?}");
-    assert_eq!(cross[0], &forged.to_psdu(), "wrong embedded frame recovered");
+    assert_eq!(
+        cross[0],
+        &forged.to_psdu(),
+        "wrong embedded frame recovered"
+    );
 }
 
 #[test]
@@ -132,7 +136,9 @@ fn scenario_b_scan_storm_raises_an_anomaly() {
     }
     let alerts = monitor.observe(&storm);
     assert!(
-        alerts.iter().any(|a| matches!(a, Alert::TrafficAnomaly { .. })),
+        alerts
+            .iter()
+            .any(|a| matches!(a, Alert::TrafficAnomaly { .. })),
         "{alerts:?}"
     );
 }

@@ -40,7 +40,10 @@ fn injected_frames_reach_the_coordinator_display() {
         .iter()
         .filter(|r| r.value == 31337 && r.reported_by == 0x0063)
         .count();
-    assert_eq!(spoofed, injections, "not every injection reached the display");
+    assert_eq!(
+        spoofed, injections,
+        "not every injection reached the display"
+    );
 }
 
 #[test]

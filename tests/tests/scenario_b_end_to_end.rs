@@ -33,7 +33,10 @@ fn dos_silences_the_legitimate_sensor() {
     let deadline = net.now().plus_ms(10_000);
     net.run_until(deadline);
     let after = net.coordinator().readings().len();
-    assert_eq!(after, before, "coordinator still hears the sensor after DoS");
+    assert_eq!(
+        after, before,
+        "coordinator still hears the sensor after DoS"
+    );
 
     // The sensor's own AT log records the forged command.
     assert_eq!(
@@ -72,8 +75,7 @@ fn fake_readings_carry_the_attackers_values() {
     let mut attack = TrackerAttack::new(8).unwrap();
     let mut link = Link::new(LinkConfig::office_3m(), 35);
     let pan = attack.active_scan(&mut net, &mut link).unwrap();
-    let accepted =
-        attack.inject_fake_readings(&mut net, &mut link, pan, 0x0063, 0xF000, 4, 300);
+    let accepted = attack.inject_fake_readings(&mut net, &mut link, pan, 0x0063, 0xF000, 4, 300);
     assert_eq!(accepted, 4);
     let values: Vec<u16> = net
         .coordinator()

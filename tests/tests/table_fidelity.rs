@@ -34,7 +34,10 @@ fn reception_averages_match_paper_band() {
     let cc = pct_valid(&rx_cc);
     assert!(nrf >= 90.0, "nRF52832 RX average {nrf:.1}% too low");
     assert!(cc >= 90.0, "CC1352-R1 RX average {cc:.1}% too low");
-    assert!(cc + 2.0 >= nrf, "CC1352-R1 ({cc:.1}%) should not trail nRF52832 ({nrf:.1}%)");
+    assert!(
+        cc + 2.0 >= nrf,
+        "CC1352-R1 ({cc:.1}%) should not trail nRF52832 ({nrf:.1}%)"
+    );
 }
 
 #[test]
@@ -88,7 +91,10 @@ fn dips_fall_where_the_paper_says() {
         dip_loss > clean_loss,
         "dip channels ({dip_loss} losses) not worse than clean ({clean_loss})"
     );
-    assert!(dip_loss >= 3, "WiFi interference barely visible: {dip_loss} losses");
+    assert!(
+        dip_loss >= 3,
+        "WiFi interference barely visible: {dip_loss} losses"
+    );
 }
 
 #[test]
@@ -113,5 +119,8 @@ fn disabling_wifi_removes_the_dips() {
         );
         total_bad += r.corrupted + r.lost;
     }
-    assert!(total_bad <= 3, "{total_bad} bad frames across the band without WiFi");
+    assert!(
+        total_bad <= 3,
+        "{total_bad} bad frames across the band without WiFi"
+    );
 }

@@ -1,0 +1,158 @@
+//! Offline stand-in for `rand_chacha`: [`ChaCha8Rng`], [`ChaCha12Rng`] and
+//! [`ChaCha20Rng`] built on a genuine ChaCha block function (IETF variant,
+//! 32-byte key, zero nonce, 64-bit block counter).
+//!
+//! Determinism-per-seed and statistical quality match upstream; the exact
+//! word stream is not guaranteed identical (no in-tree consumer depends on
+//! upstream's stream).
+
+use rand::{RngCore, SeedableRng};
+
+const CHACHA_CONST: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// One ChaCha block: `rounds` must be even (8, 12 or 20).
+fn chacha_block(key: &[u32; 8], counter: u64, rounds: u32) -> [u32; 16] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CHACHA_CONST);
+    state[4..12].copy_from_slice(key);
+    state[12] = counter as u32;
+    state[13] = (counter >> 32) as u32;
+    state[14] = 0;
+    state[15] = 0;
+    let initial = state;
+    for _ in 0..rounds / 2 {
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+    for (s, i) in state.iter_mut().zip(initial.iter()) {
+        *s = s.wrapping_add(*i);
+    }
+    state
+}
+
+macro_rules! chacha_rng {
+    ($name:ident, $rounds:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $name {
+            key: [u32; 8],
+            counter: u64,
+            buffer: [u32; 16],
+            index: usize,
+        }
+
+        impl $name {
+            fn refill(&mut self) {
+                self.buffer = chacha_block(&self.key, self.counter, $rounds);
+                self.counter = self.counter.wrapping_add(1);
+                self.index = 0;
+            }
+        }
+
+        impl SeedableRng for $name {
+            type Seed = [u8; 32];
+
+            fn from_seed(seed: Self::Seed) -> Self {
+                let mut key = [0u32; 8];
+                for (k, chunk) in key.iter_mut().zip(seed.chunks_exact(4)) {
+                    *k = u32::from_le_bytes(chunk.try_into().unwrap());
+                }
+                let mut rng = $name {
+                    key,
+                    counter: 0,
+                    buffer: [0; 16],
+                    index: 16,
+                };
+                rng.refill();
+                rng
+            }
+        }
+
+        impl RngCore for $name {
+            #[inline]
+            fn next_u32(&mut self) -> u32 {
+                if self.index >= 16 {
+                    self.refill();
+                }
+                let w = self.buffer[self.index];
+                self.index += 1;
+                w
+            }
+
+            #[inline]
+            fn next_u64(&mut self) -> u64 {
+                let lo = u64::from(self.next_u32());
+                let hi = u64::from(self.next_u32());
+                (hi << 32) | lo
+            }
+        }
+    };
+}
+
+chacha_rng!(
+    ChaCha8Rng,
+    8,
+    "ChaCha with 8 rounds — the workspace's default deterministic RNG."
+);
+chacha_rng!(ChaCha12Rng, 12, "ChaCha with 12 rounds.");
+chacha_rng!(ChaCha20Rng, 20, "ChaCha with 20 rounds.");
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn rfc8439_block_vector() {
+        // RFC 8439 §2.3.2 test vector (20 rounds, counter 1, nonce 0 differs —
+        // so check the zero-key zero-counter ChaCha20 block against the
+        // well-known keystream first word instead: just sanity-check
+        // determinism and diffusion here.)
+        let a = chacha_block(&[0; 8], 0, 20);
+        let b = chacha_block(&[0; 8], 1, 20);
+        assert_ne!(a, b);
+        assert_eq!(a, chacha_block(&[0; 8], 0, 20));
+    }
+
+    #[test]
+    fn seeded_streams_are_deterministic_and_distinct() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(1);
+        let mut c = ChaCha8Rng::seed_from_u64(2);
+        let xs: Vec<u64> = (0..64).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..64).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..64).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn uniformity_smoke() {
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        let mut ones = 0usize;
+        let n = 100_000;
+        for _ in 0..n {
+            ones += usize::from(rng.gen_range(0..=1u8));
+        }
+        let ratio = ones as f64 / n as f64;
+        assert!((0.49..0.51).contains(&ratio), "bit bias {ratio}");
+    }
+}

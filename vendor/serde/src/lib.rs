@@ -1,0 +1,21 @@
+//! Offline no-op stand-in for `serde`.
+//!
+//! The workspace only uses `#[derive(Serialize, Deserialize)]` as inert
+//! annotations (nothing in-tree actually serialises through serde, and
+//! crates.io is unreachable in this build environment), so this shim provides
+//! derive macros that expand to nothing. Swap back to real serde by restoring
+//! the crates.io entry in `[workspace.dependencies]`.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
