@@ -10,6 +10,8 @@
 #   5. rustfmt check
 #   6. telemetry-overhead smoke: the Criterion bench compiles and runs in
 #      test mode in both feature states
+#   7. flight-recorder smoke: WAZABEE_CAPTURE_DIR produces PCAP + JSONL
+#      artifacts with default features and none with --no-default-features
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -26,6 +28,28 @@ run cargo clippy --workspace --all-targets --offline -- -D warnings
 run cargo fmt --all -- --check
 run cargo bench -p wazabee-bench --bench telemetry_overhead --offline -- --test
 run cargo bench -p wazabee-bench --bench telemetry_overhead --offline --no-default-features -- --test
+
+capture_dir="$(mktemp -d)"
+trap 'rm -rf "$capture_dir"' EXIT
+run env WAZABEE_CAPTURE_DIR="$capture_dir" \
+    cargo run --release -q -p wazabee-examples --bin zigbee_sniffer --offline > /dev/null
+for f in frames.pcap frames.jsonl; do
+    if ! [ -s "$capture_dir/$f" ]; then
+        echo "ci.sh: expected non-empty $f in WAZABEE_CAPTURE_DIR" >&2
+        exit 1
+    fi
+done
+echo "flight-recorder artifacts present: $(ls "$capture_dir")"
+
+rm -rf "$capture_dir"/*
+run env WAZABEE_CAPTURE_DIR="$capture_dir" \
+    cargo run --release -q -p wazabee-examples --bin zigbee_sniffer --offline \
+    --no-default-features > /dev/null
+if [ -n "$(ls -A "$capture_dir")" ]; then
+    echo "ci.sh: --no-default-features build must not write capture artifacts" >&2
+    exit 1
+fi
+echo "flight-recorder compiled out: no artifacts written"
 
 echo
 echo "ci.sh: all checks passed"

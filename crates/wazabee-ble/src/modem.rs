@@ -97,15 +97,38 @@ impl BleModem {
         channel: BleChannel,
         whitening: bool,
     ) -> Option<BlePacket> {
+        let mut tr = wazabee_flightrec::begin("ble.rx");
+        if tr.active() {
+            tr.tap_iq(samples, self.sample_rate(), None);
+        }
         let sync = BlePacket::access_address_bits(access_address);
         let rx = GfskReceiver::new(self.params);
-        let capture = rx.capture(samples, &sync, 1, MAX_BODY_BITS)?;
+        let Some(capture) = rx.capture(samples, &sync, 1, MAX_BODY_BITS) else {
+            wazabee_telemetry::counter!("ble.rx.fail.no_sync").inc();
+            tr.fail(wazabee_flightrec::RxFailure::NoSync);
+            return None;
+        };
+        tr.sync(
+            capture.sync_errors,
+            capture.sync_bit_index,
+            capture.sample_offset,
+            sync.len(),
+        );
         let packet = BlePacket::from_body_bits(access_address, &capture.bits, channel, whitening);
-        if let Some(p) = &packet {
-            if p.crc_ok() {
-                wazabee_telemetry::counter!("ble.crc.ok").inc();
-            } else {
-                wazabee_telemetry::counter!("ble.crc.fail").inc();
+        match &packet {
+            Some(p) => {
+                let ok = p.crc_ok();
+                if ok {
+                    wazabee_telemetry::counter!("ble.crc.ok").inc();
+                } else {
+                    wazabee_telemetry::counter!("ble.crc.fail").inc();
+                    wazabee_telemetry::counter!("ble.rx.fail.crc").inc();
+                }
+                tr.deliver(p.pdu(), ok, wazabee_flightrec::FrameKind::Ble);
+            }
+            None => {
+                wazabee_telemetry::counter!("ble.rx.fail.truncated").inc();
+                tr.fail(wazabee_flightrec::RxFailure::TruncatedFrame);
             }
         }
         packet

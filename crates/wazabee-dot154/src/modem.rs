@@ -22,6 +22,19 @@ use crate::oqpsk::modulate_chips;
 /// out of the 319-bit SHR image.
 pub const DEFAULT_MAX_SHR_ERRORS: usize = 32;
 
+/// Mean discriminator output over (up to) the first 8192 samples, scaled to
+/// Hz — a coarse carrier-frequency-offset figure recorded in decode traces.
+fn estimate_cfo_hz(samples: &[Iq], sample_rate: f64) -> Option<f64> {
+    const CFO_WINDOW: usize = 8192;
+    let window = &samples[..samples.len().min(CFO_WINDOW)];
+    let diffs = wazabee_dsp::discriminator::discriminate(window);
+    if diffs.is_empty() {
+        return None;
+    }
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    Some(mean * sample_rate / std::f64::consts::TAU)
+}
+
 /// A frame recovered from the air.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReceivedPpdu {
@@ -128,8 +141,51 @@ impl Dot154Modem {
     /// Receives a frame using the MSK-view pipeline.
     ///
     /// Returns `None` when no synchronisation header is found or the stream
-    /// ends before the announced PSDU completes.
+    /// ends before the announced PSDU completes. Every attempt emits a
+    /// flight-recorder [`DecodeTrace`](wazabee_flightrec::DecodeTrace) when a
+    /// recorder is installed.
     pub fn receive(&self, samples: &[Iq]) -> Option<ReceivedPpdu> {
+        let mut tr = wazabee_flightrec::begin("dot154.rx");
+        if tr.active() {
+            tr.tap_iq(samples, self.sample_rate(), None);
+            if let Some(cfo) = estimate_cfo_hz(samples, self.sample_rate()) {
+                tr.cfo_hz(cfo);
+            }
+        }
+        match self.receive_traced(samples, &mut tr) {
+            Ok(rx) => {
+                let ok = rx.fcs_ok();
+                if ok {
+                    wazabee_telemetry::counter!("dot154.fcs.ok").inc();
+                } else {
+                    wazabee_telemetry::counter!("dot154.fcs.fail").inc();
+                    wazabee_telemetry::counter!("dot154.rx.fail.fcs").inc();
+                }
+                tr.deliver(&rx.psdu, ok, wazabee_flightrec::FrameKind::Dot154);
+                Some(rx)
+            }
+            Err(failure) => {
+                match failure {
+                    wazabee_flightrec::RxFailure::NoSync => {
+                        wazabee_telemetry::counter!("dot154.rx.fail.no_sync").inc()
+                    }
+                    _ => wazabee_telemetry::counter!("dot154.rx.fail.truncated").inc(),
+                }
+                tr.fail(failure);
+                None
+            }
+        }
+    }
+
+    /// The MSK-view pipeline proper, reporting every outcome as a typed
+    /// [`RxFailure`](wazabee_flightrec::RxFailure) and annotating the trace
+    /// handle as it goes.
+    fn receive_traced(
+        &self,
+        samples: &[Iq],
+        tr: &mut wazabee_flightrec::TraceHandle,
+    ) -> Result<ReceivedPpdu, wazabee_flightrec::RxFailure> {
+        use wazabee_flightrec::RxFailure;
         let _t = wazabee_telemetry::timed_scope!("dot154.msk_rx_ns");
         let shr = Self::shr_msk_image();
         let mut best: Option<(usize, wazabee_dsp::correlate::PatternMatch)> = None;
@@ -156,7 +212,8 @@ impl Dot154Modem {
             }
             None => wazabee_telemetry::counter!("dot154.sync.miss").inc(),
         }
-        let (_, m) = best?;
+        let (offset, m) = best.ok_or(RxFailure::NoSync)?;
+        tr.sync(m.errors, m.index, offset, shr.len());
         let bits = cached_bits.expect("bits cached with best match");
         // `m.index` is the stream position of MSK bit i = 1 (the first
         // internal transition of the frame). Symbol k's 31 internal bits sit
@@ -167,31 +224,28 @@ impl Dot154Modem {
             (end <= bits.len()).then(|| &bits[start..end])
         };
         // PHR is the symbol pair right after the 10 SHR symbols.
-        let phr_lo = closest_symbol_msk(symbol_block(SHR_SYMBOLS)?);
-        let phr_hi = closest_symbol_msk(symbol_block(SHR_SYMBOLS + 1)?);
+        let phr_lo =
+            closest_symbol_msk(symbol_block(SHR_SYMBOLS).ok_or(RxFailure::TruncatedFrame)?);
+        let phr_hi =
+            closest_symbol_msk(symbol_block(SHR_SYMBOLS + 1).ok_or(RxFailure::TruncatedFrame)?);
         let psdu_len = usize::from((phr_hi.0 << 4) | phr_lo.0) & 0x7F;
         let mut symbols = Vec::with_capacity(psdu_len * 2);
         let mut chip_errors = phr_lo.1 + phr_hi.1;
         for k in 0..psdu_len * 2 {
-            let block = symbol_block(SHR_SYMBOLS + 2 + k)?;
+            let block = symbol_block(SHR_SYMBOLS + 2 + k).ok_or(RxFailure::TruncatedFrame)?;
             let (sym, errs) = closest_symbol_msk(block);
+            tr.despread(errs);
             wazabee_telemetry::counter!("dot154.despread.symbols").inc();
             wazabee_telemetry::value_histogram!("dot154.despread_hamming", 0.0, 32.0)
                 .record(errs as f64);
             symbols.push(sym);
             chip_errors += errs;
         }
-        let rx = ReceivedPpdu {
+        Ok(ReceivedPpdu {
             psdu: symbols_to_bytes(&symbols),
             chip_errors,
             shr_errors: m.errors,
-        };
-        if rx.fcs_ok() {
-            wazabee_telemetry::counter!("dot154.fcs.ok").inc();
-        } else {
-            wazabee_telemetry::counter!("dot154.fcs.fail").inc();
-        }
-        Some(rx)
+        })
     }
 
     /// Receives a frame with the coherent chip-domain receiver of

@@ -1,0 +1,146 @@
+//! `.cf32` IQ dumps — the interleaved little-endian `f32` I/Q sample format
+//! SDR tooling (GNU Radio file sinks, inspectrum, `sigmf` converters)
+//! consumes directly — plus the JSON sidecar describing each dump.
+
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+use wazabee_dsp::Iq;
+
+/// Writes samples as interleaved little-endian `f32` I/Q pairs.
+///
+/// # Errors
+///
+/// Propagates file-creation and write errors.
+pub fn write_cf32(path: &Path, samples: &[Iq]) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    for s in samples {
+        w.write_all(&(s.i as f32).to_le_bytes())?;
+        w.write_all(&(s.q as f32).to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads an interleaved little-endian `f32` I/Q file back into samples.
+///
+/// # Errors
+///
+/// Fails on IO errors or a file whose length is not a multiple of 8 bytes.
+pub fn read_cf32(path: &Path) -> io::Result<Vec<Iq>> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() % 8 != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "cf32 length is not a whole number of I/Q pairs",
+        ));
+    }
+    Ok(raw
+        .chunks_exact(8)
+        .map(|c| {
+            Iq::new(
+                f64::from(f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
+                f64::from(f32::from_le_bytes([c[4], c[5], c[6], c[7]])),
+            )
+        })
+        .collect())
+}
+
+/// Metadata written next to every `.cf32` dump, as a small JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IqSidecar {
+    /// The [`crate::DecodeTrace`] id this window belongs to.
+    pub trace_id: u64,
+    /// Decoder layer that captured the window.
+    pub layer: String,
+    /// Sample rate in samples per second.
+    pub sample_rate: f64,
+    /// Carrier centre frequency in MHz, when known.
+    pub center_mhz: Option<u32>,
+    /// What triggered the dump (a failure reason, or `"always"`).
+    pub trigger: String,
+    /// Samples kept in the `.cf32` file.
+    pub samples: usize,
+    /// Samples in the original capture buffer (≥ `samples`; the window is
+    /// bounded by the recorder's configured size).
+    pub samples_total: usize,
+    /// File name of the companion `.cf32` dump.
+    pub cf32_file: String,
+}
+
+impl IqSidecar {
+    /// Renders the sidecar as a single JSON object.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(192);
+        let _ = write!(
+            out,
+            "{{\"trace_id\":{},\"layer\":\"{}\",\"sample_rate\":{}",
+            self.trace_id, self.layer, self.sample_rate
+        );
+        match self.center_mhz {
+            Some(m) => {
+                let _ = write!(out, ",\"center_mhz\":{m}");
+            }
+            None => out.push_str(",\"center_mhz\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"trigger\":\"{}\",\"samples\":{},\"samples_total\":{},\"cf32_file\":\"{}\"}}",
+            self.trigger, self.samples, self.samples_total, self.cf32_file
+        );
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wzb-cf32-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn cf32_round_trip_is_f32_exact() {
+        let path = tmp("rt.cf32");
+        let samples: Vec<Iq> = (0..257)
+            .map(|k| Iq::from_polar(1.0, k as f64 * 0.1))
+            .collect();
+        write_cf32(&path, &samples).unwrap();
+        let back = read_cf32(&path).unwrap();
+        assert_eq!(back.len(), samples.len());
+        for (a, b) in samples.iter().zip(&back) {
+            assert!((a.i - b.i).abs() < 1e-6 && (a.q - b.q).abs() < 1e-6);
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_ragged_file() {
+        let path = tmp("ragged.cf32");
+        std::fs::write(&path, [0u8; 13]).unwrap();
+        assert!(read_cf32(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sidecar_json_is_balanced() {
+        let s = IqSidecar {
+            trace_id: 42,
+            layer: "wazabee.rx".into(),
+            sample_rate: 16.0e6,
+            center_mhz: Some(2420),
+            trigger: "truncated".into(),
+            samples: 100,
+            samples_total: 5000,
+            cf32_file: "trace-00000042.cf32".into(),
+        };
+        let j = s.to_json();
+        assert!(j.contains("\"trace_id\":42"), "{j}");
+        assert!(j.contains("\"center_mhz\":2420"), "{j}");
+        assert!(j.contains("\"trigger\":\"truncated\""), "{j}");
+        assert_eq!(j.matches('"').count() % 2, 0, "{j}");
+    }
+}

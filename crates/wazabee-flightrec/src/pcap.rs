@@ -1,0 +1,202 @@
+//! Minimal classic-PCAP writer and reader for 802.15.4 captures.
+//!
+//! The writer produces files Wireshark opens directly: the classic
+//! little-endian microsecond format (magic `0xa1b2c3d4`, version 2.4) with
+//! `LINKTYPE_IEEE802_15_4_WITHFCS` (frames carry their trailing FCS) or
+//! `LINKTYPE_IEEE802_15_4_NOFCS` (FCS stripped). The reader exists so tests
+//! can round-trip captures without external tooling.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::Path;
+
+/// IEEE 802.15.4 with the 2-byte FCS present at the end of each frame.
+pub const LINKTYPE_IEEE802_15_4_WITHFCS: u32 = 195;
+/// IEEE 802.15.4 with the FCS stripped from each frame.
+pub const LINKTYPE_IEEE802_15_4_NOFCS: u32 = 230;
+
+/// Classic PCAP magic for microsecond timestamps, written little-endian.
+pub const PCAP_MAGIC_US: u32 = 0xa1b2_c3d4;
+
+const SNAPLEN: u32 = 65_535;
+
+/// An append-only classic-PCAP file.
+#[derive(Debug)]
+pub struct PcapWriter {
+    w: BufWriter<File>,
+    linktype: u32,
+    packets: u64,
+}
+
+impl PcapWriter {
+    /// Creates (truncating) a PCAP file at `path` and writes the global
+    /// header for `linktype`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-creation and write errors.
+    pub fn create(path: &Path, linktype: u32) -> io::Result<Self> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&PCAP_MAGIC_US.to_le_bytes())?;
+        w.write_all(&2u16.to_le_bytes())?; // version major
+        w.write_all(&4u16.to_le_bytes())?; // version minor
+        w.write_all(&0i32.to_le_bytes())?; // thiszone
+        w.write_all(&0u32.to_le_bytes())?; // sigfigs
+        w.write_all(&SNAPLEN.to_le_bytes())?;
+        w.write_all(&linktype.to_le_bytes())?;
+        Ok(PcapWriter {
+            w,
+            linktype,
+            packets: 0,
+        })
+    }
+
+    /// The file's link-layer type.
+    pub fn linktype(&self) -> u32 {
+        self.linktype
+    }
+
+    /// Packets written so far.
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    /// Appends one packet with the given timestamp (microseconds since the
+    /// Unix epoch) and returns its index in the file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write errors.
+    pub fn write_packet(&mut self, ts_us: u64, bytes: &[u8]) -> io::Result<u64> {
+        let len = bytes.len().min(SNAPLEN as usize) as u32;
+        self.w
+            .write_all(&((ts_us / 1_000_000) as u32).to_le_bytes())?;
+        self.w
+            .write_all(&((ts_us % 1_000_000) as u32).to_le_bytes())?;
+        self.w.write_all(&len.to_le_bytes())?; // captured length
+        self.w.write_all(&len.to_le_bytes())?; // original length
+        self.w.write_all(&bytes[..len as usize])?;
+        let index = self.packets;
+        self.packets += 1;
+        Ok(index)
+    }
+
+    /// Flushes buffered data to disk.
+    ///
+    /// # Errors
+    ///
+    /// Propagates flush errors.
+    pub fn flush(&mut self) -> io::Result<()> {
+        self.w.flush()
+    }
+}
+
+/// One packet read back from a PCAP file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapPacket {
+    /// Timestamp in microseconds since the Unix epoch.
+    pub ts_us: u64,
+    /// Captured packet bytes.
+    pub bytes: Vec<u8>,
+}
+
+/// A fully parsed PCAP file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PcapFile {
+    /// Link-layer type from the global header.
+    pub linktype: u32,
+    /// All packets, in file order.
+    pub packets: Vec<PcapPacket>,
+}
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+fn u32le(b: &[u8]) -> u32 {
+    u32::from_le_bytes([b[0], b[1], b[2], b[3]])
+}
+
+/// Reads a little-endian microsecond classic-PCAP file in full.
+///
+/// # Errors
+///
+/// Fails on IO errors, a wrong magic, or a truncated packet record.
+pub fn read_pcap(path: &Path) -> io::Result<PcapFile> {
+    let mut raw = Vec::new();
+    File::open(path)?.read_to_end(&mut raw)?;
+    if raw.len() < 24 {
+        return Err(bad("pcap shorter than its global header"));
+    }
+    if u32le(&raw[0..4]) != PCAP_MAGIC_US {
+        return Err(bad("not a little-endian microsecond pcap"));
+    }
+    let linktype = u32le(&raw[20..24]);
+    let mut packets = Vec::new();
+    let mut at = 24usize;
+    while at < raw.len() {
+        if at + 16 > raw.len() {
+            return Err(bad("truncated packet header"));
+        }
+        let ts_s = u64::from(u32le(&raw[at..at + 4]));
+        let ts_us = u64::from(u32le(&raw[at + 4..at + 8]));
+        let cap_len = u32le(&raw[at + 8..at + 12]) as usize;
+        at += 16;
+        if at + cap_len > raw.len() {
+            return Err(bad("truncated packet body"));
+        }
+        packets.push(PcapPacket {
+            ts_us: ts_s * 1_000_000 + ts_us,
+            bytes: raw[at..at + cap_len].to_vec(),
+        });
+        at += cap_len;
+    }
+    Ok(PcapFile { linktype, packets })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("wzb-pcap-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn round_trips_packets_and_linktype() {
+        let path = tmp("rt.pcap");
+        let mut w = PcapWriter::create(&path, LINKTYPE_IEEE802_15_4_WITHFCS).unwrap();
+        assert_eq!(w.write_packet(1_000_007, &[1, 2, 3]).unwrap(), 0);
+        assert_eq!(w.write_packet(2_500_000, &[0xAA; 40]).unwrap(), 1);
+        w.flush().unwrap();
+        drop(w);
+        let f = read_pcap(&path).unwrap();
+        assert_eq!(f.linktype, LINKTYPE_IEEE802_15_4_WITHFCS);
+        assert_eq!(f.packets.len(), 2);
+        assert_eq!(f.packets[0].bytes, vec![1, 2, 3]);
+        assert_eq!(f.packets[0].ts_us, 1_000_007);
+        assert_eq!(f.packets[1].bytes, vec![0xAA; 40]);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let path = tmp("bad.pcap");
+        std::fs::write(&path, [0u8; 40]).unwrap();
+        assert!(read_pcap(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_truncated_body() {
+        let path = tmp("cut.pcap");
+        let mut w = PcapWriter::create(&path, LINKTYPE_IEEE802_15_4_NOFCS).unwrap();
+        w.write_packet(0, &[9; 10]).unwrap();
+        w.flush().unwrap();
+        drop(w);
+        let full = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &full[..full.len() - 3]).unwrap();
+        assert!(read_pcap(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+}

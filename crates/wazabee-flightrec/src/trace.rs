@@ -1,0 +1,310 @@
+//! Per-frame decode provenance: the [`DecodeTrace`] record and the typed
+//! [`RxFailure`] taxonomy.
+//!
+//! Every RX attempt through an instrumented demodulator produces one
+//! [`DecodeTrace`]: which sync alignment fired (and how clean it was), the
+//! estimated carrier-frequency offset, the Hamming distance of every
+//! despread symbol decision, and how the attempt ended — a delivered frame
+//! (with its checksum verdict) or a typed failure naming the stage that
+//! killed it.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Why an RX attempt failed, by pipeline stage.
+///
+/// The taxonomy mirrors the paper's RX chain (§IV-D): access-address /
+/// preamble correlation, SFD validation, per-symbol despreading, then the
+/// frame checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum RxFailure {
+    /// The sync pattern (access address / SHR image) never matched.
+    NoSync,
+    /// The correlator fired but what followed was not a frame (bad SFD).
+    SyncFalsePositive,
+    /// A despread symbol decision exceeded the configured Hamming-distance
+    /// budget (see `WazaBeeRx::with_max_despread_distance`).
+    DespreadDistanceExceeded,
+    /// A BLE packet decoded to completion but its CRC-24 failed.
+    CrcMismatch,
+    /// An 802.15.4 frame decoded to completion but its FCS failed.
+    FcsMismatch,
+    /// The capture ended before the announced frame length completed.
+    TruncatedFrame,
+    /// The trace handle was dropped before the decoder reported an outcome.
+    Abandoned,
+}
+
+impl RxFailure {
+    /// Stable snake_case name, used in JSONL output and as the suffix of the
+    /// per-reason telemetry counters (`*.rx.fail.<name>`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            RxFailure::NoSync => "no_sync",
+            RxFailure::SyncFalsePositive => "sync_false_positive",
+            RxFailure::DespreadDistanceExceeded => "despread_distance",
+            RxFailure::CrcMismatch => "crc",
+            RxFailure::FcsMismatch => "fcs",
+            RxFailure::TruncatedFrame => "truncated",
+            RxFailure::Abandoned => "abandoned",
+        }
+    }
+}
+
+impl fmt::Display for RxFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// What kind of frame a decoder delivered — decides the checksum-failure
+/// classification and whether the frame belongs in the 802.15.4 PCAP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// An 802.15.4 PSDU (FCS included) — exported to the PCAP.
+    Dot154,
+    /// A BLE PDU — logged to JSONL only.
+    Ble,
+}
+
+impl FrameKind {
+    /// The failure a bad checksum maps to for this frame kind.
+    pub fn checksum_failure(self) -> RxFailure {
+        match self {
+            FrameKind::Dot154 => RxFailure::FcsMismatch,
+            FrameKind::Ble => RxFailure::CrcMismatch,
+        }
+    }
+}
+
+/// How the sync correlator locked onto this attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SyncInfo {
+    /// Bit errors inside the matched sync pattern.
+    pub errors: usize,
+    /// Bit index (in the demodulated stream) where the pattern started.
+    pub bit_index: usize,
+    /// Sample-phase offset the receiver locked onto.
+    pub sample_offset: usize,
+    /// Length of the sync pattern in bits.
+    pub pattern_len: usize,
+}
+
+impl SyncInfo {
+    /// Normalised correlation peak: `1.0` is a perfect pattern match, `0.0`
+    /// means every bit mismatched.
+    pub fn quality(&self) -> f64 {
+        if self.pattern_len == 0 {
+            return 0.0;
+        }
+        1.0 - self.errors as f64 / self.pattern_len as f64
+    }
+}
+
+/// The full provenance record of one RX attempt.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecodeTrace {
+    /// Unique (process-wide, monotonically increasing) trace id.
+    pub id: u64,
+    /// Which decoder produced the trace (`"wazabee.rx"`, `"dot154.rx"`,
+    /// `"ble.rx"`, …).
+    pub layer: &'static str,
+    /// Sync correlation result, when the correlator fired.
+    pub sync: Option<SyncInfo>,
+    /// Estimated carrier-frequency offset over the capture window, in Hz.
+    pub cfo_hz: Option<f64>,
+    /// Hamming distance of every despread symbol decision, in decode order.
+    pub despread_distances: Vec<u16>,
+    /// Frame bytes, when the decode ran to completion (even with a bad
+    /// checksum — the attack delivers those too).
+    pub frame: Option<Vec<u8>>,
+    /// Checksum verdict of the delivered frame (`None` when none decoded).
+    pub checksum_ok: Option<bool>,
+    /// The stage that killed the attempt, or `None` for a clean decode.
+    pub failure: Option<RxFailure>,
+    /// File name of the `.cf32` IQ window dumped for this attempt.
+    pub iq_file: Option<String>,
+    /// Index of the frame inside the capture PCAP, when exported.
+    pub pcap_index: Option<u64>,
+}
+
+impl DecodeTrace {
+    /// A fresh, pending trace.
+    pub fn new(id: u64, layer: &'static str) -> Self {
+        DecodeTrace {
+            id,
+            layer,
+            sync: None,
+            cfo_hz: None,
+            despread_distances: Vec::new(),
+            frame: None,
+            checksum_ok: None,
+            failure: None,
+            iq_file: None,
+            pcap_index: None,
+        }
+    }
+
+    /// Whether the attempt delivered a frame with a valid checksum.
+    pub fn ok(&self) -> bool {
+        self.frame.is_some() && self.checksum_ok == Some(true)
+    }
+
+    /// Total chip/bit errors accumulated across all despread decisions.
+    pub fn chip_errors(&self) -> u64 {
+        self.despread_distances.iter().map(|&d| u64::from(d)).sum()
+    }
+
+    /// Worst single despread decision, in Hamming distance.
+    pub fn max_despread_distance(&self) -> Option<u16> {
+        self.despread_distances.iter().copied().max()
+    }
+
+    /// Renders the trace as one JSONL frame-log line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let _ = write!(
+            out,
+            "{{\"type\":\"frame\",\"trace_id\":{},\"layer\":\"{}\",\"outcome\":\"{}\"",
+            self.id,
+            self.layer,
+            if self.ok() { "ok" } else { "fail" }
+        );
+        match self.failure {
+            Some(f) => {
+                let _ = write!(out, ",\"reason\":\"{}\"", f.as_str());
+            }
+            None => out.push_str(",\"reason\":null"),
+        }
+        match self.checksum_ok {
+            Some(v) => {
+                let _ = write!(out, ",\"checksum_ok\":{v}");
+            }
+            None => out.push_str(",\"checksum_ok\":null"),
+        }
+        match &self.sync {
+            Some(s) => {
+                let _ = write!(
+                    out,
+                    ",\"sync\":{{\"errors\":{},\"bit_index\":{},\"sample_offset\":{},\
+                     \"pattern_len\":{},\"quality\":{:.6}}}",
+                    s.errors,
+                    s.bit_index,
+                    s.sample_offset,
+                    s.pattern_len,
+                    s.quality()
+                );
+            }
+            None => out.push_str(",\"sync\":null"),
+        }
+        match self.cfo_hz {
+            Some(v) if v.is_finite() => {
+                let _ = write!(out, ",\"cfo_hz\":{v:.3}");
+            }
+            _ => out.push_str(",\"cfo_hz\":null"),
+        }
+        let _ = write!(
+            out,
+            ",\"despread_symbols\":{},\"chip_errors\":{},\"despread_max\":{}",
+            self.despread_distances.len(),
+            self.chip_errors(),
+            self.max_despread_distance().unwrap_or(0)
+        );
+        out.push_str(",\"despread_distances\":[");
+        for (k, d) in self.despread_distances.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{d}");
+        }
+        out.push(']');
+        match &self.frame {
+            Some(bytes) => {
+                let _ = write!(out, ",\"frame_len\":{},\"frame_hex\":\"", bytes.len());
+                for b in bytes {
+                    let _ = write!(out, "{b:02x}");
+                }
+                out.push('"');
+            }
+            None => out.push_str(",\"frame_len\":null,\"frame_hex\":null"),
+        }
+        match &self.iq_file {
+            Some(f) => {
+                let _ = write!(out, ",\"iq_file\":\"{f}\"");
+            }
+            None => out.push_str(",\"iq_file\":null"),
+        }
+        match self.pcap_index {
+            Some(i) => {
+                let _ = write!(out, ",\"pcap_index\":{i}");
+            }
+            None => out.push_str(",\"pcap_index\":null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_names_are_stable() {
+        assert_eq!(RxFailure::NoSync.as_str(), "no_sync");
+        assert_eq!(RxFailure::FcsMismatch.as_str(), "fcs");
+        assert_eq!(RxFailure::TruncatedFrame.to_string(), "truncated");
+    }
+
+    #[test]
+    fn checksum_failure_maps_by_kind() {
+        assert_eq!(FrameKind::Dot154.checksum_failure(), RxFailure::FcsMismatch);
+        assert_eq!(FrameKind::Ble.checksum_failure(), RxFailure::CrcMismatch);
+    }
+
+    #[test]
+    fn sync_quality_normalises() {
+        let s = SyncInfo {
+            errors: 8,
+            bit_index: 0,
+            sample_offset: 0,
+            pattern_len: 32,
+        };
+        assert!((s.quality() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_line_has_all_fields() {
+        let mut t = DecodeTrace::new(7, "wazabee.rx");
+        t.sync = Some(SyncInfo {
+            errors: 1,
+            bit_index: 640,
+            sample_offset: 3,
+            pattern_len: 32,
+        });
+        t.despread_distances = vec![0, 2, 1];
+        t.failure = Some(RxFailure::TruncatedFrame);
+        let j = t.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+        assert!(j.contains("\"trace_id\":7"), "{j}");
+        assert!(j.contains("\"outcome\":\"fail\""), "{j}");
+        assert!(j.contains("\"reason\":\"truncated\""), "{j}");
+        assert!(j.contains("\"chip_errors\":3"), "{j}");
+        assert!(j.contains("\"despread_distances\":[0,2,1]"), "{j}");
+        assert_eq!(j.matches('"').count() % 2, 0, "{j}");
+    }
+
+    #[test]
+    fn json_ok_line_carries_frame_hex() {
+        let mut t = DecodeTrace::new(1, "dot154.rx");
+        t.frame = Some(vec![0xDE, 0xAD]);
+        t.checksum_ok = Some(true);
+        t.pcap_index = Some(0);
+        let j = t.to_json();
+        assert!(t.ok());
+        assert!(j.contains("\"outcome\":\"ok\""), "{j}");
+        assert!(j.contains("\"frame_hex\":\"dead\""), "{j}");
+        assert!(j.contains("\"pcap_index\":0"), "{j}");
+    }
+}

@@ -60,6 +60,7 @@ fn rate_line(label: &str, pass: u64, fail: u64) -> Option<String> {
 #[must_use]
 pub fn summary() -> String {
     #[cfg(not(feature = "enabled"))]
+    #[allow(clippy::needless_return)] // return keeps both cfg branches expression-compatible
     {
         return "wazabee-telemetry: disabled (build with the `telemetry` feature)\n".to_string();
     }
@@ -95,6 +96,20 @@ pub fn summary() -> String {
                 "  {:<28} {:.4} ({frames_ok}/{frames_tx} frames ok)",
                 "PER", per
             ));
+        }
+        // Failure taxonomy: counters named `*.rx.fail.<reason>` (emitted by
+        // the flight-recorder hooks in the RX paths) grouped by reason.
+        let mut fail_by_reason: BTreeMap<&str, u64> = BTreeMap::new();
+        for (name, value) in &counters {
+            if let Some(pos) = name.find(".rx.fail.") {
+                let reason = &name[pos + ".rx.fail.".len()..];
+                if !reason.is_empty() {
+                    *fail_by_reason.entry(reason).or_insert(0) += value;
+                }
+            }
+        }
+        for (reason, total) in &fail_by_reason {
+            derived.push(format!("  rx.fail.{reason:<20} {total}"));
         }
         if !derived.is_empty() {
             let _ = writeln!(out, "-- derived --");
@@ -341,6 +356,26 @@ mod tests {
         assert!(s.contains("70.00%"), "summary:\n{s}");
         assert!(s.contains("PER"), "summary:\n{s}");
         assert!(s.contains("0.2000"), "summary:\n{s}");
+    }
+
+    #[test]
+    fn summary_groups_rx_failure_reasons() {
+        let _lock = crate::test_lock();
+        crate::counter!("sink.a.rx.fail.no_sync").add(4);
+        crate::counter!("sink.b.rx.fail.no_sync").add(2);
+        crate::counter!("sink.a.rx.fail.fcs").add(1);
+        let s = summary();
+        // Reasons are summed across layer prefixes.
+        assert!(s.contains("rx.fail.no_sync"), "summary:\n{s}");
+        assert!(s.contains("rx.fail.fcs"), "summary:\n{s}");
+        let no_sync_line = s
+            .lines()
+            .find(|l| l.contains("rx.fail.no_sync"))
+            .expect("no_sync line");
+        assert!(
+            no_sync_line.trim_end().ends_with('6'),
+            "line: {no_sync_line}"
+        );
     }
 
     #[test]

@@ -32,6 +32,18 @@ pub enum WazaBeeError {
     },
     /// No 802.15.4 synchronisation header was found in the capture.
     NoSync,
+    /// The access-address correlator fired, but the symbols that followed
+    /// were not an 802.15.4 synchronisation header (bad SFD) — the match
+    /// was a false positive, not a frame.
+    SyncFalsePositive,
+    /// A despread symbol decision exceeded the Hamming-distance budget set
+    /// by `WazaBeeRx::with_max_despread_distance`.
+    DespreadDistanceExceeded {
+        /// The offending decision's Hamming distance (chips out of 31/32).
+        distance: usize,
+        /// The configured budget.
+        max: usize,
+    },
     /// A frame was found but could not be parsed to completion.
     Truncated,
 }
@@ -52,6 +64,15 @@ impl fmt::Display for WazaBeeError {
                 write!(f, "frame of {len} bytes exceeds the {max}-byte maximum")
             }
             WazaBeeError::NoSync => write!(f, "no 802.15.4 synchronisation header found"),
+            WazaBeeError::SyncFalsePositive => {
+                write!(f, "sync correlator false positive: no SFD after preamble")
+            }
+            WazaBeeError::DespreadDistanceExceeded { distance, max } => {
+                write!(
+                    f,
+                    "despread distance {distance} exceeds the configured budget of {max}"
+                )
+            }
             WazaBeeError::Truncated => write!(f, "frame truncated before completion"),
         }
     }
@@ -81,6 +102,14 @@ mod tests {
             ),
             (WazaBeeError::FrameTooLong { len: 300, max: 127 }, "300"),
             (WazaBeeError::NoSync, "synchronisation"),
+            (WazaBeeError::SyncFalsePositive, "false positive"),
+            (
+                WazaBeeError::DespreadDistanceExceeded {
+                    distance: 12,
+                    max: 4,
+                },
+                "12",
+            ),
             (WazaBeeError::Truncated, "truncated"),
         ];
         for (err, needle) in cases {

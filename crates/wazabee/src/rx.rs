@@ -9,10 +9,22 @@
 use wazabee_dot154::modem::ReceivedPpdu;
 use wazabee_dot154::msk::{boundary_msk_bit, closest_symbol_msk, pn_msk_image};
 use wazabee_dot154::pn::pn_sequence;
+use wazabee_flightrec::{FrameKind, RxFailure, TraceHandle};
 
 use crate::error::WazaBeeError;
 use crate::msk::despread_msk_block;
 use crate::radio::RawFskRadio;
+
+/// Maps a reception error to its flight-recorder failure classification.
+fn rx_failure(e: &WazaBeeError) -> RxFailure {
+    match e {
+        WazaBeeError::NoSync => RxFailure::NoSync,
+        WazaBeeError::SyncFalsePositive => RxFailure::SyncFalsePositive,
+        WazaBeeError::DespreadDistanceExceeded { .. } => RxFailure::DespreadDistanceExceeded,
+        // No other variant escapes try_receive_impl; Truncated covers the rest.
+        _ => RxFailure::TruncatedFrame,
+    }
+}
 
 /// Which correspondence table despreading uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -48,6 +60,24 @@ pub fn access_address_value() -> u32 {
         .fold(0u32, |acc, (k, &b)| acc | (u32::from(b) << k))
 }
 
+/// Estimates the carrier-frequency offset of a capture window, in Hz: the
+/// mean discriminator output over (up to) the first 8192 samples. MSK's
+/// symmetric ±deviation averages out over the alternating preamble, leaving
+/// the residual carrier offset — a coarse but useful forensic figure.
+///
+/// Only computed when a flight-recorder trace is active; returns `None` for
+/// windows too short to difference.
+fn estimate_cfo_hz(samples: &[wazabee_dsp::Iq], sample_rate: f64) -> Option<f64> {
+    const CFO_WINDOW: usize = 8192;
+    let window = &samples[..samples.len().min(CFO_WINDOW)];
+    let diffs = wazabee_dsp::discriminator::discriminate(window);
+    if diffs.is_empty() {
+        return None;
+    }
+    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    Some(mean * sample_rate / std::f64::consts::TAU)
+}
+
 /// The WazaBee reception primitive bound to a diverted radio.
 ///
 /// # Examples
@@ -70,6 +100,7 @@ pub struct WazaBeeRx<R> {
     radio: R,
     table: DespreadTable,
     max_sync_errors: usize,
+    max_despread_distance: Option<usize>,
 }
 
 /// Upper bound on captured bits: enough for the remaining preamble, SFD,
@@ -97,6 +128,7 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
             radio,
             table: DespreadTable::Algorithm1,
             max_sync_errors: 3,
+            max_despread_distance: None,
         })
     }
 
@@ -112,12 +144,24 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         self
     }
 
+    /// Sets a Hamming-distance budget for despread symbol decisions: any
+    /// decision farther than `max` chips from its nearest MSK image aborts
+    /// the frame with [`WazaBeeError::DespreadDistanceExceeded`].
+    ///
+    /// The paper's receiver accepts the nearest image unconditionally
+    /// (the default, `None`); the budget turns silent symbol guesses under
+    /// heavy noise into a typed, observable failure.
+    pub fn with_max_despread_distance(mut self, max: usize) -> Self {
+        self.max_despread_distance = Some(max);
+        self
+    }
+
     /// The underlying radio.
     pub fn radio(&self) -> &R {
         &self.radio
     }
 
-    fn despread(&self, block: &[u8]) -> (u8, usize) {
+    fn despread(&self, block: &[u8], tr: &mut TraceHandle) -> Result<(u8, usize), WazaBeeError> {
         let decision = match self.table {
             DespreadTable::Algorithm1 => despread_msk_block(block),
             DespreadTable::Waveform => closest_symbol_msk(block),
@@ -125,38 +169,81 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         wazabee_telemetry::counter!("wazabee.rx.despread.symbols").inc();
         wazabee_telemetry::value_histogram!("wazabee.rx.despread_hamming", 0.0, 32.0)
             .record(decision.1 as f64);
-        decision
+        tr.despread(decision.1);
+        if let Some(max) = self.max_despread_distance {
+            if decision.1 > max {
+                return Err(WazaBeeError::DespreadDistanceExceeded {
+                    distance: decision.1,
+                    max,
+                });
+            }
+        }
+        Ok(decision)
     }
 
     /// Attempts to receive one 802.15.4 frame from a capture buffer.
     ///
+    /// Every attempt is recorded by the flight recorder (when one is
+    /// installed — see `wazabee-flightrec`): sync quality, CFO estimate,
+    /// per-symbol despread distances, and the typed failure reason or the
+    /// delivered frame.
+    ///
     /// # Errors
     ///
     /// [`WazaBeeError::NoSync`] when the preamble pattern is absent,
-    /// [`WazaBeeError::Truncated`] when the capture ends mid-frame or no SFD
-    /// follows the preamble.
+    /// [`WazaBeeError::SyncFalsePositive`] when the correlator match is not
+    /// followed by an SFD, [`WazaBeeError::DespreadDistanceExceeded`] when a
+    /// configured despreading budget is blown, and
+    /// [`WazaBeeError::Truncated`] when the capture ends mid-frame.
     pub fn try_receive(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
-        let result = self.try_receive_impl(samples);
+        let mut tr = wazabee_flightrec::begin("wazabee.rx");
+        if tr.active() {
+            tr.tap_iq(samples, self.radio.sample_rate(), None);
+            if let Some(cfo) = estimate_cfo_hz(samples, self.radio.sample_rate()) {
+                tr.cfo_hz(cfo);
+            }
+        }
+        let result = self.try_receive_impl(samples, &mut tr);
         match &result {
             Ok(rx) => {
-                if rx.fcs_ok() {
+                let fcs = rx.fcs_ok();
+                if fcs {
                     wazabee_telemetry::counter!("wazabee.rx.fcs.ok").inc();
                 } else {
                     wazabee_telemetry::counter!("wazabee.rx.fcs.fail").inc();
+                    wazabee_telemetry::counter!("wazabee.rx.fail.fcs").inc();
                 }
+                tr.deliver(&rx.psdu, fcs, FrameKind::Dot154);
             }
-            Err(WazaBeeError::NoSync) => {
-                wazabee_telemetry::counter!("wazabee.rx.sync.miss").inc();
+            Err(e) => {
+                match e {
+                    WazaBeeError::NoSync => {
+                        wazabee_telemetry::counter!("wazabee.rx.sync.miss").inc();
+                        wazabee_telemetry::counter!("wazabee.rx.fail.no_sync").inc();
+                    }
+                    WazaBeeError::SyncFalsePositive => {
+                        wazabee_telemetry::counter!("wazabee.rx.fail.sync_false_positive").inc();
+                    }
+                    WazaBeeError::DespreadDistanceExceeded { .. } => {
+                        wazabee_telemetry::counter!("wazabee.rx.fail.despread_distance").inc();
+                    }
+                    WazaBeeError::Truncated => {
+                        wazabee_telemetry::counter!("wazabee.rx.truncated").inc();
+                        wazabee_telemetry::counter!("wazabee.rx.fail.truncated").inc();
+                    }
+                    _ => {}
+                }
+                tr.fail(rx_failure(e));
             }
-            Err(WazaBeeError::Truncated) => {
-                wazabee_telemetry::counter!("wazabee.rx.truncated").inc();
-            }
-            Err(_) => {}
         }
         result
     }
 
-    fn try_receive_impl(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
+    fn try_receive_impl(
+        &self,
+        samples: &[wazabee_dsp::Iq],
+        tr: &mut TraceHandle,
+    ) -> Result<ReceivedPpdu, WazaBeeError> {
         let _t = wazabee_telemetry::timed_scope!("wazabee.rx.receive_ns");
         let sync = access_address_pattern();
         let capture = self
@@ -164,6 +251,12 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
             .receive_raw(samples, &sync, self.max_sync_errors, MAX_CAPTURE_BITS)
             .ok_or(WazaBeeError::NoSync)?;
         wazabee_telemetry::counter!("wazabee.rx.sync.hit").inc();
+        tr.sync(
+            capture.sync_errors,
+            capture.sync_bit_index,
+            capture.sample_offset,
+            sync.len(),
+        );
         let bits = &capture.bits;
         // The capture is a sequence of 32-bit blocks: [boundary, 31-bit image].
         let block = |k: usize| -> Result<&[u8], WazaBeeError> {
@@ -179,7 +272,7 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         let mut k = 0usize;
         let mut chip_errors = 0usize;
         loop {
-            let (sym, errs) = self.despread(block(k)?);
+            let (sym, errs) = self.despread(block(k)?, tr)?;
             k += 1;
             if sym == 0 {
                 if k > MAX_PREAMBLE_SYMBOLS {
@@ -189,26 +282,26 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
                 continue;
             }
             if sym != 0x7 {
-                return Err(WazaBeeError::Truncated);
+                return Err(WazaBeeError::SyncFalsePositive);
             }
             chip_errors += errs;
             break;
         }
-        let (sfd_hi, errs) = self.despread(block(k)?);
+        let (sfd_hi, errs) = self.despread(block(k)?, tr)?;
         k += 1;
         if sfd_hi != 0xA {
-            return Err(WazaBeeError::Truncated);
+            return Err(WazaBeeError::SyncFalsePositive);
         }
         chip_errors += errs;
         // PHR: frame length.
-        let (len_lo, e1) = self.despread(block(k)?);
-        let (len_hi, e2) = self.despread(block(k + 1)?);
+        let (len_lo, e1) = self.despread(block(k)?, tr)?;
+        let (len_hi, e2) = self.despread(block(k + 1)?, tr)?;
         k += 2;
         chip_errors += e1 + e2;
         let psdu_len = usize::from((len_hi << 4) | len_lo) & 0x7F;
         let mut symbols = Vec::with_capacity(psdu_len * 2);
         for j in 0..psdu_len * 2 {
-            let (sym, errs) = self.despread(block(k + j)?);
+            let (sym, errs) = self.despread(block(k + j)?, tr)?;
             symbols.push(sym);
             chip_errors += errs;
         }

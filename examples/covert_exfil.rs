@@ -10,11 +10,12 @@ use wazabee::WazaBeeTx;
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Modem, MacFrame};
 use wazabee_dsp::Iq;
-use wazabee_examples::{banner, telemetry_footer};
+use wazabee_examples::{banner, session};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
+    let _session = session();
     banner("covert exfiltration over WazaBee");
     let secret = b"Q3 acquisition shortlist: [REDACTED-1], [REDACTED-2], [REDACTED-3]".to_vec();
     println!(
@@ -85,7 +86,4 @@ fn main() {
          the monitoring the paper's §VII calls for works",
         frames.len()
     );
-
-    banner("telemetry");
-    telemetry_footer();
 }

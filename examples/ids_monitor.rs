@@ -11,7 +11,7 @@ use wazabee_ble::{BleChannel, BleModem, BlePacket, BlePhy};
 use wazabee_chips::Smartphone;
 use wazabee_dot154::{fcs::append_fcs, Dot154Modem, MacFrame, Ppdu};
 use wazabee_dsp::Iq;
-use wazabee_examples::{banner, telemetry_footer};
+use wazabee_examples::{banner, session};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 
 fn pad(samples: Vec<Iq>) -> Vec<Iq> {
@@ -37,6 +37,7 @@ fn report(name: &str, alerts: &[Alert]) {
 }
 
 fn main() {
+    let _session = session();
     banner("multi-protocol IDS on 2420 MHz (Zigbee 14 / BLE 8)");
     let mut monitor = ChannelMonitor::new(
         2420,
@@ -116,7 +117,4 @@ fn main() {
 
     banner("verdict");
     println!("Legitimate traffic passes; both WazaBee transmission styles are detected.");
-
-    banner("telemetry");
-    telemetry_footer();
 }

@@ -6,10 +6,11 @@
 use wazabee::{WazaBeeRx, WazaBeeTx};
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Modem, MacFrame, Ppdu};
-use wazabee_examples::{banner, hex, telemetry_footer};
+use wazabee_examples::{banner, hex, session};
 use wazabee_radio::{Link, LinkConfig, RfFrame};
 
 fn main() {
+    let _session = session();
     let sps = 8;
     let channel_mhz = 2420; // Zigbee channel 14, the paper's testbed channel
 
@@ -77,7 +78,4 @@ fn main() {
 
     banner("done");
     println!("Both directions of the cross-technology channel work.");
-
-    banner("telemetry");
-    telemetry_footer();
 }

@@ -8,10 +8,11 @@ use wazabee::scenario_a::{EventOutcome, ScenarioA};
 use wazabee_ble::adv::BleAddress;
 use wazabee_chips::Smartphone;
 use wazabee_dot154::{Dot154Channel, MacFrame, Ppdu};
-use wazabee_examples::{banner, telemetry_footer};
+use wazabee_examples::{banner, session};
 use wazabee_radio::{Link, LinkConfig};
 
 fn main() {
+    let _session = session();
     banner("Scenario A — smartphone 802.15.4 injection");
     let target = Dot154Channel::new(14).expect("channel 14");
     println!("target: {target} (PAN 0x1234, like the paper's testbed)");
@@ -73,7 +74,4 @@ fn main() {
         "injection rate per event: {:.1}% (CSA#2 is uniform over 37 channels → ≈2.7%)",
         100.0 * injected as f64 / events as f64
     );
-
-    banner("telemetry");
-    telemetry_footer();
 }

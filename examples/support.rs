@@ -6,6 +6,56 @@ pub fn banner(title: &str) {
     println!("=== {title} ===");
 }
 
+/// End-of-run reporting guard for the example binaries.
+///
+/// Create one with [`session`] at the top of `main`. On drop — including an
+/// early exit through `?` — it prints the telemetry summary, honours
+/// `WAZABEE_TELEMETRY_OUT`, flushes any active flight-recorder capture and
+/// reports where the artifacts went.
+pub struct Session {
+    _priv: (),
+}
+
+/// Starts an example session: arms the flight recorder from
+/// `WAZABEE_CAPTURE_DIR` (a no-op when unset or compiled out) and returns
+/// the RAII guard that emits every end-of-run report.
+pub fn session() -> Session {
+    match wazabee_flightrec::init_from_env() {
+        Ok(true) => {
+            if let Some(dir) = wazabee_flightrec::capture_dir() {
+                println!("flight recorder: capturing to {}", dir.display());
+            }
+        }
+        Ok(false) => {}
+        Err(e) => eprintln!("flight recorder: could not start capture: {e}"),
+    }
+    Session { _priv: () }
+}
+
+impl Drop for Session {
+    fn drop(&mut self) {
+        banner("telemetry");
+        telemetry_footer();
+        if wazabee_flightrec::is_active() {
+            if let Err(e) = wazabee_flightrec::flush() {
+                eprintln!("flight recorder: flush failed: {e}");
+            }
+            let stats = wazabee_flightrec::stats();
+            if let Some(dir) = wazabee_flightrec::capture_dir() {
+                println!(
+                    "flight recorder: {} traces, {} frames logged, {} PCAP frames, \
+                     {} IQ dumps → {}",
+                    stats.traces,
+                    stats.frames_logged,
+                    stats.pcap_frames,
+                    stats.iq_dumps,
+                    dir.display()
+                );
+            }
+        }
+    }
+}
+
 /// Prints the end-of-run telemetry summary and, when `WAZABEE_TELEMETRY_OUT`
 /// is set, dumps every metric and trace record as JSONL to that path.
 pub fn telemetry_footer() {

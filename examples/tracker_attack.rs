@@ -6,11 +6,12 @@
 
 use wazabee::TrackerAttack;
 use wazabee_chips::nrf51822;
-use wazabee_examples::{banner, telemetry_footer};
+use wazabee_examples::{banner, session};
 use wazabee_radio::{Link, LinkConfig};
 use wazabee_zigbee::ZigbeeNetwork;
 
 fn main() {
+    let _session = session();
     banner("Scenario B — complex Zigbee attack from a BLE tracker");
     let caps = nrf51822();
     println!(
@@ -81,7 +82,4 @@ fn main() {
         "the tail values are the attacker's — the real sensor now idles on {}",
         attack.dos_channel
     );
-
-    banner("telemetry");
-    telemetry_footer();
 }

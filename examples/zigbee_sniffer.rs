@@ -7,20 +7,21 @@
 use wazabee::WazaBeeRx;
 use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dot154::{Dot154Channel, Dot154Modem, MacFrame, Ppdu};
-use wazabee_examples::{banner, hex, telemetry_footer};
+use wazabee_examples::{banner, hex, session};
 use wazabee_radio::{Instant, Link, LinkConfig, RfFrame};
 use wazabee_zigbee::{XbeePayload, ZigbeeNetwork};
 
-fn main() {
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let _session = session();
     banner("WazaBee Zigbee sniffer on a BLE chip");
-    let channel = Dot154Channel::new(14).expect("channel 14");
+    let channel = Dot154Channel::new(14).ok_or("channel 14 out of range")?;
     println!(
         "listening on {channel} with access address 0x{:08X}",
         wazabee::access_address_value()
     );
 
     let mut net = ZigbeeNetwork::paper_testbed();
-    let sniffer = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).expect("LE 2M");
+    let sniffer = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8))?;
     let xbee_radio = Dot154Modem::new(8);
     let mut link = Link::new(LinkConfig::office_3m(), 99);
 
@@ -79,7 +80,5 @@ fn main() {
         net.log().iter().filter(|r| r.channel == channel).count(),
         channel
     );
-
-    banner("telemetry");
-    telemetry_footer();
+    Ok(())
 }
