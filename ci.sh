@@ -12,6 +12,11 @@
 #      test mode in both feature states
 #   7. flight-recorder smoke: WAZABEE_CAPTURE_DIR produces PCAP + JSONL
 #      artifacts with default features and none with --no-default-features
+#   8. packed-kernel micro-bench smoke: packed-vs-scalar despread/correlate
+#      bench compiles and runs in test mode
+#   9. rx-throughput smoke: the bin emits a well-formed
+#      BENCH_rx_throughput.json and the packed despreading kernel is at
+#      least 3x faster than the scalar reference
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -50,6 +55,30 @@ if [ -n "$(ls -A "$capture_dir")" ]; then
     exit 1
 fi
 echo "flight-recorder compiled out: no artifacts written"
+
+run cargo bench -p wazabee-bench --bench packed_kernels --offline -- --test
+
+bench_json="$capture_dir/BENCH_rx_throughput.json"
+run cargo run --release -q -p wazabee-bench --bin rx_throughput --offline -- \
+    --smoke --out "$bench_json"
+if ! [ -s "$bench_json" ]; then
+    echo "ci.sh: rx_throughput did not write $bench_json" >&2
+    exit 1
+fi
+run python3 - "$bench_json" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+rx, despread = doc["rx"], doc["despread"]
+assert rx["frames_per_sec"] > 0, "frames/sec missing"
+assert despread["packed_msymbols_per_sec"] > 0, "Msym/s missing"
+speedup = despread["speedup"]
+assert speedup >= 3.0, f"packed despread only {speedup:.2f}x faster than scalar (need >= 3x)"
+print(f"BENCH_rx_throughput.json well-formed: "
+      f"{rx['frames_per_sec']:.0f} frames/s, "
+      f"{despread['packed_msymbols_per_sec']:.1f} Msym/s packed, "
+      f"{speedup:.1f}x over scalar")
+EOF
 
 echo
 echo "ci.sh: all checks passed"

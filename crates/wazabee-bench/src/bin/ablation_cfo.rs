@@ -22,44 +22,52 @@ fn main() {
         "# Cross-technology link vs carrier frequency offset ({frames} frames per cell, 18 dB)"
     );
     println!("cfo_khz,direction,valid,chip_errors_per_frame");
+    let mut cells = Vec::new();
     for cfo_khz in [0.0, 20.0, 50.0, 100.0, 150.0, 200.0, 300.0] {
         for dir in ["ble_to_zigbee", "zigbee_to_ble"] {
-            let cfg = LinkConfig {
-                snr_db: Some(18.0),
-                cfo_hz: cfo_khz * 1e3,
-                ..LinkConfig::office_3m()
+            cells.push((cfo_khz, dir));
+        }
+    }
+    // Each cell seeds its own link; the parallel sweep keeps output order.
+    let lines = wazabee_bench::sweep::par_map(cells, |(cfo_khz, dir)| {
+        let cfg = LinkConfig {
+            snr_db: Some(18.0),
+            cfo_hz: cfo_khz * 1e3,
+            ..LinkConfig::office_3m()
+        };
+        let mut link = Link::new(cfg, cfo_khz as u64 + 1);
+        let (mut valid, mut errs) = (0usize, 0usize);
+        for k in 0..frames {
+            let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
+            let got = if dir == "ble_to_zigbee" {
+                let heard = link.deliver(
+                    &RfFrame::new(2420, tx.transmit(&ppdu), zigbee.sample_rate()),
+                    2420,
+                );
+                zigbee
+                    .receive(&heard)
+                    .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
+            } else {
+                let heard = link.deliver(
+                    &RfFrame::new(2420, zigbee.transmit(&ppdu), zigbee.sample_rate()),
+                    2420,
+                );
+                rx.receive(&heard)
+                    .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
             };
-            let mut link = Link::new(cfg, cfo_khz as u64 + 1);
-            let (mut valid, mut errs) = (0usize, 0usize);
-            for k in 0..frames {
-                let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
-                let got = if dir == "ble_to_zigbee" {
-                    let heard = link.deliver(
-                        &RfFrame::new(2420, tx.transmit(&ppdu), zigbee.sample_rate()),
-                        2420,
-                    );
-                    zigbee
-                        .receive(&heard)
-                        .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
-                } else {
-                    let heard = link.deliver(
-                        &RfFrame::new(2420, zigbee.transmit(&ppdu), zigbee.sample_rate()),
-                        2420,
-                    );
-                    rx.receive(&heard)
-                        .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
-                };
-                if let Some((fcs, psdu, ce)) = got {
-                    if fcs && psdu == ppdu.psdu() {
-                        valid += 1;
-                        errs += ce;
-                    }
+            if let Some((fcs, psdu, ce)) = got {
+                if fcs && psdu == ppdu.psdu() {
+                    valid += 1;
+                    errs += ce;
                 }
             }
-            println!(
-                "{cfo_khz},{dir},{valid},{:.2}",
-                errs as f64 / valid.max(1) as f64
-            );
         }
+        format!(
+            "{cfo_khz},{dir},{valid},{:.2}",
+            errs as f64 / valid.max(1) as f64
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -20,35 +20,44 @@ fn main() {
         "# RX primitive: Algorithm-1 table vs waveform-exact table ({frames} frames per cell)"
     );
     println!("snr_db,table,valid,chip_errors_per_frame");
+    let mut cells = Vec::new();
     for snr in [6.0, 8.0, 10.0, 14.0, 20.0] {
         for (name, table) in [
             ("algorithm1", DespreadTable::Algorithm1),
             ("waveform", DespreadTable::Waveform),
         ] {
-            let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
-                .expect("LE 2M")
-                .with_table(table);
-            let cfg = LinkConfig {
-                snr_db: Some(snr),
-                ..LinkConfig::office_3m()
-            };
-            let mut link = Link::new(cfg, 4242);
-            let (mut valid, mut errs) = (0usize, 0usize);
-            for k in 0..frames {
-                let ppdu = Ppdu::new(append_fcs(&[k as u8, 1, 2, 3, 4, 5])).unwrap();
-                let air = zigbee.transmit(&ppdu);
-                let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
-                if let Some(r) = rx.receive(&heard) {
-                    if r.fcs_ok() && r.psdu == ppdu.psdu() {
-                        valid += 1;
-                        errs += r.chip_errors;
-                    }
+            cells.push((snr, name, table));
+        }
+    }
+    // Every cell seeds its own link, so the sweep parallelises without
+    // changing a byte of the output.
+    let lines = wazabee_bench::sweep::par_map(cells, |(snr, name, table)| {
+        let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
+            .expect("LE 2M")
+            .with_table(table);
+        let cfg = LinkConfig {
+            snr_db: Some(snr),
+            ..LinkConfig::office_3m()
+        };
+        let mut link = Link::new(cfg, 4242);
+        let (mut valid, mut errs) = (0usize, 0usize);
+        for k in 0..frames {
+            let ppdu = Ppdu::new(append_fcs(&[k as u8, 1, 2, 3, 4, 5])).unwrap();
+            let air = zigbee.transmit(&ppdu);
+            let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+            if let Some(r) = rx.receive(&heard) {
+                if r.fcs_ok() && r.psdu == ppdu.psdu() {
+                    valid += 1;
+                    errs += r.chip_errors;
                 }
             }
-            println!(
-                "{snr},{name},{valid},{:.2}",
-                errs as f64 / valid.max(1) as f64
-            );
         }
+        format!(
+            "{snr},{name},{valid},{:.2}",
+            errs as f64 / valid.max(1) as f64
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

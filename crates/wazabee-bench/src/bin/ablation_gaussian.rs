@@ -43,12 +43,17 @@ fn main() {
         .unwrap_or(40);
     println!("# Gaussian-filter cost on the TX primitive ({frames} frames per cell)");
     println!("snr_db,shaping,valid,chip_errors_per_frame");
+    let mut cells = Vec::new();
     for snr in [8.0, 10.0, 12.0, 16.0, 22.0] {
-        let gaussian = GfskParams::ble(BlePhy::Le2M, 8);
-        let rect = GfskParams::msk(BlePhy::Le2M, 8);
-        let (v_g, e_g) = run("gaussian", gaussian, frames, snr);
-        let (v_r, e_r) = run("rect", rect, frames, snr);
-        println!("{snr},BT=0.5,{v_g},{e_g:.2}");
-        println!("{snr},rectangular,{v_r},{e_r:.2}");
+        cells.push((snr, "BT=0.5", "gaussian", GfskParams::ble(BlePhy::Le2M, 8)));
+        cells.push((snr, "rectangular", "rect", GfskParams::msk(BlePhy::Le2M, 8)));
+    }
+    // Each cell seeds its own link; the parallel sweep keeps output order.
+    let lines = wazabee_bench::sweep::par_map(cells, |(snr, label, shaping, params)| {
+        let (v, e) = run(shaping, params, frames, snr);
+        format!("{snr},{label},{v},{e:.2}")
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

@@ -19,7 +19,9 @@ fn main() {
     let zigbee = Dot154Modem::new(sps);
     println!("# TX primitive frame delivery vs BLE modulation index (h), {frames} frames each");
     println!("h,valid,corrupted,lost,chip_errors_per_frame");
-    for h in [0.45, 0.48, 0.50, 0.52, 0.55] {
+    // Each index seeds its own link; the parallel sweep keeps output order.
+    let cells: Vec<f64> = vec![0.45, 0.48, 0.50, 0.52, 0.55];
+    let lines = wazabee_bench::sweep::par_map(cells, |h| {
         let params = GfskParams {
             modulation_index: h,
             ..GfskParams::ble(BlePhy::Le2M, sps)
@@ -41,9 +43,12 @@ fn main() {
                 None => lost += 1,
             }
         }
-        println!(
+        format!(
             "{h:.2},{valid},{corrupted},{lost},{:.1}",
             chip_errs as f64 / valid.max(1) as f64
-        );
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

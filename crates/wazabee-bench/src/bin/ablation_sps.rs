@@ -15,40 +15,49 @@ fn main() {
         .unwrap_or(30);
     println!("# Cross-technology link quality vs samples per symbol ({frames} frames per cell)");
     println!("sps,direction,valid,chip_errors_per_frame");
+    let mut cells = Vec::new();
     for sps in [4usize, 8, 16] {
+        for dir in ["ble_to_zigbee", "zigbee_to_ble"] {
+            cells.push((sps, dir));
+        }
+    }
+    // Each cell builds its own modems and seeds its own link; the parallel
+    // sweep keeps output order.
+    let lines = wazabee_bench::sweep::par_map(cells, |(sps, dir)| {
         let zigbee = Dot154Modem::new(sps);
         let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
         let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
-        for dir in ["ble_to_zigbee", "zigbee_to_ble"] {
-            let mut link = Link::new(LinkConfig::office_3m(), sps as u64);
-            let (mut valid, mut errs) = (0usize, 0usize);
-            for k in 0..frames {
-                let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
-                let result = if dir == "ble_to_zigbee" {
-                    let air = tx.transmit(&ppdu);
-                    let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
-                    zigbee
-                        .receive(&heard)
-                        .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
-                        .map(|(f, p, c)| (p, c, f))
-                } else {
-                    let air = zigbee.transmit(&ppdu);
-                    let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
-                    rx.receive(&heard)
-                        .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
-                        .map(|(f, p, c)| (p, c, f))
-                };
-                if let Some((psdu, ce, fcs)) = result {
-                    if fcs && psdu == ppdu.psdu() {
-                        valid += 1;
-                        errs += ce;
-                    }
+        let mut link = Link::new(LinkConfig::office_3m(), sps as u64);
+        let (mut valid, mut errs) = (0usize, 0usize);
+        for k in 0..frames {
+            let ppdu = Ppdu::new(append_fcs(&[k as u8; 8])).unwrap();
+            let result = if dir == "ble_to_zigbee" {
+                let air = tx.transmit(&ppdu);
+                let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+                zigbee
+                    .receive(&heard)
+                    .map(|r| (r.fcs_ok(), r.psdu, r.chip_errors))
+                    .map(|(f, p, c)| (p, c, f))
+            } else {
+                let air = zigbee.transmit(&ppdu);
+                let heard = link.deliver(&RfFrame::new(2420, air, zigbee.sample_rate()), 2420);
+                rx.receive(&heard)
+                    .map(|r| (r.fcs_ok(), r.psdu.clone(), r.chip_errors))
+                    .map(|(f, p, c)| (p, c, f))
+            };
+            if let Some((psdu, ce, fcs)) = result {
+                if fcs && psdu == ppdu.psdu() {
+                    valid += 1;
+                    errs += ce;
                 }
             }
-            println!(
-                "{sps},{dir},{valid},{:.2}",
-                errs as f64 / valid.max(1) as f64
-            );
         }
+        format!(
+            "{sps},{dir},{valid},{:.2}",
+            errs as f64 / valid.max(1) as f64
+        )
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

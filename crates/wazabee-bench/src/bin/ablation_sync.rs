@@ -19,7 +19,10 @@ fn main() {
     let zigbee = Dot154Modem::new(sps);
     println!("# RX sync tolerance sweep at 7 dB SNR ({frames} frames; plus false-sync probe on pure noise)");
     println!("max_sync_errors,valid,lost,false_syncs_in_noise");
-    for tol in [0usize, 1, 2, 3, 5, 8] {
+    // Each tolerance seeds its own link and noise probes; the parallel sweep
+    // keeps output order.
+    let cells: Vec<usize> = vec![0, 1, 2, 3, 5, 8];
+    let lines = wazabee_bench::sweep::par_map(cells, |tol| {
         let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
             .expect("LE 2M")
             .with_max_sync_errors(tol);
@@ -47,6 +50,9 @@ fn main() {
                 false_syncs += 1;
             }
         }
-        println!("{tol},{valid},{lost},{false_syncs}/20");
+        format!("{tol},{valid},{lost},{false_syncs}/20")
+    });
+    for line in lines {
+        println!("{line}");
     }
 }

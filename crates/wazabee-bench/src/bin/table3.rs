@@ -2,29 +2,34 @@
 //! assessment — 100 counter frames per Zigbee channel, per chip, across a
 //! simulated 3 m office link with WiFi on channels 6 and 11.
 //!
-//! Run with: `cargo run --release -p wazabee-bench --bin table3 [frames]`
+//! Run with: `cargo run --release -p wazabee-bench --bin table3 [frames|--fast]`
+//!
+//! `--fast` selects the 10-frame smoke configuration. The channel sweep runs
+//! on `WAZABEE_THREADS` worker threads (default: available parallelism) and
+//! its output is byte-identical at any thread count.
 
 use wazabee_bench::table3::{render_table, run_primitive, Primitive, Table3Config};
 use wazabee_chips::{cc1352r1, nrf52832};
 
 fn main() {
-    let frames: usize = match std::env::args().nth(1) {
-        None => 100,
+    let cfg = match std::env::args().nth(1).as_deref() {
+        None => Table3Config::default(),
+        Some("--fast") => Table3Config::quick(),
         Some(arg) => match arg.parse() {
-            Ok(n) if n >= 1 => n,
+            Ok(n) if n >= 1 => Table3Config {
+                frames: n,
+                ..Table3Config::default()
+            },
             _ => {
-                eprintln!("usage: table3 [frames>=1]   (got {arg:?})");
+                eprintln!("usage: table3 [frames>=1 | --fast]   (got {arg:?})");
                 std::process::exit(2);
             }
         },
     };
-    let cfg = Table3Config {
-        frames,
-        ..Table3Config::default()
-    };
     eprintln!(
-        "running Table III: {} frames x 16 channels x 2 chips x 2 primitives ...",
-        cfg.frames
+        "running Table III: {} frames x 16 channels x 2 chips x 2 primitives ({} threads) ...",
+        cfg.frames,
+        wazabee_bench::sweep::default_threads()
     );
     let nrf = nrf52832();
     let cc = cc1352r1();

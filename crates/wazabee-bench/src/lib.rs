@@ -9,6 +9,8 @@
 //! over all sixteen Zigbee channels on two chip models, under an office
 //! channel shared with WiFi on channels 6 and 11.
 
+pub mod sweep;
 pub mod table3;
 
+pub use sweep::{default_threads, par_map, par_map_with};
 pub use table3::{run_primitive, ChannelResult, Primitive, Table3Config};

@@ -45,6 +45,11 @@ pub struct Table3Config {
     pub samples_per_symbol: usize,
     /// Base random seed (frames, noise and bursts derive from it).
     pub seed: u64,
+    /// Worker threads for the channel sweep: `None` defers to
+    /// [`crate::sweep::default_threads`] (the `WAZABEE_THREADS` environment
+    /// variable, else available parallelism). Results are byte-identical at
+    /// any thread count — every channel derives its own seed.
+    pub threads: Option<usize>,
 }
 
 impl Default for Table3Config {
@@ -59,6 +64,7 @@ impl Default for Table3Config {
             wifi: true,
             samples_per_symbol: 8,
             seed: 0x0DA7_AB34,
+            threads: None,
         }
     }
 }
@@ -150,6 +156,11 @@ fn classify(result: Option<(Vec<u8>, bool)>, expected: &Ppdu, out: &mut ChannelR
 
 /// Runs one primitive for one chip over all sixteen channels.
 ///
+/// The channels are swept in parallel via [`crate::sweep::par_map_with`]
+/// at `cfg.threads` workers; each channel seeds its own link from the
+/// configuration alone, so the results are byte-identical at any thread
+/// count.
+///
 /// # Panics
 ///
 /// Panics if `cfg.frames` is zero.
@@ -164,45 +175,41 @@ pub fn run_primitive(
     let ble_tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
     let ble_rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps)).expect("LE 2M");
 
-    Dot154Channel::all()
-        .map(|channel| {
-            let mut link = make_link(cfg, chip, u64::from(channel.number()) << 32);
-            let mut out = ChannelResult {
-                channel,
-                valid: 0,
-                corrupted: 0,
-                lost: 0,
+    crate::sweep::par_map_with(cfg.threads, Dot154Channel::all().collect(), |channel| {
+        let mut link = make_link(cfg, chip, u64::from(channel.number()) << 32);
+        let mut out = ChannelResult {
+            channel,
+            valid: 0,
+            corrupted: 0,
+            lost: 0,
+        };
+        let mhz = channel.center_mhz();
+        for k in 0..cfg.frames {
+            let ppdu = counter_frame(k as u16);
+            let rx_result = match primitive {
+                Primitive::Reception => {
+                    // Genuine Zigbee TX, diverted BLE RX.
+                    let air = zigbee.transmit(&ppdu);
+                    let heard = link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
+                    ble_rx
+                        .receive(&heard)
+                        .map(|r| (r.fcs_ok(), r))
+                        .map(|(f, r)| (r.psdu, f))
+                }
+                Primitive::Transmission => {
+                    // Diverted BLE TX, genuine Zigbee RX (the RZUSBStick).
+                    let air = ble_tx.transmit(&ppdu);
+                    let heard = link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
+                    zigbee
+                        .receive(&heard)
+                        .map(|r| (r.fcs_ok(), r))
+                        .map(|(f, r)| (r.psdu, f))
+                }
             };
-            let mhz = channel.center_mhz();
-            for k in 0..cfg.frames {
-                let ppdu = counter_frame(k as u16);
-                let rx_result = match primitive {
-                    Primitive::Reception => {
-                        // Genuine Zigbee TX, diverted BLE RX.
-                        let air = zigbee.transmit(&ppdu);
-                        let heard =
-                            link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-                        ble_rx
-                            .receive(&heard)
-                            .map(|r| (r.fcs_ok(), r))
-                            .map(|(f, r)| (r.psdu, f))
-                    }
-                    Primitive::Transmission => {
-                        // Diverted BLE TX, genuine Zigbee RX (the RZUSBStick).
-                        let air = ble_tx.transmit(&ppdu);
-                        let heard =
-                            link.deliver(&RfFrame::new(mhz, air, zigbee.sample_rate()), mhz);
-                        zigbee
-                            .receive(&heard)
-                            .map(|r| (r.fcs_ok(), r))
-                            .map(|(f, r)| (r.psdu, f))
-                    }
-                };
-                classify(rx_result, &ppdu, &mut out);
-            }
-            out
-        })
-        .collect()
+            classify(rx_result, &ppdu, &mut out);
+        }
+        out
+    })
 }
 
 /// Renders results in the paper's table layout.

@@ -6,11 +6,13 @@
 //! the waveform family whose MSK limit the WazaBee attack exploits.
 
 use serde::{Deserialize, Serialize};
-use wazabee_dsp::correlate::{find_pattern, PatternMatch};
+use wazabee_dsp::correlate::PatternMatch;
 use wazabee_dsp::discriminator::discriminate;
 use wazabee_dsp::fir::integrate_and_dump;
 use wazabee_dsp::gaussian::{shape_nrz, shape_nrz_rect};
 use wazabee_dsp::iq::Iq;
+use wazabee_dsp::packed::find_pattern_packed;
+use wazabee_dsp::PackedBits;
 
 /// Parameters of a GFSK modem.
 ///
@@ -216,11 +218,13 @@ impl GfskReceiver {
         capture_bits: usize,
     ) -> Option<RawCapture> {
         let sps = self.params.samples_per_symbol;
+        let sync_packed = PackedBits::from_bits(sync);
         let mut best: Option<RawCapture> = None;
         for offset in 0..sps {
             let bits = demodulate_aligned(&self.params, samples, offset);
+            let stream = PackedBits::from_bits(&bits);
             let Some(PatternMatch { index, errors }) =
-                find_pattern(&bits, sync, 0, max_sync_errors)
+                find_pattern_packed(&stream, &sync_packed, 0, max_sync_errors)
             else {
                 continue;
             };

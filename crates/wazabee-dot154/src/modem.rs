@@ -15,7 +15,7 @@ use crate::channel::CHIPS_PER_SYMBOL;
 use crate::dsss::symbols_to_bytes;
 use crate::fcs::check_and_strip_fcs;
 use crate::frame::{Ppdu, SHR_SYMBOLS};
-use crate::msk::{chips_to_msk, closest_symbol_msk};
+use crate::msk::{chips_to_msk, closest_symbol_msk_packed};
 use crate::oqpsk::modulate_chips;
 
 /// Default sync-pattern error tolerance of [`Dot154Modem::receive`], in bits
@@ -24,14 +24,11 @@ pub const DEFAULT_MAX_SHR_ERRORS: usize = 32;
 
 /// Mean discriminator output over (up to) the first 8192 samples, scaled to
 /// Hz — a coarse carrier-frequency-offset figure recorded in decode traces.
+/// Streamed: no intermediate discriminator vector is allocated.
 fn estimate_cfo_hz(samples: &[Iq], sample_rate: f64) -> Option<f64> {
     const CFO_WINDOW: usize = 8192;
     let window = &samples[..samples.len().min(CFO_WINDOW)];
-    let diffs = wazabee_dsp::discriminator::discriminate(window);
-    if diffs.is_empty() {
-        return None;
-    }
-    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let mean = wazabee_dsp::discriminator::mean_frequency(window)?;
     Some(mean * sample_rate / std::f64::consts::TAU)
 }
 
@@ -119,13 +116,17 @@ impl Dot154Modem {
     /// used as the receiver's sync pattern. Computed once and cached — the
     /// receiver consults it on every frame.
     pub fn shr_msk_image() -> Vec<u8> {
-        static IMAGE: std::sync::OnceLock<Vec<u8>> = std::sync::OnceLock::new();
-        IMAGE
-            .get_or_init(|| {
-                let shr_chips = crate::dsss::spread_symbols(&Ppdu::shr_symbols());
-                chips_to_msk(&shr_chips, false)
-            })
-            .clone()
+        Self::shr_msk_image_packed().to_bits()
+    }
+
+    /// The SHR MSK image in word-packed form — the shape the receiver's
+    /// correlator actually consumes. Computed once and cached.
+    pub fn shr_msk_image_packed() -> &'static wazabee_dsp::PackedBits {
+        static IMAGE: std::sync::OnceLock<wazabee_dsp::PackedBits> = std::sync::OnceLock::new();
+        IMAGE.get_or_init(|| {
+            let shr_chips = crate::dsss::spread_symbols(&Ppdu::shr_symbols());
+            wazabee_dsp::PackedBits::from_bits(&chips_to_msk(&shr_chips, false))
+        })
     }
 
     /// Demodulates per-chip MSK hard bits at a given sample offset.
@@ -187,13 +188,14 @@ impl Dot154Modem {
     ) -> Result<ReceivedPpdu, wazabee_flightrec::RxFailure> {
         use wazabee_flightrec::RxFailure;
         let _t = wazabee_telemetry::timed_scope!("dot154.msk_rx_ns");
-        let shr = Self::shr_msk_image();
+        let shr = Self::shr_msk_image_packed();
         let mut best: Option<(usize, wazabee_dsp::correlate::PatternMatch)> = None;
-        let mut cached_bits: Option<Vec<u8>> = None;
+        let mut cached_bits: Option<wazabee_dsp::PackedBits> = None;
         for offset in 0..self.samples_per_chip {
-            let bits = self.msk_bits_at_offset(samples, offset);
+            let bits =
+                wazabee_dsp::PackedBits::from_bits(&self.msk_bits_at_offset(samples, offset));
             if let Some(m) =
-                wazabee_dsp::correlate::find_pattern(&bits, &shr, 0, self.max_shr_errors)
+                wazabee_dsp::packed::find_pattern_packed(&bits, shr, 0, self.max_shr_errors)
             {
                 if best.as_ref().is_none_or(|(_, b)| m.errors < b.errors) {
                     best = Some((offset, m));
@@ -217,23 +219,25 @@ impl Dot154Modem {
         let bits = cached_bits.expect("bits cached with best match");
         // `m.index` is the stream position of MSK bit i = 1 (the first
         // internal transition of the frame). Symbol k's 31 internal bits sit
-        // at stream positions m.index + 32k .. + 32k + 31.
-        let symbol_block = |k: usize| -> Option<&[u8]> {
+        // at stream positions m.index + 32k .. + 32k + 31, extracted straight
+        // from the packed stream as one `u32` block.
+        let symbol_block = |k: usize| -> Option<u32> {
             let start = m.index + 32 * k;
             let end = start + CHIPS_PER_SYMBOL - 1;
-            (end <= bits.len()).then(|| &bits[start..end])
+            (end <= bits.len()).then(|| bits.extract_u32(start, CHIPS_PER_SYMBOL - 1))
         };
         // PHR is the symbol pair right after the 10 SHR symbols.
         let phr_lo =
-            closest_symbol_msk(symbol_block(SHR_SYMBOLS).ok_or(RxFailure::TruncatedFrame)?);
-        let phr_hi =
-            closest_symbol_msk(symbol_block(SHR_SYMBOLS + 1).ok_or(RxFailure::TruncatedFrame)?);
+            closest_symbol_msk_packed(symbol_block(SHR_SYMBOLS).ok_or(RxFailure::TruncatedFrame)?);
+        let phr_hi = closest_symbol_msk_packed(
+            symbol_block(SHR_SYMBOLS + 1).ok_or(RxFailure::TruncatedFrame)?,
+        );
         let psdu_len = usize::from((phr_hi.0 << 4) | phr_lo.0) & 0x7F;
         let mut symbols = Vec::with_capacity(psdu_len * 2);
         let mut chip_errors = phr_lo.1 + phr_hi.1;
         for k in 0..psdu_len * 2 {
             let block = symbol_block(SHR_SYMBOLS + 2 + k).ok_or(RxFailure::TruncatedFrame)?;
-            let (sym, errs) = closest_symbol_msk(block);
+            let (sym, errs) = closest_symbol_msk_packed(block);
             tr.despread(errs);
             wazabee_telemetry::counter!("dot154.despread.symbols").inc();
             wazabee_telemetry::value_histogram!("dot154.despread_hamming", 0.0, 32.0)

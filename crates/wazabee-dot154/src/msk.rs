@@ -100,16 +100,54 @@ pub fn msk_correspondence_table() -> [[u8; 31]; 16] {
     table
 }
 
+/// The sixteen 31-bit MSK images packed LSB-first into `u32` words,
+/// precomputed once — the fast-path despreading table.
+pub fn msk_correspondence_table_packed() -> &'static [u32; 16] {
+    static TABLE: std::sync::OnceLock<[u32; 16]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let table = msk_correspondence_table();
+        std::array::from_fn(|s| wazabee_dsp::packed::pack_u32(&table[s]))
+    })
+}
+
 /// Finds the symbol whose MSK image is closest (Hamming) to a received
 /// 31-bit block; returns `(symbol, distance)`.
 ///
-/// The image table is computed once and cached — this runs per received
-/// symbol on the hot receive path.
+/// A thin shim over [`closest_symbol_msk_packed`]: the block is packed into
+/// a `u32` and matched with sixteen XOR + `count_ones` operations. The
+/// scalar byte-per-bit reference survives as [`closest_symbol_msk_scalar`].
 ///
 /// # Panics
 ///
 /// Panics if `bits` is not exactly 31 entries long.
 pub fn closest_symbol_msk(bits: &[u8]) -> (u8, usize) {
+    assert_eq!(bits.len(), 31, "expected a 31-bit internal MSK block");
+    closest_symbol_msk_packed(wazabee_dsp::packed::pack_u32(bits))
+}
+
+/// Packed despreading against the waveform-exact MSK images: `block` holds
+/// the 31 received bits LSB-first (bit 31 must be clear); returns
+/// `(symbol, distance)`. This runs per received symbol on the hot receive
+/// path — sixteen XOR + `count_ones` against the cached packed table.
+pub fn closest_symbol_msk_packed(block: u32) -> (u8, usize) {
+    let table = msk_correspondence_table_packed();
+    let mut best = (0u8, usize::MAX);
+    for (s, &row) in table.iter().enumerate() {
+        let d = (block ^ row).count_ones() as usize;
+        if d < best.1 {
+            best = (s as u8, d);
+        }
+    }
+    best
+}
+
+/// The scalar byte-per-bit reference implementation of
+/// [`closest_symbol_msk`], kept for property tests and micro-benchmarks.
+///
+/// # Panics
+///
+/// Panics if `bits` is not exactly 31 entries long.
+pub fn closest_symbol_msk_scalar(bits: &[u8]) -> (u8, usize) {
     assert_eq!(bits.len(), 31, "expected a 31-bit internal MSK block");
     static TABLE: std::sync::OnceLock<[[u8; 31]; 16]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(msk_correspondence_table);
@@ -208,6 +246,33 @@ mod tests {
                 img[(k * 5) % 31] ^= 1;
             }
             assert_eq!(closest_symbol_msk(&img).0, s, "symbol {s}");
+        }
+    }
+
+    #[test]
+    fn packed_despreading_agrees_with_scalar() {
+        // Every image, with an assortment of bitflips, decodes identically
+        // through the scalar and packed paths.
+        for s in 0..16u8 {
+            let mut img = pn_msk_image(s);
+            for flips in 0..6usize {
+                assert_eq!(
+                    closest_symbol_msk(&img),
+                    closest_symbol_msk_scalar(&img),
+                    "symbol {s} after {flips} flips"
+                );
+                img[(usize::from(s) + 7 * flips) % 31] ^= 1;
+            }
+        }
+    }
+
+    #[test]
+    fn packed_table_matches_bit_table() {
+        let packed = msk_correspondence_table_packed();
+        let table = msk_correspondence_table();
+        for s in 0..16usize {
+            assert_eq!(packed[s], wazabee_dsp::packed::pack_u32(&table[s]), "{s}");
+            assert_eq!(packed[s] >> 31, 0, "image {s} must fit in 31 bits");
         }
     }
 

@@ -113,9 +113,24 @@ pub fn pn_sequence(symbol: u8) -> &'static [u8; 32] {
 /// Panics if `chips` is not exactly 32 entries long.
 pub fn closest_symbol(chips: &[u8]) -> (u8, usize) {
     assert_eq!(chips.len(), CHIPS_PER_SYMBOL, "expected one 32-chip block");
+    closest_symbol_packed(wazabee_dsp::packed::pack_u32(chips))
+}
+
+/// The sixteen 32-chip PN sequences packed LSB-first into `u32` words,
+/// precomputed once — the fast-path chip-domain despreading table.
+pub fn pn_sequences_packed() -> &'static [u32; 16] {
+    static TABLE: std::sync::OnceLock<[u32; 16]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| std::array::from_fn(|s| wazabee_dsp::packed::pack_u32(&PN_SEQUENCES[s])))
+}
+
+/// Packed chip-domain despreading: `chips` holds one 32-chip block LSB-first;
+/// returns `(best_symbol, best_distance)` with the same tie-breaking as
+/// [`closest_symbol`].
+pub fn closest_symbol_packed(chips: u32) -> (u8, usize) {
+    let table = pn_sequences_packed();
     let mut best = (0u8, usize::MAX);
-    for (sym, pn) in PN_SEQUENCES.iter().enumerate() {
-        let d = wazabee_dsp::bits::hamming(chips, pn);
+    for (sym, &pn) in table.iter().enumerate() {
+        let d = (chips ^ pn).count_ones() as usize;
         if d < best.1 {
             best = (sym as u8, d);
         }

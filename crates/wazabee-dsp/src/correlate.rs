@@ -6,6 +6,7 @@
 //! so the simulator exposes it as a first-class operation.
 
 use crate::bits::hamming;
+use crate::packed::PackedBits;
 
 /// A match produced by [`find_pattern`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +22,13 @@ pub struct PatternMatch {
 ///
 /// Returns `None` when no alignment qualifies.
 ///
+/// This is a thin shim over the word-packed sliding-register correlator in
+/// [`crate::packed`]: the stream and pattern are packed once (O(n)), then
+/// searched at a handful of word operations per alignment instead of one
+/// byte operation per pattern bit. Callers holding a [`PackedBits`] stream
+/// should call [`crate::packed::find_pattern_packed`] directly and skip the
+/// packing. The scalar reference survives as [`find_pattern_scalar`].
+///
 /// # Examples
 ///
 /// ```
@@ -31,6 +39,26 @@ pub struct PatternMatch {
 /// assert_eq!(m.errors, 0);
 /// ```
 pub fn find_pattern(
+    stream: &[u8],
+    pattern: &[u8],
+    start: usize,
+    max_errors: usize,
+) -> Option<PatternMatch> {
+    if pattern.is_empty() || stream.len() < pattern.len() {
+        return None;
+    }
+    crate::packed::find_pattern_packed(
+        &PackedBits::from_bits(stream),
+        &PackedBits::from_bits(pattern),
+        start,
+        max_errors,
+    )
+}
+
+/// The scalar byte-per-bit reference implementation of [`find_pattern`]:
+/// O(n·m), kept for property tests and micro-benchmarks against the packed
+/// fast path.
+pub fn find_pattern_scalar(
     stream: &[u8],
     pattern: &[u8],
     start: usize,
@@ -52,7 +80,22 @@ pub fn find_pattern(
 /// Finds the best (fewest-errors) alignment of `pattern` in `stream`,
 /// regardless of error count. Returns `None` only when the stream is shorter
 /// than the pattern or the pattern is empty.
+///
+/// Like [`find_pattern`], a shim over the packed kernels; the scalar
+/// reference survives as [`best_pattern_match_scalar`].
 pub fn best_pattern_match(stream: &[u8], pattern: &[u8]) -> Option<PatternMatch> {
+    if pattern.is_empty() || stream.len() < pattern.len() {
+        return None;
+    }
+    crate::packed::best_pattern_match_packed(
+        &PackedBits::from_bits(stream),
+        &PackedBits::from_bits(pattern),
+    )
+}
+
+/// The scalar byte-per-bit reference implementation of
+/// [`best_pattern_match`].
+pub fn best_pattern_match_scalar(stream: &[u8], pattern: &[u8]) -> Option<PatternMatch> {
     if pattern.is_empty() || stream.len() < pattern.len() {
         return None;
     }

@@ -44,6 +44,30 @@ pub fn discriminate_normalized(x: &[Iq], deviation_hz: f64, sample_rate_hz: f64)
     discriminate(x).into_iter().map(|v| v * scale).collect()
 }
 
+/// Mean discriminator output over a window, in radians/sample — the same
+/// value as averaging [`discriminate`], but streamed without allocating the
+/// intermediate difference vector (it runs on every traced receive, over
+/// windows of thousands of samples).
+///
+/// Returns `None` for windows too short to difference.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::{discriminator::mean_frequency, Nco};
+/// let mut nco = Nco::new(1.0e6, 8.0e6);
+/// let tone: Vec<_> = (0..32).map(|_| nco.next_sample()).collect();
+/// let step = std::f64::consts::TAU * 1.0e6 / 8.0e6;
+/// assert!((mean_frequency(&tone).unwrap() - step).abs() < 1e-9);
+/// ```
+pub fn mean_frequency(x: &[Iq]) -> Option<f64> {
+    if x.len() < 2 {
+        return None;
+    }
+    let sum: f64 = x.windows(2).map(|w| (w[1] * w[0].conj()).phase()).sum();
+    Some(sum / (x.len() - 1) as f64)
+}
+
 /// Phase trajectory of a signal: cumulative sum of the discriminator output,
 /// anchored at the phase of the first sample.
 ///
@@ -127,5 +151,20 @@ mod tests {
         assert!(discriminate(&[Iq::ONE]).is_empty());
         assert!(phase_trajectory(&[]).is_empty());
         assert_eq!(phase_trajectory(&[Iq::ONE]).len(), 1);
+        assert!(mean_frequency(&[]).is_none());
+        assert!(mean_frequency(&[Iq::ONE]).is_none());
+    }
+
+    #[test]
+    fn mean_frequency_equals_discriminate_average() {
+        let fs = 16.0e6;
+        let mut nco = Nco::new(0.7e6, fs);
+        let tone: Vec<Iq> = (0..512)
+            .map(|k| nco.next_sample().scale(1.0 + 0.25 * (k % 5) as f64))
+            .collect();
+        let diffs = discriminate(&tone);
+        let want = diffs.iter().sum::<f64>() / diffs.len() as f64;
+        let got = mean_frequency(&tone).unwrap();
+        assert!((got - want).abs() < 1e-12, "{got} vs {want}");
     }
 }

@@ -17,7 +17,9 @@
 //! * [`discriminator`] — FM discrimination (the receiver side of FSK),
 //! * [`AwgnSource`] — deterministic, seedable channel noise,
 //! * [`correlate`] — sync-word and PN-sequence correlation,
-//! * [`bits`] — LSB-first bit packing shared by both protocols.
+//! * [`bits`] — LSB-first bit packing shared by both protocols,
+//! * [`packed`] — word-packed bit streams: XOR+`count_ones` Hamming and
+//!   sliding-register sync correlation, the fast path behind [`correlate`].
 //!
 //! ## Example: a complete FSK link in a few lines
 //!
@@ -58,6 +60,7 @@ pub mod gaussian;
 pub mod halfsine;
 pub mod iq;
 pub mod osc;
+pub mod packed;
 pub mod resample;
 pub mod spectrum;
 
@@ -65,6 +68,7 @@ pub use awgn::AwgnSource;
 pub use fir::Fir;
 pub use iq::Iq;
 pub use osc::Nco;
+pub use packed::PackedBits;
 
 #[cfg(test)]
 mod lib_tests {

@@ -56,17 +56,56 @@ pub fn correspondence_table() -> [[u8; 31]; 16] {
     table
 }
 
+/// The Algorithm-1 correspondence table packed LSB-first into `u32` words —
+/// one word per symbol, precomputed once. This is the shape the fast
+/// despreading path consumes: a single XOR + `count_ones` per candidate.
+pub fn correspondence_table_packed() -> &'static [u32; 16] {
+    static TABLE: std::sync::OnceLock<[u32; 16]> = std::sync::OnceLock::new();
+    TABLE.get_or_init(|| {
+        let table = correspondence_table();
+        std::array::from_fn(|s| wazabee_dsp::packed::pack_u32(&table[s]))
+    })
+}
+
 /// Finds the symbol whose Algorithm-1 MSK sequence best matches a received
 /// 31-bit block (minimum Hamming distance), returning `(symbol, distance)` —
 /// the despreading step of the paper's reception primitive (§IV-D).
 ///
-/// The correspondence table is computed once and cached (this function runs
-/// once per received symbol, thousands of times per benchmark frame batch).
+/// Thin shim over [`despread_msk_block_packed`] — it packs the block and
+/// runs the word-wide comparison (this function runs once per received
+/// symbol, thousands of times per benchmark frame batch).
 ///
 /// # Panics
 ///
 /// Panics if `bits` is not exactly 31 entries long.
 pub fn despread_msk_block(bits: &[u8]) -> (u8, usize) {
+    assert_eq!(bits.len(), 31, "expected a 31-bit MSK block");
+    despread_msk_block_packed(wazabee_dsp::packed::pack_u32(bits))
+}
+
+/// Packed fast path of [`despread_msk_block`]: `block` holds the 31 MSK bits
+/// LSB-first (bit 31 must be clear). Sixteen XOR + `count_ones` comparisons
+/// against the packed correspondence table; ties resolve to the lowest
+/// symbol value.
+pub fn despread_msk_block_packed(block: u32) -> (u8, usize) {
+    let table = correspondence_table_packed();
+    let mut best = (0u8, usize::MAX);
+    for (s, &row) in table.iter().enumerate() {
+        let d = (block ^ row).count_ones() as usize;
+        if d < best.1 {
+            best = (s as u8, d);
+        }
+    }
+    best
+}
+
+/// Reference scalar implementation of [`despread_msk_block`], retained for
+/// property tests and micro-benchmarks against the packed fast path.
+///
+/// # Panics
+///
+/// Panics if `bits` is not exactly 31 entries long.
+pub fn despread_msk_block_scalar(bits: &[u8]) -> (u8, usize) {
     assert_eq!(bits.len(), 31, "expected a 31-bit MSK block");
     static TABLE: std::sync::OnceLock<[[u8; 31]; 16]> = std::sync::OnceLock::new();
     let table = TABLE.get_or_init(correspondence_table);
@@ -174,6 +213,39 @@ mod tests {
             let (sym, d) = despread_msk_block(&pn_msk_image(s));
             assert_eq!(sym, s);
             assert!(d <= 1, "symbol {s} distance {d}");
+        }
+    }
+
+    #[test]
+    fn packed_despreading_agrees_with_scalar() {
+        let table = correspondence_table();
+        for (s, row) in table.iter().enumerate() {
+            for flips in 0..=5usize {
+                let mut block = *row;
+                for k in 0..flips {
+                    block[(k * 11) % 31] ^= 1;
+                }
+                let packed = wazabee_dsp::packed::pack_u32(&block);
+                assert_eq!(
+                    despread_msk_block_packed(packed),
+                    despread_msk_block_scalar(&block),
+                    "symbol {s} with {flips} flips"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn packed_table_matches_bit_table() {
+        let bits = correspondence_table();
+        let packed = correspondence_table_packed();
+        for s in 0..16usize {
+            assert_eq!(
+                packed[s],
+                wazabee_dsp::packed::pack_u32(&bits[s]),
+                "row {s}"
+            );
+            assert_eq!(packed[s] >> 31, 0, "row {s} stray high bit");
         }
     }
 

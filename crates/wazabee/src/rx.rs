@@ -7,12 +7,13 @@
 //! tolerating both the GMSK≈MSK approximation error and channel bitflips.
 
 use wazabee_dot154::modem::ReceivedPpdu;
-use wazabee_dot154::msk::{boundary_msk_bit, closest_symbol_msk, pn_msk_image};
+use wazabee_dot154::msk::{boundary_msk_bit, closest_symbol_msk_packed, pn_msk_image};
 use wazabee_dot154::pn::pn_sequence;
+use wazabee_dsp::PackedBits;
 use wazabee_flightrec::{FrameKind, RxFailure, TraceHandle};
 
 use crate::error::WazaBeeError;
-use crate::msk::despread_msk_block;
+use crate::msk::despread_msk_block_packed;
 use crate::radio::RawFskRadio;
 
 /// Maps a reception error to its flight-recorder failure classification.
@@ -70,11 +71,7 @@ pub fn access_address_value() -> u32 {
 fn estimate_cfo_hz(samples: &[wazabee_dsp::Iq], sample_rate: f64) -> Option<f64> {
     const CFO_WINDOW: usize = 8192;
     let window = &samples[..samples.len().min(CFO_WINDOW)];
-    let diffs = wazabee_dsp::discriminator::discriminate(window);
-    if diffs.is_empty() {
-        return None;
-    }
-    let mean = diffs.iter().sum::<f64>() / diffs.len() as f64;
+    let mean = wazabee_dsp::discriminator::mean_frequency(window)?;
     Some(mean * sample_rate / std::f64::consts::TAU)
 }
 
@@ -101,6 +98,10 @@ pub struct WazaBeeRx<R> {
     table: DespreadTable,
     max_sync_errors: usize,
     max_despread_distance: Option<usize>,
+    /// The diverted access-address sync pattern, computed once at
+    /// construction — real hardware programs its correlator register once,
+    /// and the software model should not rebuild the pattern per receive.
+    sync_bits: Vec<u8>,
 }
 
 /// Upper bound on captured bits: enough for the remaining preamble, SFD,
@@ -129,6 +130,7 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
             table: DespreadTable::Algorithm1,
             max_sync_errors: 3,
             max_despread_distance: None,
+            sync_bits: access_address_pattern(),
         })
     }
 
@@ -161,10 +163,10 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         &self.radio
     }
 
-    fn despread(&self, block: &[u8], tr: &mut TraceHandle) -> Result<(u8, usize), WazaBeeError> {
+    fn despread(&self, block: u32, tr: &mut TraceHandle) -> Result<(u8, usize), WazaBeeError> {
         let decision = match self.table {
-            DespreadTable::Algorithm1 => despread_msk_block(block),
-            DespreadTable::Waveform => closest_symbol_msk(block),
+            DespreadTable::Algorithm1 => despread_msk_block_packed(block),
+            DespreadTable::Waveform => closest_symbol_msk_packed(block),
         };
         wazabee_telemetry::counter!("wazabee.rx.despread.symbols").inc();
         wazabee_telemetry::value_histogram!("wazabee.rx.despread_hamming", 0.0, 32.0)
@@ -245,25 +247,31 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         tr: &mut TraceHandle,
     ) -> Result<ReceivedPpdu, WazaBeeError> {
         let _t = wazabee_telemetry::timed_scope!("wazabee.rx.receive_ns");
-        let sync = access_address_pattern();
         let capture = self
             .radio
-            .receive_raw(samples, &sync, self.max_sync_errors, MAX_CAPTURE_BITS)
+            .receive_raw(
+                samples,
+                &self.sync_bits,
+                self.max_sync_errors,
+                MAX_CAPTURE_BITS,
+            )
             .ok_or(WazaBeeError::NoSync)?;
         wazabee_telemetry::counter!("wazabee.rx.sync.hit").inc();
         tr.sync(
             capture.sync_errors,
             capture.sync_bit_index,
             capture.sample_offset,
-            sync.len(),
+            self.sync_bits.len(),
         );
-        let bits = &capture.bits;
+        // Pack the capture once; every despread decision then pulls its
+        // 31-bit block straight out of the words.
+        let bits = PackedBits::from_bits(&capture.bits);
         // The capture is a sequence of 32-bit blocks: [boundary, 31-bit image].
-        let block = |k: usize| -> Result<&[u8], WazaBeeError> {
+        let block = |k: usize| -> Result<u32, WazaBeeError> {
             let start = k * 32 + 1;
             let end = start + 31;
             if end <= bits.len() {
-                Ok(&bits[start..end])
+                Ok(bits.extract_u32(start, 31))
             } else {
                 Err(WazaBeeError::Truncated)
             }
