@@ -17,6 +17,9 @@
 #   9. rx-throughput smoke: the bin emits a well-formed
 #      BENCH_rx_throughput.json and the packed despreading kernel is at
 #      least 3x faster than the scalar reference
+#  10. stream-throughput smoke: the streaming receiver emits a well-formed
+#      BENCH_stream_throughput.json and recovers >= 2 frames behind a decoy
+#      sync hit, in both feature states
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -79,6 +82,34 @@ print(f"BENCH_rx_throughput.json well-formed: "
       f"{despread['packed_msymbols_per_sec']:.1f} Msym/s packed, "
       f"{speedup:.1f}x over scalar")
 EOF
+
+check_stream_json() {
+    run python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+stream, fixture = doc["stream"], doc["fixture"]
+assert stream["frames_per_sec"] > 0, "frames/sec missing"
+assert stream["recovered"] == stream["frames"], (
+    f"streaming lost frames: {stream['recovered']}/{stream['frames']}")
+got = fixture["recovered_with_resync"]
+assert got >= 2, f"only {got} frames recovered behind the decoy (need >= 2)"
+print(f"BENCH_stream_throughput.json well-formed: "
+      f"{stream['frames_per_sec']:.0f} frames/s streaming, "
+      f"{got}/{fixture['frames']} recovered behind the decoy "
+      f"(vs {fixture['recovered_without_resync']} without resync)")
+EOF
+}
+
+stream_json="$capture_dir/BENCH_stream_throughput.json"
+run cargo run --release -q -p wazabee-bench --bin stream_throughput --offline -- \
+    --smoke --out "$stream_json"
+check_stream_json "$stream_json"
+
+rm -f "$stream_json"
+run cargo run --release -q -p wazabee-bench --bin stream_throughput --offline \
+    --no-default-features -- --smoke --out "$stream_json"
+check_stream_json "$stream_json"
 
 echo
 echo "ci.sh: all checks passed"

@@ -137,6 +137,8 @@ impl BleModem {
     /// Captures raw demodulated bits after an arbitrary sync pattern — the
     /// diverted receive path of WazaBee (paper §IV-D: access address set to
     /// the MSK image of the 802.15.4 preamble, CRC check off, length maxed).
+    ///
+    /// Single-shot shim over [`BleModem::receive_raw_from`] starting at bit 0.
     pub fn receive_raw(
         &self,
         samples: &[Iq],
@@ -144,7 +146,28 @@ impl BleModem {
         max_sync_errors: usize,
         capture_bits: usize,
     ) -> Option<RawCapture> {
-        GfskReceiver::new(self.params).capture(samples, sync, max_sync_errors, capture_bits)
+        self.receive_raw_from(samples, 0, sync, max_sync_errors, capture_bits)
+    }
+
+    /// Like [`BleModem::receive_raw`], but resumes the sync search at bit
+    /// `start_bit` of the demodulated stream — re-arming one bit past a
+    /// failed sync hit walks a multi-frame capture event by event instead of
+    /// surrendering the buffer to the first match.
+    pub fn receive_raw_from(
+        &self,
+        samples: &[Iq],
+        start_bit: usize,
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        GfskReceiver::new(self.params).capture_from(
+            samples,
+            start_bit,
+            sync,
+            max_sync_errors,
+            capture_bits,
+        )
     }
 }
 

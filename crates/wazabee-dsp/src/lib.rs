@@ -19,7 +19,10 @@
 //! * [`correlate`] — sync-word and PN-sequence correlation,
 //! * [`bits`] — LSB-first bit packing shared by both protocols,
 //! * [`packed`] — word-packed bit streams: XOR+`count_ones` Hamming and
-//!   sliding-register sync correlation, the fast path behind [`correlate`].
+//!   sliding-register sync correlation, the fast path behind [`correlate`],
+//! * [`stream`] — the stateful form of the sync correlator: the sliding
+//!   register persists across chunk boundaries so search resumes from an
+//!   arbitrary bit offset.
 //!
 //! ## Example: a complete FSK link in a few lines
 //!
@@ -63,12 +66,14 @@ pub mod osc;
 pub mod packed;
 pub mod resample;
 pub mod spectrum;
+pub mod stream;
 
 pub use awgn::AwgnSource;
 pub use fir::Fir;
 pub use iq::Iq;
 pub use osc::Nco;
 pub use packed::PackedBits;
+pub use stream::StreamCorrelator;
 
 #[cfg(test)]
 mod lib_tests {

@@ -135,6 +135,43 @@ impl PackedBits {
             .map(|(a, b)| (a ^ b).count_ones() as usize)
             .sum()
     }
+
+    /// Appends one bit (masked to its lowest bit) at the end of the stream.
+    pub fn push(&mut self, bit: u8) {
+        if self.len.is_multiple_of(64) {
+            self.words.push(0);
+        }
+        let word = self.len / 64;
+        self.words[word] |= u64::from(bit & 1) << (self.len % 64);
+        self.len += 1;
+    }
+
+    /// Appends a 0/1 slice (values masked to their lowest bit) at the end of
+    /// the stream — the growth path of the streaming correlator lanes.
+    pub fn extend_from_bits(&mut self, bits: &[u8]) {
+        for &b in bits {
+            self.push(b);
+        }
+    }
+
+    /// Drops `words` whole 64-bit words (`words * 64` bits) from the front of
+    /// the stream; bit `k` of the result is bit `k + words * 64` of the
+    /// original. Trimming whole words keeps every surviving bit at its old
+    /// in-word position, so the operation is a cheap `drain` with no reshifts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `words * 64` exceeds the stream length.
+    pub fn drop_front_words(&mut self, words: usize) {
+        let bits = words * 64;
+        assert!(
+            bits <= self.len,
+            "cannot drop {bits} bits from a {}-bit stream",
+            self.len
+        );
+        self.words.drain(..words);
+        self.len -= bits;
+    }
 }
 
 /// Packs up to 32 LSB-first bits into a `u32` (values masked to their lowest
@@ -476,5 +513,39 @@ mod tests {
         let pattern = PackedBits::from_bits(&[1, 0]);
         let m = find_pattern_packed(&stream, &pattern, 1, 0).unwrap();
         assert_eq!(m.index, 2);
+    }
+
+    #[test]
+    fn incremental_append_equals_from_bits() {
+        let bits = random_bits(51, 300);
+        for split in [0usize, 1, 63, 64, 65, 150, 299, 300] {
+            let mut p = PackedBits::from_bits(&bits[..split]);
+            p.extend_from_bits(&bits[split..]);
+            assert_eq!(p, PackedBits::from_bits(&bits), "split {split}");
+        }
+        let mut q = PackedBits::default();
+        for &b in &bits {
+            q.push(b);
+        }
+        assert_eq!(q, PackedBits::from_bits(&bits));
+    }
+
+    #[test]
+    fn drop_front_words_leaves_suffix() {
+        let bits = random_bits(52, 400);
+        for words in [0usize, 1, 3, 6] {
+            let mut p = PackedBits::from_bits(&bits);
+            p.drop_front_words(words);
+            assert_eq!(p.to_bits(), &bits[words * 64..], "words {words}");
+            // A trimmed stream keeps growing correctly.
+            p.push(1);
+            assert_eq!(p.bit(p.len() - 1), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot drop")]
+    fn drop_front_words_rejects_overdrain() {
+        PackedBits::from_bits(&random_bits(53, 100)).drop_front_words(2);
     }
 }

@@ -1,0 +1,231 @@
+//! Stateful sync correlation for chunk-fed bit streams.
+//!
+//! [`crate::packed::find_pattern_packed`] answers "where does the pattern
+//! first match in this buffer?" — fine for one-shot captures, useless for a
+//! receiver that ingests IQ in arbitrary chunks: restarting the search on
+//! every chunk is quadratic and loses matches that straddle a boundary.
+//! [`StreamCorrelator`] is the streaming form of the same sliding shift
+//! register: the register (and an absolute consumed-bit counter) is carried
+//! across calls, so feeding the same bits in any chunking reports the same
+//! matches at the same absolute indexes — exactly what a real radio's
+//! always-armed access-address correlator does.
+
+use crate::correlate::PatternMatch;
+use crate::packed::PackedBits;
+
+/// A sliding-register sync correlator that persists across chunk boundaries.
+///
+/// Bits are pushed in stream order; once at least `pattern_len()` bits have
+/// been consumed, every push compares the register window against the packed
+/// pattern and reports a [`PatternMatch`] (with the *absolute* index of the
+/// window start) whenever the Hamming distance is within the error budget.
+/// Unlike the one-shot search, *every* qualifying alignment is reported, not
+/// just the first — the caller decides which attempt to act on and which to
+/// re-arm past.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::stream::StreamCorrelator;
+/// use wazabee_dsp::PackedBits;
+///
+/// let pattern = PackedBits::from_bits(&[1, 0, 1, 1]);
+/// let mut corr = StreamCorrelator::new(&pattern, 0);
+/// let mut hits = Vec::new();
+/// // Feed one chunk at a time; the match straddles the boundary.
+/// corr.feed_bits(&[0, 0, 1, 0], &mut hits);
+/// corr.feed_bits(&[1, 1, 0], &mut hits);
+/// assert_eq!(hits.len(), 1);
+/// assert_eq!(hits[0].index, 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamCorrelator {
+    pat: u64,
+    mask: u64,
+    len: usize,
+    max_errors: usize,
+    reg: u64,
+    consumed: usize,
+}
+
+impl StreamCorrelator {
+    /// Builds a correlator for `pattern` (1..=64 bits) accepting alignments
+    /// with at most `max_errors` bit mismatches.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty or longer than 64 bits.
+    pub fn new(pattern: &PackedBits, max_errors: usize) -> Self {
+        let m = pattern.len();
+        assert!(
+            (1..=64).contains(&m),
+            "streaming correlator needs a 1..=64-bit pattern, got {m}"
+        );
+        StreamCorrelator {
+            pat: pattern.words()[0],
+            mask: if m == 64 { u64::MAX } else { (1u64 << m) - 1 },
+            len: m,
+            max_errors,
+            reg: 0,
+            consumed: 0,
+        }
+    }
+
+    /// Pattern length in bits.
+    pub fn pattern_len(&self) -> usize {
+        self.len
+    }
+
+    /// The error budget alignments must stay within to be reported.
+    pub fn max_errors(&self) -> usize {
+        self.max_errors
+    }
+
+    /// Total bits consumed since construction. Every alignment with
+    /// `index + pattern_len() <= consumed()` has already been reported.
+    pub fn consumed(&self) -> usize {
+        self.consumed
+    }
+
+    /// Consumes one bit (masked to its lowest bit); reports the alignment
+    /// ending at this bit if it is complete and within the error budget.
+    pub fn push(&mut self, bit: u8) -> Option<PatternMatch> {
+        self.reg = (self.reg >> 1) | (u64::from(bit & 1) << (self.len - 1));
+        self.consumed += 1;
+        if self.consumed < self.len {
+            return None;
+        }
+        let errors = ((self.reg ^ self.pat) & self.mask).count_ones() as usize;
+        (errors <= self.max_errors).then(|| PatternMatch {
+            index: self.consumed - self.len,
+            errors,
+        })
+    }
+
+    /// Consumes a 0/1 slice, appending every qualifying alignment to `out`.
+    pub fn feed_bits(&mut self, bits: &[u8], out: &mut Vec<PatternMatch>) {
+        for &b in bits {
+            out.extend(self.push(b));
+        }
+    }
+
+    /// Consumes bits `from..stream.len()` of a packed stream, appending every
+    /// qualifying alignment to `out` — the shape the receive engine uses
+    /// after appending freshly demodulated bits to a lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` exceeds the stream length.
+    pub fn feed_packed(&mut self, stream: &PackedBits, from: usize, out: &mut Vec<PatternMatch>) {
+        for k in from..stream.len() {
+            out.extend(self.push(stream.bit(k)));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packed::find_pattern_packed;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn random_bits(seed: u64, n: usize) -> Vec<u8> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (0..n).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    /// Reference: every alignment within the budget, via the one-shot search
+    /// restarted one bit past each hit.
+    fn all_matches(
+        stream: &PackedBits,
+        pattern: &PackedBits,
+        max_errors: usize,
+    ) -> Vec<PatternMatch> {
+        let mut out = Vec::new();
+        let mut start = 0usize;
+        while let Some(m) = find_pattern_packed(stream, pattern, start, max_errors) {
+            start = m.index + 1;
+            out.push(m);
+        }
+        out
+    }
+
+    #[test]
+    fn streaming_matches_one_shot_search() {
+        let bits = random_bits(90, 700);
+        let stream = PackedBits::from_bits(&bits);
+        for (seed, m, max_errors) in [
+            (91u64, 1usize, 0usize),
+            (92, 8, 1),
+            (93, 32, 3),
+            (94, 64, 6),
+        ] {
+            let pattern = PackedBits::from_bits(&random_bits(seed, m));
+            let mut corr = StreamCorrelator::new(&pattern, max_errors);
+            let mut got = Vec::new();
+            corr.feed_bits(&bits, &mut got);
+            assert_eq!(
+                got,
+                all_matches(&stream, &pattern, max_errors),
+                "m {m} max_errors {max_errors}"
+            );
+            assert_eq!(corr.consumed(), bits.len());
+        }
+    }
+
+    #[test]
+    fn chunking_never_changes_matches() {
+        let bits = random_bits(95, 500);
+        let pattern = PackedBits::from_bits(&random_bits(96, 32));
+        let mut whole = Vec::new();
+        StreamCorrelator::new(&pattern, 4).feed_bits(&bits, &mut whole);
+        for chunk in [1usize, 2, 7, 31, 32, 33, 64, 499] {
+            let mut corr = StreamCorrelator::new(&pattern, 4);
+            let mut got = Vec::new();
+            for c in bits.chunks(chunk) {
+                corr.feed_bits(c, &mut got);
+            }
+            assert_eq!(got, whole, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn feed_packed_resumes_from_offset() {
+        let bits = random_bits(97, 300);
+        let pattern = PackedBits::from_bits(&random_bits(98, 16));
+        let mut whole = Vec::new();
+        StreamCorrelator::new(&pattern, 2).feed_bits(&bits, &mut whole);
+
+        // Grow a packed lane incrementally and feed only the fresh tail each
+        // time — the engine's ingest loop.
+        let mut lane = PackedBits::default();
+        let mut corr = StreamCorrelator::new(&pattern, 2);
+        let mut got = Vec::new();
+        for c in bits.chunks(37) {
+            let from = lane.len();
+            lane.extend_from_bits(c);
+            corr.feed_packed(&lane, from, &mut got);
+        }
+        assert_eq!(got, whole);
+    }
+
+    #[test]
+    fn every_alignment_is_reported_not_just_the_first() {
+        // 0101... matches [0,1] at every even index (errors 0) and at every
+        // odd index only with 2 errors — budget 0 keeps the even ones.
+        let bits: Vec<u8> = (0..10).map(|k| (k % 2) as u8).collect();
+        let pattern = PackedBits::from_bits(&[0, 1]);
+        let mut corr = StreamCorrelator::new(&pattern, 0);
+        let mut got = Vec::new();
+        corr.feed_bits(&bits, &mut got);
+        let indexes: Vec<usize> = got.iter().map(|m| m.index).collect();
+        assert_eq!(indexes, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "1..=64-bit pattern")]
+    fn rejects_empty_pattern() {
+        let _ = StreamCorrelator::new(&PackedBits::default(), 0);
+    }
+}

@@ -79,6 +79,8 @@ impl EsbModem {
 
     /// Captures raw bits after an arbitrary sync pattern — the diverted
     /// receive path (address register reprogrammed, CRC off).
+    ///
+    /// Single-shot shim over [`EsbModem::receive_raw_from`] starting at bit 0.
     pub fn receive_raw(
         &self,
         samples: &[Iq],
@@ -86,7 +88,27 @@ impl EsbModem {
         max_sync_errors: usize,
         capture_bits: usize,
     ) -> Option<RawCapture> {
-        GfskReceiver::new(self.params).capture(samples, sync, max_sync_errors, capture_bits)
+        self.receive_raw_from(samples, 0, sync, max_sync_errors, capture_bits)
+    }
+
+    /// Like [`EsbModem::receive_raw`], but resumes the sync search at bit
+    /// `start_bit` of the demodulated stream, so scanning can continue past
+    /// a previously consumed sync index.
+    pub fn receive_raw_from(
+        &self,
+        samples: &[Iq],
+        start_bit: usize,
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        GfskReceiver::new(self.params).capture_from(
+            samples,
+            start_bit,
+            sync,
+            max_sync_errors,
+            capture_bits,
+        )
     }
 }
 

@@ -377,6 +377,21 @@ mod live {
             }
         }
 
+        /// Records the zero-based attempt index within a streaming receive
+        /// window, keeping multi-attempt windows distinguishable.
+        pub fn attempt(&mut self, index: u64) {
+            if let Some(inner) = self.inner.as_mut() {
+                inner.trace.attempt = Some(index);
+            }
+        }
+
+        /// Flags that the PHR carried a reserved length (≥ 128).
+        pub fn phr_reserved(&mut self) {
+            if let Some(inner) = self.inner.as_mut() {
+                inner.trace.phr_reserved = true;
+            }
+        }
+
         /// Appends one despread symbol decision's Hamming distance.
         pub fn despread(&mut self, distance: usize) {
             if let Some(inner) = self.inner.as_mut() {
@@ -682,6 +697,14 @@ mod noop {
         /// No-op.
         #[inline]
         pub fn cfo_hz(&mut self, _cfo: f64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn attempt(&mut self, _index: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn phr_reserved(&mut self) {}
 
         /// No-op.
         #[inline]

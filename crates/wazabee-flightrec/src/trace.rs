@@ -26,6 +26,12 @@ pub enum RxFailure {
     /// A despread symbol decision exceeded the configured Hamming-distance
     /// budget (see `WazaBeeRx::with_max_despread_distance`).
     DespreadDistanceExceeded,
+    /// More zero-symbols followed the sync match than a standard 802.15.4
+    /// preamble contains — the attempt was abandoned before the SFD.
+    PreambleOverrun,
+    /// The PHR announced a reserved frame length (≥ 128); the attempt was
+    /// rejected instead of misparsing a masked length.
+    PhrReserved,
     /// A BLE packet decoded to completion but its CRC-24 failed.
     CrcMismatch,
     /// An 802.15.4 frame decoded to completion but its FCS failed.
@@ -44,6 +50,8 @@ impl RxFailure {
             RxFailure::NoSync => "no_sync",
             RxFailure::SyncFalsePositive => "sync_false_positive",
             RxFailure::DespreadDistanceExceeded => "despread_distance",
+            RxFailure::PreambleOverrun => "preamble_overrun",
+            RxFailure::PhrReserved => "phr_reserved",
             RxFailure::CrcMismatch => "crc",
             RxFailure::FcsMismatch => "fcs",
             RxFailure::TruncatedFrame => "truncated",
@@ -123,6 +131,12 @@ pub struct DecodeTrace {
     pub checksum_ok: Option<bool>,
     /// The stage that killed the attempt, or `None` for a clean decode.
     pub failure: Option<RxFailure>,
+    /// Zero-based attempt index within a streaming receive window — keeps
+    /// multi-attempt windows distinguishable (`None` for one-shot decoders).
+    pub attempt: Option<u64>,
+    /// Whether the PHR carried a reserved length (≥ 128) — set alongside a
+    /// [`RxFailure::PhrReserved`] outcome.
+    pub phr_reserved: bool,
     /// File name of the `.cf32` IQ window dumped for this attempt.
     pub iq_file: Option<String>,
     /// Index of the frame inside the capture PCAP, when exported.
@@ -141,6 +155,8 @@ impl DecodeTrace {
             frame: None,
             checksum_ok: None,
             failure: None,
+            attempt: None,
+            phr_reserved: false,
             iq_file: None,
             pcap_index: None,
         }
@@ -241,6 +257,13 @@ impl DecodeTrace {
             }
             None => out.push_str(",\"pcap_index\":null"),
         }
+        match self.attempt {
+            Some(n) => {
+                let _ = write!(out, ",\"attempt\":{n}");
+            }
+            None => out.push_str(",\"attempt\":null"),
+        }
+        let _ = write!(out, ",\"phr_reserved\":{}", self.phr_reserved);
         out.push('}');
         out
     }
@@ -255,6 +278,8 @@ mod tests {
         assert_eq!(RxFailure::NoSync.as_str(), "no_sync");
         assert_eq!(RxFailure::FcsMismatch.as_str(), "fcs");
         assert_eq!(RxFailure::TruncatedFrame.to_string(), "truncated");
+        assert_eq!(RxFailure::PreambleOverrun.as_str(), "preamble_overrun");
+        assert_eq!(RxFailure::PhrReserved.as_str(), "phr_reserved");
     }
 
     #[test]
@@ -285,6 +310,7 @@ mod tests {
         });
         t.despread_distances = vec![0, 2, 1];
         t.failure = Some(RxFailure::TruncatedFrame);
+        t.attempt = Some(4);
         let j = t.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"trace_id\":7"), "{j}");
@@ -292,7 +318,20 @@ mod tests {
         assert!(j.contains("\"reason\":\"truncated\""), "{j}");
         assert!(j.contains("\"chip_errors\":3"), "{j}");
         assert!(j.contains("\"despread_distances\":[0,2,1]"), "{j}");
+        assert!(j.contains("\"attempt\":4"), "{j}");
+        assert!(j.contains("\"phr_reserved\":false"), "{j}");
         assert_eq!(j.matches('"').count() % 2, 0, "{j}");
+    }
+
+    #[test]
+    fn json_flags_reserved_phr() {
+        let mut t = DecodeTrace::new(9, "wazabee.rx");
+        t.failure = Some(RxFailure::PhrReserved);
+        t.phr_reserved = true;
+        let j = t.to_json();
+        assert!(j.contains("\"reason\":\"phr_reserved\""), "{j}");
+        assert!(j.contains("\"phr_reserved\":true"), "{j}");
+        assert!(j.contains("\"attempt\":null"), "{j}");
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //!    far beyond the learned baseline.
 
 use serde::{Deserialize, Serialize};
+use wazabee::WazaBeeRx;
+use wazabee_ble::{BleModem, BlePhy};
 use wazabee_dsp::iq::Iq;
 
 use crate::burst::{detect_bursts, BurstDetectorConfig};
@@ -94,6 +96,10 @@ impl Default for MonitorConfig {
 pub struct ChannelMonitor {
     center_mhz: u32,
     classifier: Classifier,
+    /// A diverted-BLE 802.15.4 sniffer for the streaming sweep: a coalesced
+    /// burst can hold several back-to-back frames, and the one-shot
+    /// classifier reports at most the first.
+    sniffer: WazaBeeRx<BleModem>,
     config: MonitorConfig,
     baseline_rate: f64,
     observations: u64,
@@ -105,6 +111,8 @@ impl ChannelMonitor {
         ChannelMonitor {
             center_mhz,
             classifier: Classifier::new(center_mhz, samples_per_symbol),
+            sniffer: WazaBeeRx::new(BleModem::new(BlePhy::Le2M, samples_per_symbol))
+                .expect("LE 2M runs at the 2 Msym/s the attack requires"),
             config,
             baseline_rate: 0.0,
             observations: 0,
@@ -180,6 +188,33 @@ impl ChannelMonitor {
                     psdu: cls.dot154.as_ref().expect("checked").psdu.clone(),
                 });
             }
+            // Streaming sweep: a merged burst can carry several frames
+            // back-to-back, and the one-shot classifier stops at the first.
+            // The re-arming receiver recovers the rest; the frame the
+            // classifier already reported is deduplicated away.
+            let mut stream = self.sniffer.stream();
+            let mut results = stream.push(slice);
+            results.extend(stream.finish());
+            let mut extra: Vec<Vec<u8>> = results
+                .into_iter()
+                .filter_map(Result::ok)
+                .filter(|f| f.fcs_ok())
+                .map(|f| f.psdu)
+                .collect();
+            if let Some(first) = cls.dot154.as_ref().filter(|d| d.fcs_ok) {
+                if let Some(pos) = extra.iter().position(|p| *p == first.psdu) {
+                    extra.remove(pos);
+                }
+            }
+            wazabee_telemetry::counter!("ids.stream.extra_frames").add(extra.len() as u64);
+            if !self.config.dot154_whitelisted {
+                for psdu in extra {
+                    alerts.push(Alert::UnexpectedDot154 {
+                        center_mhz: self.center_mhz,
+                        psdu,
+                    });
+                }
+            }
         }
         wazabee_telemetry::counter!("ids.alerts").add(alerts.len() as u64);
         alerts
@@ -238,6 +273,31 @@ mod tests {
                 .any(|a| matches!(a, Alert::UnexpectedDot154 { psdu, .. } if *psdu == ppdu.psdu())),
             "{alerts:?}"
         );
+    }
+
+    #[test]
+    fn back_to_back_frames_in_one_burst_both_flagged() {
+        // Two frames separated by less than the detector's merge gap fuse
+        // into a single burst; the streaming sweep must flag both, not just
+        // the one the one-shot classifier reaches.
+        let mut m = monitor(false);
+        let modem = Dot154Modem::new(8);
+        let a = Ppdu::new(append_fcs(&[0x11, 0x22])).unwrap();
+        let b = Ppdu::new(append_fcs(&[0x33, 0x44, 0x55])).unwrap();
+        let mut air = modem.transmit(&a);
+        air.extend(vec![Iq::ZERO; 48]); // < merge_gap (64): one burst
+        air.extend(modem.transmit(&b));
+        let alerts = m.observe(&pad(air));
+        let flagged: Vec<&Vec<u8>> = alerts
+            .iter()
+            .filter_map(|al| match al {
+                Alert::UnexpectedDot154 { psdu, .. } => Some(psdu),
+                _ => None,
+            })
+            .collect();
+        assert!(flagged.iter().any(|p| **p == a.psdu()), "{alerts:?}");
+        assert!(flagged.iter().any(|p| **p == b.psdu()), "{alerts:?}");
+        assert_eq!(flagged.len(), 2, "no duplicate alerts: {alerts:?}");
     }
 
     #[test]

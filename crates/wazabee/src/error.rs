@@ -44,6 +44,17 @@ pub enum WazaBeeError {
         /// The configured budget.
         max: usize,
     },
+    /// The sync correlator fired, but more `0000` symbols followed than a
+    /// standard 802.15.4 preamble contains — the capture window would run
+    /// out before a frame of any legal length could complete.
+    PreambleOverrun,
+    /// The PHR announced a reserved frame length (≥ 128). Decoding it as a
+    /// short frame by masking the length would silently misparse the PSDU,
+    /// so the attempt is rejected instead.
+    PhrReserved {
+        /// The raw 8-bit PHR value as despread off the air.
+        value: u8,
+    },
     /// A frame was found but could not be parsed to completion.
     Truncated,
 }
@@ -72,6 +83,12 @@ impl fmt::Display for WazaBeeError {
                     f,
                     "despread distance {distance} exceeds the configured budget of {max}"
                 )
+            }
+            WazaBeeError::PreambleOverrun => {
+                write!(f, "preamble overrun: too many zero-symbols after sync")
+            }
+            WazaBeeError::PhrReserved { value } => {
+                write!(f, "PHR announces reserved length {value} (> 127)")
             }
             WazaBeeError::Truncated => write!(f, "frame truncated before completion"),
         }
@@ -110,6 +127,8 @@ mod tests {
                 },
                 "12",
             ),
+            (WazaBeeError::PreambleOverrun, "preamble overrun"),
+            (WazaBeeError::PhrReserved { value: 200 }, "200"),
             (WazaBeeError::Truncated, "truncated"),
         ];
         for (err, needle) in cases {

@@ -18,6 +18,8 @@
 //! * [`msk`] — the paper's Algorithm 1 and the §IV-C correspondence table,
 //! * [`channels`] — the Zigbee↔BLE common-channel map (paper Table II),
 //! * [`tx`] / [`rx`] — the transmission and reception primitives (§IV-D),
+//! * [`stream`] — chunk-fed streaming reception that re-arms the sync
+//!   search after every failed attempt instead of abandoning the capture,
 //! * [`radio`] — the minimal raw-radio interface they require.
 //!
 //! ## Example: a BLE chip speaking Zigbee
@@ -48,6 +50,7 @@ pub mod rx;
 pub mod scenario_a;
 pub mod scenario_b;
 pub mod similarity;
+pub mod stream;
 pub mod tx;
 
 pub use channels::{
@@ -59,4 +62,5 @@ pub use rx::{access_address_pattern, access_address_value, DespreadTable, WazaBe
 pub use scenario_a::ScenarioA;
 pub use scenario_b::{AttackReport, TrackerAttack};
 pub use similarity::{cross_similarity, similarity_matrix, SimilarityScore, WaveformFamily};
+pub use stream::StreamingRx;
 pub use tx::{encode_ppdu_msk, prewhiten_bits, WazaBeeTx};

@@ -25,6 +25,25 @@ pub trait RawFskRadio {
         capture_bits: usize,
     ) -> Option<RawCapture>;
 
+    /// Like [`RawFskRadio::receive_raw`], but resumes the sync search at bit
+    /// `start_bit` of the demodulated stream — the re-arm entry point the
+    /// streaming receiver builds on.
+    fn receive_raw_from(
+        &self,
+        samples: &[Iq],
+        start_bit: usize,
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture>;
+
+    /// Demodulates a buffer into hard bits with the symbol clock anchored at
+    /// the first sample — callers supply the sample-phase offset by slicing.
+    fn demodulate_raw(&self, samples: &[Iq]) -> Vec<u8>;
+
+    /// Samples per symbol of the simulation.
+    fn samples_per_symbol(&self) -> usize;
+
     /// The radio's symbol rate in symbols per second.
     fn symbol_rate(&self) -> f64;
 
@@ -45,6 +64,32 @@ impl RawFskRadio for BleModem {
         capture_bits: usize,
     ) -> Option<RawCapture> {
         BleModem::receive_raw(self, samples, sync, max_sync_errors, capture_bits)
+    }
+
+    fn receive_raw_from(
+        &self,
+        samples: &[Iq],
+        start_bit: usize,
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        BleModem::receive_raw_from(
+            self,
+            samples,
+            start_bit,
+            sync,
+            max_sync_errors,
+            capture_bits,
+        )
+    }
+
+    fn demodulate_raw(&self, samples: &[Iq]) -> Vec<u8> {
+        wazabee_ble::gfsk::demodulate_aligned(self.params(), samples, 0)
+    }
+
+    fn samples_per_symbol(&self) -> usize {
+        self.params().samples_per_symbol
     }
 
     fn symbol_rate(&self) -> f64 {
@@ -69,6 +114,32 @@ impl RawFskRadio for EsbModem {
         capture_bits: usize,
     ) -> Option<RawCapture> {
         EsbModem::receive_raw(self, samples, sync, max_sync_errors, capture_bits)
+    }
+
+    fn receive_raw_from(
+        &self,
+        samples: &[Iq],
+        start_bit: usize,
+        sync: &[u8],
+        max_sync_errors: usize,
+        capture_bits: usize,
+    ) -> Option<RawCapture> {
+        EsbModem::receive_raw_from(
+            self,
+            samples,
+            start_bit,
+            sync,
+            max_sync_errors,
+            capture_bits,
+        )
+    }
+
+    fn demodulate_raw(&self, samples: &[Iq]) -> Vec<u8> {
+        wazabee_ble::gfsk::demodulate_aligned(self.params(), samples, 0)
+    }
+
+    fn samples_per_symbol(&self) -> usize {
+        self.params().samples_per_symbol
     }
 
     fn symbol_rate(&self) -> f64 {

@@ -10,19 +10,21 @@ use wazabee_dot154::modem::ReceivedPpdu;
 use wazabee_dot154::msk::{boundary_msk_bit, closest_symbol_msk_packed, pn_msk_image};
 use wazabee_dot154::pn::pn_sequence;
 use wazabee_dsp::PackedBits;
-use wazabee_flightrec::{FrameKind, RxFailure, TraceHandle};
+use wazabee_flightrec::RxFailure;
 
 use crate::error::WazaBeeError;
 use crate::msk::despread_msk_block_packed;
 use crate::radio::RawFskRadio;
 
 /// Maps a reception error to its flight-recorder failure classification.
-fn rx_failure(e: &WazaBeeError) -> RxFailure {
+pub(crate) fn rx_failure(e: &WazaBeeError) -> RxFailure {
     match e {
         WazaBeeError::NoSync => RxFailure::NoSync,
         WazaBeeError::SyncFalsePositive => RxFailure::SyncFalsePositive,
         WazaBeeError::DespreadDistanceExceeded { .. } => RxFailure::DespreadDistanceExceeded,
-        // No other variant escapes try_receive_impl; Truncated covers the rest.
+        WazaBeeError::PreambleOverrun => RxFailure::PreambleOverrun,
+        WazaBeeError::PhrReserved { .. } => RxFailure::PhrReserved,
+        // No other variant escapes the receive engine; Truncated covers the rest.
         _ => RxFailure::TruncatedFrame,
     }
 }
@@ -61,18 +63,59 @@ pub fn access_address_value() -> u32 {
         .fold(0u32, |acc, (k, &b)| acc | (u32::from(b) << k))
 }
 
-/// Estimates the carrier-frequency offset of a capture window, in Hz: the
-/// mean discriminator output over (up to) the first 8192 samples. MSK's
-/// symmetric ±deviation averages out over the alternating preamble, leaving
-/// the residual carrier offset — a coarse but useful forensic figure.
+/// Estimates the carrier-frequency offset, in Hz: the mean discriminator
+/// output over (up to) the first 8192 samples of `samples`. MSK's symmetric
+/// ±deviation averages out over the alternating preamble, leaving the
+/// residual carrier offset — a coarse but useful forensic figure.
+///
+/// Callers hand over a window starting *at the sync sample offset*: a long
+/// pre-frame lead-in is mostly silence, whose zero-frequency samples would
+/// dilute the mean toward zero and under-report the offset.
 ///
 /// Only computed when a flight-recorder trace is active; returns `None` for
 /// windows too short to difference.
-fn estimate_cfo_hz(samples: &[wazabee_dsp::Iq], sample_rate: f64) -> Option<f64> {
+pub(crate) fn estimate_cfo_hz(samples: &[wazabee_dsp::Iq], sample_rate: f64) -> Option<f64> {
     const CFO_WINDOW: usize = 8192;
     let window = &samples[..samples.len().min(CFO_WINDOW)];
     let mean = wazabee_dsp::discriminator::mean_frequency(window)?;
     Some(mean * sample_rate / std::f64::consts::TAU)
+}
+
+/// Data-aided CFO estimate over a *synced* window: the mean discriminator
+/// output minus the phase contribution of the demodulated bit decisions
+/// (±π/(2·sps) rad/sample for a 1/0 at modulation index 0.5), leaving the
+/// residual carrier offset.
+///
+/// The raw mean of [`estimate_cfo_hz`] is only unbiased when the window's
+/// bits are balanced; a frame body with a 1/0 imbalance of fraction `b`
+/// drags the raw estimate by `b · symbol_rate/4` — tens of kHz for ordinary
+/// payloads. Subtracting the decision-weighted deviation removes that bias.
+///
+/// `samples` starts at the sync hit's own sample; `bits` is the lane's bit
+/// stream with `from_bit` the lane-local index of the bit at `samples[0]`.
+pub(crate) fn estimate_cfo_hz_synced(
+    samples: &[wazabee_dsp::Iq],
+    bits: &PackedBits,
+    from_bit: usize,
+    sps: usize,
+    sample_rate: f64,
+) -> Option<f64> {
+    const CFO_WINDOW_BITS: usize = 1024;
+    let nbits = CFO_WINDOW_BITS
+        .min(bits.len().saturating_sub(from_bit))
+        .min(samples.len().saturating_sub(1) / sps);
+    if nbits == 0 {
+        return None;
+    }
+    // Exactly the samples whose first differences the `nbits` decisions
+    // integrated over, so measurement and compensation stay aligned.
+    let mean = wazabee_dsp::discriminator::mean_frequency(&samples[..nbits * sps + 1])?;
+    let ones: usize = (from_bit..from_bit + nbits)
+        .map(|k| usize::from(bits.bit(k)))
+        .sum();
+    let balance = (2.0 * ones as f64 - nbits as f64) / nbits as f64;
+    let data_step = balance * std::f64::consts::PI / (2.0 * sps as f64);
+    Some((mean - data_step) * sample_rate / std::f64::consts::TAU)
 }
 
 /// The WazaBee reception primitive bound to a diverted radio.
@@ -163,167 +206,244 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
         &self.radio
     }
 
-    fn despread(&self, block: u32, tr: &mut TraceHandle) -> Result<(u8, usize), WazaBeeError> {
-        let decision = match self.table {
+    /// The diverted access-address sync pattern programmed at construction.
+    pub(crate) fn sync_bits(&self) -> &[u8] {
+        &self.sync_bits
+    }
+
+    /// The configured correlator tolerance (bits out of 32).
+    pub(crate) fn max_sync_errors(&self) -> usize {
+        self.max_sync_errors
+    }
+
+    /// One despread decision with no side effects. The streaming engine
+    /// re-runs held attempts as chunks arrive, so telemetry and tracing are
+    /// deferred to commit time; this must stay pure.
+    pub(crate) fn despread_raw(&self, block: u32) -> (u8, usize) {
+        match self.table {
             DespreadTable::Algorithm1 => despread_msk_block_packed(block),
             DespreadTable::Waveform => closest_symbol_msk_packed(block),
-        };
-        wazabee_telemetry::counter!("wazabee.rx.despread.symbols").inc();
-        wazabee_telemetry::value_histogram!("wazabee.rx.despread_hamming", 0.0, 32.0)
-            .record(decision.1 as f64);
-        tr.despread(decision.1);
-        if let Some(max) = self.max_despread_distance {
-            if decision.1 > max {
-                return Err(WazaBeeError::DespreadDistanceExceeded {
-                    distance: decision.1,
-                    max,
+        }
+    }
+
+    /// Decodes one attempt out of a demodulated bit stream whose bit `start`
+    /// is the first bit *after* the matched sync pattern. `finished` tells
+    /// the decoder whether the stream can still grow: running out of bits is
+    /// [`DecodeOutcome::NeedBits`] while more chunks may arrive, and
+    /// `Truncated` once the stream is flushed (or the capture bound is hit).
+    ///
+    /// Pure with respect to telemetry and the flight recorder — held
+    /// attempts are re-run on every chunk, and double-counting a replay
+    /// would corrupt the counters. The engine emits the accumulated
+    /// `distances` once, when it commits the outcome.
+    pub(crate) fn decode_after_sync(
+        &self,
+        bits: &PackedBits,
+        start: usize,
+        finished: bool,
+    ) -> DecodeOutcome {
+        enum BlockEnd {
+            NeedMore,
+            Truncated,
+        }
+        // The stream after sync is a sequence of 32-bit blocks:
+        // [boundary bit, 31-bit MSK image].
+        let block = |k: usize| -> Result<u32, BlockEnd> {
+            if (k + 1) * 32 > MAX_CAPTURE_BITS {
+                return Err(BlockEnd::Truncated);
+            }
+            let s = start + k * 32 + 1;
+            if s + 31 > bits.len() {
+                return Err(if finished {
+                    BlockEnd::Truncated
+                } else {
+                    BlockEnd::NeedMore
                 });
             }
-        }
-        Ok(decision)
-    }
-
-    /// Attempts to receive one 802.15.4 frame from a capture buffer.
-    ///
-    /// Every attempt is recorded by the flight recorder (when one is
-    /// installed — see `wazabee-flightrec`): sync quality, CFO estimate,
-    /// per-symbol despread distances, and the typed failure reason or the
-    /// delivered frame.
-    ///
-    /// # Errors
-    ///
-    /// [`WazaBeeError::NoSync`] when the preamble pattern is absent,
-    /// [`WazaBeeError::SyncFalsePositive`] when the correlator match is not
-    /// followed by an SFD, [`WazaBeeError::DespreadDistanceExceeded`] when a
-    /// configured despreading budget is blown, and
-    /// [`WazaBeeError::Truncated`] when the capture ends mid-frame.
-    pub fn try_receive(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
-        let mut tr = wazabee_flightrec::begin("wazabee.rx");
-        if tr.active() {
-            tr.tap_iq(samples, self.radio.sample_rate(), None);
-            if let Some(cfo) = estimate_cfo_hz(samples, self.radio.sample_rate()) {
-                tr.cfo_hz(cfo);
-            }
-        }
-        let result = self.try_receive_impl(samples, &mut tr);
-        match &result {
-            Ok(rx) => {
-                let fcs = rx.fcs_ok();
-                if fcs {
-                    wazabee_telemetry::counter!("wazabee.rx.fcs.ok").inc();
-                } else {
-                    wazabee_telemetry::counter!("wazabee.rx.fcs.fail").inc();
-                    wazabee_telemetry::counter!("wazabee.rx.fail.fcs").inc();
-                }
-                tr.deliver(&rx.psdu, fcs, FrameKind::Dot154);
-            }
-            Err(e) => {
-                match e {
-                    WazaBeeError::NoSync => {
-                        wazabee_telemetry::counter!("wazabee.rx.sync.miss").inc();
-                        wazabee_telemetry::counter!("wazabee.rx.fail.no_sync").inc();
-                    }
-                    WazaBeeError::SyncFalsePositive => {
-                        wazabee_telemetry::counter!("wazabee.rx.fail.sync_false_positive").inc();
-                    }
-                    WazaBeeError::DespreadDistanceExceeded { .. } => {
-                        wazabee_telemetry::counter!("wazabee.rx.fail.despread_distance").inc();
-                    }
-                    WazaBeeError::Truncated => {
-                        wazabee_telemetry::counter!("wazabee.rx.truncated").inc();
-                        wazabee_telemetry::counter!("wazabee.rx.fail.truncated").inc();
-                    }
-                    _ => {}
-                }
-                tr.fail(rx_failure(e));
-            }
-        }
-        result
-    }
-
-    fn try_receive_impl(
-        &self,
-        samples: &[wazabee_dsp::Iq],
-        tr: &mut TraceHandle,
-    ) -> Result<ReceivedPpdu, WazaBeeError> {
-        let _t = wazabee_telemetry::timed_scope!("wazabee.rx.receive_ns");
-        let capture = self
-            .radio
-            .receive_raw(
-                samples,
-                &self.sync_bits,
-                self.max_sync_errors,
-                MAX_CAPTURE_BITS,
-            )
-            .ok_or(WazaBeeError::NoSync)?;
-        wazabee_telemetry::counter!("wazabee.rx.sync.hit").inc();
-        tr.sync(
-            capture.sync_errors,
-            capture.sync_bit_index,
-            capture.sample_offset,
-            self.sync_bits.len(),
-        );
-        // Pack the capture once; every despread decision then pulls its
-        // 31-bit block straight out of the words.
-        let bits = PackedBits::from_bits(&capture.bits);
-        // The capture is a sequence of 32-bit blocks: [boundary, 31-bit image].
-        let block = |k: usize| -> Result<u32, WazaBeeError> {
-            let start = k * 32 + 1;
-            let end = start + 31;
-            if end <= bits.len() {
-                Ok(bits.extract_u32(start, 31))
-            } else {
-                Err(WazaBeeError::Truncated)
-            }
+            Ok(bits.extract_u32(s, 31))
         };
+        let mut distances: Vec<usize> = Vec::new();
+        macro_rules! despread_block {
+            ($k:expr) => {{
+                let b = match block($k) {
+                    Ok(b) => b,
+                    Err(BlockEnd::NeedMore) => return DecodeOutcome::NeedBits,
+                    Err(BlockEnd::Truncated) => {
+                        return DecodeOutcome::Fail {
+                            err: WazaBeeError::Truncated,
+                            distances,
+                        }
+                    }
+                };
+                let (sym, errs) = self.despread_raw(b);
+                distances.push(errs);
+                if let Some(max) = self.max_despread_distance {
+                    if errs > max {
+                        return DecodeOutcome::Fail {
+                            err: WazaBeeError::DespreadDistanceExceeded {
+                                distance: errs,
+                                max,
+                            },
+                            distances,
+                        };
+                    }
+                }
+                (sym, errs)
+            }};
+        }
         // Skip remaining preamble symbols, then expect the SFD pair (7, A).
         let mut k = 0usize;
         let mut chip_errors = 0usize;
         loop {
-            let (sym, errs) = self.despread(block(k)?, tr)?;
+            let (sym, errs) = despread_block!(k);
             k += 1;
             if sym == 0 {
                 if k > MAX_PREAMBLE_SYMBOLS {
-                    return Err(WazaBeeError::Truncated);
+                    return DecodeOutcome::Fail {
+                        err: WazaBeeError::PreambleOverrun,
+                        distances,
+                    };
                 }
                 chip_errors += errs;
                 continue;
             }
             if sym != 0x7 {
-                return Err(WazaBeeError::SyncFalsePositive);
+                return DecodeOutcome::Fail {
+                    err: WazaBeeError::SyncFalsePositive,
+                    distances,
+                };
             }
             chip_errors += errs;
             break;
         }
-        let (sfd_hi, errs) = self.despread(block(k)?, tr)?;
+        let (sfd_hi, errs) = despread_block!(k);
         k += 1;
         if sfd_hi != 0xA {
-            return Err(WazaBeeError::SyncFalsePositive);
+            return DecodeOutcome::Fail {
+                err: WazaBeeError::SyncFalsePositive,
+                distances,
+            };
         }
         chip_errors += errs;
-        // PHR: frame length.
-        let (len_lo, e1) = self.despread(block(k)?, tr)?;
-        let (len_hi, e2) = self.despread(block(k + 1)?, tr)?;
+        // PHR: frame length. Lengths ≥ 128 are reserved — masking them to a
+        // short frame would silently misparse the PSDU, so reject instead.
+        let (len_lo, e1) = despread_block!(k);
+        let (len_hi, e2) = despread_block!(k + 1);
         k += 2;
         chip_errors += e1 + e2;
-        let psdu_len = usize::from((len_hi << 4) | len_lo) & 0x7F;
+        let raw_len = usize::from((len_hi << 4) | len_lo);
+        if raw_len > 0x7F {
+            return DecodeOutcome::Fail {
+                err: WazaBeeError::PhrReserved {
+                    value: raw_len as u8,
+                },
+                distances,
+            };
+        }
+        let psdu_len = raw_len;
         let mut symbols = Vec::with_capacity(psdu_len * 2);
         for j in 0..psdu_len * 2 {
-            let (sym, errs) = self.despread(block(k + j)?, tr)?;
+            let (sym, errs) = despread_block!(k + j);
             symbols.push(sym);
             chip_errors += errs;
         }
-        Ok(ReceivedPpdu {
+        DecodeOutcome::Frame {
             psdu: wazabee_dot154::dsss::symbols_to_bytes(&symbols),
             chip_errors,
-            shr_errors: capture.sync_errors,
-        })
+            used_bits: (k + psdu_len * 2) * 32,
+            distances,
+        }
+    }
+
+    /// Attempts to receive one 802.15.4 frame from a capture buffer.
+    ///
+    /// A one-shot wrapper over [`crate::stream::StreamingRx`]: the whole
+    /// buffer is pushed as a single chunk and flushed, and the wrapper
+    /// returns the first delivered frame — so a false-positive sync hit or a
+    /// corrupted preamble early in the window no longer swallows a genuine
+    /// frame later in the same capture. With no frame recovered, the first
+    /// typed failure is returned; with no correlator hit at all, `NoSync`.
+    ///
+    /// Every attempt is recorded by the flight recorder (when one is
+    /// installed — see `wazabee-flightrec`) with its attempt index, sync
+    /// quality, CFO estimate, per-symbol despread distances, and the typed
+    /// failure reason or the delivered frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WazaBeeError::NoSync`] when the preamble pattern is absent,
+    /// [`WazaBeeError::SyncFalsePositive`] when a correlator match is not
+    /// followed by an SFD, [`WazaBeeError::PreambleOverrun`] when too many
+    /// zero-symbols follow the sync, [`WazaBeeError::PhrReserved`] when the
+    /// PHR announces a reserved length, [`WazaBeeError::DespreadDistanceExceeded`]
+    /// when a configured despreading budget is blown, and
+    /// [`WazaBeeError::Truncated`] when the capture ends mid-frame.
+    pub fn try_receive(&self, samples: &[wazabee_dsp::Iq]) -> Result<ReceivedPpdu, WazaBeeError> {
+        let _t = wazabee_telemetry::timed_scope!("wazabee.rx.receive_ns");
+        let mut stream = self.stream();
+        let mut results = stream.push(samples);
+        results.extend(stream.finish());
+        let mut first_err: Option<WazaBeeError> = None;
+        for r in results {
+            match r {
+                Ok(frame) => return Ok(frame),
+                Err(e) => {
+                    if first_err.is_none() {
+                        first_err = Some(e);
+                    }
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => {
+                // Not one correlator hit in the whole window.
+                wazabee_telemetry::counter!("wazabee.rx.sync.miss").inc();
+                wazabee_telemetry::counter!("wazabee.rx.fail.no_sync").inc();
+                let mut tr = wazabee_flightrec::begin("wazabee.rx");
+                if tr.active() {
+                    tr.tap_iq(samples, self.radio.sample_rate(), None);
+                    if let Some(cfo) = estimate_cfo_hz(samples, self.radio.sample_rate()) {
+                        tr.cfo_hz(cfo);
+                    }
+                }
+                tr.fail(RxFailure::NoSync);
+                Err(WazaBeeError::NoSync)
+            }
+        }
     }
 
     /// Like [`WazaBeeRx::try_receive`] but collapsing all errors to `None`.
     pub fn receive(&self, samples: &[wazabee_dsp::Iq]) -> Option<ReceivedPpdu> {
         self.try_receive(samples).ok()
     }
+}
+
+/// How one decode attempt (a sync match plus the bits that followed) ended —
+/// the pure-decode result the streaming engine commits or holds.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum DecodeOutcome {
+    /// The attempt parsed a complete frame, consuming `used_bits` stream
+    /// bits after the sync pattern.
+    Frame {
+        /// The recovered PSDU.
+        psdu: Vec<u8>,
+        /// Chip-domain errors accumulated across all despread decisions.
+        chip_errors: usize,
+        /// Bits consumed after the sync pattern (a whole number of blocks).
+        used_bits: usize,
+        /// Per-symbol despread Hamming distances, in decode order.
+        distances: Vec<usize>,
+    },
+    /// A pipeline stage killed the attempt.
+    Fail {
+        /// The typed failure.
+        err: WazaBeeError,
+        /// Distances of the decisions made before the attempt died.
+        distances: Vec<usize>,
+    },
+    /// The stream ended mid-attempt and more chunks may still arrive.
+    NeedBits,
 }
 
 #[cfg(test)]
@@ -414,11 +534,12 @@ mod tests {
     }
 
     #[test]
-    fn overlong_preamble_rejected() {
-        // Regression: the preamble budget used to be 8, but the sync pattern
-        // consumes at least one of the eight `0000` symbols, so a stream
-        // with 8 whole symbols *after* sync can only come from a non-standard
-        // (attacker-lengthened) preamble and must be rejected.
+    fn overlong_preamble_flagged_then_recovered() {
+        // An attacker-lengthened preamble (one extra `0000` symbol, so 8
+        // whole symbols can follow the earliest sync match) blows the
+        // preamble budget on the first attempt — but the sync pattern
+        // repeats through the preamble, and re-arming one bit past the
+        // failed match walks forward until few enough symbols remain.
         use wazabee_dot154::msk::frame_chips_to_msk;
         let p = ppdu(&[3, 2, 1]);
         let mut chips: Vec<u8> = pn_sequence(0).to_vec();
@@ -428,7 +549,52 @@ mod tests {
             .collect();
         bits.extend(frame_chips_to_msk(&chips, 0));
         let air = BleModem::new(BlePhy::Le2M, 8).transmit_raw(&bits);
-        assert_eq!(ble_rx().try_receive(&air), Err(WazaBeeError::Truncated));
+
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        let mut results = stream.push(&air);
+        results.extend(stream.finish());
+        assert_eq!(
+            results.first(),
+            Some(&Err(WazaBeeError::PreambleOverrun)),
+            "first attempt must report the non-standard preamble"
+        );
+        let frame = results
+            .iter()
+            .find_map(|r| r.as_ref().ok())
+            .expect("resync must eventually recover the frame");
+        assert_eq!(frame.psdu, p.psdu());
+
+        // The one-shot wrapper surfaces the recovered frame directly.
+        assert_eq!(rx.try_receive(&air).unwrap().psdu, p.psdu());
+    }
+
+    #[test]
+    fn reserved_phr_rejected_not_misparsed() {
+        // A PHR announcing a reserved length (here 0x83 = 131 > 127) used to
+        // be masked with 0x7F and decoded as a 3-byte frame — silently
+        // misparsing the PSDU. It must surface as a typed failure instead.
+        use wazabee_dot154::msk::frame_chips_to_msk;
+        let mut chips: Vec<u8> = Vec::new();
+        for _ in 0..8 {
+            chips.extend(pn_sequence(0)); // preamble
+        }
+        chips.extend(pn_sequence(0x7)); // SFD low nibble
+        chips.extend(pn_sequence(0xA)); // SFD high nibble
+        chips.extend(pn_sequence(0x3)); // PHR low nibble
+        chips.extend(pn_sequence(0x8)); // PHR high nibble -> 0x83 = 131
+        for sym in [0x1, 0x4, 0x1, 0x5] {
+            chips.extend(pn_sequence(sym)); // garbage "payload"
+        }
+        let mut bits: Vec<u8> = (0..crate::tx::TX_WARMUP_BITS)
+            .map(|k| (k % 2) as u8)
+            .collect();
+        bits.extend(frame_chips_to_msk(&chips, 0));
+        let air = BleModem::new(BlePhy::Le2M, 8).transmit_raw(&bits);
+        assert_eq!(
+            ble_rx().try_receive(&air),
+            Err(WazaBeeError::PhrReserved { value: 131 })
+        );
     }
 
     #[test]

@@ -1,0 +1,488 @@
+//! The streaming reception engine: resync-after-failure over IQ chunks.
+//!
+//! The one-shot receiver locked onto the first access-address correlator hit
+//! and gave up on the whole capture if that attempt failed — a decoy burst, a
+//! corrupted preamble, or a reserved PHR early in the window swallowed every
+//! genuine frame behind it. [`StreamingRx`] fixes that end to end: it
+//! consumes IQ in chunks of any size, keeps one demodulation lane per sample
+//! phase with a persistent [`StreamCorrelator`], and after every committed
+//! attempt — delivered frame *or* typed failure — re-arms the sync search
+//! just past the consumed region and keeps scanning. Results come out in
+//! stream order, one `Result` per attempt.
+//!
+//! Chunking is observationally invisible: feeding the same samples in any
+//! chunk sizes yields byte-for-byte the same sequence of frames and typed
+//! failures, because demodulation, correlation and despreading all operate
+//! on absolute bit indexes carried across chunk boundaries.
+
+use std::collections::VecDeque;
+
+use wazabee_dot154::modem::ReceivedPpdu;
+use wazabee_dsp::correlate::PatternMatch;
+use wazabee_dsp::{Iq, PackedBits, StreamCorrelator};
+use wazabee_flightrec::{FrameKind, TraceHandle};
+
+use crate::error::WazaBeeError;
+use crate::radio::RawFskRadio;
+use crate::rx::{estimate_cfo_hz_synced, rx_failure, DecodeOutcome, WazaBeeRx};
+
+/// Once the retained region grows this many bits past the low-water mark,
+/// the front of the buffers is released.
+const TRIM_THRESHOLD_BITS: usize = 4096;
+
+/// Bits kept behind the low-water mark when trimming, so small bookkeeping
+/// differences can never reach back past the buffer start.
+const TRIM_SLACK_BITS: usize = 64;
+
+/// One demodulation lane: the bit stream recovered at a fixed sample-phase
+/// offset, its always-armed correlator, and the sync hits awaiting decode.
+#[derive(Debug, Clone)]
+struct Lane {
+    /// Demodulated hard bits, trimmed at the front; bit `k` here is absolute
+    /// bit `base_bits + k`.
+    bits: PackedBits,
+    /// Persistent sliding-register correlator (absolute indexes).
+    corr: StreamCorrelator,
+    /// Pending sync hits at absolute indexes `>= armed`, in stream order.
+    matches: VecDeque<PatternMatch>,
+}
+
+/// A chunk-fed 802.15.4 receiver over a diverted radio that re-arms after
+/// every attempt instead of abandoning the capture on the first failure.
+///
+/// Feed IQ with [`StreamingRx::push`] (any chunk sizes), then flush with
+/// [`StreamingRx::finish`]. Each returned element is one committed decode
+/// attempt: `Ok` with a recovered frame, or `Err` with the typed reason that
+/// attempt died. Attempts never straddle a flush — a frame cut short by the
+/// end of the stream surfaces as [`WazaBeeError::Truncated`] from `finish`.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee::{WazaBeeRx, WazaBeeTx};
+/// use wazabee_ble::{BleModem, BlePhy};
+/// use wazabee_dot154::{fcs::append_fcs, Ppdu};
+///
+/// let tx = WazaBeeTx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+/// let rx = WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap();
+/// let ppdu = Ppdu::new(append_fcs(&[1, 2, 3])).unwrap();
+/// let air = tx.transmit(&ppdu);
+///
+/// let mut stream = rx.stream();
+/// let mut results = Vec::new();
+/// for chunk in air.chunks(1000) {
+///     results.extend(stream.push(chunk));
+/// }
+/// results.extend(stream.finish());
+/// let frame = results.into_iter().find_map(Result::ok).unwrap();
+/// assert_eq!(frame.psdu, ppdu.psdu());
+/// ```
+#[derive(Debug)]
+pub struct StreamingRx<'a, R> {
+    rx: &'a WazaBeeRx<R>,
+    /// Samples per symbol — also the number of demodulation lanes.
+    sps: usize,
+    /// Sync pattern length in bits (32 for the diverted access address).
+    pattern_len: usize,
+    /// Retained IQ, trimmed at the front in lockstep with the lanes;
+    /// sample `i` here is absolute sample `base_bits * sps + i`.
+    samples: Vec<Iq>,
+    /// Absolute bit index of local bit 0 (same for every lane).
+    base_bits: usize,
+    lanes: Vec<Lane>,
+    /// Sync hits below this absolute bit index are spent: either consumed by
+    /// a delivered frame or one-past a committed failure.
+    armed: usize,
+    /// Committed decode attempts so far (frames and failures).
+    attempts: u64,
+    /// Frames delivered so far.
+    frames: u64,
+}
+
+impl<R: RawFskRadio> WazaBeeRx<R> {
+    /// Opens a chunk-fed streaming receiver over this primitive's radio and
+    /// configuration. See [`StreamingRx`].
+    pub fn stream(&self) -> StreamingRx<'_, R> {
+        let pattern = PackedBits::from_bits(self.sync_bits());
+        let sps = self.radio().samples_per_symbol();
+        let lanes = (0..sps)
+            .map(|_| Lane {
+                bits: PackedBits::default(),
+                corr: StreamCorrelator::new(&pattern, self.max_sync_errors()),
+                matches: VecDeque::new(),
+            })
+            .collect();
+        StreamingRx {
+            rx: self,
+            sps,
+            pattern_len: pattern.len(),
+            samples: Vec::new(),
+            base_bits: 0,
+            lanes,
+            armed: 0,
+            attempts: 0,
+            frames: 0,
+        }
+    }
+}
+
+impl<R: RawFskRadio> StreamingRx<'_, R> {
+    /// Consumes one IQ chunk (any size, including empty) and returns every
+    /// attempt that could be *committed* with the bits now available, in
+    /// stream order. Attempts still waiting on future bits are held
+    /// internally and re-examined on the next push.
+    pub fn push(&mut self, chunk: &[Iq]) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
+        wazabee_telemetry::counter!("wazabee.stream.chunks").inc();
+        self.samples.extend_from_slice(chunk);
+        self.ingest();
+        let out = self.drain(false);
+        self.trim();
+        out
+    }
+
+    /// Flushes the stream: every held attempt is decoded against the final
+    /// bit count, with mid-frame stream ends committed as
+    /// [`WazaBeeError::Truncated`].
+    pub fn finish(mut self) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
+        self.drain(true)
+    }
+
+    /// Committed decode attempts so far (frames plus typed failures).
+    pub fn attempts(&self) -> u64 {
+        self.attempts
+    }
+
+    /// Frames delivered so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Demodulates whatever fresh bits the retained samples now support, per
+    /// lane, and runs them through that lane's correlator.
+    fn ingest(&mut self) {
+        let sps = self.sps;
+        let armed = self.armed;
+        let samples = &self.samples;
+        let radio = self.rx.radio();
+        for (offset, lane) in self.lanes.iter_mut().enumerate() {
+            // Local sample index of this lane's next undemodulated symbol.
+            let rel = offset + lane.bits.len() * sps;
+            if rel >= samples.len() {
+                continue;
+            }
+            let fresh = radio.demodulate_raw(&samples[rel..]);
+            let from = lane.bits.len();
+            lane.bits.extend_from_bits(&fresh);
+            for k in from..lane.bits.len() {
+                let bit = lane.bits.bit(k);
+                if let Some(pm) = lane.corr.push(bit) {
+                    if pm.index >= armed {
+                        lane.matches.push_back(pm);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Commits every attempt that is decidable with the bits seen so far.
+    /// With `finished` set, nothing is held back: running out of bits is
+    /// final and mid-frame attempts become `Truncated`.
+    fn drain(&mut self, finished: bool) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
+        let m = self.pattern_len;
+        let mut out = Vec::new();
+        loop {
+            for lane in &mut self.lanes {
+                while lane.matches.front().is_some_and(|pm| pm.index < self.armed) {
+                    lane.matches.pop_front();
+                }
+            }
+            let Some(i_min) = self
+                .lanes
+                .iter()
+                .filter_map(|l| l.matches.front().map(|pm| pm.index))
+                .min()
+            else {
+                break;
+            };
+            // Selection is only stable once every lane has searched the
+            // whole candidate window [i_min, i_min + 1] — a slower lane
+            // could still produce a better-aligned hit there.
+            if !finished && self.lanes.iter().any(|l| l.corr.consumed() < i_min + 1 + m) {
+                break;
+            }
+            // Adjacent sample phases see the same physical sync event up to
+            // one bit apart, so pick among hits in that window — best sync
+            // first, then the earliest (cleanest) sample phase, matching the
+            // one-shot capture's selection.
+            let (offset, pm) = self
+                .lanes
+                .iter()
+                .enumerate()
+                .filter_map(|(o, l)| {
+                    l.matches
+                        .front()
+                        .filter(|pm| pm.index <= i_min + 1)
+                        .map(|pm| (o, *pm))
+                })
+                .min_by_key(|&(o, pm)| (pm.errors, o, pm.index))
+                .expect("a front exists at i_min");
+            let start_rel = pm.index + m - self.base_bits;
+            match self
+                .rx
+                .decode_after_sync(&self.lanes[offset].bits, start_rel, finished)
+            {
+                DecodeOutcome::NeedBits => break,
+                DecodeOutcome::Frame {
+                    psdu,
+                    chip_errors,
+                    used_bits,
+                    distances,
+                } => {
+                    let tr = self.begin_trace(offset, &pm, &distances);
+                    let frame = ReceivedPpdu {
+                        psdu,
+                        chip_errors,
+                        shr_errors: pm.errors,
+                    };
+                    self.commit_frame(tr, &frame);
+                    // The sync pattern repeats through the preamble: one bit
+                    // past the hit would re-fire inside the frame body, so
+                    // skip the whole consumed region.
+                    self.armed = pm.index + m + used_bits;
+                    out.push(Ok(frame));
+                }
+                DecodeOutcome::Fail { err, distances } => {
+                    let tr = self.begin_trace(offset, &pm, &distances);
+                    self.commit_failure(tr, &err);
+                    // Re-arm one bit past the failed hit — the next (possibly
+                    // overlapping) alignment gets its own attempt.
+                    self.armed = pm.index + 1;
+                    out.push(Err(err));
+                }
+            }
+        }
+        out
+    }
+
+    /// Opens the flight-recorder trace for a committing attempt and replays
+    /// its accumulated despread decisions into telemetry — exactly once per
+    /// attempt, however many times the decode was re-run while held.
+    fn begin_trace(
+        &mut self,
+        offset: usize,
+        pm: &PatternMatch,
+        distances: &[usize],
+    ) -> TraceHandle {
+        wazabee_telemetry::counter!("wazabee.rx.sync.hit").inc();
+        wazabee_telemetry::counter!("wazabee.stream.attempts").inc();
+        for &d in distances {
+            wazabee_telemetry::counter!("wazabee.rx.despread.symbols").inc();
+            wazabee_telemetry::value_histogram!("wazabee.rx.despread_hamming", 0.0, 32.0)
+                .record(d as f64);
+        }
+        let mut tr = wazabee_flightrec::begin("wazabee.rx");
+        if tr.active() {
+            tr.attempt(self.attempts);
+            let sample_rate = self.rx.radio().sample_rate();
+            tr.tap_iq(&self.samples, sample_rate, None);
+            // Data-aided CFO over the window starting at the sync hit's own
+            // sample — leading silence would dilute a buffer-start mean, and
+            // the lane's bit decisions cancel the data's 1/0 imbalance.
+            let bit0 = pm.index - self.base_bits;
+            let rel = offset + bit0 * self.sps;
+            if rel < self.samples.len() {
+                if let Some(cfo) = estimate_cfo_hz_synced(
+                    &self.samples[rel..],
+                    &self.lanes[offset].bits,
+                    bit0,
+                    self.sps,
+                    sample_rate,
+                ) {
+                    tr.cfo_hz(cfo);
+                }
+            }
+            tr.sync(pm.errors, pm.index, offset, self.pattern_len);
+            for &d in distances {
+                tr.despread(d);
+            }
+        }
+        self.attempts += 1;
+        tr
+    }
+
+    /// Telemetry + trace delivery for a recovered frame.
+    fn commit_frame(&mut self, tr: TraceHandle, frame: &ReceivedPpdu) {
+        let fcs = frame.fcs_ok();
+        if fcs {
+            wazabee_telemetry::counter!("wazabee.rx.fcs.ok").inc();
+        } else {
+            wazabee_telemetry::counter!("wazabee.rx.fcs.fail").inc();
+            wazabee_telemetry::counter!("wazabee.rx.fail.fcs").inc();
+        }
+        wazabee_telemetry::counter!("wazabee.stream.frames").inc();
+        self.frames += 1;
+        tr.deliver(&frame.psdu, fcs, FrameKind::Dot154);
+    }
+
+    /// Per-reason telemetry + trace failure for a dead attempt.
+    fn commit_failure(&mut self, mut tr: TraceHandle, err: &WazaBeeError) {
+        match err {
+            WazaBeeError::SyncFalsePositive => {
+                wazabee_telemetry::counter!("wazabee.rx.fail.sync_false_positive").inc();
+            }
+            WazaBeeError::DespreadDistanceExceeded { .. } => {
+                wazabee_telemetry::counter!("wazabee.rx.fail.despread_distance").inc();
+            }
+            WazaBeeError::PreambleOverrun => {
+                wazabee_telemetry::counter!("wazabee.rx.fail.preamble_overrun").inc();
+            }
+            WazaBeeError::PhrReserved { .. } => {
+                wazabee_telemetry::counter!("wazabee.rx.phr.reserved").inc();
+                wazabee_telemetry::counter!("wazabee.rx.fail.phr_reserved").inc();
+                tr.phr_reserved();
+            }
+            WazaBeeError::Truncated => {
+                wazabee_telemetry::counter!("wazabee.rx.truncated").inc();
+                wazabee_telemetry::counter!("wazabee.rx.fail.truncated").inc();
+            }
+            _ => {}
+        }
+        tr.fail(rx_failure(err));
+    }
+
+    /// Releases the front of the sample and bit buffers once nothing pending
+    /// can reach back that far: behind every queued sync hit, and behind any
+    /// alignment the slowest lane's correlator could still report.
+    fn trim(&mut self) {
+        let m = self.pattern_len;
+        let earliest_match = self
+            .lanes
+            .iter()
+            .filter_map(|l| l.matches.front().map(|pm| pm.index))
+            .min();
+        let min_consumed = self
+            .lanes
+            .iter()
+            .map(|l| l.corr.consumed())
+            .min()
+            .unwrap_or(0);
+        let future_floor = min_consumed.saturating_sub(m - 1);
+        let keep_from = earliest_match.map_or(future_floor, |e| e.min(future_floor));
+        if keep_from < self.base_bits + TRIM_THRESHOLD_BITS {
+            return;
+        }
+        let target_words = (keep_from - self.base_bits).saturating_sub(TRIM_SLACK_BITS) / 64;
+        let min_local_bits = self.lanes.iter().map(|l| l.bits.len()).min().unwrap_or(0);
+        let words = target_words.min(min_local_bits / 64);
+        if words == 0 {
+            return;
+        }
+        for lane in &mut self.lanes {
+            lane.bits.drop_front_words(words);
+        }
+        self.base_bits += words * 64;
+        self.samples.drain(..words * 64 * self.sps);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use wazabee_ble::{BleModem, BlePhy};
+    use wazabee_dot154::fcs::append_fcs;
+    use wazabee_dot154::{Dot154Modem, Ppdu};
+
+    use crate::error::WazaBeeError;
+    use crate::rx::WazaBeeRx;
+
+    fn ble_rx() -> WazaBeeRx<BleModem> {
+        WazaBeeRx::new(BleModem::new(BlePhy::Le2M, 8)).unwrap()
+    }
+
+    fn ppdu(payload: &[u8]) -> Ppdu {
+        Ppdu::new(append_fcs(payload)).unwrap()
+    }
+
+    #[test]
+    fn single_frame_in_tiny_chunks() {
+        let p = ppdu(&[0xDE, 0xAD, 0xBE, 0xEF]);
+        let air = Dot154Modem::new(8).transmit(&p);
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        let mut results = Vec::new();
+        for chunk in air.chunks(513) {
+            results.extend(stream.push(chunk));
+        }
+        results.extend(stream.finish());
+        let frames: Vec<_> = results.into_iter().filter_map(Result::ok).collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].psdu, p.psdu());
+        assert!(frames[0].fcs_ok());
+    }
+
+    #[test]
+    fn two_frames_in_one_stream() {
+        let modem = Dot154Modem::new(8);
+        let a = ppdu(&[1, 1, 1]);
+        let b = ppdu(&[2, 2, 2, 2]);
+        let mut air = modem.transmit(&a);
+        air.extend(vec![wazabee_dsp::Iq::ZERO; 777]);
+        air.extend(modem.transmit(&b));
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        let mut results = stream.push(&air);
+        results.extend(stream.finish());
+        let frames: Vec<_> = results.into_iter().filter_map(Result::ok).collect();
+        assert_eq!(frames.len(), 2, "both frames must come out, in order");
+        assert_eq!(frames[0].psdu, a.psdu());
+        assert_eq!(frames[1].psdu, b.psdu());
+    }
+
+    #[test]
+    fn truncated_stream_flushes_as_truncated() {
+        let p = ppdu(&[7; 60]);
+        let air = Dot154Modem::new(8).transmit(&p);
+        let cut = air.len() / 2;
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        let mut results = stream.push(&air[..cut]);
+        assert!(
+            results.iter().all(Result::is_err),
+            "no frame can be committed from half a capture"
+        );
+        results.extend(stream.finish());
+        assert!(results.iter().any(|r| r == &Err(WazaBeeError::Truncated)));
+        assert!(results.iter().all(Result::is_err));
+    }
+
+    #[test]
+    fn empty_stream_yields_nothing() {
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        assert!(stream.push(&[]).is_empty());
+        assert_eq!(stream.attempts(), 0);
+        assert!(stream.finish().is_empty());
+    }
+
+    #[test]
+    fn trim_keeps_long_silence_bounded_and_correct() {
+        // A frame after a very long silent lead-in: the trim path must fire
+        // (releasing front buffers) without disturbing the decode.
+        let p = ppdu(&[9, 8, 7]);
+        let mut air = vec![wazabee_dsp::Iq::ZERO; 200_000];
+        air.extend(Dot154Modem::new(8).transmit(&p));
+        let rx = ble_rx();
+        let mut stream = rx.stream();
+        let mut results = Vec::new();
+        for chunk in air.chunks(4096) {
+            results.extend(stream.push(chunk));
+        }
+        assert!(
+            stream.samples.len() < 200_000,
+            "trim must have released the silent lead-in"
+        );
+        results.extend(stream.finish());
+        let frames: Vec<_> = results.into_iter().filter_map(Result::ok).collect();
+        assert_eq!(frames.len(), 1);
+        assert_eq!(frames[0].psdu, p.psdu());
+    }
+}

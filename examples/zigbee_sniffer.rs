@@ -73,6 +73,53 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             None => println!("{}  {}  raw: {}", record.time, fcs, hex(&captured.psdu)),
         }
     }
+    // A real SDR front-end hands samples over in fixed-size chunks and does
+    // not promise one frame per buffer. Streaming mode: one long capture
+    // holding a decoy burst (sync pattern followed by garbage, the kind of
+    // hit that used to swallow the whole buffer) and three genuine frames,
+    // pushed through the re-arming receiver 4096 samples at a time.
+    banner("chunked streaming capture");
+    use wazabee_dot154::msk::frame_chips_to_msk;
+    use wazabee_dot154::pn::pn_sequence;
+    let ble = BleModem::new(BlePhy::Le2M, 8);
+    let mut decoy_bits: Vec<u8> = (0..wazabee::tx::TX_WARMUP_BITS)
+        .map(|k| (k % 2) as u8)
+        .collect();
+    let mut decoy_chips: Vec<u8> = pn_sequence(0).to_vec();
+    decoy_chips.extend(pn_sequence(5));
+    decoy_bits.extend(frame_chips_to_msk(&decoy_chips, 0));
+    let mut capture = ble.transmit_raw(&decoy_bits);
+    for (k, payload) in [&b"temp=21C"[..], b"door=shut", b"lux=830"]
+        .iter()
+        .enumerate()
+    {
+        capture.extend(vec![wazabee_dsp::iq::Iq::ZERO; 900 + 333 * k]);
+        let frame = MacFrame::data(0x1234, 0x0063, 0x0042, k as u8, payload.to_vec());
+        let ppdu = Ppdu::new(frame.to_psdu()).expect("sensor frame fits a PSDU");
+        capture.extend(xbee_radio.transmit(&ppdu));
+    }
+    let mut stream = sniffer.stream();
+    let mut results = Vec::new();
+    for chunk in capture.chunks(4096) {
+        results.extend(stream.push(chunk));
+    }
+    results.extend(stream.finish());
+    let mut recovered = 0usize;
+    for (k, r) in results.iter().enumerate() {
+        match r {
+            Ok(frame) => {
+                recovered += 1;
+                println!("attempt {k:>2}: frame {}", hex(&frame.psdu));
+            }
+            Err(e) => println!("attempt {k:>2}: {e}"),
+        }
+    }
+    println!(
+        "{recovered} frames recovered behind the decoy ({} attempts, {} chunks)",
+        results.len(),
+        capture.len().div_ceil(4096)
+    );
+
     banner("summary");
     println!(
         "{} of {} frames on {} decoded by the diverted BLE chip",

@@ -75,26 +75,37 @@ fn forced_failure_produces_trace_iq_and_pcap() {
 
     fr::flush().unwrap();
 
-    // (a) The trace ring holds the typed failure.
+    // (a) The trace ring holds the typed failure. The streaming receiver
+    // re-arms one bit past every failed sync hit, so the cut capture yields
+    // one trace per re-armed attempt — all failed, attempt-indexed in order.
     let traces = fr::recent_traces();
-    assert_eq!(traces.len(), 2, "one trace per RX attempt");
+    assert!(
+        traces.len() >= 2,
+        "one ok trace plus the failing attempts, got {}",
+        traces.len()
+    );
     assert!(traces[0].ok());
-    let failed = &traces[1];
+    assert_eq!(traces[0].attempt, Some(0), "fresh stream per try_receive");
+    for (k, t) in traces[1..].iter().enumerate() {
+        assert!(!t.ok());
+        assert_eq!(t.attempt, Some(k as u64), "attempts indexed in order");
+    }
+    let failed = traces.last().unwrap();
     assert_eq!(failed.failure, Some(RxFailure::TruncatedFrame));
     assert!(failed.sync.is_some(), "failure happened after sync lock");
-    assert!(!failed.despread_distances.is_empty());
+    // The last re-armed hits land right at the cut (the all-7s payload
+    // contains `0000` symbols, which re-fire the correlator), so only
+    // earlier attempts get far enough to despread anything.
+    assert!(traces[1..].iter().any(|t| !t.despread_distances.is_empty()));
 
-    // (b) JSONL frame log links both attempts.
+    // (b) The JSONL frame log links every attempt.
     let log = std::fs::read_to_string(dir.join(fr::FRAME_LOG_FILE)).unwrap();
     let lines: Vec<&str> = log.lines().collect();
-    assert_eq!(lines.len(), 2, "log:\n{log}");
+    assert_eq!(lines.len(), traces.len(), "log:\n{log}");
     assert!(lines[0].contains("\"outcome\":\"ok\""), "{}", lines[0]);
-    assert!(lines[1].contains("\"outcome\":\"fail\""), "{}", lines[1]);
-    assert!(
-        lines[1].contains("\"reason\":\"truncated\""),
-        "{}",
-        lines[1]
-    );
+    let last = lines.last().unwrap();
+    assert!(last.contains("\"outcome\":\"fail\""), "{last}");
+    assert!(last.contains("\"reason\":\"truncated\""), "{last}");
 
     // (c) The failing attempt dumped its IQ window, and the sidecar points
     // back at the trace.
@@ -109,9 +120,8 @@ fn forced_failure_produces_trace_iq_and_pcap() {
     );
     assert!(sidecar.contains("\"trigger\":\"truncated\""), "{sidecar}");
     assert!(
-        lines[1].contains(&format!("\"iq_file\":\"{iq_file}\"")),
-        "{}",
-        lines[1]
+        last.contains(&format!("\"iq_file\":\"{iq_file}\"")),
+        "{last}"
     );
 
     // (d) The PCAP holds exactly the good frame, FCS included.
@@ -187,8 +197,13 @@ fn despread_budget_failure_is_typed() {
         matches!(err, WazaBeeError::DespreadDistanceExceeded { max: 0, distance } if distance > 0),
         "{err:?}"
     );
-    let trace = fr::recent_traces().pop().unwrap();
-    assert_eq!(trace.failure, Some(RxFailure::DespreadDistanceExceeded));
+    // The budget blow is the *first* committed attempt; re-armed attempts
+    // behind it die their own deaths, so find the typed trace by reason.
+    let traces = fr::recent_traces();
+    let trace = traces
+        .iter()
+        .find(|t| t.failure == Some(RxFailure::DespreadDistanceExceeded))
+        .expect("budget failure trace");
     assert!(trace.max_despread_distance().unwrap() > 0);
 
     // The same transmission decodes cleanly without the budget.
@@ -231,6 +246,99 @@ fn pcap_linktype_controls_fcs_handling() {
         assert_eq!(pcap.packets[0].bytes, expect);
         cleanup(&dir);
     }
+}
+
+/// Regression: the recorded CFO estimate used to average the first 8192
+/// samples of the *whole* capture, so a long silent lead-in diluted the mean
+/// toward zero and under-reported the offset. The estimate must window at
+/// the sync sample offset instead.
+#[test]
+fn cfo_estimate_windows_at_sync_not_buffer_start() {
+    let _l = lock();
+    let dir = temp_dir("cfo");
+    fr::FlightRecorder::builder()
+        .capture_dir(&dir)
+        .install()
+        .unwrap();
+
+    use wazabee_radio::medium::{Link, LinkConfig, RfFrame};
+    // A frame long enough to fill the 8192-sample CFO window after sync.
+    let p = ppdu(&[0x55; 40]);
+    let tx_air = Dot154Modem::new(8).transmit(&p);
+    let cfg = LinkConfig {
+        snr_db: None,
+        path_gain: 1.0,
+        cfo_hz: 20.0e3,
+        timing_offset: 0.0,
+        max_lead_in: 4096,
+        lead_out: 0,
+    };
+    let mut link = Link::new(cfg, 0); // seed 0 draws a 3957-sample lead-in
+    let air = link.deliver(&RfFrame::new(2425, tx_air.clone(), 16.0e6), 2425);
+    let lead_in = air.len() - tx_air.len();
+    assert!(
+        lead_in > 3000,
+        "seed must draw a lead-in long enough to skew a buffer-start \
+         window, got {lead_in}"
+    );
+
+    let heard = ble_rx().try_receive(&air).unwrap();
+    assert_eq!(heard.psdu, p.psdu());
+    let trace = fr::recent_traces().pop().unwrap();
+    let cfo = trace.cfo_hz.expect("active trace records CFO");
+    assert!(
+        (cfo - 20.0e3).abs() < 2.0e3,
+        "recorded CFO {cfo} Hz not within 10% of the injected 20 kHz"
+    );
+
+    cleanup(&dir);
+}
+
+/// A PHR announcing a reserved length (> 127) must surface as the typed
+/// `PhrReserved` failure — flagged on the trace and counted in telemetry —
+/// instead of being length-masked into a misparsed short frame.
+#[test]
+fn reserved_phr_sets_trace_flag_and_counter() {
+    let _l = lock();
+    let dir = temp_dir("phr");
+    fr::FlightRecorder::builder()
+        .capture_dir(&dir)
+        .install()
+        .unwrap();
+
+    use wazabee_dot154::msk::frame_chips_to_msk;
+    use wazabee_dot154::pn::pn_sequence;
+    let mut chips: Vec<u8> = Vec::new();
+    for _ in 0..8 {
+        chips.extend(pn_sequence(0)); // preamble
+    }
+    chips.extend(pn_sequence(0x7)); // SFD low nibble
+    chips.extend(pn_sequence(0xA)); // SFD high nibble
+    chips.extend(pn_sequence(0x3)); // PHR low nibble
+    chips.extend(pn_sequence(0x8)); // PHR high nibble -> 0x83 = 131
+    for sym in [0x1, 0x4, 0x1, 0x5] {
+        chips.extend(pn_sequence(sym)); // garbage "payload"
+    }
+    let mut bits: Vec<u8> = (0..wazabee::tx::TX_WARMUP_BITS)
+        .map(|k| (k % 2) as u8)
+        .collect();
+    bits.extend(frame_chips_to_msk(&chips, 0));
+    let air = BleModem::new(BlePhy::Le2M, 8).transmit_raw(&bits);
+
+    let err = ble_rx().try_receive(&air).unwrap_err();
+    assert_eq!(err, WazaBeeError::PhrReserved { value: 131 });
+
+    let traces = fr::recent_traces();
+    let trace = traces
+        .iter()
+        .find(|t| t.failure == Some(RxFailure::PhrReserved))
+        .expect("typed PhrReserved trace");
+    assert!(trace.phr_reserved, "trace must carry the reserved-PHR flag");
+
+    let s = wazabee_telemetry::summary();
+    assert!(s.contains("wazabee.rx.phr.reserved"), "summary:\n{s}");
+
+    cleanup(&dir);
 }
 
 /// Per-failure-reason telemetry counters ride along with each RX attempt and

@@ -1,0 +1,120 @@
+//! Streaming reception: the re-arming receiver must deliver every frame in a
+//! multi-frame capture, survive a decoy sync hit without abandoning the rest
+//! of the buffer, and produce the exact same result sequence no matter how
+//! the sample stream is chopped into chunks.
+
+use proptest::prelude::*;
+use wazabee::{WazaBeeError, WazaBeeRx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::msk::frame_chips_to_msk;
+use wazabee_dot154::pn::pn_sequence;
+use wazabee_dot154::{fcs::append_fcs, Dot154Modem, Ppdu, ReceivedPpdu};
+use wazabee_dsp::Iq;
+use wazabee_radio::combine_at;
+
+const SPS: usize = 8;
+
+fn sniffer() -> WazaBeeRx<BleModem> {
+    WazaBeeRx::new(BleModem::new(BlePhy::Le2M, SPS)).expect("LE 2M is the attack PHY")
+}
+
+/// Warmup bits plus the sync pattern followed by a non-SFD symbol: the
+/// correlator fires, the SFD check rejects the attempt. This is the hit
+/// that used to swallow everything behind it.
+fn decoy_burst() -> Vec<Iq> {
+    let ble = BleModem::new(BlePhy::Le2M, SPS);
+    let mut bits: Vec<u8> = (0..wazabee::tx::TX_WARMUP_BITS)
+        .map(|k| (k % 2) as u8)
+        .collect();
+    let mut chips = pn_sequence(0).to_vec();
+    chips.extend(pn_sequence(5));
+    bits.extend(frame_chips_to_msk(&chips, 0));
+    ble.transmit_raw(&bits)
+}
+
+fn stream_in_chunks(
+    rx: &WazaBeeRx<BleModem>,
+    buf: &[Iq],
+    chunk: usize,
+) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
+    let mut stream = rx.stream();
+    let mut results = Vec::new();
+    for piece in buf.chunks(chunk) {
+        results.extend(stream.push(piece));
+    }
+    results.extend(stream.finish());
+    results
+}
+
+#[test]
+fn two_back_to_back_frames_with_random_gap_both_decode() {
+    use rand::{Rng, SeedableRng};
+    let zigbee = Dot154Modem::new(SPS);
+    let rx = sniffer();
+    let a = Ppdu::new(append_fcs(&[0x0A, 1, 2, 3])).unwrap();
+    let b = Ppdu::new(append_fcs(&[0x0B, 9, 8, 7, 6])).unwrap();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x5EED);
+    for _ in 0..4 {
+        let mut air = zigbee.transmit(&a);
+        let gap = air.len() + rng.gen_range(64usize..2048);
+        combine_at(&mut air, &zigbee.transmit(&b), gap);
+        let frames: Vec<_> = stream_in_chunks(&rx, &air, 4096)
+            .into_iter()
+            .filter_map(Result::ok)
+            .collect();
+        assert_eq!(frames.len(), 2, "lost a frame at gap {gap}");
+        assert_eq!(frames[0].psdu, a.psdu());
+        assert_eq!(frames[1].psdu, b.psdu());
+        assert!(frames.iter().all(ReceivedPpdu::fcs_ok));
+    }
+}
+
+#[test]
+fn decoy_sync_hit_no_longer_swallows_the_genuine_frame() {
+    let zigbee = Dot154Modem::new(SPS);
+    let rx = sniffer();
+    let genuine = Ppdu::new(append_fcs(&[0xCA, 0xFE, 0x57, 0xEA])).unwrap();
+    let mut capture = decoy_burst();
+    capture.extend(vec![Iq::ZERO; 800]);
+    capture.extend(zigbee.transmit(&genuine));
+
+    let results = stream_in_chunks(&rx, &capture, 4096);
+    assert!(
+        matches!(results.first(), Some(Err(_))),
+        "the decoy should commit a typed failure first, got {:?}",
+        results.first()
+    );
+    let frame = results
+        .iter()
+        .find_map(|r| r.as_ref().ok())
+        .expect("genuine frame behind the decoy was swallowed");
+    assert_eq!(frame.psdu, genuine.psdu());
+    assert!(frame.fcs_ok());
+
+    // The one-shot wrapper rides the same engine, so it recovers too.
+    let one_shot = rx.try_receive(&capture).expect("try_receive gave up");
+    assert_eq!(one_shot.psdu, genuine.psdu());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The committed result sequence is a function of the sample stream, not
+    /// of how the front-end chops it: any chunk size must reproduce the
+    /// whole-buffer-at-once sequence exactly, failures included.
+    #[test]
+    fn chunk_size_does_not_change_the_result_sequence(chunk in 1usize..60_000) {
+        let zigbee = Dot154Modem::new(SPS);
+        let rx = sniffer();
+        let mut capture = decoy_burst();
+        for k in 0..2u8 {
+            capture.extend(vec![Iq::ZERO; 700 + 300 * usize::from(k)]);
+            let ppdu = Ppdu::new(append_fcs(&[0x10 | k, 0xAB, 0xCD])).unwrap();
+            capture.extend(zigbee.transmit(&ppdu));
+        }
+        let chunk = chunk.min(capture.len());
+        let reference = stream_in_chunks(&rx, &capture, capture.len());
+        let chunked = stream_in_chunks(&rx, &capture, chunk);
+        prop_assert_eq!(&chunked, &reference, "chunk size {} diverged", chunk);
+    }
+}
