@@ -20,6 +20,9 @@
 #  10. stream-throughput smoke: the streaming receiver emits a well-formed
 #      BENCH_stream_throughput.json and recovers >= 2 frames behind a decoy
 #      sync hit, in both feature states
+#  11. netsim smoke: the network-scale spectrum-sim sweep emits a well-formed
+#      BENCH_netsim.json whose no-attacker ideal cells deliver 100% and whose
+#      attacked cells show waveform-level collisions, in both feature states
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -110,6 +113,37 @@ rm -f "$stream_json"
 run cargo run --release -q -p wazabee-bench --bin stream_throughput --offline \
     --no-default-features -- --smoke --out "$stream_json"
 check_stream_json "$stream_json"
+
+check_netsim_json() {
+    run python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+cells = doc["cells"]
+assert cells, "no sweep cells"
+for c in cells:
+    assert c["sim_wall_ratio"] > 0, "sim/wall ratio missing"
+    if not c["attacker"]:
+        assert c["delivery_ratio"] == 1.0, (
+            f"no-attacker ideal cell n={c['nodes']} delivered "
+            f"{c['delivery_ratio']:.3f} (expected 1.0)")
+attacked = [c for c in cells if c["attacker"]]
+assert any(c["collisions"] > 0 for c in attacked), "injector never collided"
+print(f"BENCH_netsim.json well-formed: {len(cells)} cells, "
+      f"no-attacker delivery 100%, "
+      f"attacked-cell collisions up to {max(c['collisions'] for c in attacked)}")
+EOF
+}
+
+netsim_json="$capture_dir/BENCH_netsim.json"
+run cargo run --release -q -p wazabee-bench --bin netsim_scale --offline -- \
+    --smoke --out "$netsim_json"
+check_netsim_json "$netsim_json"
+
+rm -f "$netsim_json"
+run cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
+    --no-default-features -- --smoke --out "$netsim_json"
+check_netsim_json "$netsim_json"
 
 echo
 echo "ci.sh: all checks passed"

@@ -1,0 +1,221 @@
+//! Network-scale simulation sweep: how does the PHY-in-the-loop spectrum
+//! simulator behave — and how fast does it run — as the network grows?
+//!
+//! Each sweep cell builds a star network (one coordinator, `n − 1` periodic
+//! sensors) on `wazabee-sim`'s shared medium and runs a fixed traffic window
+//! under the noiseless `ideal` configuration, with and without a WazaBee
+//! injector hammering the channel. Every frame is genuinely modulated,
+//! superposed and demodulated, so the reported delivery ratios and collision
+//! counts come out of the waveform math, not a packet-loss model.
+//!
+//! Cells run in parallel through the deterministic sweep driver
+//! (`WAZABEE_THREADS` workers); per-cell results are seed-reproducible.
+//!
+//! Writes `BENCH_netsim.json` (hand-formatted — the vendored serde is a
+//! no-op shim) to the current directory or the path given with `--out`.
+//!
+//! Run with:
+//! `cargo run --release -p wazabee-bench --bin netsim_scale [--smoke] [--out PATH]`
+
+use std::time::Instant as WallInstant;
+
+use wazabee_dot154::mac::MacFrame;
+use wazabee_dot154::Dot154Channel;
+use wazabee_radio::Instant;
+use wazabee_sim::{SimConfig, SpectrumSim};
+use wazabee_zigbee::{NodeConfig, NodeRole, XbeeNode, XbeePayload};
+
+const PAN: u16 = 0x1234;
+const COORD: u16 = 0x0042;
+/// Forged source address the injector claims.
+const ATTACKER_SRC: u16 = 0xBEEF;
+
+/// One sweep cell: a network size and whether the attacker is on the air.
+#[derive(Debug, Clone, Copy)]
+struct Cell {
+    nodes: usize,
+    attacker: bool,
+    traffic_ms: u64,
+}
+
+/// What one cell measured.
+struct CellResult {
+    cell: Cell,
+    readings_sent: u64,
+    readings_delivered: u64,
+    delivery_ratio: f64,
+    collisions: u64,
+    collision_rate: f64,
+    cca_busy: u64,
+    retries: u64,
+    frames_abandoned: u64,
+    total_tx: u64,
+    wall_secs: f64,
+    sim_wall_ratio: f64,
+}
+
+/// Drain window after the traffic deadline, so readings handed to the MAC
+/// late in the window can still finish their data/ACK handshake.
+const DRAIN_MS: u64 = 50;
+
+fn run_cell(cell: Cell) -> CellResult {
+    let ch = Dot154Channel::new(14).expect("channel 14 is valid");
+    let mut cfg = SimConfig::ideal();
+    // Every cell gets its own seed so no two cells share backoff draws.
+    cfg.seed = 0x5EED_BEE5
+        ^ (cell.nodes as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (cell.attacker as u64).wrapping_mul(0xD134_2543_DE82_EF95);
+    let mut sim = SpectrumSim::new(cfg);
+
+    sim.add_zigbee(XbeeNode::new(
+        NodeConfig {
+            pan: PAN,
+            short_addr: COORD,
+            channel: ch,
+        },
+        NodeRole::Coordinator,
+    ));
+    for i in 0..cell.nodes - 1 {
+        // Distinct periods (13 is invertible mod 120) so the timer phases
+        // spread out instead of firing in lockstep.
+        let interval_ms = 60 + (i as u64 * 13) % 120;
+        sim.add_zigbee(XbeeNode::new(
+            NodeConfig {
+                pan: PAN,
+                short_addr: 0x0100 + i as u16,
+                channel: ch,
+            },
+            NodeRole::Sensor { interval_ms },
+        ));
+    }
+
+    let traffic_end = Instant(0).plus_ms(cell.traffic_ms);
+    if cell.attacker {
+        // A WazaBee injector keying forged readings every 7 ms with no
+        // carrier sense: collisions with legitimate traffic are guaranteed.
+        let attacker = sim.add_wazabee_injector(ch, 1.0);
+        let mut t = Instant(0).plus_ms(5);
+        let mut seq = 0u8;
+        while t < traffic_end {
+            let forged = MacFrame::data(
+                PAN,
+                ATTACKER_SRC,
+                COORD,
+                seq,
+                XbeePayload::reading(0x7A7A).to_bytes(),
+            );
+            sim.inject_at(attacker, t, forged);
+            t = t.plus_ms(7);
+            seq = seq.wrapping_add(1);
+        }
+    }
+
+    sim.set_traffic_deadline(traffic_end);
+    let wall = WallInstant::now();
+    sim.run_until(traffic_end.plus_ms(DRAIN_MS));
+    let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
+
+    let report = sim.report();
+    let total_tx: u64 = sim.nodes().iter().map(|n| n.tx_count()).sum();
+    let sim_secs = (cell.traffic_ms + DRAIN_MS) as f64 / 1e3;
+    CellResult {
+        cell,
+        readings_sent: report.readings_sent,
+        readings_delivered: report.readings_delivered,
+        delivery_ratio: report.delivery_ratio,
+        collisions: report.stats.collisions,
+        collision_rate: report.stats.collisions as f64 / total_tx.max(1) as f64,
+        cca_busy: report.stats.cca_busy,
+        retries: report.stats.retries,
+        frames_abandoned: report.stats.frames_abandoned,
+        total_tx,
+        wall_secs,
+        sim_wall_ratio: sim_secs / wall_secs,
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = "BENCH_netsim.json".to_string();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => match args.next() {
+                Some(p) => out_path = p,
+                None => {
+                    eprintln!("--out requires a path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("usage: netsim_scale [--smoke] [--out PATH]   (got {other:?})");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let (counts, traffic_ms): (&[usize], u64) = if smoke {
+        (&[4, 8], 120)
+    } else {
+        (&[4, 8, 16, 32, 64], 400)
+    };
+    let threads = wazabee_bench::sweep::default_threads();
+
+    let cells: Vec<Cell> = counts
+        .iter()
+        .flat_map(|&nodes| {
+            [false, true].into_iter().map(move |attacker| Cell {
+                nodes,
+                attacker,
+                traffic_ms,
+            })
+        })
+        .collect();
+    eprintln!(
+        "sweeping {} cells ({traffic_ms} ms traffic each) on {threads} thread(s) ...",
+        cells.len()
+    );
+    let results = wazabee_bench::sweep::par_map(cells, run_cell);
+
+    let mut rows = String::new();
+    for (k, r) in results.iter().enumerate() {
+        println!(
+            "n={:2} attacker={:5} sent={:3} delivered={:3} ratio={:.3} collisions={:3} \
+             retries={:3} abandoned={:2} sim/wall={:7.1}x",
+            r.cell.nodes,
+            r.cell.attacker,
+            r.readings_sent,
+            r.readings_delivered,
+            r.delivery_ratio,
+            r.collisions,
+            r.retries,
+            r.frames_abandoned,
+            r.sim_wall_ratio,
+        );
+        rows.push_str(&format!(
+            "    {{\n      \"nodes\": {},\n      \"attacker\": {},\n      \"readings_sent\": {},\n      \"readings_delivered\": {},\n      \"delivery_ratio\": {:.6},\n      \"collisions\": {},\n      \"collision_rate\": {:.6},\n      \"cca_busy\": {},\n      \"retries\": {},\n      \"frames_abandoned\": {},\n      \"total_tx\": {},\n      \"wall_secs\": {:.6},\n      \"sim_wall_ratio\": {:.3}\n    }}{}\n",
+            r.cell.nodes,
+            r.cell.attacker,
+            r.readings_sent,
+            r.readings_delivered,
+            r.delivery_ratio,
+            r.collisions,
+            r.collision_rate,
+            r.cca_busy,
+            r.retries,
+            r.frames_abandoned,
+            r.total_tx,
+            r.wall_secs,
+            r.sim_wall_ratio,
+            if k + 1 < results.len() { "," } else { "" },
+        ));
+    }
+
+    // Hand-formatted JSON: the vendored serde derive is a no-op shim.
+    let json = format!(
+        "{{\n  \"bench\": \"netsim_scale\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"traffic_ms\": {traffic_ms},\n  \"drain_ms\": {DRAIN_MS},\n  \"cells\": [\n{rows}  ]\n}}\n"
+    );
+    std::fs::write(&out_path, json).expect("write benchmark artifact");
+    eprintln!("wrote {out_path}");
+}

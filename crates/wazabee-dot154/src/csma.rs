@@ -1,0 +1,226 @@
+//! Unslotted CSMA/CA: the 802.15.4 medium-access discipline (std §6.2.5).
+//!
+//! The paper's attack scenarios play out on a *contended* channel — the
+//! WazaBee injector keys up against legitimate Zigbee traffic that obeys
+//! carrier sensing. This module provides the MAC-layer pieces a spectrum
+//! simulator needs: the standard timing constants, a pure backoff state
+//! machine (the caller supplies randomness and the clock), and frame-airtime
+//! arithmetic derived from the 2.4 GHz PHY rates.
+//!
+//! The state machine is deliberately free of time and RNG state so it stays
+//! deterministic under any event-driven driver: every random draw is an
+//! input, every delay an output.
+
+use crate::channel::CHIPS_PER_SYMBOL;
+use crate::frame::SHR_SYMBOLS;
+
+/// Symbol duration in the 2.4 GHz band: 32 chips at 2 Mchip/s = 16 µs.
+pub const SYMBOL_US: u64 = 16;
+
+/// `aUnitBackoffPeriod`: 20 symbols = 320 µs.
+pub const UNIT_BACKOFF_US: u64 = 20 * SYMBOL_US;
+
+/// CCA detection time: 8 symbols = 128 µs.
+pub const CCA_US: u64 = 8 * SYMBOL_US;
+
+/// `aTurnaroundTime`: RX/TX turnaround, 12 symbols = 192 µs.
+pub const TURNAROUND_US: u64 = 12 * SYMBOL_US;
+
+/// Airtime of an immediate acknowledgement (5-byte PSDU).
+pub const ACK_AIRTIME_US: u64 = frame_airtime_us(5);
+
+/// `macAckWaitDuration` rounded up to whole microseconds: turnaround plus
+/// the ACK frame itself plus one unit backoff of slack.
+pub const ACK_WAIT_US: u64 = TURNAROUND_US + ACK_AIRTIME_US + UNIT_BACKOFF_US;
+
+/// Airtime of a full PPDU carrying `psdu_len` bytes: SHR (10 symbols) + PHR
+/// (2 symbols) + 2 symbols per PSDU byte, at 16 µs per symbol.
+pub const fn frame_airtime_us(psdu_len: usize) -> u64 {
+    ((SHR_SYMBOLS + 2 + 2 * psdu_len) as u64) * SYMBOL_US
+}
+
+/// Samples spanned by a PPDU at `samples_per_chip` oversampling, including
+/// the one-chip tail of the last Q-branch half-sine pulse (O-QPSK's
+/// half-chip offset rounds up to a full chip of extra waveform).
+pub const fn frame_samples(psdu_len: usize, samples_per_chip: usize) -> usize {
+    ((SHR_SYMBOLS + 2 + 2 * psdu_len) * CHIPS_PER_SYMBOL + 1) * samples_per_chip
+}
+
+/// Configuration of the unslotted CSMA/CA algorithm and the retry policy
+/// layered on top of it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaConfig {
+    /// `macMinBE`: initial backoff exponent.
+    pub min_be: u8,
+    /// `macMaxBE`: backoff exponent ceiling.
+    pub max_be: u8,
+    /// `macMaxCSMABackoffs`: CCA-busy tolerance before the attempt fails.
+    pub max_csma_backoffs: u8,
+    /// `macMaxFrameRetries`: retransmissions after a missed acknowledgement
+    /// (or a channel-access failure) before the frame is abandoned.
+    pub max_frame_retries: u8,
+}
+
+impl Default for CsmaConfig {
+    fn default() -> Self {
+        CsmaConfig {
+            min_be: 3,
+            max_be: 5,
+            max_csma_backoffs: 4,
+            max_frame_retries: 3,
+        }
+    }
+}
+
+/// What the state machine wants the driver to do next.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CsmaStep {
+    /// Wait this many microseconds, then perform a CCA.
+    Backoff(u64),
+    /// Too many busy CCAs: this transmission attempt failed at channel
+    /// access (`CHANNEL_ACCESS_FAILURE`).
+    Failure,
+}
+
+/// One unslotted CSMA/CA attempt: NB/BE bookkeeping per std §6.2.5.1.
+///
+/// The driver calls [`CsmaBackoff::backoff`] to learn the delay before the
+/// next CCA, performs the CCA itself (it owns the spectrum), and reports a
+/// busy channel with [`CsmaBackoff::channel_busy`]. A clear CCA means the
+/// frame transmits after `aTurnaroundTime`; the machine is then done.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dot154::csma::{CsmaBackoff, CsmaConfig, CsmaStep, UNIT_BACKOFF_US};
+///
+/// let mut csma = CsmaBackoff::new(CsmaConfig::default());
+/// // First backoff draws from 0..2^3 unit periods.
+/// let delay = csma.backoff(7);
+/// assert_eq!(delay, 7 * UNIT_BACKOFF_US);
+/// // The channel was busy: exponent grows, another backoff follows.
+/// assert!(matches!(csma.channel_busy(11), CsmaStep::Backoff(_)));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CsmaBackoff {
+    config: CsmaConfig,
+    /// Number of busy CCAs so far (NB).
+    nb: u8,
+    /// Current backoff exponent (BE).
+    be: u8,
+}
+
+impl CsmaBackoff {
+    /// Starts a fresh attempt: NB = 0, BE = `macMinBE`.
+    pub fn new(config: CsmaConfig) -> Self {
+        CsmaBackoff {
+            config,
+            nb: 0,
+            be: config.min_be,
+        }
+    }
+
+    /// Number of busy CCAs observed in this attempt.
+    pub fn busy_ccas(&self) -> u8 {
+        self.nb
+    }
+
+    /// Current backoff exponent.
+    pub fn exponent(&self) -> u8 {
+        self.be
+    }
+
+    /// The backoff delay before the next CCA, in microseconds: `draw` is an
+    /// unbounded random value the machine reduces modulo the `2^BE` window.
+    pub fn backoff(&self, draw: u64) -> u64 {
+        let window = 1u64 << self.be.min(15);
+        (draw % window) * UNIT_BACKOFF_US
+    }
+
+    /// Reports a busy CCA. Returns the next step: another backoff (with the
+    /// grown exponent already applied, reduced from `draw`), or failure when
+    /// NB exceeds `macMaxCSMABackoffs`.
+    pub fn channel_busy(&mut self, draw: u64) -> CsmaStep {
+        self.nb += 1;
+        self.be = (self.be + 1).min(self.config.max_be);
+        if self.nb > self.config.max_csma_backoffs {
+            CsmaStep::Failure
+        } else {
+            CsmaStep::Backoff(self.backoff(draw))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_the_standard() {
+        assert_eq!(SYMBOL_US, 16);
+        assert_eq!(UNIT_BACKOFF_US, 320);
+        assert_eq!(CCA_US, 128);
+        assert_eq!(TURNAROUND_US, 192);
+    }
+
+    #[test]
+    fn airtime_of_known_frames() {
+        // An ACK: 10 SHR + 2 PHR + 10 payload symbols = 22 × 16 µs.
+        assert_eq!(frame_airtime_us(5), 352);
+        assert_eq!(ACK_AIRTIME_US, 352);
+        // The maximum PSDU: (12 + 254) symbols.
+        assert_eq!(frame_airtime_us(127), 4256);
+    }
+
+    #[test]
+    fn frame_samples_matches_modulator_output() {
+        use crate::fcs::append_fcs;
+        use crate::frame::Ppdu;
+        use crate::Dot154Modem;
+        let psdu = append_fcs(&[1, 2, 3, 4, 5, 6]);
+        let air = Dot154Modem::new(8).transmit(&Ppdu::new(psdu.clone()).unwrap());
+        assert_eq!(air.len(), frame_samples(psdu.len(), 8));
+    }
+
+    #[test]
+    fn backoff_window_follows_exponent() {
+        let mut csma = CsmaBackoff::new(CsmaConfig::default());
+        // BE = 3: window is 0..8 unit periods.
+        assert_eq!(csma.backoff(8), 0);
+        assert_eq!(csma.backoff(9), UNIT_BACKOFF_US);
+        // One busy CCA: BE = 4, window 0..16.
+        csma.channel_busy(0);
+        assert_eq!(csma.backoff(15), 15 * UNIT_BACKOFF_US);
+        assert_eq!(csma.backoff(16), 0);
+    }
+
+    #[test]
+    fn exponent_caps_at_max_be() {
+        let mut csma = CsmaBackoff::new(CsmaConfig::default());
+        csma.channel_busy(0);
+        csma.channel_busy(0);
+        csma.channel_busy(0);
+        assert_eq!(csma.exponent(), 5);
+    }
+
+    #[test]
+    fn fails_after_max_backoffs() {
+        let cfg = CsmaConfig::default();
+        let mut csma = CsmaBackoff::new(cfg);
+        for _ in 0..cfg.max_csma_backoffs {
+            assert!(matches!(csma.channel_busy(1), CsmaStep::Backoff(_)));
+        }
+        assert_eq!(csma.channel_busy(1), CsmaStep::Failure);
+        assert_eq!(csma.busy_ccas(), cfg.max_csma_backoffs + 1);
+    }
+
+    #[test]
+    fn fresh_attempt_resets_state() {
+        let mut csma = CsmaBackoff::new(CsmaConfig::default());
+        csma.channel_busy(0);
+        let fresh = CsmaBackoff::new(CsmaConfig::default());
+        assert_eq!(fresh.busy_ccas(), 0);
+        assert_eq!(fresh.exponent(), 3);
+        assert_ne!(csma.exponent(), fresh.exponent());
+    }
+}

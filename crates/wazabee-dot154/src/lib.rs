@@ -30,6 +30,7 @@
 //! ```
 
 pub mod channel;
+pub mod csma;
 pub mod dsss;
 pub mod fcs;
 pub mod frame;
@@ -40,6 +41,7 @@ pub mod oqpsk;
 pub mod pn;
 
 pub use channel::Dot154Channel;
+pub use csma::{CsmaBackoff, CsmaConfig, CsmaStep};
 pub use frame::Ppdu;
 pub use mac::MacFrame;
 pub use modem::{Dot154Modem, ReceivedPpdu};

@@ -48,7 +48,14 @@ impl std::fmt::Display for Instant {
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     heap: BinaryHeap<Reverse<(Instant, u64, usize)>>,
+    /// Slot storage. A popped event's slot is pushed onto `free` and reused
+    /// by a later `schedule`, so a steady schedule/pop loop runs in bounded
+    /// memory instead of growing one dead slot per event.
     events: Vec<Option<E>>,
+    /// Indexes into `events` whose slots are vacant.
+    free: Vec<usize>,
+    /// Live (scheduled, not yet popped) event count.
+    live: usize,
     counter: u64,
 }
 
@@ -58,22 +65,36 @@ impl<E> EventQueue<E> {
         EventQueue {
             heap: BinaryHeap::new(),
             events: Vec::new(),
+            free: Vec::new(),
+            live: 0,
             counter: 0,
         }
     }
 
     /// Schedules `event` to fire at `when`.
     pub fn schedule(&mut self, when: Instant, event: E) {
-        let slot = self.events.len();
-        self.events.push(Some(event));
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                debug_assert!(self.events[slot].is_none(), "free slot not vacant");
+                self.events[slot] = Some(event);
+                slot
+            }
+            None => {
+                self.events.push(Some(event));
+                self.events.len() - 1
+            }
+        };
         self.heap.push(Reverse((when, self.counter, slot)));
         self.counter += 1;
+        self.live += 1;
     }
 
     /// Pops the earliest pending event.
     pub fn pop(&mut self) -> Option<(Instant, E)> {
         while let Some(Reverse((when, _, slot))) = self.heap.pop() {
             if let Some(event) = self.events[slot].take() {
+                self.free.push(slot);
+                self.live -= 1;
                 return Some((when, event));
             }
         }
@@ -85,14 +106,21 @@ impl<E> EventQueue<E> {
         self.heap.peek().map(|Reverse((when, _, _))| *when)
     }
 
-    /// Number of pending events.
+    /// Number of pending events (O(1)).
     pub fn len(&self) -> usize {
-        self.events.iter().filter(|e| e.is_some()).count()
+        self.live
     }
 
     /// Whether no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.live == 0
+    }
+
+    /// Number of slots the queue has ever allocated — its storage high-water
+    /// mark. Bounded by the maximum number of *simultaneously* pending
+    /// events, not by the total scheduled over the queue's lifetime.
+    pub fn slot_capacity(&self) -> usize {
+        self.events.len()
     }
 }
 
@@ -143,6 +171,49 @@ mod tests {
         let t = Instant(0).plus_ms(2).plus_us(5);
         assert_eq!(t.as_us(), 2005);
         assert_eq!(format!("{t}"), "t=2005µs");
+    }
+
+    #[test]
+    fn slot_reuse_keeps_capacity_bounded() {
+        // Regression: popped slots used to stay dead forever, so a long
+        // simulation's queue grew one slot per event and `len()` was an O(n)
+        // scan over the graveyard.
+        let mut q = EventQueue::new();
+        for round in 0u64..10_000 {
+            q.schedule(Instant(round), round);
+            q.schedule(Instant(round + 1), round);
+            assert_eq!(q.len(), 2);
+            let (_, first) = q.pop().unwrap();
+            assert_eq!(first, round);
+            q.pop().unwrap();
+            assert!(q.is_empty());
+            assert!(
+                q.slot_capacity() <= 2,
+                "capacity grew to {} after {} rounds",
+                q.slot_capacity(),
+                round
+            );
+        }
+    }
+
+    #[test]
+    fn len_counts_only_live_events() {
+        let mut q = EventQueue::new();
+        for k in 0..100 {
+            q.schedule(Instant(k), k);
+        }
+        assert_eq!(q.len(), 100);
+        for k in 0..60 {
+            q.pop();
+            assert_eq!(q.len(), 100 - k - 1);
+        }
+        assert!(!q.is_empty());
+        // Refill reuses the 60 vacated slots before allocating new ones.
+        for k in 0..60 {
+            q.schedule(Instant(1000 + k), k);
+        }
+        assert_eq!(q.len(), 100);
+        assert_eq!(q.slot_capacity(), 100);
     }
 
     #[test]

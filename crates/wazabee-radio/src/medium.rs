@@ -38,7 +38,7 @@ impl RfFrame {
 }
 
 /// Configuration of one point-to-point link.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkConfig {
     /// Signal-to-noise ratio at the receiver, in dB (`None` = noiseless).
     pub snr_db: Option<f64>,

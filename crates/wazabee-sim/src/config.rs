@@ -1,0 +1,106 @@
+//! Simulation configuration: PHY impairments, CSMA/CA policy, and the knobs
+//! deciding how faithfully receivers suffer.
+
+use wazabee_dot154::csma::{CsmaConfig, ACK_WAIT_US};
+
+/// Global configuration of a [`crate::SpectrumSim`].
+///
+/// The impairment fields (`snr_db`, `cfo_hz`, `timing_offset`) model the
+/// *receiver side* of every link: the superposed cluster waveform is shifted,
+/// delayed and noised once per receiver, with an independent noise draw per
+/// (cluster, receiver) pair. Transmitter-side diversity comes from per-node
+/// path gains set when the node is added.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimConfig {
+    /// Master seed: every node RNG and noise source derives from it.
+    pub seed: u64,
+    /// O-QPSK oversampling; the sample rate is `2 Mchip/s × samples_per_chip`.
+    pub samples_per_chip: usize,
+    /// Per-receiver AWGN level; `None` leaves the superposition noiseless.
+    pub snr_db: Option<f64>,
+    /// Carrier-frequency offset applied to each receiver's window, in Hz.
+    pub cfo_hz: f64,
+    /// Fractional-sample timing offset applied to each receiver's window.
+    pub timing_offset: f64,
+    /// CCA energy-detection threshold (linear mean power over the 128 µs
+    /// window). Unit-gain MSK has mean power 1.0.
+    pub cca_threshold: f64,
+    /// Unslotted CSMA/CA parameters and the frame-retry budget.
+    pub csma: CsmaConfig,
+    /// How long a transmitter waits for an acknowledgement, in µs.
+    pub ack_wait_us: u64,
+    /// Chunk size (in samples) receivers feed to the streaming decoder —
+    /// results are chunk-size-invariant, so this only shapes the call
+    /// pattern, never the outcome.
+    pub iq_chunk: usize,
+    /// How soon after a frame ends the ACK spoofer keys up its forgery —
+    /// under `aTurnaroundTime`, so the forgery beats any honest responder.
+    pub spoof_delay_us: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            seed: 0x5EED_BEE5,
+            samples_per_chip: 8,
+            snr_db: Some(25.0),
+            cfo_hz: 0.0,
+            timing_offset: 0.0,
+            cca_threshold: 0.05,
+            csma: CsmaConfig::default(),
+            ack_wait_us: ACK_WAIT_US,
+            iq_chunk: 4096,
+            spoof_delay_us: 96,
+        }
+    }
+}
+
+impl SimConfig {
+    /// A noiseless, offset-free channel: losses can only come from genuine
+    /// waveform collisions. The CI baseline configuration.
+    pub fn ideal() -> Self {
+        SimConfig {
+            snr_db: None,
+            ..SimConfig::default()
+        }
+    }
+
+    /// An office-grade link: 22 dB SNR, 8 kHz CFO, a quarter-sample timing
+    /// offset — the impairment levels of `LinkConfig::office_3m`.
+    pub fn office() -> Self {
+        SimConfig {
+            snr_db: Some(22.0),
+            cfo_hz: 8_000.0,
+            timing_offset: 0.25,
+            ..SimConfig::default()
+        }
+    }
+
+    /// Samples per microsecond at this oversampling (2 per chip-time).
+    pub fn samples_per_us(&self) -> u64 {
+        2 * self.samples_per_chip as u64
+    }
+
+    /// The complex sample rate in Hz.
+    pub fn sample_rate(&self) -> f64 {
+        2.0e6 * self.samples_per_chip as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_arithmetic() {
+        let cfg = SimConfig::default();
+        assert_eq!(cfg.samples_per_us(), 16);
+        assert!((cfg.sample_rate() - 16.0e6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_is_noiseless() {
+        assert_eq!(SimConfig::ideal().snr_db, None);
+        assert!(SimConfig::office().snr_db.is_some());
+    }
+}

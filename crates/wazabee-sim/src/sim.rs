@@ -1,0 +1,1062 @@
+//! The discrete-event spectrum simulator.
+//!
+//! Every transmission is modulated to IQ by the real modems and placed on a
+//! per-channel sample timeline; when a busy period closes, each listening
+//! receiver demodulates the *superposed* waveform with the real streaming
+//! receiver. Collisions, capture, CFO tolerance and the WazaBee
+//! cross-modulation therefore emerge from the PHY arithmetic — the event
+//! loop only decides *when* radios key up.
+//!
+//! Zigbee nodes contend with unslotted CSMA/CA (`wazabee-dot154::csma`):
+//! backoff, a CCA energy measurement over the live spectrum buffer, ACK
+//! wait, and `macMaxFrameRetries` retransmissions. Attackers ignore carrier
+//! sense, exactly as a diverted BLE chip would.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use wazabee::{WazaBeeRx, WazaBeeTx};
+use wazabee_ble::{BleModem, BlePhy};
+use wazabee_dot154::csma::{CsmaBackoff, CsmaStep, CCA_US, TURNAROUND_US};
+use wazabee_dot154::mac::{Address, FrameType, MacFrame, BROADCAST_SHORT};
+use wazabee_dot154::{Dot154Channel, Dot154Modem, Ppdu};
+use wazabee_dsp::iq::Iq;
+use wazabee_dsp::osc::frequency_shift;
+use wazabee_dsp::resample::fractional_delay;
+use wazabee_dsp::AwgnSource;
+use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
+use wazabee_radio::{EventQueue, Instant};
+use wazabee_zigbee::{NodeRole, XbeeNode, XbeePayload};
+
+use crate::config::SimConfig;
+use crate::node::{FlooderConfig, JammerConfig, NodeKind, SimNode, ZigbeeState};
+use crate::spectrum::{cca_power, superpose, ChannelAir, Transmission, TxKind, TxOrigin};
+
+/// Events the simulator schedules for itself.
+#[derive(Debug)]
+enum SimEvent {
+    /// A node's periodic application timer (sensor reading, flood frame).
+    AppTimer { node: usize },
+    /// A Zigbee node's backoff expired: perform the CCA now.
+    CsmaCca { node: usize },
+    /// Key up the head of a node's immediate (CSMA-bypassing) queue.
+    SendImmediate { node: usize },
+    /// A WazaBee injector's scheduled frame.
+    Inject { node: usize, frame: MacFrame },
+    /// A reactive jammer's burst keyup.
+    JamBurst { node: usize },
+    /// A transmission ends on a channel.
+    TxEnd { channel: usize },
+    /// The ACK wait for `seq` expires.
+    AckTimeout { node: usize, seq: u8 },
+}
+
+/// Aggregate MAC/PHY counters over a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Busy periods in which two or more frame transmissions overlapped.
+    pub collisions: u64,
+    /// Busy CCA measurements.
+    pub cca_busy: u64,
+    /// Frame retransmissions (missed ACK or channel-access failure).
+    pub retries: u64,
+    /// CSMA attempts that died with `CHANNEL_ACCESS_FAILURE`.
+    pub csma_failures: u64,
+    /// Frames abandoned after exhausting `macMaxFrameRetries`.
+    pub frames_abandoned: u64,
+    /// Forged acknowledgements keyed by ACK-spoofer nodes.
+    pub acks_spoofed: u64,
+    /// Jamming bursts keyed by reactive jammers.
+    pub jam_bursts: u64,
+    /// MAC frames recovered by receivers from superposed spectrum.
+    pub frames_decoded: u64,
+    /// Committed decode attempts that failed (sync hit but no frame).
+    pub decode_failures: u64,
+}
+
+/// Summary of a finished run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimReport {
+    /// Sensor readings handed to the MAC for transmission.
+    pub readings_sent: u64,
+    /// Of those, readings that reached a coordinator's display.
+    pub readings_delivered: u64,
+    /// `readings_delivered / readings_sent` (1.0 when nothing was sent).
+    pub delivery_ratio: f64,
+    /// MAC/PHY counters.
+    pub stats: SimStats,
+    /// Per-node keyed-up time, in µs (index-aligned with node handles).
+    pub node_airtime_us: Vec<u64>,
+    /// Simulated time elapsed, in µs.
+    pub sim_time_us: u64,
+}
+
+/// The PHY-in-the-loop shared-spectrum simulator.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dot154::Dot154Channel;
+/// use wazabee_radio::Instant;
+/// use wazabee_sim::{SimConfig, SpectrumSim};
+/// use wazabee_zigbee::{NodeConfig, NodeRole, XbeeNode};
+///
+/// let ch = Dot154Channel::new(14).unwrap();
+/// let mut sim = SpectrumSim::new(SimConfig::ideal());
+/// sim.add_zigbee(XbeeNode::new(
+///     NodeConfig { pan: 0x1234, short_addr: 0x0042, channel: ch },
+///     NodeRole::Coordinator,
+/// ));
+/// sim.add_zigbee(XbeeNode::new(
+///     NodeConfig { pan: 0x1234, short_addr: 0x0063, channel: ch },
+///     NodeRole::Sensor { interval_ms: 50 },
+/// ));
+/// sim.run_until(Instant(0).plus_ms(120));
+/// assert_eq!(sim.report().readings_delivered, 2);
+/// ```
+#[derive(Debug)]
+pub struct SpectrumSim {
+    cfg: SimConfig,
+    now: Instant,
+    queue: EventQueue<SimEvent>,
+    nodes: Vec<SimNode>,
+    /// Busy-period state per 802.15.4 channel (index = channel − 11).
+    air: Vec<ChannelAir>,
+    /// The legitimate nodes' O-QPSK modulator.
+    modem: Dot154Modem,
+    /// The attackers' diverted-BLE transmitter.
+    btx: WazaBeeTx<BleModem>,
+    /// The shared streaming demodulation primitive (stateless per capture).
+    rx: WazaBeeRx<BleModem>,
+    cluster_counter: u64,
+    stats: SimStats,
+    log: Vec<String>,
+    /// `(source short address, value)` of every reading handed to the MAC.
+    readings_sent: Vec<(u16, u16)>,
+    /// After this instant application timers stop generating traffic.
+    traffic_deadline: Option<Instant>,
+}
+
+/// What one receiver got out of a closed cluster.
+enum Heard {
+    /// Decoded MAC frames plus the count of failed decode attempts.
+    Frames(Vec<MacFrame>, u64),
+    /// The raw superposed window (IDS monitors).
+    Raw(Vec<Iq>),
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+fn alert_kind(alert: &Alert) -> &'static str {
+    match alert {
+        Alert::CrossProtocolFrame { .. } => "cross-protocol",
+        Alert::UnexpectedDot154 { .. } => "unexpected-dot154",
+        Alert::TrafficAnomaly { .. } => "traffic-anomaly",
+    }
+}
+
+impl SpectrumSim {
+    /// Creates an empty simulation.
+    pub fn new(cfg: SimConfig) -> Self {
+        let sps = cfg.samples_per_chip;
+        SpectrumSim {
+            cfg,
+            now: Instant(0),
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            air: (0..16).map(|_| ChannelAir::default()).collect(),
+            modem: Dot154Modem::new(sps),
+            btx: WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps))
+                .expect("LE 2M runs at the required 2 Msym/s"),
+            rx: WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
+                .expect("LE 2M runs at the required 2 Msym/s"),
+            cluster_counter: 0,
+            stats: SimStats::default(),
+            log: Vec::new(),
+            readings_sent: Vec::new(),
+            traffic_deadline: None,
+        }
+    }
+
+    fn spu(&self) -> u64 {
+        self.cfg.samples_per_us()
+    }
+
+    fn node_rng(&self, idx: usize) -> ChaCha8Rng {
+        let mixed =
+            splitmix64(self.cfg.seed ^ (idx as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        ChaCha8Rng::seed_from_u64(mixed)
+    }
+
+    fn push_node(&mut self, kind: NodeKind, channel: Dot154Channel, gain: f64) -> usize {
+        let idx = self.nodes.len();
+        let rng = self.node_rng(idx);
+        self.nodes.push(SimNode {
+            kind,
+            channel,
+            gain,
+            rng,
+            airtime_us: 0,
+            tx_count: 0,
+        });
+        idx
+    }
+
+    /// Adds a legitimate Zigbee node at unit path gain.
+    pub fn add_zigbee(&mut self, app: XbeeNode) -> usize {
+        self.add_zigbee_with_gain(app, 1.0)
+    }
+
+    /// Adds a legitimate Zigbee node whose transmissions reach every
+    /// receiver scaled by `gain` — the knob that creates capture margins.
+    pub fn add_zigbee_with_gain(&mut self, app: XbeeNode, gain: f64) -> usize {
+        let channel = app.config.channel;
+        let interval = app.timer_interval_ms();
+        let idx = self.push_node(
+            NodeKind::Zigbee(Box::new(ZigbeeState::new(app))),
+            channel,
+            gain,
+        );
+        if let Some(ms) = interval {
+            self.queue
+                .schedule(self.now.plus_ms(ms), SimEvent::AppTimer { node: idx });
+        }
+        idx
+    }
+
+    /// Adds a WazaBee injector: a diverted BLE chip that keys scheduled
+    /// 802.15.4 frames with no carrier sense. Schedule frames with
+    /// [`SpectrumSim::inject_at`].
+    pub fn add_wazabee_injector(&mut self, channel: Dot154Channel, gain: f64) -> usize {
+        self.push_node(NodeKind::WazaBee, channel, gain)
+    }
+
+    /// Schedules a frame injection from a WazaBee node.
+    pub fn inject_at(&mut self, node: usize, when: Instant, frame: MacFrame) {
+        self.queue.schedule(when, SimEvent::Inject { node, frame });
+    }
+
+    /// Adds a reactive jammer.
+    pub fn add_reactive_jammer(&mut self, channel: Dot154Channel, config: JammerConfig) -> usize {
+        self.push_node(
+            NodeKind::Jammer {
+                config,
+                jamming: false,
+            },
+            channel,
+            1.0,
+        )
+    }
+
+    /// Adds an ACK spoofer.
+    pub fn add_ack_spoofer(&mut self, channel: Dot154Channel, gain: f64) -> usize {
+        self.push_node(
+            NodeKind::Spoofer {
+                immediate: Default::default(),
+            },
+            channel,
+            gain,
+        )
+    }
+
+    /// Adds an energy-depletion flooder.
+    pub fn add_flooder(&mut self, channel: Dot154Channel, config: FlooderConfig) -> usize {
+        let idx = self.push_node(NodeKind::Flooder { config, seq: 0 }, channel, 1.0);
+        self.queue.schedule(
+            self.now.plus_us(config.interval_us),
+            SimEvent::AppTimer { node: idx },
+        );
+        idx
+    }
+
+    /// Adds a passive IDS monitor on a channel.
+    pub fn add_ids_monitor(&mut self, channel: Dot154Channel, config: MonitorConfig) -> usize {
+        let monitor = ChannelMonitor::new(channel.center_mhz(), self.cfg.samples_per_chip, config);
+        self.push_node(
+            NodeKind::Ids {
+                monitor: Box::new(monitor),
+                alerts: Vec::new(),
+            },
+            channel,
+            1.0,
+        )
+    }
+
+    /// Stops application-layer traffic generation (sensor readings, flood
+    /// frames) after `when`: timers that fire later neither produce frames
+    /// nor reschedule. Running past the deadline then *drains* in-flight
+    /// handshakes, so a measured delivery ratio is not skewed by readings
+    /// handed to the MAC in the run's final microseconds.
+    pub fn set_traffic_deadline(&mut self, when: Instant) {
+        self.traffic_deadline = Some(when);
+    }
+
+    /// Runs the event loop until `deadline` (inclusive).
+    pub fn run_until(&mut self, deadline: Instant) {
+        while let Some(when) = self.queue.peek_time() {
+            if when > deadline {
+                break;
+            }
+            let (when, event) = self.queue.pop().expect("peeked event exists");
+            self.now = when;
+            self.dispatch(event);
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    fn dispatch(&mut self, event: SimEvent) {
+        match event {
+            SimEvent::AppTimer { node } => self.on_app_timer(node),
+            SimEvent::CsmaCca { node } => self.on_csma_cca(node),
+            SimEvent::SendImmediate { node } => self.on_send_immediate(node),
+            SimEvent::Inject { node, frame } => {
+                self.log.push(format!(
+                    "t={} inject node={} seq={}",
+                    self.now.0, node, frame.sequence
+                ));
+                self.transmit_wazabee(node, &frame);
+            }
+            SimEvent::JamBurst { node } => self.on_jam_burst(node),
+            SimEvent::TxEnd { channel } => self.on_tx_end(channel),
+            SimEvent::AckTimeout { node, seq } => self.on_ack_timeout(node, seq),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Application layer
+    // ------------------------------------------------------------------
+
+    fn on_app_timer(&mut self, idx: usize) {
+        let now = self.now;
+        if self.traffic_deadline.is_some_and(|d| now > d) {
+            return;
+        }
+        let (frames, interval) = match &mut self.nodes[idx].kind {
+            NodeKind::Zigbee(st) => (st.app.on_timer(now), st.app.timer_interval_ms()),
+            NodeKind::Flooder { .. } => {
+                self.flood(idx);
+                return;
+            }
+            _ => return,
+        };
+        for frame in frames {
+            if frame.frame_type == FrameType::Data {
+                if let Address::Short(src) = frame.src {
+                    if let Some(v) =
+                        XbeePayload::from_bytes(&frame.payload).and_then(|p| p.as_reading())
+                    {
+                        self.readings_sent.push((src, v));
+                    }
+                }
+            }
+            if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
+                st.pending.push_back(frame);
+            }
+        }
+        if let Some(ms) = interval {
+            self.queue
+                .schedule(now.plus_ms(ms), SimEvent::AppTimer { node: idx });
+        }
+        self.kick(idx);
+    }
+
+    fn flood(&mut self, idx: usize) {
+        let (config, seq) = match &mut self.nodes[idx].kind {
+            NodeKind::Flooder { config, seq } => {
+                *seq = seq.wrapping_add(1);
+                (*config, *seq)
+            }
+            _ => return,
+        };
+        // An opaque (non-XBee) payload: the victim ACKs the frame but records
+        // nothing, so the flood burns its airtime without faking readings.
+        let frame = MacFrame::data(config.pan, config.src, config.victim, seq, vec![0xF1, 0x00]);
+        self.log
+            .push(format!("t={} flood node={} seq={}", self.now.0, idx, seq));
+        self.transmit_wazabee(idx, &frame);
+        self.queue.schedule(
+            self.now.plus_us(config.interval_us),
+            SimEvent::AppTimer { node: idx },
+        );
+    }
+
+    // ------------------------------------------------------------------
+    // CSMA/CA MAC for Zigbee nodes
+    // ------------------------------------------------------------------
+
+    /// Starts a CSMA attempt for the head of a Zigbee node's queue when the
+    /// node is idle; no-op otherwise.
+    fn kick(&mut self, idx: usize) {
+        let csma_cfg = self.cfg.csma;
+        let now = self.now;
+        let node = &mut self.nodes[idx];
+        let NodeKind::Zigbee(st) = &mut node.kind else {
+            return;
+        };
+        if st.transmitting
+            || st.csma.is_some()
+            || st.awaiting_ack.is_some()
+            || st.pending.is_empty()
+        {
+            return;
+        }
+        let csma = CsmaBackoff::new(csma_cfg);
+        let delay = csma.backoff(node.rng.gen());
+        st.csma = Some(csma);
+        self.queue
+            .schedule(now.plus_us(delay), SimEvent::CsmaCca { node: idx });
+    }
+
+    fn cca_busy(&self, idx: usize) -> bool {
+        let air = &self.air[self.nodes[idx].channel_idx()];
+        if air.active == 0 {
+            return false;
+        }
+        let gains: Vec<f64> = air
+            .cluster
+            .iter()
+            .map(|t| self.nodes[t.source].gain)
+            .collect();
+        cca_power(&air.cluster, &gains, self.now, CCA_US, self.spu()) >= self.cfg.cca_threshold
+    }
+
+    fn on_csma_cca(&mut self, idx: usize) {
+        let (armed, transmitting) = match &self.nodes[idx].kind {
+            NodeKind::Zigbee(st) => (st.csma.is_some(), st.transmitting),
+            _ => return,
+        };
+        if !armed {
+            return;
+        }
+        if !transmitting && !self.cca_busy(idx) {
+            self.start_zigbee_frame(idx);
+            return;
+        }
+        self.stats.cca_busy += 1;
+        wazabee_telemetry::counter!("sim.cca_busy").inc();
+        self.log
+            .push(format!("t={} cca-busy node={}", self.now.0, idx));
+        let step = {
+            let node = &mut self.nodes[idx];
+            let NodeKind::Zigbee(st) = &mut node.kind else {
+                return;
+            };
+            let draw = node.rng.gen();
+            st.csma.as_mut().map(|c| c.channel_busy(draw))
+        };
+        match step {
+            Some(CsmaStep::Backoff(delay)) => {
+                self.queue
+                    .schedule(self.now.plus_us(delay), SimEvent::CsmaCca { node: idx });
+            }
+            Some(CsmaStep::Failure) => {
+                self.stats.csma_failures += 1;
+                self.log
+                    .push(format!("t={} csma-failure node={}", self.now.0, idx));
+                self.attempt_failed(idx, "channel-access");
+            }
+            None => {}
+        }
+    }
+
+    fn start_zigbee_frame(&mut self, idx: usize) {
+        let prepared = {
+            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
+                return;
+            };
+            let Some(head) = st.pending.front() else {
+                st.csma = None;
+                return;
+            };
+            match Ppdu::new(head.to_psdu()) {
+                Ok(ppdu) => {
+                    st.transmitting = true;
+                    Some((ppdu, head.sequence, head.ack_request))
+                }
+                Err(_) => None,
+            }
+        };
+        match prepared {
+            Some((ppdu, seq, ack_request)) => {
+                let samples = self.modem.transmit(&ppdu);
+                self.begin_transmission(
+                    idx,
+                    samples,
+                    TxKind::Frame,
+                    TxOrigin::Head,
+                    Some(seq),
+                    ack_request,
+                );
+            }
+            None => {
+                // An unencodable (oversize) head frame: drop it rather than
+                // wedge the queue behind it forever.
+                if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
+                    st.pending.pop_front();
+                    st.csma = None;
+                }
+                self.log
+                    .push(format!("t={} drop-unencodable node={}", self.now.0, idx));
+                self.kick(idx);
+            }
+        }
+    }
+
+    /// Head-of-queue success: frame acknowledged, or a no-ACK frame sent.
+    fn complete_head(&mut self, idx: usize, why: &str) {
+        let seq = {
+            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
+                return;
+            };
+            st.csma = None;
+            st.awaiting_ack = None;
+            st.retries = 0;
+            st.pending.pop_front().map(|f| f.sequence)
+        };
+        if let Some(seq) = seq {
+            self.log.push(format!(
+                "t={} complete node={} seq={} why={}",
+                self.now.0, idx, seq, why
+            ));
+        }
+        self.kick(idx);
+    }
+
+    /// One transmission attempt failed (missed ACK or channel access):
+    /// retry with a fresh CSMA attempt, or abandon past the retry budget.
+    fn attempt_failed(&mut self, idx: usize, why: &str) {
+        let max_retries = self.cfg.csma.max_frame_retries;
+        let (abandoned, seq) = {
+            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
+                return;
+            };
+            st.csma = None;
+            st.awaiting_ack = None;
+            st.retries += 1;
+            if st.retries > max_retries {
+                st.retries = 0;
+                (true, st.pending.pop_front().map(|f| f.sequence))
+            } else {
+                (false, st.pending.front().map(|f| f.sequence))
+            }
+        };
+        if abandoned {
+            self.stats.frames_abandoned += 1;
+            self.log.push(format!(
+                "t={} abandon node={} seq={:?} why={}",
+                self.now.0, idx, seq, why
+            ));
+        } else {
+            self.stats.retries += 1;
+            wazabee_telemetry::counter!("sim.retries").inc();
+            self.log.push(format!(
+                "t={} retry node={} seq={:?} why={}",
+                self.now.0, idx, seq, why
+            ));
+        }
+        self.kick(idx);
+    }
+
+    fn on_ack_timeout(&mut self, idx: usize, seq: u8) {
+        let pending = matches!(
+            &self.nodes[idx].kind,
+            NodeKind::Zigbee(st) if st.awaiting_ack == Some(seq)
+        );
+        if pending {
+            self.log.push(format!(
+                "t={} ack-timeout node={} seq={}",
+                self.now.0, idx, seq
+            ));
+            self.attempt_failed(idx, "no-ack");
+        }
+    }
+
+    fn on_send_immediate(&mut self, idx: usize) {
+        enum Radio {
+            Oqpsk,
+            Diverted,
+        }
+        let prepared = match &mut self.nodes[idx].kind {
+            NodeKind::Zigbee(st) => match st.immediate.pop_front() {
+                Some(frame) if !st.transmitting => {
+                    st.transmitting = true;
+                    Some((frame, Radio::Oqpsk))
+                }
+                Some(_) => {
+                    // Half-duplex: the radio is keyed, the ACK is lost.
+                    self.log
+                        .push(format!("t={} ack-suppressed node={}", self.now.0, idx));
+                    None
+                }
+                None => None,
+            },
+            NodeKind::Spoofer { immediate } => immediate.pop_front().map(|f| (f, Radio::Diverted)),
+            _ => None,
+        };
+        let Some((frame, radio)) = prepared else {
+            return;
+        };
+        match radio {
+            Radio::Oqpsk => {
+                let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
+                    return;
+                };
+                let samples = self.modem.transmit(&ppdu);
+                self.begin_transmission(
+                    idx,
+                    samples,
+                    TxKind::Frame,
+                    TxOrigin::Immediate,
+                    Some(frame.sequence),
+                    false,
+                );
+            }
+            Radio::Diverted => {
+                self.stats.acks_spoofed += 1;
+                wazabee_telemetry::counter!("sim.acks_spoofed").inc();
+                self.log.push(format!(
+                    "t={} spoofed-ack node={} seq={}",
+                    self.now.0, idx, frame.sequence
+                ));
+                self.transmit_wazabee(idx, &frame);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The air
+    // ------------------------------------------------------------------
+
+    fn transmit_wazabee(&mut self, idx: usize, frame: &MacFrame) {
+        let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
+            return;
+        };
+        let samples = self.btx.transmit(&ppdu);
+        self.begin_transmission(
+            idx,
+            samples,
+            TxKind::Frame,
+            TxOrigin::Attacker,
+            Some(frame.sequence),
+            frame.ack_request,
+        );
+    }
+
+    fn begin_transmission(
+        &mut self,
+        source: usize,
+        samples: Vec<Iq>,
+        kind: TxKind,
+        origin: TxOrigin,
+        seq: Option<u8>,
+        ack_request: bool,
+    ) {
+        let spu = self.spu();
+        let duration_us = (samples.len() as u64).div_ceil(spu).max(1);
+        let start = self.now;
+        let end = start.plus_us(duration_us);
+        let ch = self.nodes[source].channel_idx();
+        self.nodes[source].airtime_us += duration_us;
+        self.nodes[source].tx_count += 1;
+        self.log.push(format!(
+            "t={} keyup node={} kind={} seq={:?} dur={}",
+            start.0,
+            source,
+            self.nodes[source].kind_name(),
+            seq,
+            duration_us
+        ));
+        let air = &mut self.air[ch];
+        if air.cluster.is_empty() {
+            air.cluster_start = start;
+        }
+        air.cluster.push(Transmission {
+            source,
+            start,
+            end,
+            samples,
+            kind,
+            origin,
+            seq,
+            ack_request,
+            finalized: false,
+        });
+        air.active += 1;
+        self.queue.schedule(end, SimEvent::TxEnd { channel: ch });
+        if kind == TxKind::Frame {
+            self.trigger_jammers(ch, source);
+        }
+    }
+
+    fn trigger_jammers(&mut self, ch: usize, source: usize) {
+        let now = self.now;
+        for j in 0..self.nodes.len() {
+            if j == source || self.nodes[j].channel_idx() != ch {
+                continue;
+            }
+            let node = &mut self.nodes[j];
+            let NodeKind::Jammer { config, jamming } = &mut node.kind else {
+                continue;
+            };
+            if *jamming {
+                continue;
+            }
+            let draw: u64 = node.rng.gen();
+            if ((draw % 1_000) as f64) / 1_000.0 >= config.trigger_probability {
+                continue;
+            }
+            *jamming = true;
+            let when = now.plus_us(config.reaction_us);
+            self.queue.schedule(when, SimEvent::JamBurst { node: j });
+        }
+    }
+
+    fn on_jam_burst(&mut self, idx: usize) {
+        let (burst_us, power) = match &self.nodes[idx].kind {
+            NodeKind::Jammer { config, .. } => (config.burst_us, config.power),
+            _ => return,
+        };
+        let len = (burst_us * self.spu()) as usize;
+        let mut samples = vec![Iq::ZERO; len];
+        let seed: u64 = self.nodes[idx].rng.gen();
+        AwgnSource::new(seed, (power / 2.0).sqrt()).add_to(&mut samples);
+        self.stats.jam_bursts += 1;
+        self.begin_transmission(idx, samples, TxKind::Jam, TxOrigin::Attacker, None, false);
+    }
+
+    fn on_tx_end(&mut self, ch: usize) {
+        let now = self.now;
+        let mut finished: Vec<(usize, TxOrigin, Option<u8>, bool)> = Vec::new();
+        {
+            let air = &mut self.air[ch];
+            for t in air.cluster.iter_mut() {
+                if !t.finalized && t.end <= now {
+                    t.finalized = true;
+                    air.active -= 1;
+                    finished.push((t.source, t.origin, t.seq, t.ack_request));
+                }
+            }
+        }
+        for (src, origin, seq, ack_request) in finished {
+            let mut complete = false;
+            let mut await_seq = None;
+            match &mut self.nodes[src].kind {
+                NodeKind::Zigbee(st) => {
+                    st.transmitting = false;
+                    if origin == TxOrigin::Head {
+                        if ack_request {
+                            let s = seq.unwrap_or(0);
+                            st.awaiting_ack = Some(s);
+                            await_seq = Some(s);
+                        } else {
+                            complete = true;
+                        }
+                    }
+                }
+                NodeKind::Jammer { jamming, .. } => *jamming = false,
+                _ => {}
+            }
+            if let Some(s) = await_seq {
+                self.queue.schedule(
+                    now.plus_us(self.cfg.ack_wait_us),
+                    SimEvent::AckTimeout { node: src, seq: s },
+                );
+            }
+            if complete {
+                self.complete_head(src, "sent");
+            }
+        }
+        if self.air[ch].active == 0 && !self.air[ch].cluster.is_empty() {
+            self.close_cluster(ch);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Cluster close: superpose, demodulate, deliver
+    // ------------------------------------------------------------------
+
+    /// Feeds a receiver window through the streaming receiver in
+    /// `iq_chunk`-sized pushes, returning recovered frames and the count of
+    /// committed failed attempts.
+    fn decode_buffer(&self, buf: &[Iq]) -> (Vec<MacFrame>, u64) {
+        let mut stream = self.rx.stream();
+        let mut results = Vec::new();
+        for chunk in buf.chunks(self.cfg.iq_chunk.max(1)) {
+            results.extend(stream.push(chunk));
+        }
+        results.extend(stream.finish());
+        let mut frames = Vec::new();
+        let mut failures = 0u64;
+        for r in results {
+            match r {
+                Ok(p) if p.fcs_ok() => match MacFrame::from_psdu(&p.psdu) {
+                    Some(f) => frames.push(f),
+                    None => failures += 1,
+                },
+                _ => failures += 1,
+            }
+        }
+        (frames, failures)
+    }
+
+    fn close_cluster(&mut self, ch: usize) {
+        let air = std::mem::take(&mut self.air[ch]);
+        let cluster = air.cluster;
+        if cluster.is_empty() {
+            return;
+        }
+        let cluster_id = self.cluster_counter;
+        self.cluster_counter += 1;
+        let start = air.cluster_start;
+        let end = self.now;
+        let spu = self.spu();
+        let fs = self.cfg.sample_rate();
+        let gains: Vec<f64> = cluster.iter().map(|t| self.nodes[t.source].gain).collect();
+
+        // A demodulation-level collision: two or more *frames* overlapped.
+        let frames_in_cluster: Vec<&Transmission> =
+            cluster.iter().filter(|t| t.kind == TxKind::Frame).collect();
+        let collided = frames_in_cluster.iter().enumerate().any(|(i, a)| {
+            frames_in_cluster[i + 1..]
+                .iter()
+                .any(|b| a.start < b.end && b.start < a.end)
+        });
+        if collided {
+            self.stats.collisions += 1;
+            wazabee_telemetry::counter!("sim.collisions").inc();
+            self.log.push(format!(
+                "t={} collision ch={} cluster={} frames={}",
+                end.0,
+                ch + 11,
+                cluster_id,
+                frames_in_cluster.len()
+            ));
+        }
+
+        // Phase 1 (immutable): superpose and demodulate per receiver. With
+        // no per-receiver noise every listener hears bit-identical samples,
+        // so one decode is shared — an exact, not approximate, fast path.
+        let coherent = self.cfg.snr_db.is_none();
+        let mut shared: Option<(Vec<MacFrame>, u64)> = None;
+        let mut deliveries: Vec<(usize, Heard)> = Vec::new();
+        for idx in 0..self.nodes.len() {
+            let node = &self.nodes[idx];
+            if node.channel_idx() != ch || cluster.iter().any(|t| t.source == idx) {
+                continue;
+            }
+            let is_ids = matches!(node.kind, NodeKind::Ids { .. });
+            let decodes = matches!(node.kind, NodeKind::Zigbee(_) | NodeKind::Spoofer { .. });
+            if !is_ids && !decodes {
+                continue;
+            }
+            if decodes && coherent {
+                if let Some((frames, fails)) = &shared {
+                    deliveries.push((idx, Heard::Frames(frames.clone(), *fails)));
+                    continue;
+                }
+            }
+            let mut buf = superpose(&cluster, &gains, start, end, spu);
+            if self.cfg.cfo_hz != 0.0 {
+                buf = frequency_shift(&buf, self.cfg.cfo_hz, fs);
+            }
+            if self.cfg.timing_offset != 0.0 {
+                buf = fractional_delay(&buf, self.cfg.timing_offset);
+            }
+            if let Some(snr) = self.cfg.snr_db {
+                let sig = gains.iter().fold(0.0f64, |m, &g| m.max(g * g)).max(1e-12);
+                let seed = splitmix64(
+                    self.cfg.seed
+                        ^ cluster_id.wrapping_mul(0xA24B_AED4_963E_E407)
+                        ^ (idx as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
+                );
+                AwgnSource::from_snr_db(seed, snr, sig).add_to(&mut buf);
+            }
+            if is_ids {
+                deliveries.push((idx, Heard::Raw(buf)));
+            } else {
+                let decoded = self.decode_buffer(&buf);
+                if coherent {
+                    shared = Some(decoded.clone());
+                }
+                deliveries.push((idx, Heard::Frames(decoded.0, decoded.1)));
+            }
+        }
+
+        // Phase 2 (mutable): hand each receiver what it heard.
+        for (idx, heard) in deliveries {
+            match heard {
+                Heard::Frames(frames, failures) => {
+                    self.stats.frames_decoded += frames.len() as u64;
+                    self.stats.decode_failures += failures;
+                    match &self.nodes[idx].kind {
+                        NodeKind::Zigbee(_) => self.zigbee_rx(idx, frames),
+                        NodeKind::Spoofer { .. } => self.spoofer_rx(idx, frames),
+                        _ => {}
+                    }
+                }
+                Heard::Raw(buf) => self.ids_rx(idx, &buf),
+            }
+        }
+    }
+
+    fn zigbee_rx(&mut self, idx: usize, frames: Vec<MacFrame>) {
+        let now = self.now;
+        for frame in frames {
+            self.log.push(format!(
+                "t={} rx node={} type={:?} seq={}",
+                now.0, idx, frame.frame_type, frame.sequence
+            ));
+            if frame.frame_type == FrameType::Ack {
+                let matched = matches!(
+                    &self.nodes[idx].kind,
+                    NodeKind::Zigbee(st) if st.awaiting_ack == Some(frame.sequence)
+                );
+                if matched {
+                    self.complete_head(idx, "acked");
+                }
+                continue;
+            }
+            let replies = match &mut self.nodes[idx].kind {
+                NodeKind::Zigbee(st) => st.app.on_receive(&frame, now),
+                _ => Vec::new(),
+            };
+            for reply in replies {
+                if reply.frame_type == FrameType::Ack {
+                    if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
+                        st.immediate.push_back(reply);
+                    }
+                    self.queue.schedule(
+                        now.plus_us(TURNAROUND_US),
+                        SimEvent::SendImmediate { node: idx },
+                    );
+                } else if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
+                    st.pending.push_back(reply);
+                }
+            }
+        }
+        self.kick(idx);
+    }
+
+    fn spoofer_rx(&mut self, idx: usize, frames: Vec<MacFrame>) {
+        let now = self.now;
+        for frame in frames {
+            let spoofable = frame.frame_type == FrameType::Data
+                && frame.ack_request
+                && matches!(frame.dest, Address::Short(d) if d != BROADCAST_SHORT);
+            if !spoofable {
+                continue;
+            }
+            if let NodeKind::Spoofer { immediate } = &mut self.nodes[idx].kind {
+                immediate.push_back(MacFrame::ack(frame.sequence));
+            }
+            self.queue.schedule(
+                now.plus_us(self.cfg.spoof_delay_us),
+                SimEvent::SendImmediate { node: idx },
+            );
+        }
+    }
+
+    fn ids_rx(&mut self, idx: usize, buf: &[Iq]) {
+        let now = self.now;
+        let new_alerts = match &mut self.nodes[idx].kind {
+            NodeKind::Ids { monitor, .. } => monitor.observe(buf),
+            _ => return,
+        };
+        for alert in &new_alerts {
+            self.log.push(format!(
+                "t={} alert node={} kind={}",
+                now.0,
+                idx,
+                alert_kind(alert)
+            ));
+        }
+        if let NodeKind::Ids { alerts, .. } = &mut self.nodes[idx].kind {
+            alerts.extend(new_alerts.into_iter().map(|a| (now, a)));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observation
+    // ------------------------------------------------------------------
+
+    /// Current simulated time.
+    pub fn now(&self) -> Instant {
+        self.now
+    }
+
+    /// The run's aggregate counters so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// The committed event log: one deterministic line per MAC/PHY event,
+    /// byte-identical across thread counts and IQ chunk sizes.
+    pub fn event_log(&self) -> &[String] {
+        &self.log
+    }
+
+    /// All nodes, index-aligned with the handles `add_*` returned.
+    pub fn nodes(&self) -> &[SimNode] {
+        &self.nodes
+    }
+
+    /// A node by handle.
+    pub fn node(&self, idx: usize) -> &SimNode {
+        &self.nodes[idx]
+    }
+
+    /// The XBee model behind a Zigbee node handle.
+    pub fn zigbee(&self, idx: usize) -> Option<&XbeeNode> {
+        match &self.nodes[idx].kind {
+            NodeKind::Zigbee(st) => Some(&st.app),
+            _ => None,
+        }
+    }
+
+    /// Alerts an IDS monitor node has raised, stamped with cluster close
+    /// time. Empty for non-IDS nodes.
+    pub fn alerts(&self, idx: usize) -> &[(Instant, Alert)] {
+        match &self.nodes[idx].kind {
+            NodeKind::Ids { alerts, .. } => alerts,
+            _ => &[],
+        }
+    }
+
+    /// Summarises the run.
+    pub fn report(&self) -> SimReport {
+        let mut delivered = 0u64;
+        for &(addr, value) in &self.readings_sent {
+            let arrived = self.nodes.iter().any(|n| match &n.kind {
+                NodeKind::Zigbee(st) => {
+                    st.app.role() == NodeRole::Coordinator
+                        && st
+                            .app
+                            .readings()
+                            .iter()
+                            .any(|r| r.reported_by == addr && r.value == value)
+                }
+                _ => false,
+            });
+            if arrived {
+                delivered += 1;
+            }
+        }
+        let sent = self.readings_sent.len() as u64;
+        SimReport {
+            readings_sent: sent,
+            readings_delivered: delivered,
+            delivery_ratio: if sent == 0 {
+                1.0
+            } else {
+                delivered as f64 / sent as f64
+            },
+            stats: self.stats.clone(),
+            node_airtime_us: self.nodes.iter().map(|n| n.airtime_us).collect(),
+            sim_time_us: self.now.0,
+        }
+    }
+}

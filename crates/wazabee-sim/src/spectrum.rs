@@ -1,0 +1,193 @@
+//! The shared medium: per-channel busy periods ("clusters") of overlapping
+//! transmissions on a global sample timeline, and the superposition / CCA
+//! arithmetic over them.
+//!
+//! A cluster opens when a transmission starts on an idle channel and closes
+//! when the last overlapping transmission ends. Only then is the waveform
+//! each receiver heard materialised: every member transmission is summed in
+//! at its sample offset via [`combine_at`], scaled by its source's path
+//! gain — so a collision is two frames *actually adding* in the complex
+//! plane, and whether either survives is decided by the demodulator, not by
+//! a packet-level coin flip.
+
+use wazabee_dsp::iq::{mean_power, Iq};
+use wazabee_radio::{combine_at, Instant};
+
+/// What kind of energy a transmission is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxKind {
+    /// A modulated 802.15.4 frame (from a real or diverted radio).
+    Frame,
+    /// A shaped-noise jamming burst.
+    Jam,
+}
+
+/// Which queue a frame transmission came from, deciding the sender-side
+/// bookkeeping when it ends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum TxOrigin {
+    /// Head of a Zigbee node's CSMA queue (may await an ACK).
+    Head,
+    /// An immediate frame: ACK after turnaround, bypassing CSMA.
+    Immediate,
+    /// Attacker-originated; no MAC bookkeeping.
+    Attacker,
+}
+
+/// One transmission on the air.
+#[derive(Debug)]
+pub(crate) struct Transmission {
+    /// Index of the transmitting node.
+    pub source: usize,
+    /// Keyup instant.
+    pub start: Instant,
+    /// Instant the carrier drops.
+    pub end: Instant,
+    /// The baseband waveform, at unit gain.
+    pub samples: Vec<Iq>,
+    pub kind: TxKind,
+    pub origin: TxOrigin,
+    /// MAC sequence number, for frame transmissions with sender bookkeeping.
+    pub seq: Option<u8>,
+    /// Whether the frame solicits an acknowledgement.
+    pub ack_request: bool,
+    /// Whether sender-side end-of-transmission bookkeeping has run.
+    pub finalized: bool,
+}
+
+/// Per-channel busy-period state.
+#[derive(Debug, Default)]
+pub(crate) struct ChannelAir {
+    /// Transmissions of the current cluster (empty when the channel has been
+    /// idle since the last close).
+    pub cluster: Vec<Transmission>,
+    /// How many cluster members are still on the air.
+    pub active: usize,
+    /// Keyup instant of the cluster's first transmission.
+    pub cluster_start: Instant,
+}
+
+/// Zero samples prepended to every receiver window so the discriminator
+/// settles before the first transmission's preamble.
+pub(crate) const LEAD_PAD: usize = 64;
+
+/// Zero samples appended after the cluster's last sample.
+pub(crate) const TAIL_PAD: usize = 32;
+
+/// Superposes a closed cluster into the waveform one receiver hears:
+/// every transmission summed at its sample offset, scaled by `gains[k]`
+/// (one entry per cluster member, in order).
+pub(crate) fn superpose(
+    cluster: &[Transmission],
+    gains: &[f64],
+    cluster_start: Instant,
+    cluster_end: Instant,
+    samples_per_us: u64,
+) -> Vec<Iq> {
+    let span = (cluster_end.0 - cluster_start.0) * samples_per_us;
+    let mut buf = vec![Iq::ZERO; span as usize + LEAD_PAD + TAIL_PAD];
+    for (tx, &g) in cluster.iter().zip(gains) {
+        let offset = ((tx.start.0 - cluster_start.0) * samples_per_us) as usize + LEAD_PAD;
+        if (g - 1.0).abs() < 1e-12 {
+            combine_at(&mut buf, &tx.samples, offset);
+        } else {
+            let scaled: Vec<Iq> = tx.samples.iter().map(|s| s.scale(g)).collect();
+            combine_at(&mut buf, &scaled, offset);
+        }
+    }
+    buf
+}
+
+/// Mean power over the trailing CCA window `[now - window_us, now]` of the
+/// superposed live spectrum: the energy a CCA measurement integrates.
+/// `gains[k]` scales cluster member `k`, as in [`superpose`].
+pub(crate) fn cca_power(
+    cluster: &[Transmission],
+    gains: &[f64],
+    now: Instant,
+    window_us: u64,
+    samples_per_us: u64,
+) -> f64 {
+    let win_start = now.0.saturating_sub(window_us);
+    let win_len = ((now.0 - win_start) * samples_per_us) as usize;
+    if win_len == 0 {
+        return 0.0;
+    }
+    let g0 = win_start * samples_per_us;
+    let mut buf = vec![Iq::ZERO; win_len];
+    for (tx, &g) in cluster.iter().zip(gains) {
+        let s0 = tx.start.0 * samples_per_us;
+        let lo = g0.max(s0);
+        let hi = (s0 + tx.samples.len() as u64).min(g0 + win_len as u64);
+        for gidx in lo..hi {
+            buf[(gidx - g0) as usize] += tx.samples[(gidx - s0) as usize].scale(g);
+        }
+    }
+    mean_power(&buf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tx(source: usize, start: u64, n_us: u64, spu: u64, amp: f64) -> Transmission {
+        Transmission {
+            source,
+            start: Instant(start),
+            end: Instant(start + n_us),
+            samples: vec![Iq::new(amp, 0.0); (n_us * spu) as usize],
+            kind: TxKind::Frame,
+            origin: TxOrigin::Attacker,
+            seq: None,
+            ack_request: false,
+            finalized: false,
+        }
+    }
+
+    #[test]
+    fn superposition_adds_overlap_only() {
+        let spu = 2;
+        let a = tx(0, 100, 10, spu, 1.0);
+        let b = tx(1, 105, 10, spu, 1.0);
+        let buf = superpose(&[a, b], &[1.0, 1.0], Instant(100), Instant(115), spu);
+        assert_eq!(buf.len(), 30 + LEAD_PAD + TAIL_PAD);
+        // Disjoint head: amplitude 1; overlap: amplitude 2.
+        assert!((buf[LEAD_PAD].i - 1.0).abs() < 1e-12);
+        assert!((buf[LEAD_PAD + 11].i - 2.0).abs() < 1e-12);
+        assert!((buf[LEAD_PAD + 25].i - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gains_scale_each_member() {
+        let spu = 2;
+        let a = tx(0, 0, 4, spu, 1.0);
+        let buf = superpose(&[a], &[0.5], Instant(0), Instant(4), spu);
+        assert!((buf[LEAD_PAD].i - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cca_sees_only_energy_inside_the_window() {
+        let spu = 2;
+        // A transmission that ended at t=50 contributes nothing at t=200.
+        let old = tx(0, 40, 10, spu, 1.0);
+        assert!(cca_power(&[old], &[1.0], Instant(200), 128, spu) < 1e-12);
+        // A live transmission fully covering the window reads its power.
+        let live = tx(0, 0, 400, spu, 1.0);
+        let p = cca_power(&[live], &[1.0], Instant(200), 128, spu);
+        assert!((p - 1.0).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn cca_partial_overlap_dilutes_power() {
+        let spu = 2;
+        // Keyed up 64 µs ago: half the 128 µs window has energy.
+        let live = tx(0, 136, 400, spu, 1.0);
+        let p = cca_power(&[live], &[1.0], Instant(200), 128, spu);
+        assert!((p - 0.5).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn cca_at_time_zero_is_silent() {
+        assert_eq!(cca_power(&[], &[], Instant(0), 128, 2), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! A WazaBee attack on a *live, contended* Zigbee network: the shared
+//! spectrum simulator runs a coordinator and two periodic sensors over real
+//! CSMA/CA, then a diverted BLE chip injects a forged reading (no carrier
+//! sense) while a reactive jammer tramples retransmissions — all modulated,
+//! superposed and demodulated at the waveform level. A passive IDS monitor
+//! watches the same ether.
+//!
+//! Run with: `cargo run -p wazabee-examples --bin netsim_attack`
+
+use wazabee_dot154::mac::MacFrame;
+use wazabee_dot154::Dot154Channel;
+use wazabee_examples::{banner, session};
+use wazabee_ids::MonitorConfig;
+use wazabee_radio::Instant;
+use wazabee_sim::{JammerConfig, SimConfig, SpectrumSim};
+use wazabee_zigbee::{NodeConfig, NodeRole, XbeeNode, XbeePayload};
+
+const PAN: u16 = 0x1234;
+const COORD: u16 = 0x0042;
+
+fn node(addr: u16, role: NodeRole) -> XbeeNode {
+    XbeeNode::new(
+        NodeConfig {
+            pan: PAN,
+            short_addr: addr,
+            channel: Dot154Channel::new(14).unwrap(),
+        },
+        role,
+    )
+}
+
+fn main() {
+    let _session = session();
+    let ch = Dot154Channel::new(14).unwrap();
+
+    banner("network under attack: 3 Zigbee nodes + WazaBee injector + jammer + IDS");
+    let mut sim = SpectrumSim::new(SimConfig::office());
+    let coord = sim.add_zigbee(node(COORD, NodeRole::Coordinator));
+    sim.add_zigbee(node(0x0063, NodeRole::Sensor { interval_ms: 47 }));
+    sim.add_zigbee(node(0x0064, NodeRole::Sensor { interval_ms: 59 }));
+    let ids = sim.add_ids_monitor(ch, MonitorConfig::default());
+    let attacker = sim.add_wazabee_injector(ch, 1.0);
+    sim.add_reactive_jammer(
+        ch,
+        JammerConfig {
+            trigger_probability: 0.25,
+            ..JammerConfig::default()
+        },
+    );
+
+    // The forged reading: the attacker's BLE radio, locked to 2 Mbit/s GFSK,
+    // emits a waveform the victims demodulate as O-QPSK — sensor 0x0063
+    // appears to report the absurd value 9999.
+    let forged = MacFrame::data(
+        PAN,
+        0x0063,
+        COORD,
+        200,
+        XbeePayload::reading(9999).to_bytes(),
+    );
+    sim.inject_at(attacker, Instant(101_000), forged);
+
+    sim.set_traffic_deadline(Instant(0).plus_ms(300));
+    sim.run_until(Instant(0).plus_ms(350));
+
+    banner("what the coordinator believes");
+    let victim = sim.zigbee(coord).unwrap();
+    for r in victim.readings() {
+        let mark = if r.value == 9999 { "  <-- FORGED" } else { "" };
+        println!("  reading {:5} from 0x{:04X}{mark}", r.value, r.reported_by);
+    }
+
+    banner("delivery report");
+    let report = sim.report();
+    println!(
+        "  {}/{} legitimate readings delivered ({:.1}%)",
+        report.readings_delivered,
+        report.readings_sent,
+        100.0 * report.delivery_ratio
+    );
+    let s = &report.stats;
+    println!(
+        "  collisions={} cca_busy={} retries={} abandoned={} jam_bursts={}",
+        s.collisions, s.cca_busy, s.retries, s.frames_abandoned, s.jam_bursts
+    );
+
+    banner("airtime (the energy bill)");
+    for (k, n) in sim.nodes().iter().enumerate() {
+        println!(
+            "  node {k} ({:>7}): {:6} us keyed up over {} transmissions",
+            n.kind_name(),
+            n.airtime_us(),
+            n.tx_count()
+        );
+    }
+
+    banner("what the IDS saw");
+    let alerts = sim.alerts(ids);
+    if alerts.is_empty() {
+        println!("  (no alerts)");
+    }
+    for (when, alert) in alerts {
+        println!("  t={:6} us  {alert:?}", when.0);
+    }
+
+    banner("verdict");
+    println!(
+        "The forged reading crossed the full IQ path into the victim's application\n\
+         layer, the jammer cost the network {} retransmissions, and the IDS\n\
+         flagged the attacker's emissions on the shared ether.",
+        s.retries
+    );
+}
