@@ -23,6 +23,13 @@
 #  11. netsim smoke: the network-scale spectrum-sim sweep emits a well-formed
 #      BENCH_netsim.json whose no-attacker ideal cells deliver 100% and whose
 #      attacked cells show waveform-level collisions, in both feature states
+#  12. live snapshot poll: the default-features netsim run is polled over
+#      WAZABEE_TELEMETRY_ADDR and must answer with a well-formed snapshot
+#      (labeled metrics + per-stage profile); the --no-default-features run
+#      must never start the endpoint
+#  13. perf regression gate: fresh smoke-run BENCH figures must stay within
+#      WAZABEE_PERF_TOLERANCE (default 50%) of the committed artifacts/
+#      baselines, failing loudly on regressions
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -108,6 +115,8 @@ stream_json="$capture_dir/BENCH_stream_throughput.json"
 run cargo run --release -q -p wazabee-bench --bin stream_throughput --offline -- \
     --smoke --out "$stream_json"
 check_stream_json "$stream_json"
+stream_live_json="$capture_dir/BENCH_stream_live.json"
+cp "$stream_json" "$stream_live_json"
 
 rm -f "$stream_json"
 run cargo run --release -q -p wazabee-bench --bin stream_throughput --offline \
@@ -136,14 +145,123 @@ EOF
 }
 
 netsim_json="$capture_dir/BENCH_netsim.json"
-run cargo run --release -q -p wazabee-bench --bin netsim_scale --offline -- \
-    --smoke --out "$netsim_json"
+netsim_log="$capture_dir/netsim_stderr.log"
+echo
+echo "=== netsim_scale --smoke with live snapshot server ==="
+env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 \
+    cargo run --release -q -p wazabee-bench --bin netsim_scale --offline -- \
+    --smoke --out "$netsim_json" --linger-ms 120000 2>"$netsim_log" &
+netsim_pid=$!
+# The sweep announces its ephemeral port on stderr and lingers after the
+# sweep so this poller can attach while the process is still running.
+snapshot_addr=""
+for _ in $(seq 1 1200); do
+    if grep -q "^lingering" "$netsim_log" 2>/dev/null; then
+        snapshot_addr="$(sed -n 's/^telemetry snapshot server on //p' "$netsim_log" | head -1)"
+        break
+    fi
+    if ! kill -0 "$netsim_pid" 2>/dev/null; then
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$snapshot_addr" ]; then
+    cat "$netsim_log" >&2
+    echo "ci.sh: netsim_scale never brought up the snapshot server" >&2
+    exit 1
+fi
+run python3 - "$snapshot_addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+body = urllib.request.urlopen(f"http://{addr}/", timeout=10).read()
+snap = json.loads(body)
+assert snap["schema"] == "wazabee.telemetry.snapshot/1", snap.get("schema")
+assert snap["enabled"] is True, "snapshot reports telemetry disabled"
+families = {f["name"]: f for f in snap["labeled_counters"]}
+assert "sim.tx" in families, f"sim.tx family missing: {sorted(families)}"
+cells = families["sim.tx"]["cells"]
+assert cells and all("node" in c["labels"] for c in cells), "sim.tx cells unlabeled"
+stages = {s["name"]: s for s in snap["stages"]}
+assert stages, "stage profile empty"
+for s in stages.values():
+    assert s["count"] > 0 and s["self_ns"] <= s["total_ns"], s
+print(f"live snapshot from {addr} well-formed: "
+      f"{sum(len(f['cells']) for f in families.values())} labeled cells, "
+      f"{len(stages)} profiled stages")
+EOF
+kill "$netsim_pid" 2>/dev/null || true
+wait "$netsim_pid" 2>/dev/null || true
 check_netsim_json "$netsim_json"
+netsim_live_json="$capture_dir/BENCH_netsim_live.json"
+cp "$netsim_json" "$netsim_live_json"
 
 rm -f "$netsim_json"
-run cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
-    --no-default-features -- --smoke --out "$netsim_json"
+netsim_off_log="$capture_dir/netsim_off_stderr.log"
+run env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 \
+    cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
+    --no-default-features -- --smoke --out "$netsim_json" 2>"$netsim_off_log"
+cat "$netsim_off_log"
+if grep -q "telemetry snapshot server on" "$netsim_off_log"; then
+    echo "ci.sh: snapshot server must be compiled out under --no-default-features" >&2
+    exit 1
+fi
+echo "snapshot server compiled out: endpoint absent under --no-default-features"
 check_netsim_json "$netsim_json"
+
+run env WAZABEE_PERF_TOLERANCE="${WAZABEE_PERF_TOLERANCE:-0.5}" \
+    python3 - "$bench_json" "$stream_live_json" "$netsim_live_json" <<'EOF'
+import json, os, sys
+
+tol = float(os.environ["WAZABEE_PERF_TOLERANCE"])
+fresh_rx_path, fresh_stream_path, fresh_netsim_path = sys.argv[1:4]
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+failures = []
+
+def gate(label, fresh, base):
+    floor = base * (1.0 - tol)
+    if fresh < floor:
+        failures.append(
+            f"{label}: fresh {fresh:.3f} < floor {floor:.3f} "
+            f"(baseline {base:.3f}, tolerance {tol:.0%})")
+    else:
+        print(f"perf gate ok: {label} fresh {fresh:.3f} "
+              f"vs baseline {base:.3f} (floor {floor:.3f})")
+
+rx_f, rx_b = load(fresh_rx_path), load("artifacts/BENCH_rx_throughput.json")
+gate("rx.frames_per_sec",
+     rx_f["rx"]["frames_per_sec"], rx_b["rx"]["frames_per_sec"])
+gate("despread.speedup",
+     rx_f["despread"]["speedup"], rx_b["despread"]["speedup"])
+gate("despread.packed_msymbols_per_sec",
+     rx_f["despread"]["packed_msymbols_per_sec"],
+     rx_b["despread"]["packed_msymbols_per_sec"])
+
+st_f, st_b = load(fresh_stream_path), load("artifacts/BENCH_stream_throughput.json")
+gate("stream.frames_per_sec",
+     st_f["stream"]["frames_per_sec"], st_b["stream"]["frames_per_sec"])
+
+ns_f, ns_b = load(fresh_netsim_path), load("artifacts/BENCH_netsim.json")
+base_cells = {(c["nodes"], c["attacker"]): c for c in ns_b["cells"]}
+matched = 0
+for c in ns_f["cells"]:
+    key = (c["nodes"], c["attacker"])
+    if key in base_cells:
+        matched += 1
+        gate(f"netsim.sim_wall_ratio[n={key[0]},attacker={str(key[1]).lower()}]",
+             c["sim_wall_ratio"], base_cells[key]["sim_wall_ratio"])
+assert matched > 0, "no netsim cells matched the committed baseline"
+
+if failures:
+    print("ci.sh: perf regression gate FAILED:", file=sys.stderr)
+    for f in failures:
+        print(f"  {f}", file=sys.stderr)
+    sys.exit(1)
+print(f"perf regression gate passed (tolerance {tol:.0%})")
+EOF
 
 echo
 echo "ci.sh: all checks passed"

@@ -49,6 +49,34 @@ fn bench_instrumented_kernels(c: &mut Criterion) {
                 .record(std::hint::black_box(17.0))
         })
     });
+    // Labeled lookup pays a label-set build + map probe per call; a cached
+    // handle amortises that to one atomic add, matching the flat counter.
+    p.bench_function("labeled_counter_inc_lookup", |b| {
+        b.iter(|| {
+            wazabee_telemetry::labeled_counter!("bench.labeled")
+                .inc(&[("channel", std::hint::black_box("15"))])
+        })
+    });
+    p.bench_function("labeled_counter_inc_cached", |b| {
+        let handle = wazabee_telemetry::labeled_counter!("bench.labeled.cached")
+            .handle(&[("channel", "15")]);
+        b.iter(|| handle.inc())
+    });
+    p.bench_function("labeled_histogram_record_lookup", |b| {
+        b.iter(|| {
+            wazabee_telemetry::labeled_histogram!("bench.labeled.hist", 0.0, 64.0)
+                .record(&[("stage", std::hint::black_box("fir"))], 17.0)
+        })
+    });
+    p.bench_function("stage_guard_enter_drop", |b| {
+        b.iter(|| {
+            let _s = wazabee_telemetry::stage!("bench.stage");
+            std::hint::black_box(());
+        })
+    });
+    p.bench_function("wall_series_record", |b| {
+        b.iter(|| wazabee_telemetry::timeseries!("bench.series", std::hint::black_box(1.0)))
+    });
     p.finish();
 }
 

@@ -15,7 +15,15 @@
 //! no-op shim) to the current directory or the path given with `--out`.
 //!
 //! Run with:
-//! `cargo run --release -p wazabee-bench --bin netsim_scale [--smoke] [--out PATH]`
+//! `cargo run --release -p wazabee-bench --bin netsim_scale [--smoke] [--out PATH]
+//!  [--timeseries PATH] [--linger-ms N]`
+//!
+//! Live observability: with `WAZABEE_TELEMETRY_ADDR` set, a snapshot server
+//! answers mid-run metric/profile requests (`--linger-ms` keeps it up after
+//! the sweep so a poller can attach). `--timeseries PATH` runs one extra
+//! attacked cell with the sim-time timeline enabled and writes its
+//! deterministic per-node `timeseries.jsonl` artifact — attacker onset shows
+//! as the injector's `node.tx_total` series stepping off zero.
 
 use std::time::Instant as WallInstant;
 
@@ -59,6 +67,12 @@ struct CellResult {
 const DRAIN_MS: u64 = 50;
 
 fn run_cell(cell: Cell) -> CellResult {
+    run_cell_with(cell, None).0
+}
+
+/// Runs one cell; with `timeline_interval_us` set, records the sim-time
+/// timeline at that interval and returns its JSONL rendering.
+fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, Option<String>) {
     let ch = Dot154Channel::new(14).expect("channel 14 is valid");
     let mut cfg = SimConfig::ideal();
     // Every cell gets its own seed so no two cells share backoff draws.
@@ -111,6 +125,9 @@ fn run_cell(cell: Cell) -> CellResult {
     }
 
     sim.set_traffic_deadline(traffic_end);
+    if let Some(interval) = timeline_interval_us {
+        sim.enable_timeline(interval);
+    }
     let wall = WallInstant::now();
     sim.run_until(traffic_end.plus_ms(DRAIN_MS));
     let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
@@ -118,7 +135,7 @@ fn run_cell(cell: Cell) -> CellResult {
     let report = sim.report();
     let total_tx: u64 = sim.nodes().iter().map(|n| n.tx_count()).sum();
     let sim_secs = (cell.traffic_ms + DRAIN_MS) as f64 / 1e3;
-    CellResult {
+    let result = CellResult {
         cell,
         readings_sent: report.readings_sent,
         readings_delivered: report.readings_delivered,
@@ -131,12 +148,16 @@ fn run_cell(cell: Cell) -> CellResult {
         total_tx,
         wall_secs,
         sim_wall_ratio: sim_secs / wall_secs,
-    }
+    };
+    let timeline = timeline_interval_us.map(|_| sim.timeline_jsonl());
+    (result, timeline)
 }
 
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_netsim.json".to_string();
+    let mut timeseries_path: Option<String> = None;
+    let mut linger_ms = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -148,11 +169,34 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--timeseries" => match args.next() {
+                Some(p) => timeseries_path = Some(p),
+                None => {
+                    eprintln!("--timeseries requires a path");
+                    std::process::exit(2);
+                }
+            },
+            "--linger-ms" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(ms) => linger_ms = ms,
+                None => {
+                    eprintln!("--linger-ms requires a millisecond count");
+                    std::process::exit(2);
+                }
+            },
             other => {
-                eprintln!("usage: netsim_scale [--smoke] [--out PATH]   (got {other:?})");
+                eprintln!(
+                    "usage: netsim_scale [--smoke] [--out PATH] [--timeseries PATH] \
+                     [--linger-ms N]   (got {other:?})"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    match wazabee_telemetry::serve_from_env() {
+        Ok(Some(addr)) => eprintln!("telemetry snapshot server on {addr}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry snapshot server failed to start: {e}"),
     }
 
     let (counts, traffic_ms): (&[usize], u64) = if smoke {
@@ -218,4 +262,28 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");
+
+    if let Some(ts_path) = timeseries_path {
+        // One dedicated attacked cell with the sim-time timeline on: the
+        // artifact is deterministic (sim-time sampling of sim state only),
+        // byte-identical at any WAZABEE_THREADS or IQ chunk size.
+        let cell = Cell {
+            nodes: counts[0],
+            attacker: true,
+            traffic_ms,
+        };
+        let (_, timeline) = run_cell_with(cell, Some(10_000));
+        let jsonl = timeline.expect("timeline was enabled");
+        std::fs::write(&ts_path, jsonl).expect("write timeseries artifact");
+        eprintln!("wrote {ts_path}");
+    }
+
+    print!("{}", wazabee_telemetry::profile_summary());
+
+    if linger_ms > 0 {
+        // Keep the process (and the snapshot server) alive so a poller can
+        // attach after the sweep finishes — used by ci.sh.
+        eprintln!("lingering {linger_ms} ms for snapshot pollers ...");
+        std::thread::sleep(std::time::Duration::from_millis(linger_ms));
+    }
 }

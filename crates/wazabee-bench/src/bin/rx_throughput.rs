@@ -127,6 +127,12 @@ fn main() {
         }
     }
 
+    match wazabee_telemetry::serve_from_env() {
+        Ok(Some(addr)) => eprintln!("telemetry snapshot server on {addr}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry snapshot server failed to start: {e}"),
+    }
+
     let sps = 8;
     let (frames, symbols) = if smoke { (8, 200_000) } else { (64, 2_000_000) };
     let threads = wazabee_bench::sweep::default_threads();
@@ -149,4 +155,5 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");
+    print!("{}", wazabee_telemetry::profile_summary());
 }

@@ -75,6 +75,9 @@ fn stream_all(
     let mut results = Vec::new();
     for chunk in buf.chunks(CHUNK_SAMPLES) {
         results.extend(stream.push(chunk));
+        // Wall-clock time series: committed-frame count after each chunk, so
+        // a live snapshot poller can watch decode progress mid-run.
+        wazabee_telemetry::timeseries!("stream.results_total", results.len() as f64);
     }
     results.extend(stream.finish());
     results
@@ -99,6 +102,12 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    match wazabee_telemetry::serve_from_env() {
+        Ok(Some(addr)) => eprintln!("telemetry snapshot server on {addr}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry snapshot server failed to start: {e}"),
     }
 
     let sps = 8;
@@ -151,4 +160,5 @@ fn main() {
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");
+    print!("{}", wazabee_telemetry::profile_summary());
 }

@@ -82,6 +82,7 @@ impl AwgnSource {
 
     /// Adds noise to every sample of `buf` in place.
     pub fn add_to(&mut self, buf: &mut [Iq]) {
+        let _s = wazabee_telemetry::stage!("dsp.awgn");
         if self.sigma == 0.0 {
             return;
         }

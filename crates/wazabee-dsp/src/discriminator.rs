@@ -25,6 +25,7 @@ use crate::iq::Iq;
 /// assert!(f.iter().all(|&v| (v - step).abs() < 1e-9));
 /// ```
 pub fn discriminate(x: &[Iq]) -> Vec<f64> {
+    let _s = wazabee_telemetry::stage!("dsp.discriminate");
     if x.len() < 2 {
         return Vec::new();
     }

@@ -76,6 +76,7 @@ impl Fir {
 
     /// Full convolution with a real signal (output length `x.len() + taps − 1`).
     pub fn filter_real(&self, x: &[f64]) -> Vec<f64> {
+        let _s = wazabee_telemetry::stage!("dsp.fir_real");
         let n = x.len() + self.taps.len() - 1;
         let mut y = vec![0.0; n];
         for (k, &xv) in x.iter().enumerate() {
@@ -91,6 +92,7 @@ impl Fir {
 
     /// Full convolution with a complex signal.
     pub fn filter_iq(&self, x: &[Iq]) -> Vec<Iq> {
+        let _s = wazabee_telemetry::stage!("dsp.fir_iq");
         let n = x.len() + self.taps.len() - 1;
         let mut y = vec![Iq::ZERO; n];
         for (k, &xv) in x.iter().enumerate() {

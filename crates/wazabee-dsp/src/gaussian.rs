@@ -73,6 +73,7 @@ pub fn shape_nrz(
     span_symbols: usize,
 ) -> Vec<f64> {
     let _t = wazabee_telemetry::timed_scope!("dsp.gaussian_fir_ns");
+    let _s = wazabee_telemetry::stage!("dsp.gaussian_shape");
     let rect: Vec<f64> = symbols
         .iter()
         .flat_map(|&s| std::iter::repeat_n(s, samples_per_symbol))

@@ -25,6 +25,7 @@ use wazabee_dsp::resample::fractional_delay;
 use wazabee_dsp::AwgnSource;
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 use wazabee_radio::{EventQueue, Instant};
+use wazabee_telemetry::SeriesSet;
 use wazabee_zigbee::{NodeRole, XbeeNode, XbeePayload};
 
 use crate::config::SimConfig;
@@ -48,6 +49,24 @@ enum SimEvent {
     TxEnd { channel: usize },
     /// The ACK wait for `seq` expires.
     AckTimeout { node: usize, seq: u8 },
+    /// Sample the enabled timeline (sim-time-driven time series).
+    TimelineTick,
+}
+
+/// Sim-time-driven time-series recorder (see
+/// [`SpectrumSim::enable_timeline`]).
+///
+/// Owned by the simulation instance — *not* the global telemetry registry —
+/// so parallel sweep cells each record their own series and the exported
+/// `timeseries.jsonl` stays byte-identical across `WAZABEE_THREADS` and IQ
+/// chunk sizes. Timestamps are simulated microseconds; sampling reads only
+/// simulation state, never the wall clock.
+#[derive(Debug)]
+struct Timeline {
+    interval_us: u64,
+    series: SeriesSet,
+    /// Cumulative per-node airtime at the previous tick, for occupancy deltas.
+    prev_airtime_us: Vec<u64>,
 }
 
 /// Aggregate MAC/PHY counters over a run.
@@ -134,6 +153,8 @@ pub struct SpectrumSim {
     readings_sent: Vec<(u16, u16)>,
     /// After this instant application timers stop generating traffic.
     traffic_deadline: Option<Instant>,
+    /// Instance-owned sim-time series recorder, when enabled.
+    timeline: Option<Timeline>,
 }
 
 /// What one receiver got out of a closed cluster.
@@ -179,6 +200,7 @@ impl SpectrumSim {
             log: Vec::new(),
             readings_sent: Vec::new(),
             traffic_deadline: None,
+            timeline: None,
         }
     }
 
@@ -295,6 +317,103 @@ impl SpectrumSim {
         self.traffic_deadline = Some(when);
     }
 
+    /// Enables the sim-time timeline: every `interval_us` of *simulated*
+    /// time the run samples per-node airtime occupancy and transmission
+    /// totals plus global delivery/contention counters into an
+    /// instance-owned time series (timestamps in sim µs).
+    ///
+    /// Because sampling reads only simulation state, the recorded series —
+    /// and the [`SpectrumSim::timeline_jsonl`] artifact — are deterministic:
+    /// byte-identical across `WAZABEE_THREADS` worker counts and IQ chunk
+    /// sizes, the same contract as the committed event log. Attack onset is
+    /// directly visible: an injector or flooder node's `node.tx_total`
+    /// series steps from zero at its first keyup.
+    ///
+    /// Call before `run_until`; the first sample lands one interval in.
+    pub fn enable_timeline(&mut self, interval_us: u64) {
+        let interval_us = interval_us.max(1);
+        self.timeline = Some(Timeline {
+            interval_us,
+            // Capacity scales with wherever run_until lands; generous bound
+            // so long runs keep every sample rather than silently evicting.
+            series: SeriesSet::new(1 << 20),
+            prev_airtime_us: Vec::new(),
+        });
+        self.queue
+            .schedule(self.now.plus_us(interval_us), SimEvent::TimelineTick);
+    }
+
+    /// The recorded timeline series (empty set view when never enabled).
+    pub fn timeline(&self) -> Option<&SeriesSet> {
+        self.timeline.as_ref().map(|t| &t.series)
+    }
+
+    /// Renders the recorded timeline as JSON Lines, one
+    /// `{"type":"timeseries",…}` record per sample (empty string when the
+    /// timeline was never enabled).
+    pub fn timeline_jsonl(&self) -> String {
+        self.timeline
+            .as_ref()
+            .map(|t| t.series.to_jsonl())
+            .unwrap_or_default()
+    }
+
+    /// Writes [`SpectrumSim::timeline_jsonl`] to `path`, truncating it.
+    pub fn write_timeline_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.timeline_jsonl())
+    }
+
+    /// Samples every timeline series at the current sim time and schedules
+    /// the next tick. Reads simulation state only — no RNG draws, no event
+    /// log writes — so enabling the timeline cannot perturb the run.
+    fn on_timeline_tick(&mut self) {
+        let Some(mut tl) = self.timeline.take() else {
+            return;
+        };
+        let t = self.now.0;
+        tl.prev_airtime_us.resize(self.nodes.len(), 0);
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let label = idx.to_string();
+            let labels = [("node", label.as_str())];
+            let delta = node.airtime_us.saturating_sub(tl.prev_airtime_us[idx]);
+            tl.prev_airtime_us[idx] = node.airtime_us;
+            tl.series.record(
+                "node.airtime_occupancy",
+                &labels,
+                t,
+                delta as f64 / tl.interval_us as f64,
+            );
+            tl.series
+                .record("node.tx_total", &labels, t, node.tx_count as f64);
+        }
+        let sent = self.readings_sent.len() as u64;
+        let delivered = self.delivered_count();
+        tl.series.record("sim.readings_sent", &[], t, sent as f64);
+        tl.series
+            .record("sim.readings_delivered", &[], t, delivered as f64);
+        tl.series.record(
+            "sim.delivery_ratio",
+            &[],
+            t,
+            if sent == 0 {
+                1.0
+            } else {
+                delivered as f64 / sent as f64
+            },
+        );
+        tl.series
+            .record("sim.collisions", &[], t, self.stats.collisions as f64);
+        tl.series
+            .record("sim.cca_busy", &[], t, self.stats.cca_busy as f64);
+        tl.series
+            .record("sim.retries", &[], t, self.stats.retries as f64);
+        tl.series
+            .record("sim.jam_bursts", &[], t, self.stats.jam_bursts as f64);
+        let next = self.now.plus_us(tl.interval_us);
+        self.timeline = Some(tl);
+        self.queue.schedule(next, SimEvent::TimelineTick);
+    }
+
     /// Runs the event loop until `deadline` (inclusive).
     pub fn run_until(&mut self, deadline: Instant) {
         while let Some(when) = self.queue.peek_time() {
@@ -323,6 +442,7 @@ impl SpectrumSim {
             SimEvent::JamBurst { node } => self.on_jam_burst(node),
             SimEvent::TxEnd { channel } => self.on_tx_end(channel),
             SimEvent::AckTimeout { node, seq } => self.on_ack_timeout(node, seq),
+            SimEvent::TimelineTick => self.on_timeline_tick(),
         }
     }
 
@@ -482,7 +602,10 @@ impl SpectrumSim {
         };
         match prepared {
             Some((ppdu, seq, ack_request)) => {
-                let samples = self.modem.transmit(&ppdu);
+                let samples = {
+                    let _s = wazabee_telemetry::stage!("sim.modulate");
+                    self.modem.transmit(&ppdu)
+                };
                 self.begin_transmission(
                     idx,
                     samples,
@@ -605,7 +728,10 @@ impl SpectrumSim {
                 let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
                     return;
                 };
-                let samples = self.modem.transmit(&ppdu);
+                let samples = {
+                    let _s = wazabee_telemetry::stage!("sim.modulate");
+                    self.modem.transmit(&ppdu)
+                };
                 self.begin_transmission(
                     idx,
                     samples,
@@ -635,7 +761,10 @@ impl SpectrumSim {
         let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
             return;
         };
-        let samples = self.btx.transmit(&ppdu);
+        let samples = {
+            let _s = wazabee_telemetry::stage!("sim.modulate");
+            self.btx.transmit(&ppdu)
+        };
         self.begin_transmission(
             idx,
             samples,
@@ -662,6 +791,15 @@ impl SpectrumSim {
         let ch = self.nodes[source].channel_idx();
         self.nodes[source].airtime_us += duration_us;
         self.nodes[source].tx_count += 1;
+        {
+            let node = source.to_string();
+            let channel = (ch + 11).to_string();
+            wazabee_telemetry::labeled_counter!("sim.tx").inc(&[
+                ("node", &node),
+                ("channel", &channel),
+                ("kind", self.nodes[source].kind_name()),
+            ]);
+        }
         self.log.push(format!(
             "t={} keyup node={} kind={} seq={:?} dur={}",
             start.0,
@@ -783,6 +921,7 @@ impl SpectrumSim {
     /// `iq_chunk`-sized pushes, returning recovered frames and the count of
     /// committed failed attempts.
     fn decode_buffer(&self, buf: &[Iq]) -> (Vec<MacFrame>, u64) {
+        let _s = wazabee_telemetry::stage!("sim.demod");
         let mut stream = self.rx.stream();
         let mut results = Vec::new();
         for chunk in buf.chunks(self.cfg.iq_chunk.max(1)) {
@@ -859,7 +998,10 @@ impl SpectrumSim {
                     continue;
                 }
             }
-            let mut buf = superpose(&cluster, &gains, start, end, spu);
+            let mut buf = {
+                let _s = wazabee_telemetry::stage!("sim.superpose");
+                superpose(&cluster, &gains, start, end, spu)
+            };
             if self.cfg.cfo_hz != 0.0 {
                 buf = frequency_shift(&buf, self.cfg.cfo_hz, fs);
             }
@@ -892,6 +1034,11 @@ impl SpectrumSim {
                 Heard::Frames(frames, failures) => {
                     self.stats.frames_decoded += frames.len() as u64;
                     self.stats.decode_failures += failures;
+                    {
+                        let node = idx.to_string();
+                        wazabee_telemetry::labeled_counter!("sim.rx.frames")
+                            .add(&[("node", &node)], frames.len() as u64);
+                    }
                     match &self.nodes[idx].kind {
                         NodeKind::Zigbee(_) => self.zigbee_rx(idx, frames),
                         NodeKind::Spoofer { .. } => self.spoofer_rx(idx, frames),
@@ -1026,8 +1173,8 @@ impl SpectrumSim {
         }
     }
 
-    /// Summarises the run.
-    pub fn report(&self) -> SimReport {
+    /// Readings (sent so far) that have reached a coordinator's display.
+    fn delivered_count(&self) -> u64 {
         let mut delivered = 0u64;
         for &(addr, value) in &self.readings_sent {
             let arrived = self.nodes.iter().any(|n| match &n.kind {
@@ -1045,6 +1192,12 @@ impl SpectrumSim {
                 delivered += 1;
             }
         }
+        delivered
+    }
+
+    /// Summarises the run.
+    pub fn report(&self) -> SimReport {
+        let delivered = self.delivered_count();
         let sent = self.readings_sent.len() as u64;
         SimReport {
             readings_sent: sent,

@@ -1,0 +1,663 @@
+//! Labeled metric families: counters, gauges and histograms keyed by small
+//! label sets (`channel=15`, `node=3`, `stage=fir`, …).
+//!
+//! A *family* is declared once per call site (via [`crate::labeled_counter!`],
+//! [`crate::labeled_gauge!`] or [`crate::labeled_histogram!`]) and fans out
+//! into one cell per distinct label set on first use. Cells are shared
+//! `Arc`s of atomics, so the steady-state cost of a labeled increment is one
+//! short mutex-guarded map lookup — or, with a cached [`CounterHandle`] /
+//! [`HistogramHandle`], a single relaxed atomic op with no lock at all.
+//!
+//! Label sets are capped at [`MAX_LABELS`] pairs and stored sorted by key,
+//! so `[("a","1"),("b","2")]` and `[("b","2"),("a","1")]` address the same
+//! cell. With the `enabled` feature off every family compiles to a no-op
+//! and every handle is zero-sized.
+
+#[cfg(feature = "enabled")]
+use std::collections::BTreeMap;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::sync::{Arc, Mutex};
+
+#[cfg(feature = "enabled")]
+use crate::hist::HIST_BUCKETS;
+
+/// Maximum label pairs per metric (excess pairs are dropped, keeping the
+/// first `MAX_LABELS` after sorting).
+pub const MAX_LABELS: usize = 4;
+
+/// An owned, sorted label set.
+///
+/// Keys are `'static` (label *names* are part of the schema); values are
+/// formatted at the call site (`node=3`, `channel=15`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct LabelSet(Vec<(&'static str, String)>);
+
+impl LabelSet {
+    /// Builds a label set from `(key, value)` pairs, sorting by key and
+    /// truncating past [`MAX_LABELS`]. Duplicate keys keep the first value.
+    #[must_use]
+    pub fn new(pairs: &[(&'static str, &str)]) -> Self {
+        let mut v: Vec<(&'static str, String)> =
+            pairs.iter().map(|&(k, val)| (k, val.to_string())).collect();
+        v.sort_by_key(|&(k, _)| k);
+        v.dedup_by_key(|&mut (k, _)| k);
+        v.truncate(MAX_LABELS);
+        LabelSet(v)
+    }
+
+    /// The sorted `(key, value)` pairs.
+    #[must_use]
+    pub fn pairs(&self) -> &[(&'static str, String)] {
+        &self.0
+    }
+
+    /// Renders as `{k="v",k2="v2"}` (empty string for an empty set).
+    #[must_use]
+    pub fn render(&self) -> String {
+        if self.0.is_empty() {
+            return String::new();
+        }
+        let body: Vec<String> = self.0.iter().map(|(k, v)| format!("{k}=\"{v}\"")).collect();
+        format!("{{{}}}", body.join(","))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------------
+
+/// A family of monotonically increasing counters keyed by label set.
+///
+/// Declare via [`crate::labeled_counter!`]. `const`-constructible so each
+/// call site owns a static family; the first touch registers it with the
+/// global registry.
+#[derive(Debug)]
+pub struct CounterFamily {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    cells: Mutex<BTreeMap<LabelSet, Arc<AtomicU64>>>,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+}
+
+/// A cached, lock-free handle onto one labeled counter cell.
+#[derive(Debug, Clone)]
+pub struct CounterHandle {
+    #[cfg(feature = "enabled")]
+    cell: Arc<AtomicU64>,
+}
+
+impl CounterHandle {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` — one relaxed `fetch_add`, no lock.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        #[cfg(feature = "enabled")]
+        self.cell.fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = n;
+    }
+
+    /// Current value (0 when disabled).
+    #[inline]
+    #[must_use]
+    pub fn get(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.cell.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+}
+
+impl CounterFamily {
+    /// Creates an unregistered family (use via [`crate::labeled_counter!`]).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        CounterFamily {
+            name,
+            #[cfg(feature = "enabled")]
+            cells: Mutex::new(BTreeMap::new()),
+            #[cfg(feature = "enabled")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The family name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds one to the cell for `labels`.
+    #[inline]
+    pub fn inc(&'static self, labels: &[(&'static str, &str)]) {
+        self.add(labels, 1);
+    }
+
+    /// Adds `n` to the cell for `labels` (map lookup + relaxed `fetch_add`).
+    pub fn add(&'static self, labels: &[(&'static str, &str)], n: u64) {
+        #[cfg(feature = "enabled")]
+        self.cell(labels).fetch_add(n, Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = (labels, n);
+    }
+
+    /// Current value of the cell for `labels` (0 when absent or disabled).
+    #[must_use]
+    pub fn get(&'static self, labels: &[(&'static str, &str)]) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            let key = LabelSet::new(labels);
+            self.cells
+                .lock()
+                .unwrap()
+                .get(&key)
+                .map_or(0, |c| c.load(Ordering::Relaxed))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = labels;
+            0
+        }
+    }
+
+    /// Resolves (creating if needed) a lock-free handle for `labels` — cache
+    /// this outside a hot loop so increments skip the map lookup entirely.
+    #[must_use]
+    pub fn handle(&'static self, labels: &[(&'static str, &str)]) -> CounterHandle {
+        #[cfg(feature = "enabled")]
+        {
+            CounterHandle {
+                cell: self.cell(labels),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = labels;
+            CounterHandle {}
+        }
+    }
+
+    /// Snapshot of every `(labels, value)` cell, sorted by label set.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(LabelSet, u64)> {
+        #[cfg(feature = "enabled")]
+        {
+            self.cells
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.load(Ordering::Relaxed)))
+                .collect()
+        }
+        #[cfg(not(feature = "enabled"))]
+        Vec::new()
+    }
+
+    #[cfg(feature = "enabled")]
+    fn cell(&'static self, labels: &[(&'static str, &str)]) -> Arc<AtomicU64> {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            crate::registry::register_counter_family(self);
+        }
+        let key = LabelSet::new(labels);
+        Arc::clone(
+            self.cells
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0))),
+        )
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset(&self) {
+        // Zero in place (rather than dropping cells) so cached handles stay
+        // wired to the very cells the sinks will read.
+        for cell in self.cells.lock().unwrap().values() {
+            cell.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gauges
+// ---------------------------------------------------------------------------
+
+/// A family of last-value-wins gauges keyed by label set (f64 payload).
+#[derive(Debug)]
+pub struct GaugeFamily {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    cells: Mutex<BTreeMap<LabelSet, Arc<AtomicU64>>>,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+}
+
+impl GaugeFamily {
+    /// Creates an unregistered family (use via [`crate::labeled_gauge!`]).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        GaugeFamily {
+            name,
+            #[cfg(feature = "enabled")]
+            cells: Mutex::new(BTreeMap::new()),
+            #[cfg(feature = "enabled")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The family name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Sets the cell for `labels` to `v`.
+    pub fn set(&'static self, labels: &[(&'static str, &str)], v: f64) {
+        #[cfg(feature = "enabled")]
+        self.cell(labels).store(v.to_bits(), Ordering::Relaxed);
+        #[cfg(not(feature = "enabled"))]
+        let _ = (labels, v);
+    }
+
+    /// Last value set for `labels` (`None` when never set or disabled).
+    #[must_use]
+    pub fn get(&'static self, labels: &[(&'static str, &str)]) -> Option<f64> {
+        #[cfg(feature = "enabled")]
+        {
+            let key = LabelSet::new(labels);
+            self.cells
+                .lock()
+                .unwrap()
+                .get(&key)
+                .map(|c| f64::from_bits(c.load(Ordering::Relaxed)))
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = labels;
+            None
+        }
+    }
+
+    /// Snapshot of every `(labels, value)` cell, sorted by label set.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(LabelSet, f64)> {
+        #[cfg(feature = "enabled")]
+        {
+            self.cells
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, v)| (k.clone(), f64::from_bits(v.load(Ordering::Relaxed))))
+                .collect()
+        }
+        #[cfg(not(feature = "enabled"))]
+        Vec::new()
+    }
+
+    #[cfg(feature = "enabled")]
+    fn cell(&'static self, labels: &[(&'static str, &str)]) -> Arc<AtomicU64> {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            crate::registry::register_gauge_family(self);
+        }
+        let key = LabelSet::new(labels);
+        Arc::clone(
+            self.cells
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(AtomicU64::new(0f64.to_bits()))),
+        )
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset(&self) {
+        // A gauge's "zero" is last-value-unknown: drop the cells so stale
+        // per-node values from a previous phase cannot leak into the next.
+        self.cells.lock().unwrap().clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+// ---------------------------------------------------------------------------
+
+/// One labeled histogram cell: linear buckets over the family's `[lo, hi)`.
+#[cfg(feature = "enabled")]
+#[derive(Debug)]
+pub(crate) struct HistCell {
+    buckets: [AtomicU64; HIST_BUCKETS],
+    underflow: AtomicU64,
+    overflow: AtomicU64,
+    sum_bits: AtomicU64,
+}
+
+#[cfg(feature = "enabled")]
+impl HistCell {
+    fn new() -> Self {
+        HistCell {
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+            underflow: AtomicU64::new(0),
+            overflow: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, lo: f64, hi: f64, v: f64) {
+        let width = (hi - lo) / HIST_BUCKETS as f64;
+        if v < lo {
+            self.underflow.fetch_add(1, Ordering::Relaxed);
+        } else if v >= hi || !v.is_finite() {
+            self.overflow.fetch_add(1, Ordering::Relaxed);
+        } else {
+            let idx = ((v - lo) / width) as usize;
+            self.buckets[idx.min(HIST_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.underflow.store(0, Ordering::Relaxed);
+        self.overflow.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregate view of one labeled histogram cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistStats {
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of all recorded samples.
+    pub sum: f64,
+    /// Mean, `None` when empty.
+    pub mean: Option<f64>,
+    /// Nearest-rank p50 (lower bucket edge), `None` when empty.
+    pub p50: Option<f64>,
+    /// Nearest-rank p99 (lower bucket edge), `None` when empty.
+    pub p99: Option<f64>,
+}
+
+/// A family of linear-bucket histograms over `[lo, hi)` keyed by label set.
+#[derive(Debug)]
+pub struct HistogramFamily {
+    name: &'static str,
+    lo: f64,
+    hi: f64,
+    #[cfg(feature = "enabled")]
+    cells: Mutex<BTreeMap<LabelSet, Arc<HistCell>>>,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+}
+
+/// A cached, lock-free handle onto one labeled histogram cell.
+#[derive(Debug, Clone)]
+pub struct HistogramHandle {
+    #[cfg(feature = "enabled")]
+    cell: Arc<HistCell>,
+    #[cfg(feature = "enabled")]
+    lo: f64,
+    #[cfg(feature = "enabled")]
+    hi: f64,
+}
+
+impl HistogramHandle {
+    /// Records one sample — bucket math + relaxed atomics, no lock.
+    #[inline]
+    pub fn record(&self, v: f64) {
+        #[cfg(feature = "enabled")]
+        self.cell.record(self.lo, self.hi, v);
+        #[cfg(not(feature = "enabled"))]
+        let _ = v;
+    }
+}
+
+impl HistogramFamily {
+    /// Creates an unregistered family (use via [`crate::labeled_histogram!`]).
+    #[must_use]
+    pub const fn new(name: &'static str, lo: f64, hi: f64) -> Self {
+        HistogramFamily {
+            name,
+            lo,
+            hi,
+            #[cfg(feature = "enabled")]
+            cells: Mutex::new(BTreeMap::new()),
+            #[cfg(feature = "enabled")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The family name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The configured range.
+    #[must_use]
+    pub fn range(&self) -> (f64, f64) {
+        (self.lo, self.hi)
+    }
+
+    /// Records one sample into the cell for `labels`.
+    pub fn record(&'static self, labels: &[(&'static str, &str)], v: f64) {
+        #[cfg(feature = "enabled")]
+        self.cell(labels).record(self.lo, self.hi, v);
+        #[cfg(not(feature = "enabled"))]
+        let _ = (labels, v);
+    }
+
+    /// Resolves (creating if needed) a lock-free handle for `labels`.
+    #[must_use]
+    pub fn handle(&'static self, labels: &[(&'static str, &str)]) -> HistogramHandle {
+        #[cfg(feature = "enabled")]
+        {
+            HistogramHandle {
+                cell: self.cell(labels),
+                lo: self.lo,
+                hi: self.hi,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = labels;
+            HistogramHandle {}
+        }
+    }
+
+    /// Snapshot of every cell's aggregate stats, sorted by label set.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(LabelSet, HistStats)> {
+        #[cfg(feature = "enabled")]
+        {
+            let width = (self.hi - self.lo) / HIST_BUCKETS as f64;
+            self.cells
+                .lock()
+                .unwrap()
+                .iter()
+                .map(|(k, cell)| {
+                    let under = cell.underflow.load(Ordering::Relaxed);
+                    let over = cell.overflow.load(Ordering::Relaxed);
+                    let interior: Vec<u64> = cell
+                        .buckets
+                        .iter()
+                        .map(|b| b.load(Ordering::Relaxed))
+                        .collect();
+                    let count = under + over + interior.iter().sum::<u64>();
+                    let sum = f64::from_bits(cell.sum_bits.load(Ordering::Relaxed));
+                    let quant = |q: f64| -> Option<f64> {
+                        if count == 0 {
+                            return None;
+                        }
+                        let rank = ((q * count as f64).ceil() as u64).max(1);
+                        let mut seen = under;
+                        if rank <= seen {
+                            return Some(self.lo - width);
+                        }
+                        for (i, &c) in interior.iter().enumerate() {
+                            seen += c;
+                            if rank <= seen {
+                                return Some(self.lo + i as f64 * width);
+                            }
+                        }
+                        Some(self.hi)
+                    };
+                    (
+                        k.clone(),
+                        HistStats {
+                            count,
+                            sum,
+                            mean: (count > 0).then(|| sum / count as f64),
+                            p50: quant(0.5),
+                            p99: quant(0.99),
+                        },
+                    )
+                })
+                .collect()
+        }
+        #[cfg(not(feature = "enabled"))]
+        Vec::new()
+    }
+
+    #[cfg(feature = "enabled")]
+    fn cell(&'static self, labels: &[(&'static str, &str)]) -> Arc<HistCell> {
+        if !self.registered.load(Ordering::Relaxed) && !self.registered.swap(true, Ordering::AcqRel)
+        {
+            crate::registry::register_hist_family(self);
+        }
+        let key = LabelSet::new(labels);
+        Arc::clone(
+            self.cells
+                .lock()
+                .unwrap()
+                .entry(key)
+                .or_insert_with(|| Arc::new(HistCell::new())),
+        )
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset(&self) {
+        for cell in self.cells.lock().unwrap().values() {
+            cell.reset();
+        }
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_sets_are_order_insensitive() {
+        let a = LabelSet::new(&[("node", "3"), ("channel", "15")]);
+        let b = LabelSet::new(&[("channel", "15"), ("node", "3")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "{channel=\"15\",node=\"3\"}");
+        assert_eq!(LabelSet::new(&[]).render(), "");
+    }
+
+    #[test]
+    fn counter_family_fans_out_by_labels() {
+        let _lock = crate::test_lock();
+        let fam = crate::labeled_counter!("labeled.test.frames");
+        fam.add(&[("channel", "15")], 3);
+        fam.add(&[("channel", "20")], 2);
+        fam.inc(&[("channel", "15")]);
+        assert_eq!(fam.get(&[("channel", "15")]), 4);
+        assert_eq!(fam.get(&[("channel", "20")]), 2);
+        assert_eq!(fam.get(&[("channel", "26")]), 0);
+        let snap = fam.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1 + snap[1].1, 6);
+    }
+
+    #[test]
+    fn cached_handle_hits_same_cell() {
+        let _lock = crate::test_lock();
+        let fam = crate::labeled_counter!("labeled.test.handle");
+        let h = fam.handle(&[("node", "7")]);
+        let before = fam.get(&[("node", "7")]);
+        for _ in 0..100 {
+            h.inc();
+        }
+        assert_eq!(fam.get(&[("node", "7")]), before + 100);
+        assert_eq!(h.get(), before + 100);
+    }
+
+    #[test]
+    fn gauge_holds_last_value() {
+        let _lock = crate::test_lock();
+        let g = crate::labeled_gauge!("labeled.test.gauge");
+        assert_eq!(g.get(&[("node", "1")]), None);
+        g.set(&[("node", "1")], 0.25);
+        g.set(&[("node", "1")], 0.75);
+        assert_eq!(g.get(&[("node", "1")]), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_family_aggregates_per_cell() {
+        let _lock = crate::test_lock();
+        let h = crate::labeled_histogram!("labeled.test.hist", 0.0, 64.0);
+        for _ in 0..10 {
+            h.record(&[("stage", "fir")], 4.0);
+        }
+        h.record(&[("stage", "fir")], 60.0);
+        h.record(&[("stage", "demod")], 1.0);
+        let snap = h.snapshot();
+        let fir = snap
+            .iter()
+            .find(|(k, _)| k.render().contains("fir"))
+            .map(|(_, s)| s.clone())
+            .unwrap();
+        assert_eq!(fir.count, 11);
+        assert_eq!(fir.p50, Some(4.0));
+        assert_eq!(fir.p99, Some(60.0));
+    }
+
+    #[test]
+    fn concurrent_labeled_increments_lose_nothing() {
+        let _lock = crate::test_lock();
+        static FAM: CounterFamily = CounterFamily::new("labeled.test.contended");
+        let threads: Vec<_> = (0..4)
+            .map(|k| {
+                std::thread::spawn(move || {
+                    let h = FAM.handle(&[("worker", if k % 2 == 0 { "even" } else { "odd" })]);
+                    for _ in 0..10_000 {
+                        h.inc();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(FAM.get(&[("worker", "even")]), 20_000);
+        assert_eq!(FAM.get(&[("worker", "odd")]), 20_000);
+    }
+}

@@ -53,19 +53,35 @@
 
 mod counter;
 mod hist;
+mod labeled;
+mod profile;
 mod registry;
+mod server;
 mod sink;
 mod span;
+mod timeseries;
 
 pub use counter::Counter;
 pub use hist::{TimeHistogram, TimerGuard, ValueHistogram, HIST_BUCKETS};
-pub use sink::{dump_from_env, dump_jsonl_to, summary, write_jsonl, ENV_OUT};
+pub use labeled::{
+    CounterFamily, CounterHandle, GaugeFamily, HistStats, HistogramFamily, HistogramHandle,
+    LabelSet, MAX_LABELS,
+};
+pub use profile::{profile_report, profile_summary, StageGuard, StageRow, StageStat};
+pub use server::{serve, serve_from_env, ENV_ADDR};
+pub use sink::{dump_from_env, dump_jsonl_to, snapshot_json, summary, write_jsonl, ENV_OUT};
 pub use span::{drain_trace, event, SpanGuard, TraceEvent, TraceKind, TRACE_CAPACITY};
+pub use timeseries::{Point, Series, SeriesSet, WallSeries, SERIES_CAPACITY};
 
-/// Zeroes every registered counter and histogram and clears the trace ring.
+/// Zeroes every registered metric — flat counters/histograms, labeled
+/// families, the stage profile, wall-clock series — and clears the trace
+/// ring.
 ///
 /// Intended for test isolation and for scenario binaries that report several
-/// independent phases. Statics stay registered; only their values reset.
+/// independent phases (the parallel sweep driver resets between cells).
+/// Statics stay registered; only their values reset. Cached
+/// [`CounterHandle`]s/[`HistogramHandle`]s remain valid: counter and
+/// histogram cells are zeroed in place, not dropped.
 pub fn reset() {
     registry::reset();
     span::clear();
@@ -130,6 +146,76 @@ macro_rules! event {
     ($name:expr, $value:expr) => {
         $crate::event($name, Some($value as f64))
     };
+}
+
+/// Declares (once) and returns a `&'static` [`CounterFamily`] for this call
+/// site — a counter fanning out by label set:
+///
+/// ```
+/// # use wazabee_telemetry as tel;
+/// tel::labeled_counter!("example.frames").inc(&[("channel", "15")]);
+/// ```
+#[macro_export]
+macro_rules! labeled_counter {
+    ($name:expr) => {{
+        static __WZB_CFAMILY: $crate::CounterFamily = $crate::CounterFamily::new($name);
+        &__WZB_CFAMILY
+    }};
+}
+
+/// Declares (once) and returns a `&'static` [`GaugeFamily`] (last-value-wins
+/// f64 per label set) for this call site.
+#[macro_export]
+macro_rules! labeled_gauge {
+    ($name:expr) => {{
+        static __WZB_GFAMILY: $crate::GaugeFamily = $crate::GaugeFamily::new($name);
+        &__WZB_GFAMILY
+    }};
+}
+
+/// Declares (once) and returns a `&'static` [`HistogramFamily`] over
+/// `[$lo, $hi)` keyed by label set for this call site.
+#[macro_export]
+macro_rules! labeled_histogram {
+    ($name:expr, $lo:expr, $hi:expr) => {{
+        static __WZB_HFAMILY: $crate::HistogramFamily =
+            $crate::HistogramFamily::new($name, $lo, $hi);
+        &__WZB_HFAMILY
+    }};
+}
+
+/// Opens a profiled pipeline stage; it closes (recording self/total time)
+/// when the returned guard drops. Stages nest — see [`profile_report`].
+///
+/// ```
+/// # use wazabee_telemetry as tel;
+/// fn despread(symbols: &[u8]) {
+///     let _s = tel::stage!("example.despread");
+///     // ... child stages bill their time to this one ...
+/// }
+/// # despread(&[0]);
+/// ```
+#[macro_export]
+macro_rules! stage {
+    ($name:expr) => {{
+        static __WZB_STAGE: $crate::StageStat = $crate::StageStat::new($name);
+        __WZB_STAGE.enter()
+    }};
+}
+
+/// Declares (once) a global wall-clock [`WallSeries`] (capacity
+/// [`SERIES_CAPACITY`] unless given) and records `$value` into it.
+#[macro_export]
+macro_rules! timeseries {
+    ($name:expr, $value:expr) => {{
+        static __WZB_SERIES: $crate::WallSeries =
+            $crate::WallSeries::new($name, $crate::SERIES_CAPACITY);
+        __WZB_SERIES.record($value as f64)
+    }};
+    ($name:expr, $value:expr, $capacity:expr) => {{
+        static __WZB_SERIES: $crate::WallSeries = $crate::WallSeries::new($name, $capacity);
+        __WZB_SERIES.record($value as f64)
+    }};
 }
 
 /// Serializes tests that touch the global registry or trace ring: `reset()`

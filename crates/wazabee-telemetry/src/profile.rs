@@ -1,0 +1,339 @@
+//! Hierarchical pipeline stage profiler: self/total wall time per stage.
+//!
+//! A *stage* is a named region of the decode path (`stream.demod`,
+//! `dsp.fir`, `sim.superpose`, …) opened with the [`crate::stage!`] macro and
+//! closed when the returned guard drops. Stages nest: a thread-local
+//! accumulator attributes each stage's child time to its parent, so every
+//! stage reports both **total** time (including callees) and **self** time
+//! (exclusive). Self time is what decides which scalar loop to vectorize
+//! first — a stage whose total is large but whose self is small is just a
+//! caller.
+//!
+//! Aggregation is per call site: each `stage!` declares a static
+//! [`StageStat`] whose counters are relaxed atomics, so concurrent decode
+//! lanes profile without locks. The thread-local nesting stack costs two
+//! `Cell` ops per guard. With the `enabled` feature off the macro compiles
+//! to a zero-sized guard and dead code.
+
+#[cfg(feature = "enabled")]
+use std::cell::Cell;
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+#[cfg(feature = "enabled")]
+use std::time::Instant;
+
+/// Per-stage aggregate counters, declared statically by [`crate::stage!`].
+#[derive(Debug)]
+pub struct StageStat {
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    count: AtomicU64,
+    #[cfg(feature = "enabled")]
+    total_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    self_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+}
+
+#[cfg(feature = "enabled")]
+thread_local! {
+    /// Nanoseconds consumed by already-closed child stages of the innermost
+    /// open stage on this thread.
+    static CHILD_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+impl StageStat {
+    /// Creates an unregistered stage (use via [`crate::stage!`]).
+    #[must_use]
+    pub const fn new(name: &'static str) -> Self {
+        StageStat {
+            name,
+            #[cfg(feature = "enabled")]
+            count: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            total_ns: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            self_ns: AtomicU64::new(0),
+            #[cfg(feature = "enabled")]
+            registered: AtomicBool::new(false),
+        }
+    }
+
+    /// The stage name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Completed invocations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.count.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Total wall time including child stages, in nanoseconds.
+    #[must_use]
+    pub fn total_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.total_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Exclusive wall time (total minus child stages), in nanoseconds.
+    #[must_use]
+    pub fn self_ns(&self) -> u64 {
+        #[cfg(feature = "enabled")]
+        {
+            self.self_ns.load(Ordering::Relaxed)
+        }
+        #[cfg(not(feature = "enabled"))]
+        0
+    }
+
+    /// Opens the stage; the returned guard records on drop.
+    #[inline]
+    #[must_use = "the stage closes when the guard drops; binding it to _ drops immediately"]
+    pub fn enter(&'static self) -> StageGuard {
+        #[cfg(feature = "enabled")]
+        {
+            if !self.registered.load(Ordering::Relaxed)
+                && !self.registered.swap(true, Ordering::AcqRel)
+            {
+                crate::registry::register_stage(self);
+            }
+            // Start a fresh child accumulator for this nesting level; the
+            // parent's accumulated child time is parked in the guard.
+            let parent_child_ns = CHILD_NS.with(|c| c.replace(0));
+            StageGuard {
+                stat: self,
+                started: Instant::now(),
+                parent_child_ns,
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        StageGuard {}
+    }
+
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset(&self) {
+        self.count.store(0, Ordering::Relaxed);
+        self.total_ns.store(0, Ordering::Relaxed);
+        self.self_ns.store(0, Ordering::Relaxed);
+    }
+}
+
+/// RAII guard closing a profiled stage (see [`crate::stage!`]).
+#[must_use = "the stage closes when the guard drops; binding it to _ drops immediately"]
+pub struct StageGuard {
+    #[cfg(feature = "enabled")]
+    stat: &'static StageStat,
+    #[cfg(feature = "enabled")]
+    started: Instant,
+    #[cfg(feature = "enabled")]
+    parent_child_ns: u64,
+}
+
+impl Drop for StageGuard {
+    #[inline]
+    fn drop(&mut self) {
+        #[cfg(feature = "enabled")]
+        {
+            let total = self.started.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+            // Whatever the child accumulator holds now was spent in stages
+            // nested under this one.
+            let child = CHILD_NS.with(|c| c.get());
+            let own = total.saturating_sub(child);
+            self.stat.count.fetch_add(1, Ordering::Relaxed);
+            self.stat.total_ns.fetch_add(total, Ordering::Relaxed);
+            self.stat.self_ns.fetch_add(own, Ordering::Relaxed);
+            // Restore the parent's accumulator and bill it our whole total.
+            CHILD_NS.with(|c| c.set(self.parent_child_ns + total));
+        }
+    }
+}
+
+/// One row of the aggregated stage profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageRow {
+    /// Stage name.
+    pub name: &'static str,
+    /// Completed invocations, summed over call sites sharing the name.
+    pub count: u64,
+    /// Total (inclusive) nanoseconds.
+    pub total_ns: u64,
+    /// Self (exclusive) nanoseconds.
+    pub self_ns: u64,
+}
+
+/// The aggregated per-stage profile, one row per distinct stage name,
+/// sorted by self time descending (the SIMD work order).
+///
+/// Empty when nothing was profiled or the `enabled` feature is off.
+#[must_use]
+pub fn profile_report() -> Vec<StageRow> {
+    #[cfg(feature = "enabled")]
+    {
+        use std::collections::BTreeMap;
+        let mut rows: BTreeMap<&'static str, StageRow> = BTreeMap::new();
+        for s in crate::registry::registry().stages.lock().unwrap().iter() {
+            let row = rows.entry(s.name()).or_insert(StageRow {
+                name: s.name(),
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+            });
+            row.count += s.count();
+            row.total_ns += s.total_ns();
+            row.self_ns += s.self_ns();
+        }
+        let mut out: Vec<StageRow> = rows.into_values().filter(|r| r.count > 0).collect();
+        out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.name.cmp(b.name)));
+        out
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// Renders the stage profile as a console table (empty string when nothing
+/// was profiled).
+#[must_use]
+pub fn profile_summary() -> String {
+    let rows = profile_report();
+    if rows.is_empty() {
+        return String::new();
+    }
+    let grand_self: u64 = rows.iter().map(|r| r.self_ns).sum();
+    let mut out = String::from("-- stage profile (self-time order) --\n");
+    for r in &rows {
+        let pct = 100.0 * r.self_ns as f64 / grand_self.max(1) as f64;
+        out.push_str(&format!(
+            "  {:<28} n={:<8} self={:>10.3}ms ({pct:5.1}%) total={:>10.3}ms\n",
+            r.name,
+            r.count,
+            r.self_ns as f64 / 1e6,
+            r.total_ns as f64 / 1e6,
+        ));
+    }
+    out
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    fn spin_ns(ns: u64) {
+        let start = Instant::now();
+        while (start.elapsed().as_nanos() as u64) < ns {
+            std::hint::spin_loop();
+        }
+    }
+
+    #[test]
+    fn nested_stages_split_self_and_total() {
+        let _lock = crate::test_lock();
+        static OUTER: StageStat = StageStat::new("profile.test.outer");
+        static INNER: StageStat = StageStat::new("profile.test.inner");
+        {
+            let _o = OUTER.enter();
+            spin_ns(200_000);
+            {
+                let _i = INNER.enter();
+                spin_ns(400_000);
+            }
+            spin_ns(100_000);
+        }
+        assert_eq!(OUTER.count(), 1);
+        assert_eq!(INNER.count(), 1);
+        // The outer total covers everything; its self time excludes the
+        // inner stage entirely.
+        assert!(OUTER.total_ns() >= 700_000, "total={}", OUTER.total_ns());
+        assert!(
+            OUTER.self_ns() + INNER.total_ns() <= OUTER.total_ns() + 50_000,
+            "self={} inner_total={} outer_total={}",
+            OUTER.self_ns(),
+            INNER.total_ns(),
+            OUTER.total_ns()
+        );
+        assert!(
+            OUTER.self_ns() < OUTER.total_ns(),
+            "outer self must exclude the inner stage"
+        );
+        assert!(INNER.self_ns() >= 400_000 - 1_000);
+    }
+
+    #[test]
+    fn sibling_stages_bill_the_same_parent() {
+        let _lock = crate::test_lock();
+        static PARENT: StageStat = StageStat::new("profile.test.parent");
+        static A: StageStat = StageStat::new("profile.test.a");
+        static B: StageStat = StageStat::new("profile.test.b");
+        {
+            let _p = PARENT.enter();
+            {
+                let _a = A.enter();
+                spin_ns(150_000);
+            }
+            {
+                let _b = B.enter();
+                spin_ns(150_000);
+            }
+        }
+        // Both siblings' totals are excluded from the parent's self time.
+        assert!(
+            PARENT.self_ns() + A.total_ns() + B.total_ns() <= PARENT.total_ns() + 50_000,
+            "parent self={} a={} b={} parent total={}",
+            PARENT.self_ns(),
+            A.total_ns(),
+            B.total_ns(),
+            PARENT.total_ns()
+        );
+    }
+
+    #[test]
+    fn report_merges_by_name_and_sorts_by_self() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        static HOT: StageStat = StageStat::new("profile.test.hot");
+        static COLD: StageStat = StageStat::new("profile.test.cold");
+        {
+            let _g = HOT.enter();
+            spin_ns(500_000);
+        }
+        {
+            let _g = COLD.enter();
+            spin_ns(50_000);
+        }
+        let rows = profile_report();
+        let hot_pos = rows
+            .iter()
+            .position(|r| r.name == "profile.test.hot")
+            .unwrap();
+        let cold_pos = rows
+            .iter()
+            .position(|r| r.name == "profile.test.cold")
+            .unwrap();
+        assert!(hot_pos < cold_pos, "rows must sort by self time: {rows:?}");
+        let s = profile_summary();
+        assert!(s.contains("profile.test.hot"), "{s}");
+    }
+
+    #[test]
+    fn macro_declares_and_enters() {
+        let _lock = crate::test_lock();
+        {
+            let _g = crate::stage!("profile.test.via_macro");
+        }
+        assert!(profile_report()
+            .iter()
+            .any(|r| r.name == "profile.test.via_macro"));
+    }
+}

@@ -8,6 +8,12 @@
 use std::sync::{Mutex, OnceLock};
 
 #[cfg(feature = "enabled")]
+use crate::labeled::{CounterFamily, GaugeFamily, HistogramFamily};
+#[cfg(feature = "enabled")]
+use crate::profile::StageStat;
+#[cfg(feature = "enabled")]
+use crate::timeseries::WallSeries;
+#[cfg(feature = "enabled")]
 use crate::{Counter, TimeHistogram, ValueHistogram};
 
 #[cfg(feature = "enabled")]
@@ -16,6 +22,11 @@ pub(crate) struct Registry {
     pub counters: Mutex<Vec<&'static Counter>>,
     pub value_hists: Mutex<Vec<&'static ValueHistogram>>,
     pub time_hists: Mutex<Vec<&'static TimeHistogram>>,
+    pub counter_families: Mutex<Vec<&'static CounterFamily>>,
+    pub gauge_families: Mutex<Vec<&'static GaugeFamily>>,
+    pub hist_families: Mutex<Vec<&'static HistogramFamily>>,
+    pub stages: Mutex<Vec<&'static StageStat>>,
+    pub wall_series: Mutex<Vec<&'static WallSeries>>,
 }
 
 #[cfg(feature = "enabled")]
@@ -39,7 +50,33 @@ pub(crate) fn register_time_hist(h: &'static TimeHistogram) {
     registry().time_hists.lock().unwrap().push(h);
 }
 
-/// Zeroes every registered metric (they stay registered).
+#[cfg(feature = "enabled")]
+pub(crate) fn register_counter_family(f: &'static CounterFamily) {
+    registry().counter_families.lock().unwrap().push(f);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_gauge_family(f: &'static GaugeFamily) {
+    registry().gauge_families.lock().unwrap().push(f);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_hist_family(f: &'static HistogramFamily) {
+    registry().hist_families.lock().unwrap().push(f);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_stage(s: &'static StageStat) {
+    registry().stages.lock().unwrap().push(s);
+}
+
+#[cfg(feature = "enabled")]
+pub(crate) fn register_wall_series(s: &'static WallSeries) {
+    registry().wall_series.lock().unwrap().push(s);
+}
+
+/// Zeroes every registered metric — flat and labeled, stage profile and
+/// wall-clock series included (they stay registered).
 pub(crate) fn reset() {
     #[cfg(feature = "enabled")]
     {
@@ -51,6 +88,21 @@ pub(crate) fn reset() {
         }
         for h in registry().time_hists.lock().unwrap().iter() {
             h.reset();
+        }
+        for f in registry().counter_families.lock().unwrap().iter() {
+            f.reset();
+        }
+        for f in registry().gauge_families.lock().unwrap().iter() {
+            f.reset();
+        }
+        for f in registry().hist_families.lock().unwrap().iter() {
+            f.reset();
+        }
+        for s in registry().stages.lock().unwrap().iter() {
+            s.reset();
+        }
+        for s in registry().wall_series.lock().unwrap().iter() {
+            s.reset();
         }
     }
 }

@@ -1,0 +1,211 @@
+//! Live snapshot server: a tiny std-only endpoint serving the current
+//! telemetry state as JSON while a run is in flight.
+//!
+//! Opt-in: set `WAZABEE_TELEMETRY_ADDR` to a TCP address (`127.0.0.1:9090`)
+//! or — if the value contains a `/` — a unix-socket path, and call
+//! [`serve_from_env`] (the bench binaries and `examples/support.rs` session
+//! guard do). A detached daemon thread then answers every connection with a
+//! one-shot HTTP/1.0 response whose body is [`crate::snapshot_json`]: the
+//! merged counters, labeled families, histograms, stage profile and
+//! wall-clock series at that instant.
+//!
+//! ```text
+//! WAZABEE_TELEMETRY_ADDR=127.0.0.1:9090 netsim_scale --smoke &
+//! curl -s http://127.0.0.1:9090/ | python3 -m json.tool
+//! ```
+//!
+//! The protocol is deliberately minimal — any HTTP client works, but so does
+//! `nc`: the request is read only up to its blank line and never parsed, and
+//! the response closes the connection. With the `enabled` feature off the
+//! endpoint does not exist: [`serve_from_env`] returns `Ok(None)` without
+//! binding anything.
+
+use std::io;
+
+#[cfg(feature = "enabled")]
+use std::io::{Read, Write};
+
+/// Environment variable naming the snapshot listen address (see
+/// [`serve_from_env`]).
+pub const ENV_ADDR: &str = "WAZABEE_TELEMETRY_ADDR";
+
+/// If `WAZABEE_TELEMETRY_ADDR` is set (and telemetry is compiled in), binds
+/// the snapshot server there and returns `Ok(Some(bound_addr))`; otherwise
+/// returns `Ok(None)`.
+pub fn serve_from_env() -> io::Result<Option<String>> {
+    #[cfg(feature = "enabled")]
+    {
+        match std::env::var(ENV_ADDR) {
+            Ok(addr) if !addr.is_empty() => serve(&addr).map(Some),
+            _ => Ok(None),
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    Ok(None)
+}
+
+/// Binds the snapshot server on `addr` and returns the bound address.
+///
+/// An `addr` containing `/` is treated as a unix-socket path (any stale
+/// socket file is replaced); anything else as a TCP address, where port `0`
+/// picks a free port — the returned string carries the real one.
+///
+/// With the `enabled` feature off this returns `ErrorKind::Unsupported`.
+pub fn serve(addr: &str) -> io::Result<String> {
+    #[cfg(feature = "enabled")]
+    {
+        if addr.contains('/') {
+            serve_unix(addr)
+        } else {
+            serve_tcp(addr)
+        }
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = addr;
+        Err(io::Error::new(
+            io::ErrorKind::Unsupported,
+            "wazabee-telemetry built without the `enabled` feature",
+        ))
+    }
+}
+
+#[cfg(feature = "enabled")]
+fn serve_tcp(addr: &str) -> io::Result<String> {
+    let listener = std::net::TcpListener::bind(addr)?;
+    let bound = listener.local_addr()?.to_string();
+    std::thread::Builder::new()
+        .name("wazabee-telemetry-server".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                // Bound the wait for the request's blank line so one silent
+                // client cannot wedge the accept loop.
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                let _ = answer(&mut stream);
+            }
+        })?;
+    Ok(bound)
+}
+
+#[cfg(feature = "enabled")]
+fn serve_unix(path: &str) -> io::Result<String> {
+    use std::os::unix::net::UnixListener;
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    let bound = path.to_string();
+    std::thread::Builder::new()
+        .name("wazabee-telemetry-server".into())
+        .spawn(move || {
+            for conn in listener.incoming() {
+                let Ok(mut stream) = conn else { continue };
+                let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(2)));
+                let _ = answer(&mut stream);
+            }
+        })?;
+    Ok(bound)
+}
+
+/// Reads the request up to its blank line (contents ignored) and writes one
+/// HTTP/1.0 JSON response.
+#[cfg(feature = "enabled")]
+fn answer<S: Read + Write>(stream: &mut S) -> io::Result<()> {
+    let mut req = [0u8; 1024];
+    let mut seen = 0usize;
+    loop {
+        if seen == req.len() {
+            break; // header larger than we care about — answer anyway
+        }
+        let n = stream.read(&mut req[seen..])?;
+        if n == 0 {
+            break;
+        }
+        seen += n;
+        if req[..seen].windows(4).any(|w| w == b"\r\n\r\n")
+            || req[..seen].windows(2).any(|w| w == b"\n\n")
+        {
+            break;
+        }
+    }
+    let body = crate::snapshot_json();
+    let header = format!(
+        "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(header.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    fn http_get(addr: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.0\r\nHost: test\r\n\r\n")
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn tcp_server_answers_with_snapshot_json() {
+        let _lock = crate::test_lock();
+        crate::counter!("server.test.alive").inc();
+        let addr = serve("127.0.0.1:0").unwrap();
+        let response = http_get(&addr);
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(
+            response.contains("Content-Type: application/json"),
+            "{response}"
+        );
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with('{') && body.trim_end().ends_with('}'));
+        assert!(body.contains("\"server.test.alive\""), "{body}");
+        // Advertised length matches the body we actually got.
+        let len: usize = response
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        assert_eq!(len, body.len());
+    }
+
+    #[test]
+    fn server_survives_multiple_requests() {
+        let _lock = crate::test_lock();
+        let addr = serve("127.0.0.1:0").unwrap();
+        for _ in 0..3 {
+            let response = http_get(&addr);
+            assert!(response.starts_with("HTTP/1.0 200 OK"));
+        }
+    }
+
+    #[test]
+    fn unix_socket_path_is_detected_by_slash() {
+        let _lock = crate::test_lock();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("wzb-telemetry-test-{}.sock", std::process::id()));
+        let path_str = path.to_str().unwrap().to_string();
+        let bound = serve(&path_str).unwrap();
+        assert_eq!(bound, path_str);
+        let mut stream = std::os::unix::net::UnixStream::connect(&path).unwrap();
+        stream.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn serve_from_env_is_noop_when_unset() {
+        if std::env::var_os(ENV_ADDR).is_none() {
+            assert!(serve_from_env().unwrap().is_none());
+        }
+    }
+}

@@ -125,6 +125,54 @@ pub fn summary() -> String {
             }
         }
 
+        // Labeled families, one line per cell, `name{labels}` style.
+        let mut labeled_lines: Vec<String> = Vec::new();
+        for f in sorted_counter_families() {
+            for (labels, value) in f.snapshot() {
+                labeled_lines.push(format!("  {:<40} {value}", cell_name(f.name(), &labels)));
+            }
+        }
+        if !labeled_lines.is_empty() {
+            let _ = writeln!(out, "-- labeled counters --");
+            for l in labeled_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+        let mut gauge_lines: Vec<String> = Vec::new();
+        for f in sorted_gauge_families() {
+            for (labels, value) in f.snapshot() {
+                gauge_lines.push(format!("  {:<40} {value:.4}", cell_name(f.name(), &labels)));
+            }
+        }
+        if !gauge_lines.is_empty() {
+            let _ = writeln!(out, "-- gauges --");
+            for l in gauge_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+        let mut lhist_lines: Vec<String> = Vec::new();
+        for f in sorted_hist_families() {
+            for (labels, stats) in f.snapshot() {
+                if stats.count == 0 {
+                    continue;
+                }
+                lhist_lines.push(format!(
+                    "  {:<40} n={} mean={:.3} p50={:.3} p99={:.3}",
+                    cell_name(f.name(), &labels),
+                    stats.count,
+                    stats.mean.unwrap_or(f64::NAN),
+                    stats.p50.unwrap_or(f64::NAN),
+                    stats.p99.unwrap_or(f64::NAN),
+                ));
+            }
+        }
+        if !lhist_lines.is_empty() {
+            let _ = writeln!(out, "-- labeled histograms --");
+            for l in lhist_lines {
+                let _ = writeln!(out, "{l}");
+            }
+        }
+
         let vhists = crate::registry::registry().value_hists.lock().unwrap();
         if !vhists.is_empty() {
             let _ = writeln!(out, "-- value histograms --");
@@ -193,12 +241,257 @@ pub fn summary() -> String {
                 let _ = writeln!(out, "  {name:<40} n={n}");
             }
         }
+        out.push_str(&crate::profile::profile_summary());
+        out
+    }
+}
+
+/// Renders `name{labels}` (or just `name` for the empty label set).
+#[cfg(feature = "enabled")]
+fn cell_name(name: &str, labels: &crate::labeled::LabelSet) -> String {
+    format!("{name}{}", labels.render())
+}
+
+/// Registered counter families, sorted by name for stable output.
+#[cfg(feature = "enabled")]
+fn sorted_counter_families() -> Vec<&'static crate::labeled::CounterFamily> {
+    let mut v: Vec<_> = crate::registry::registry()
+        .counter_families
+        .lock()
+        .unwrap()
+        .clone();
+    v.sort_by_key(|f| f.name());
+    v
+}
+
+#[cfg(feature = "enabled")]
+fn sorted_gauge_families() -> Vec<&'static crate::labeled::GaugeFamily> {
+    let mut v: Vec<_> = crate::registry::registry()
+        .gauge_families
+        .lock()
+        .unwrap()
+        .clone();
+    v.sort_by_key(|f| f.name());
+    v
+}
+
+#[cfg(feature = "enabled")]
+fn sorted_hist_families() -> Vec<&'static crate::labeled::HistogramFamily> {
+    let mut v: Vec<_> = crate::registry::registry()
+        .hist_families
+        .lock()
+        .unwrap()
+        .clone();
+    v.sort_by_key(|f| f.name());
+    v
+}
+
+/// Renders a label set as a JSON object: `{"k":"v",…}`.
+#[cfg(feature = "enabled")]
+pub(crate) fn labels_json(pairs: &[(&'static str, String)]) -> String {
+    let mut out = String::from("{");
+    for (i, (k, v)) in pairs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push('}');
+    out
+}
+
+/// Renders the complete current telemetry state as one JSON object — the
+/// body served by the snapshot server ([`crate::serve`]) and usable directly
+/// for mid-run introspection.
+///
+/// Top-level shape (`schema` = `"wazabee.telemetry.snapshot/1"`):
+/// `counters` (name → value), `labeled_counters` / `gauges` /
+/// `labeled_histograms` (per-family cell arrays), `value_histograms`,
+/// `time_histograms`, `stages` (the self/total profile) and `wall_series`.
+/// With the `enabled` feature off, only `{"schema":…,"enabled":false}`.
+#[must_use]
+pub fn snapshot_json() -> String {
+    let mut out = String::from("{\"schema\":\"wazabee.telemetry.snapshot/1\"");
+    #[cfg(not(feature = "enabled"))]
+    {
+        out.push_str(",\"enabled\":false}");
+        out
+    }
+    #[cfg(feature = "enabled")]
+    {
+        out.push_str(",\"enabled\":true");
+
+        out.push_str(",\"counters\":{");
+        for (i, (name, value)) in merged_counters().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":{value}", json_escape(name));
+        }
+        out.push('}');
+
+        out.push_str(",\"labeled_counters\":[");
+        for (i, f) in sorted_counter_families().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"cells\":[", json_escape(f.name()));
+            for (j, (labels, value)) in f.snapshot().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"labels\":{},\"value\":{value}}}",
+                    labels_json(labels.pairs())
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        out.push_str(",\"gauges\":[");
+        for (i, f) in sorted_gauge_families().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{{\"name\":\"{}\",\"cells\":[", json_escape(f.name()));
+            for (j, (labels, value)) in f.snapshot().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"labels\":{},\"value\":{}}}",
+                    labels_json(labels.pairs()),
+                    json_f64(*value)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        out.push_str(",\"labeled_histograms\":[");
+        for (i, f) in sorted_hist_families().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let (lo, hi) = f.range();
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"lo\":{},\"hi\":{},\"cells\":[",
+                json_escape(f.name()),
+                json_f64(lo),
+                json_f64(hi)
+            );
+            for (j, (labels, stats)) in f.snapshot().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"labels\":{},\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                    labels_json(labels.pairs()),
+                    stats.count,
+                    json_f64(stats.sum),
+                    json_opt_f64(stats.mean),
+                    json_opt_f64(stats.p50),
+                    json_opt_f64(stats.p99)
+                );
+            }
+            out.push_str("]}");
+        }
+        out.push(']');
+
+        out.push_str(",\"value_histograms\":[");
+        {
+            let vhists = crate::registry::registry().value_hists.lock().unwrap();
+            for (i, h) in vhists.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"count\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                    json_escape(h.name()),
+                    h.count(),
+                    json_opt_f64(h.mean()),
+                    json_opt_f64(h.quantile(0.5)),
+                    json_opt_f64(h.quantile(0.99))
+                );
+            }
+        }
+        out.push(']');
+
+        out.push_str(",\"time_histograms\":[");
+        {
+            let thists = crate::registry::registry().time_hists.lock().unwrap();
+            for (i, h) in thists.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\"p50_ns\":{},\"p99_ns\":{}}}",
+                    json_escape(h.name()),
+                    h.count(),
+                    h.sum_ns(),
+                    h.quantile_ns(0.5).unwrap_or(0),
+                    h.quantile_ns(0.99).unwrap_or(0)
+                );
+            }
+        }
+        out.push(']');
+
+        out.push_str(",\"stages\":[");
+        for (i, row) in crate::profile::profile_report().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                json_escape(row.name),
+                row.count,
+                row.total_ns,
+                row.self_ns
+            );
+        }
+        out.push(']');
+
+        out.push_str(",\"wall_series\":[");
+        {
+            let mut series: Vec<_> = crate::registry::registry()
+                .wall_series
+                .lock()
+                .unwrap()
+                .clone();
+            series.sort_by_key(|s| s.name());
+            for (i, s) in series.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(
+                    out,
+                    "{{\"series\":\"{}\",\"points\":[",
+                    json_escape(s.name())
+                );
+                for (j, p) in s.snapshot().iter().enumerate() {
+                    if j > 0 {
+                        out.push(',');
+                    }
+                    let _ = write!(out, "[{},{}]", p.t, json_f64(p.value));
+                }
+                out.push_str("]}");
+            }
+        }
+        out.push_str("]}");
         out
     }
 }
 
 /// Escapes a string for a JSON string literal (quotes not included).
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -298,6 +591,75 @@ pub fn write_jsonl(w: &mut dyn Write) -> io::Result<()> {
                 h.quantile_ns(0.99).unwrap_or(0),
                 json_u64_array(&h.snapshot()),
             )?;
+        }
+        for f in sorted_counter_families() {
+            for (labels, value) in f.snapshot() {
+                writeln!(
+                    w,
+                    "{{\"type\":\"labeled_counter\",\"name\":\"{}\",\"labels\":{},\"value\":{value}}}",
+                    json_escape(f.name()),
+                    labels_json(labels.pairs()),
+                )?;
+            }
+        }
+        for f in sorted_gauge_families() {
+            for (labels, value) in f.snapshot() {
+                writeln!(
+                    w,
+                    "{{\"type\":\"gauge\",\"name\":\"{}\",\"labels\":{},\"value\":{}}}",
+                    json_escape(f.name()),
+                    labels_json(labels.pairs()),
+                    json_f64(value),
+                )?;
+            }
+        }
+        for f in sorted_hist_families() {
+            let (lo, hi) = f.range();
+            for (labels, stats) in f.snapshot() {
+                writeln!(
+                    w,
+                    "{{\"type\":\"labeled_histogram\",\"name\":\"{}\",\"labels\":{},\
+                     \"lo\":{},\"hi\":{},\"count\":{},\"sum\":{},\"mean\":{},\"p50\":{},\"p99\":{}}}",
+                    json_escape(f.name()),
+                    labels_json(labels.pairs()),
+                    json_f64(lo),
+                    json_f64(hi),
+                    stats.count,
+                    json_f64(stats.sum),
+                    json_opt_f64(stats.mean),
+                    json_opt_f64(stats.p50),
+                    json_opt_f64(stats.p99),
+                )?;
+            }
+        }
+        for row in crate::profile::profile_report() {
+            writeln!(
+                w,
+                "{{\"type\":\"stage\",\"name\":\"{}\",\"count\":{},\"total_ns\":{},\"self_ns\":{}}}",
+                json_escape(row.name),
+                row.count,
+                row.total_ns,
+                row.self_ns,
+            )?;
+        }
+        {
+            let mut series: Vec<_> = crate::registry::registry()
+                .wall_series
+                .lock()
+                .unwrap()
+                .clone();
+            series.sort_by_key(|s| s.name());
+            for s in series {
+                for p in s.snapshot() {
+                    writeln!(
+                        w,
+                        "{{\"type\":\"wall_series\",\"series\":\"{}\",\"t_ns\":{},\"value\":{}}}",
+                        json_escape(s.name()),
+                        p.t,
+                        json_f64(p.value),
+                    )?;
+                }
+            }
         }
     }
     for ev in snapshot_trace() {

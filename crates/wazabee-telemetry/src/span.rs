@@ -66,7 +66,7 @@ fn epoch() -> Instant {
 }
 
 #[cfg(feature = "enabled")]
-fn now_ns() -> u64 {
+pub(crate) fn now_ns() -> u64 {
     epoch().elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
 }
 

@@ -170,14 +170,20 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
             if rel >= samples.len() {
                 continue;
             }
-            let fresh = radio.demodulate_raw(&samples[rel..]);
+            let fresh = {
+                let _s = wazabee_telemetry::stage!("stream.demod");
+                radio.demodulate_raw(&samples[rel..])
+            };
             let from = lane.bits.len();
             lane.bits.extend_from_bits(&fresh);
-            for k in from..lane.bits.len() {
-                let bit = lane.bits.bit(k);
-                if let Some(pm) = lane.corr.push(bit) {
-                    if pm.index >= armed {
-                        lane.matches.push_back(pm);
+            {
+                let _s = wazabee_telemetry::stage!("stream.correlate");
+                for k in from..lane.bits.len() {
+                    let bit = lane.bits.bit(k);
+                    if let Some(pm) = lane.corr.push(bit) {
+                        if pm.index >= armed {
+                            lane.matches.push_back(pm);
+                        }
                     }
                 }
             }
@@ -227,10 +233,15 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
                 .min_by_key(|&(o, pm)| (pm.errors, o, pm.index))
                 .expect("a front exists at i_min");
             let start_rel = pm.index + m - self.base_bits;
-            match self
-                .rx
-                .decode_after_sync(&self.lanes[offset].bits, start_rel, finished)
-            {
+            // The stage covers replays of held attempts on purpose: the
+            // profiler answers "where did the CPU go", and re-decoding is
+            // real work even when the attempt cannot commit yet.
+            let outcome = {
+                let _s = wazabee_telemetry::stage!("stream.decode");
+                self.rx
+                    .decode_after_sync(&self.lanes[offset].bits, start_rel, finished)
+            };
+            match outcome {
                 DecodeOutcome::NeedBits => break,
                 DecodeOutcome::Frame {
                     psdu,
@@ -312,7 +323,10 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
 
     /// Telemetry + trace delivery for a recovered frame.
     fn commit_frame(&mut self, tr: TraceHandle, frame: &ReceivedPpdu) {
-        let fcs = frame.fcs_ok();
+        let fcs = {
+            let _s = wazabee_telemetry::stage!("stream.crc");
+            frame.fcs_ok()
+        };
         if fcs {
             wazabee_telemetry::counter!("wazabee.rx.fcs.ok").inc();
         } else {

@@ -17,8 +17,9 @@ pub struct Session {
 }
 
 /// Starts an example session: arms the flight recorder from
-/// `WAZABEE_CAPTURE_DIR` (a no-op when unset or compiled out) and returns
-/// the RAII guard that emits every end-of-run report.
+/// `WAZABEE_CAPTURE_DIR`, starts the telemetry snapshot server when
+/// `WAZABEE_TELEMETRY_ADDR` is set (both no-ops when unset or compiled out)
+/// and returns the RAII guard that emits every end-of-run report.
 pub fn session() -> Session {
     match wazabee_flightrec::init_from_env() {
         Ok(true) => {
@@ -28,6 +29,11 @@ pub fn session() -> Session {
         }
         Ok(false) => {}
         Err(e) => eprintln!("flight recorder: could not start capture: {e}"),
+    }
+    match wazabee_telemetry::serve_from_env() {
+        Ok(Some(addr)) => println!("telemetry snapshot server on {addr}"),
+        Ok(None) => {}
+        Err(e) => eprintln!("telemetry snapshot server failed to start: {e}"),
     }
     Session { _priv: () }
 }
