@@ -25,9 +25,15 @@
 #      attacked cells show waveform-level collisions, in both feature states
 #  12. live snapshot poll: the default-features netsim run is polled over
 #      WAZABEE_TELEMETRY_ADDR and must answer with a well-formed snapshot
-#      (labeled metrics + per-stage profile); the --no-default-features run
-#      must never start the endpoint
-#  13. perf regression gate: fresh smoke-run BENCH figures must stay within
+#      (labeled metrics + per-stage profile + alerts); the
+#      --no-default-features run must never start the endpoint
+#  13. health + causal trace: during the attacked netsim run /healthz must
+#      answer 503 with the collisions rule latched (and the delivery-ratio
+#      rule armed), /trace must serve live Chrome Trace JSON, and the
+#      WAZABEE_TRACE_OUT dump must hold rx.decode spans with frame args and
+#      resolvable parents; a --no-attacker run must answer /healthz 200;
+#      the --no-default-features run must write no trace file
+#  14. perf regression gate: fresh smoke-run BENCH figures must stay within
 #      WAZABEE_PERF_TOLERANCE (default 50%) of the committed artifacts/
 #      baselines, failing loudly on regressions
 set -euo pipefail
@@ -144,27 +150,35 @@ print(f"BENCH_netsim.json well-formed: {len(cells)} cells, "
 EOF
 }
 
+# Waits until the backgrounded sweep announces "lingering" on stderr, then
+# echoes the snapshot server address it bound (empty if the process died).
+wait_for_linger() {
+    local log="$1" pid="$2" addr=""
+    for _ in $(seq 1 1200); do
+        if grep -q "^lingering" "$log" 2>/dev/null; then
+            addr="$(sed -n 's/^telemetry snapshot server on //p' "$log" | head -1)"
+            break
+        fi
+        if ! kill -0 "$pid" 2>/dev/null; then
+            break
+        fi
+        sleep 0.1
+    done
+    echo "$addr"
+}
+
 netsim_json="$capture_dir/BENCH_netsim.json"
 netsim_log="$capture_dir/netsim_stderr.log"
+netsim_trace="$capture_dir/netsim_trace.json"
 echo
 echo "=== netsim_scale --smoke with live snapshot server ==="
-env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 \
+env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 WAZABEE_TRACE_OUT="$netsim_trace" \
     cargo run --release -q -p wazabee-bench --bin netsim_scale --offline -- \
     --smoke --out "$netsim_json" --linger-ms 120000 2>"$netsim_log" &
 netsim_pid=$!
 # The sweep announces its ephemeral port on stderr and lingers after the
 # sweep so this poller can attach while the process is still running.
-snapshot_addr=""
-for _ in $(seq 1 1200); do
-    if grep -q "^lingering" "$netsim_log" 2>/dev/null; then
-        snapshot_addr="$(sed -n 's/^telemetry snapshot server on //p' "$netsim_log" | head -1)"
-        break
-    fi
-    if ! kill -0 "$netsim_pid" 2>/dev/null; then
-        break
-    fi
-    sleep 0.1
-done
+snapshot_addr="$(wait_for_linger "$netsim_log" "$netsim_pid")"
 if [ -z "$snapshot_addr" ]; then
     cat "$netsim_log" >&2
     echo "ci.sh: netsim_scale never brought up the snapshot server" >&2
@@ -185,19 +199,98 @@ stages = {s["name"]: s for s in snap["stages"]}
 assert stages, "stage profile empty"
 for s in stages.values():
     assert s["count"] > 0 and s["self_ns"] <= s["total_ns"], s
+assert isinstance(snap["alerts"], list), "snapshot has no alerts section"
 print(f"live snapshot from {addr} well-formed: "
       f"{sum(len(f['cells']) for f in families.values())} labeled cells, "
-      f"{len(stages)} profiled stages")
+      f"{len(stages)} profiled stages, {len(snap['alerts'])} alert rules")
+EOF
+run python3 - "$snapshot_addr" <<'EOF'
+import json, sys, urllib.error, urllib.request
+addr = sys.argv[1]
+# The injector guarantees waveform-level collisions, so the watchdog must
+# have latched the collisions rule: /healthz answers 503 with the alert
+# body, and stays 503 for pollers arriving after the sweep finished.
+try:
+    urllib.request.urlopen(f"http://{addr}/healthz", timeout=10)
+    raise SystemExit("ci.sh: /healthz answered 200 during an attacked run")
+except urllib.error.HTTPError as e:
+    assert e.code == 503, f"expected 503 from /healthz, got {e.code}"
+    health = json.loads(e.read())
+assert health["status"] == "alert", health
+alerts = {a["name"]: a for a in health["alerts"]}
+assert alerts["netsim.collisions"]["latched"] is True, alerts
+assert alerts["netsim.collisions"]["value"] > 0, alerts
+# The delivery-ratio floor is armed and watching the worst cell; smoke-size
+# ideal cells deliver 100%, so it reports a value without firing.
+degraded = alerts["netsim.delivery.degraded"]
+assert degraded["value"] is not None, "delivery gauge never fed the rule"
+# /trace serves the live causal ring as Chrome Trace JSON.
+trace = json.loads(
+    urllib.request.urlopen(f"http://{addr}/trace", timeout=10).read())
+assert trace["traceEvents"], "live /trace document is empty"
+print(f"/healthz 503 with netsim.collisions latched "
+      f"(value {alerts['netsim.collisions']['value']:.0f}); "
+      f"live /trace holds {len(trace['traceEvents'])} events")
 EOF
 kill "$netsim_pid" 2>/dev/null || true
 wait "$netsim_pid" 2>/dev/null || true
 check_netsim_json "$netsim_json"
+run python3 - "$netsim_trace" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "WAZABEE_TRACE_OUT dump is empty"
+spans = {e["args"]["span_id"] for e in events
+         if e.get("args", {}).get("span_id") is not None}
+decodes = [e for e in events if e.get("name") == "rx.decode"]
+assert decodes, "no rx.decode spans in the trace dump"
+for d in decodes:
+    args = d["args"]
+    for key in ("frame", "bit", "lane", "sync_errors"):
+        assert key in args, f"rx.decode span missing {key}: {args}"
+    parent = args.get("parent")
+    assert parent is None or parent in spans or args.get("parent_evicted"), (
+        f"unresolvable parent {parent} without an eviction marker: {args}")
+nested = sum(1 for d in decodes if d["args"].get("parent") in spans)
+print(f"netsim trace dump well-formed: {len(events)} events, "
+      f"{len(decodes)} rx.decode spans ({nested} with resolvable parents)")
+EOF
+
+# Without the injector no rule trips: /healthz must answer 200 "ok".
+netsim_ok_log="$capture_dir/netsim_ok_stderr.log"
+echo
+echo "=== netsim_scale --smoke --no-attacker: /healthz stays 200 ==="
+env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 \
+    cargo run --release -q -p wazabee-bench --bin netsim_scale --offline -- \
+    --smoke --no-attacker --out "$capture_dir/BENCH_netsim_ok.json" \
+    --linger-ms 120000 2>"$netsim_ok_log" &
+netsim_ok_pid=$!
+ok_addr="$(wait_for_linger "$netsim_ok_log" "$netsim_ok_pid")"
+if [ -z "$ok_addr" ]; then
+    cat "$netsim_ok_log" >&2
+    echo "ci.sh: no-attacker netsim_scale never brought up the snapshot server" >&2
+    exit 1
+fi
+run python3 - "$ok_addr" <<'EOF'
+import json, sys, urllib.request
+addr = sys.argv[1]
+resp = urllib.request.urlopen(f"http://{addr}/healthz", timeout=10)
+assert resp.status == 200, f"expected 200 from /healthz, got {resp.status}"
+health = json.loads(resp.read())
+assert health["status"] == "ok", health
+assert all(not a["latched"] for a in health["alerts"]), health
+print(f"/healthz 200 OK without the injector ({len(health['alerts'])} rules calm)")
+EOF
+kill "$netsim_ok_pid" 2>/dev/null || true
+wait "$netsim_ok_pid" 2>/dev/null || true
 netsim_live_json="$capture_dir/BENCH_netsim_live.json"
 cp "$netsim_json" "$netsim_live_json"
 
 rm -f "$netsim_json"
 netsim_off_log="$capture_dir/netsim_off_stderr.log"
-run env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 \
+netsim_off_trace="$capture_dir/netsim_trace_off.json"
+run env WAZABEE_TELEMETRY_ADDR=127.0.0.1:0 WAZABEE_TRACE_OUT="$netsim_off_trace" \
     cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
     --no-default-features -- --smoke --out "$netsim_json" 2>"$netsim_off_log"
 cat "$netsim_off_log"
@@ -205,7 +298,11 @@ if grep -q "telemetry snapshot server on" "$netsim_off_log"; then
     echo "ci.sh: snapshot server must be compiled out under --no-default-features" >&2
     exit 1
 fi
-echo "snapshot server compiled out: endpoint absent under --no-default-features"
+if [ -e "$netsim_off_trace" ]; then
+    echo "ci.sh: --no-default-features build must not write a Chrome trace" >&2
+    exit 1
+fi
+echo "snapshot server and trace dump compiled out under --no-default-features"
 check_netsim_json "$netsim_json"
 
 run env WAZABEE_PERF_TOLERANCE="${WAZABEE_PERF_TOLERANCE:-0.5}" \

@@ -77,6 +77,36 @@ fn bench_instrumented_kernels(c: &mut Criterion) {
     p.bench_function("wall_series_record", |b| {
         b.iter(|| wazabee_telemetry::timeseries!("bench.series", std::hint::black_box(1.0)))
     });
+    // Causal span with args: two trace-ring appends (enter + exit) plus the
+    // per-thread stack bookkeeping — the cost of one `span!("rx.decode", ...)`
+    // around a committing decode attempt.
+    p.bench_function("span_with_args_enter_drop", |b| {
+        b.iter(|| {
+            let _s = wazabee_telemetry::span!(
+                "bench.span",
+                frame = std::hint::black_box(7u64),
+                chan = 15u8
+            );
+            std::hint::black_box(());
+        })
+    });
+    // One trace-ring append alone (instant event with args), isolating the
+    // ring's mutex + VecDeque push from the span stack machinery.
+    p.bench_function("trace_ring_append", |b| {
+        b.iter(|| {
+            wazabee_telemetry::event!("bench.instant", seq = std::hint::black_box(3u64));
+        })
+    });
+    // One watchdog tick over a single armed rule: registry scan, counter
+    // sum, compare, latch check.
+    p.bench_function("health_rule_evaluate", |b| {
+        wazabee_telemetry::health_rule!(
+            "bench.health",
+            wazabee_telemetry::Signal::counter("bench.counter"),
+            > 1e18
+        );
+        b.iter(|| std::hint::black_box(wazabee_telemetry::evaluate_health()))
+    });
     p.finish();
 }
 

@@ -150,11 +150,22 @@ fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, 
         sim_wall_ratio: sim_secs / wall_secs,
     };
     let timeline = timeline_interval_us.map(|_| sim.timeline_jsonl());
+    {
+        // Per-cell delivery gauge: the watchdog's gauge_min rule watches the
+        // worst cell across the whole (possibly parallel) sweep.
+        let nodes = cell.nodes.to_string();
+        let attacker = if cell.attacker { "true" } else { "false" };
+        wazabee_telemetry::labeled_gauge!("netsim.delivery_ratio").set(
+            &[("nodes", &nodes), ("attacker", attacker)],
+            result.delivery_ratio,
+        );
+    }
     (result, timeline)
 }
 
 fn main() {
     let mut smoke = false;
+    let mut attacker = true;
     let mut out_path = "BENCH_netsim.json".to_string();
     let mut timeseries_path: Option<String> = None;
     let mut linger_ms = 0u64;
@@ -162,6 +173,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--no-attacker" => attacker = false,
             "--out" => match args.next() {
                 Some(p) => out_path = p,
                 None => {
@@ -185,13 +197,36 @@ fn main() {
             },
             other => {
                 eprintln!(
-                    "usage: netsim_scale [--smoke] [--out PATH] [--timeseries PATH] \
-                     [--linger-ms N]   (got {other:?})"
+                    "usage: netsim_scale [--smoke] [--no-attacker] [--out PATH] \
+                     [--timeseries PATH] [--linger-ms N]   (got {other:?})"
                 );
                 std::process::exit(2);
             }
         }
     }
+
+    // Declarative health: the watchdog evaluates these over the live metric
+    // registry; latched alerts surface in the console summary, in
+    // `snapshot_json()["alerts"]`, and as a 503 from the `/healthz` route.
+    // Collisions discriminate attacked from clean smoke runs (clean small
+    // cells never collide); the delivery floor catches degraded large cells;
+    // extra frames mean an IDS watcher saw traffic the MAC log cannot explain.
+    wazabee_telemetry::health_rule!(
+        "netsim.collisions",
+        wazabee_telemetry::Signal::counter("sim.collisions"),
+        > 0
+    );
+    wazabee_telemetry::health_rule!(
+        "netsim.delivery.degraded",
+        wazabee_telemetry::Signal::gauge_min("netsim.delivery_ratio"),
+        < 0.95
+    );
+    wazabee_telemetry::health_rule!(
+        "netsim.ids.extra_frames",
+        wazabee_telemetry::Signal::counter("ids.stream.extra_frames"),
+        > 0
+    );
+    wazabee_telemetry::start_watchdog(std::time::Duration::from_millis(100));
 
     match wazabee_telemetry::serve_from_env() {
         Ok(Some(addr)) => eprintln!("telemetry snapshot server on {addr}"),
@@ -209,7 +244,8 @@ fn main() {
     let cells: Vec<Cell> = counts
         .iter()
         .flat_map(|&nodes| {
-            [false, true].into_iter().map(move |attacker| Cell {
+            let arms: &[bool] = if attacker { &[false, true] } else { &[false] };
+            arms.iter().map(move |&attacker| Cell {
                 nodes,
                 attacker,
                 traffic_ms,
@@ -279,6 +315,28 @@ fn main() {
     }
 
     print!("{}", wazabee_telemetry::profile_summary());
+
+    for a in wazabee_telemetry::evaluate_health() {
+        if a.latched {
+            eprintln!(
+                "health alert: {} ({} {} {}, value {:?})",
+                a.name,
+                a.signal.metric(),
+                a.cmp.symbol(),
+                a.threshold,
+                a.value,
+            );
+        }
+    }
+    match wazabee_telemetry::dump_trace_from_env() {
+        Ok(true) => {
+            if let Ok(p) = std::env::var(wazabee_telemetry::ENV_TRACE_OUT) {
+                eprintln!("wrote Chrome trace to {p}");
+            }
+        }
+        Ok(false) => {}
+        Err(e) => eprintln!("trace dump failed: {e}"),
+    }
 
     if linger_ms > 0 {
         // Keep the process (and the snapshot server) alive so a poller can

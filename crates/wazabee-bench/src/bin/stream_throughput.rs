@@ -104,6 +104,22 @@ fn main() {
         }
     }
 
+    // Health rules over the streaming decode path: more than half the
+    // committed frames failing their FCS, or the despread p95 Hamming
+    // distance drifting toward the reject threshold, means the radio
+    // diversion itself has gone wrong — not just one noisy frame.
+    wazabee_telemetry::health_rule!(
+        "stream.fcs.failing",
+        wazabee_telemetry::Signal::ratio("wazabee.rx.fcs.fail", "wazabee.stream.frames"),
+        > 0.5
+    );
+    wazabee_telemetry::health_rule!(
+        "stream.despread.drifting",
+        wazabee_telemetry::Signal::quantile("wazabee.rx.despread_hamming", 0.95),
+        > 12.0
+    );
+    wazabee_telemetry::start_watchdog(std::time::Duration::from_millis(100));
+
     match wazabee_telemetry::serve_from_env() {
         Ok(Some(addr)) => eprintln!("telemetry snapshot server on {addr}"),
         Ok(None) => {}
@@ -161,4 +177,19 @@ fn main() {
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");
     print!("{}", wazabee_telemetry::profile_summary());
+
+    for a in wazabee_telemetry::evaluate_health() {
+        if a.latched {
+            eprintln!("health alert: {} (value {:?})", a.name, a.value);
+        }
+    }
+    match wazabee_telemetry::dump_trace_from_env() {
+        Ok(true) => {
+            if let Ok(p) = std::env::var(wazabee_telemetry::ENV_TRACE_OUT) {
+                eprintln!("wrote Chrome trace to {p}");
+            }
+        }
+        Ok(false) => {}
+        Err(e) => eprintln!("trace dump failed: {e}"),
+    }
 }

@@ -26,6 +26,7 @@ use crate::iq::Iq;
 /// ```
 pub fn discriminate(x: &[Iq]) -> Vec<f64> {
     let _s = wazabee_telemetry::stage!("dsp.discriminate");
+    let _span = wazabee_telemetry::span!("dsp.discriminate", samples = x.len());
     if x.len() < 2 {
         return Vec::new();
     }

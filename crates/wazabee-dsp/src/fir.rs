@@ -93,6 +93,8 @@ impl Fir {
     /// Full convolution with a complex signal.
     pub fn filter_iq(&self, x: &[Iq]) -> Vec<Iq> {
         let _s = wazabee_telemetry::stage!("dsp.fir_iq");
+        let _span =
+            wazabee_telemetry::span!("dsp.fir_iq", samples = x.len(), taps = self.taps.len());
         let n = x.len() + self.taps.len() - 1;
         let mut y = vec![Iq::ZERO; n];
         for (k, &xv) in x.iter().enumerate() {

@@ -385,6 +385,19 @@ mod live {
             }
         }
 
+        /// Links this attempt to the telemetry trace span that covers it
+        /// (ignored for id 0 — "no span", e.g. telemetry compiled out), so
+        /// the frame log's `span_id` joins a PCAP frame to its slice in the
+        /// exported Chrome trace.
+        pub fn link_span(&mut self, span_id: u64) {
+            if span_id == 0 {
+                return;
+            }
+            if let Some(inner) = self.inner.as_mut() {
+                inner.trace.span_id = Some(span_id);
+            }
+        }
+
         /// Flags that the PHR carried a reserved length (≥ 128).
         pub fn phr_reserved(&mut self) {
             if let Some(inner) = self.inner.as_mut() {
@@ -701,6 +714,10 @@ mod noop {
         /// No-op.
         #[inline]
         pub fn attempt(&mut self, _index: u64) {}
+
+        /// No-op.
+        #[inline]
+        pub fn link_span(&mut self, _span_id: u64) {}
 
         /// No-op.
         #[inline]

@@ -141,6 +141,10 @@ pub struct DecodeTrace {
     pub iq_file: Option<String>,
     /// Index of the frame inside the capture PCAP, when exported.
     pub pcap_index: Option<u64>,
+    /// Id of the telemetry trace span that covered this decode attempt
+    /// (`wazabee-telemetry`'s causal ring), when the decoder linked one —
+    /// joins a PCAP frame to its slice in the exported Chrome trace.
+    pub span_id: Option<u64>,
 }
 
 impl DecodeTrace {
@@ -159,6 +163,7 @@ impl DecodeTrace {
             phr_reserved: false,
             iq_file: None,
             pcap_index: None,
+            span_id: None,
         }
     }
 
@@ -263,6 +268,12 @@ impl DecodeTrace {
             }
             None => out.push_str(",\"attempt\":null"),
         }
+        match self.span_id {
+            Some(id) => {
+                let _ = write!(out, ",\"span_id\":{id}");
+            }
+            None => out.push_str(",\"span_id\":null"),
+        }
         let _ = write!(out, ",\"phr_reserved\":{}", self.phr_reserved);
         out.push('}');
         out
@@ -311,6 +322,7 @@ mod tests {
         t.despread_distances = vec![0, 2, 1];
         t.failure = Some(RxFailure::TruncatedFrame);
         t.attempt = Some(4);
+        t.span_id = Some(42);
         let j = t.to_json();
         assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
         assert!(j.contains("\"trace_id\":7"), "{j}");
@@ -319,6 +331,7 @@ mod tests {
         assert!(j.contains("\"chip_errors\":3"), "{j}");
         assert!(j.contains("\"despread_distances\":[0,2,1]"), "{j}");
         assert!(j.contains("\"attempt\":4"), "{j}");
+        assert!(j.contains("\"span_id\":42"), "{j}");
         assert!(j.contains("\"phr_reserved\":false"), "{j}");
         assert_eq!(j.matches('"').count() % 2, 0, "{j}");
     }
@@ -332,6 +345,7 @@ mod tests {
         assert!(j.contains("\"reason\":\"phr_reserved\""), "{j}");
         assert!(j.contains("\"phr_reserved\":true"), "{j}");
         assert!(j.contains("\"attempt\":null"), "{j}");
+        assert!(j.contains("\"span_id\":null"), "{j}");
     }
 
     #[test]

@@ -789,6 +789,12 @@ impl SpectrumSim {
         let start = self.now;
         let end = start.plus_us(duration_us);
         let ch = self.nodes[source].channel_idx();
+        let _span = wazabee_telemetry::span!(
+            "sim.tx",
+            node = source,
+            chan = ch + 11,
+            dur_us = duration_us
+        );
         self.nodes[source].airtime_us += duration_us;
         self.nodes[source].tx_count += 1;
         {
@@ -998,6 +1004,16 @@ impl SpectrumSim {
                     continue;
                 }
             }
+            // Parent span for this receiver's whole listen window: the
+            // per-attempt `rx.decode` spans opened inside the streaming
+            // receiver nest under it, so one cluster's causal tree reads
+            // sim.rx → rx.decode → stream stages in the Perfetto view.
+            let _span = wazabee_telemetry::span!(
+                "sim.rx",
+                node = idx,
+                chan = ch + 11,
+                cluster = cluster_id
+            );
             let mut buf = {
                 let _s = wazabee_telemetry::stage!("sim.superpose");
                 superpose(&cluster, &gains, start, end, spu)

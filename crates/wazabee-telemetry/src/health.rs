@@ -1,0 +1,637 @@
+//! Declarative health rules: machine-checkable alerts over the metric plane.
+//!
+//! A rule names a *signal* (a counter's value or rate, a ratio of two
+//! counters, the minimum of a labeled gauge family, a value-histogram
+//! quantile), a comparator and a threshold:
+//!
+//! ```
+//! # use wazabee_telemetry as tel;
+//! tel::health_rule!(
+//!     "ids.extra_frames",
+//!     tel::Signal::counter("ids.stream.extra_frames"),
+//!     > 0.0
+//! );
+//! ```
+//!
+//! Rules are static, registered on first arm (same self-registration
+//! discipline as every other metric), and evaluated by a watchdog tick —
+//! either the background thread started with [`start_watchdog`] or on demand
+//! via [`evaluate_health`] (the snapshot server's `/healthz` route and
+//! [`crate::snapshot_json`] both evaluate before reporting). A rule whose
+//! signal has no data yet (counter never touched, histogram empty, rate with
+//! no previous tick) simply does not fire — absence of evidence is not an
+//! alert.
+//!
+//! Alerts **latch**: once a rule has fired it stays visible as `latched`
+//! until [`crate::reset`], so a transient mid-run failure cannot dodge a
+//! post-run `/healthz` probe. `firing` reflects the most recent evaluation
+//! only. With the `enabled` feature off every rule is a zero-sized no-op and
+//! [`health_ok`] is unconditionally true.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// How a rule compares its signal to the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// Fire when the signal rises above the threshold.
+    Above,
+    /// Fire when the signal falls below the threshold.
+    Below,
+}
+
+impl Cmp {
+    /// Render for human/JSON output (`">"` / `"<"`).
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Cmp::Above => ">",
+            Cmp::Below => "<",
+        }
+    }
+}
+
+/// What a health rule watches. Construct via the `const fn` helpers so rules
+/// can live in statics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Signal {
+    /// Current value of a counter (flat counters and labeled counter-family
+    /// cells sharing the name are summed).
+    Counter(&'static str),
+    /// Per-second increase of a counter between watchdog ticks (needs two
+    /// ticks before it can fire).
+    CounterRate(&'static str),
+    /// `numerator / denominator` of two counters; not evaluated while the
+    /// denominator is zero.
+    Ratio(&'static str, &'static str),
+    /// Minimum across a labeled gauge family's cells.
+    GaugeMin(&'static str),
+    /// A value-histogram quantile (`0.0..=1.0`).
+    Quantile(&'static str, f64),
+}
+
+impl Signal {
+    /// Watch a counter's absolute value.
+    #[must_use]
+    pub const fn counter(name: &'static str) -> Self {
+        Signal::Counter(name)
+    }
+
+    /// Watch a counter's per-second rate between ticks.
+    #[must_use]
+    pub const fn rate_per_sec(name: &'static str) -> Self {
+        Signal::CounterRate(name)
+    }
+
+    /// Watch the ratio of two counters.
+    #[must_use]
+    pub const fn ratio(num: &'static str, den: &'static str) -> Self {
+        Signal::Ratio(num, den)
+    }
+
+    /// Watch the minimum cell of a labeled gauge family.
+    #[must_use]
+    pub const fn gauge_min(family: &'static str) -> Self {
+        Signal::GaugeMin(family)
+    }
+
+    /// Watch a value-histogram quantile.
+    #[must_use]
+    pub const fn quantile(hist: &'static str, q: f64) -> Self {
+        Signal::Quantile(hist, q)
+    }
+
+    /// The metric name this signal reads (numerator for ratios).
+    #[must_use]
+    pub const fn metric(&self) -> &'static str {
+        match self {
+            Signal::Counter(n)
+            | Signal::CounterRate(n)
+            | Signal::Ratio(n, _)
+            | Signal::GaugeMin(n)
+            | Signal::Quantile(n, _) => n,
+        }
+    }
+}
+
+/// One declarative alert rule (declare via [`crate::health_rule!`]).
+pub struct HealthRule {
+    #[cfg(feature = "enabled")]
+    name: &'static str,
+    #[cfg(feature = "enabled")]
+    signal: Signal,
+    #[cfg(feature = "enabled")]
+    cmp: Cmp,
+    #[cfg(feature = "enabled")]
+    threshold: f64,
+    #[cfg(feature = "enabled")]
+    registered: AtomicBool,
+    #[cfg(feature = "enabled")]
+    firing: AtomicBool,
+    #[cfg(feature = "enabled")]
+    latched: AtomicBool,
+    #[cfg(feature = "enabled")]
+    fired_count: AtomicU64,
+    /// f64 bits of the last evaluated value; meaningful iff `has_value`.
+    #[cfg(feature = "enabled")]
+    last_value: AtomicU64,
+    #[cfg(feature = "enabled")]
+    has_value: AtomicBool,
+    /// Previous counter total for rate signals; meaningful iff `has_baseline`.
+    #[cfg(feature = "enabled")]
+    baseline: AtomicU64,
+    #[cfg(feature = "enabled")]
+    baseline_ts_ns: AtomicU64,
+    #[cfg(feature = "enabled")]
+    has_baseline: AtomicBool,
+}
+
+impl HealthRule {
+    /// Creates a rule in a `static` (use [`crate::health_rule!`]).
+    #[must_use]
+    pub const fn new(name: &'static str, signal: Signal, cmp: Cmp, threshold: f64) -> Self {
+        #[cfg(feature = "enabled")]
+        {
+            HealthRule {
+                name,
+                signal,
+                cmp,
+                threshold,
+                registered: AtomicBool::new(false),
+                firing: AtomicBool::new(false),
+                latched: AtomicBool::new(false),
+                fired_count: AtomicU64::new(0),
+                last_value: AtomicU64::new(0),
+                has_value: AtomicBool::new(false),
+                baseline: AtomicU64::new(0),
+                baseline_ts_ns: AtomicU64::new(0),
+                has_baseline: AtomicBool::new(false),
+            }
+        }
+        #[cfg(not(feature = "enabled"))]
+        {
+            let _ = (name, cmp, threshold);
+            let _ = signal;
+            HealthRule {}
+        }
+    }
+
+    /// Registers the rule with the watchdog (idempotent; first call wins).
+    #[inline]
+    pub fn arm(&'static self) {
+        #[cfg(feature = "enabled")]
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            crate::registry::register_health_rule(self);
+        }
+    }
+
+    /// The rule name.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        #[cfg(feature = "enabled")]
+        {
+            self.name
+        }
+        #[cfg(not(feature = "enabled"))]
+        ""
+    }
+
+    /// Clears fired/latched state and rate baselines; registration persists.
+    #[cfg(feature = "enabled")]
+    pub(crate) fn reset_state(&self) {
+        self.firing.store(false, Ordering::Relaxed);
+        self.latched.store(false, Ordering::Relaxed);
+        self.fired_count.store(0, Ordering::Relaxed);
+        self.has_value.store(false, Ordering::Relaxed);
+        self.has_baseline.store(false, Ordering::Relaxed);
+    }
+
+    /// Evaluates the rule once and returns its current alert state.
+    #[cfg(feature = "enabled")]
+    fn tick(&self, now_ns: u64) -> Alert {
+        let value = match self.signal {
+            Signal::Counter(name) => counter_total(name),
+            Signal::CounterRate(name) => {
+                let current = counter_total(name).map(|v| v as u64);
+                match current {
+                    None => None,
+                    Some(cur) => {
+                        let had = self.has_baseline.swap(true, Ordering::Relaxed);
+                        let prev = self.baseline.swap(cur, Ordering::Relaxed);
+                        let prev_ts = self.baseline_ts_ns.swap(now_ns, Ordering::Relaxed);
+                        let dt_ns = now_ns.saturating_sub(prev_ts);
+                        if !had || dt_ns == 0 {
+                            None
+                        } else {
+                            Some(cur.saturating_sub(prev) as f64 * 1e9 / dt_ns as f64)
+                        }
+                    }
+                }
+            }
+            Signal::Ratio(num, den) => match (counter_total(num), counter_total(den)) {
+                (Some(n), Some(d)) if d > 0.0 => Some(n / d),
+                _ => None,
+            },
+            Signal::GaugeMin(family) => gauge_min(family),
+            Signal::Quantile(hist, q) => hist_quantile(hist, q),
+        };
+
+        let firing = match value {
+            Some(v) => match self.cmp {
+                Cmp::Above => v > self.threshold,
+                Cmp::Below => v < self.threshold,
+            },
+            None => false,
+        };
+        if let Some(v) = value {
+            self.last_value.store(v.to_bits(), Ordering::Relaxed);
+            self.has_value.store(true, Ordering::Relaxed);
+        }
+        self.firing.store(firing, Ordering::Relaxed);
+        if firing {
+            self.fired_count.fetch_add(1, Ordering::Relaxed);
+            self.latched.store(true, Ordering::Relaxed);
+        }
+        self.state()
+    }
+
+    /// The rule's current state without re-evaluating.
+    #[cfg(feature = "enabled")]
+    fn state(&self) -> Alert {
+        Alert {
+            name: self.name,
+            signal: self.signal,
+            cmp: self.cmp,
+            threshold: self.threshold,
+            value: self
+                .has_value
+                .load(Ordering::Relaxed)
+                .then(|| f64::from_bits(self.last_value.load(Ordering::Relaxed))),
+            firing: self.firing.load(Ordering::Relaxed),
+            latched: self.latched.load(Ordering::Relaxed),
+            fired_count: self.fired_count.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The reported state of one health rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Alert {
+    /// Rule name.
+    pub name: &'static str,
+    /// What the rule watches.
+    pub signal: Signal,
+    /// Fire direction.
+    pub cmp: Cmp,
+    /// Fire threshold.
+    pub threshold: f64,
+    /// Last evaluated signal value (`None` until the signal has data).
+    pub value: Option<f64>,
+    /// Did the most recent evaluation fire?
+    pub firing: bool,
+    /// Has the rule fired at all since the last [`crate::reset`]?
+    pub latched: bool,
+    /// Evaluations that fired since the last [`crate::reset`].
+    pub fired_count: u64,
+}
+
+/// Sums every flat counter and labeled counter-family cell named `name`;
+/// `None` when nothing by that name has registered yet.
+#[cfg(feature = "enabled")]
+fn counter_total(name: &str) -> Option<f64> {
+    let mut total = 0u64;
+    let mut seen = false;
+    for c in crate::registry::registry().counters.lock().unwrap().iter() {
+        if c.name() == name {
+            total += c.get();
+            seen = true;
+        }
+    }
+    for f in crate::registry::registry()
+        .counter_families
+        .lock()
+        .unwrap()
+        .iter()
+    {
+        if f.name() == name {
+            seen = true;
+            for (_, v) in f.snapshot() {
+                total += v;
+            }
+        }
+    }
+    seen.then_some(total as f64)
+}
+
+/// Minimum value across a labeled gauge family's cells; `None` when the
+/// family is unregistered or empty.
+#[cfg(feature = "enabled")]
+fn gauge_min(family: &str) -> Option<f64> {
+    let mut min: Option<f64> = None;
+    for f in crate::registry::registry()
+        .gauge_families
+        .lock()
+        .unwrap()
+        .iter()
+    {
+        if f.name() == family {
+            for (_, v) in f.snapshot() {
+                min = Some(match min {
+                    Some(m) if m <= v => m,
+                    _ => v,
+                });
+            }
+        }
+    }
+    min
+}
+
+/// A flat value-histogram's quantile; `None` when absent or empty.
+#[cfg(feature = "enabled")]
+fn hist_quantile(name: &str, q: f64) -> Option<f64> {
+    for h in crate::registry::registry()
+        .value_hists
+        .lock()
+        .unwrap()
+        .iter()
+    {
+        if h.name() == name && h.count() > 0 {
+            return h.quantile(q);
+        }
+    }
+    None
+}
+
+/// Evaluates every registered rule once (one watchdog tick) and returns the
+/// state of all of them, sorted by rule name. Empty with the feature off.
+#[must_use]
+pub fn evaluate_health() -> Vec<Alert> {
+    #[cfg(feature = "enabled")]
+    {
+        let now = crate::span::now_ns();
+        let rules: Vec<_> = crate::registry::registry()
+            .health_rules
+            .lock()
+            .unwrap()
+            .clone();
+        let mut alerts: Vec<Alert> = rules.iter().map(|r| r.tick(now)).collect();
+        alerts.sort_by_key(|a| a.name);
+        alerts
+    }
+    #[cfg(not(feature = "enabled"))]
+    Vec::new()
+}
+
+/// `true` while no registered rule has latched an alert (evaluates first).
+/// Unconditionally `true` with the feature off.
+#[must_use]
+pub fn health_ok() -> bool {
+    evaluate_health().iter().all(|a| !a.latched)
+}
+
+/// Renders one evaluation as the `/healthz` JSON body:
+/// `{"status":"ok"|"alert","alerts":[…]}`.
+#[must_use]
+pub fn health_json() -> String {
+    let alerts = evaluate_health();
+    let ok = alerts.iter().all(|a| !a.latched);
+    let mut out = format!(
+        "{{\"status\":\"{}\",\"alerts\":[",
+        if ok { "ok" } else { "alert" }
+    );
+    for (i, a) in alerts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&alert_json(a));
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Renders one alert state as a JSON object (shared by `/healthz` and
+/// [`crate::snapshot_json`]).
+#[must_use]
+pub(crate) fn alert_json(a: &Alert) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "{{\"name\":\"{}\",\"metric\":\"{}\",\"cmp\":\"{}\",\"threshold\":{}",
+        crate::sink::json_escape(a.name),
+        crate::sink::json_escape(a.signal.metric()),
+        a.cmp.symbol(),
+        fmt_f64(a.threshold),
+    );
+    match a.value {
+        Some(v) => {
+            let _ = write!(out, ",\"value\":{}", fmt_f64(v));
+        }
+        None => out.push_str(",\"value\":null"),
+    }
+    let _ = write!(
+        out,
+        ",\"firing\":{},\"latched\":{},\"fired_count\":{}}}",
+        a.firing, a.latched, a.fired_count
+    );
+    out
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Starts the background watchdog: a daemon thread evaluating every rule at
+/// `interval`. Idempotent — the first call wins, later calls (and every call
+/// with the feature off) return `false`.
+pub fn start_watchdog(interval: std::time::Duration) -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::atomic::AtomicBool;
+        static STARTED: AtomicBool = AtomicBool::new(false);
+        if STARTED.swap(true, Ordering::Relaxed) {
+            return false;
+        }
+        let spawned = std::thread::Builder::new()
+            .name("wazabee-health-watchdog".into())
+            .spawn(move || loop {
+                std::thread::sleep(interval);
+                let _ = evaluate_health();
+            })
+            .is_ok();
+        if !spawned {
+            STARTED.store(false, Ordering::Relaxed);
+        }
+        spawned
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = interval;
+        false
+    }
+}
+
+#[cfg(all(test, feature = "enabled"))]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_threshold_rule_fires_and_latches() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.extra",
+            Signal::counter("health.test.extra_frames"),
+            > 0.0
+        );
+        // No data yet: silent.
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.extra")
+            .unwrap();
+        assert!(!a.firing && !a.latched && a.value.is_none());
+
+        crate::counter!("health.test.extra_frames").add(2);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.extra")
+            .unwrap();
+        assert!(a.firing && a.latched);
+        assert_eq!(a.value, Some(2.0));
+        assert!(!health_ok());
+
+        // Counter drops back to zero after reset… but reset also clears the
+        // latch, so health recovers.
+        crate::reset();
+        assert!(health_ok());
+    }
+
+    #[test]
+    fn ratio_rule_skips_zero_denominator_then_fires_below() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.delivery",
+            Signal::ratio("health.test.delivered", "health.test.sent"),
+            < 0.9
+        );
+        // Touch the numerator only: denominator counter exists but is 0.
+        crate::counter!("health.test.delivered").add(0);
+        crate::counter!("health.test.sent").add(0);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.delivery")
+            .unwrap();
+        assert!(!a.firing, "zero denominator must not fire: {a:?}");
+
+        crate::counter!("health.test.sent").add(10);
+        crate::counter!("health.test.delivered").add(4);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.delivery")
+            .unwrap();
+        assert!(a.firing);
+        assert_eq!(a.value, Some(0.4));
+        crate::reset();
+    }
+
+    #[test]
+    fn gauge_min_watches_worst_cell() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.worst_cell",
+            Signal::gauge_min("health.test.cell_ratio"),
+            < 0.95
+        );
+        crate::labeled_gauge!("health.test.cell_ratio").set(&[("cell", "a")], 1.0);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.worst_cell")
+            .unwrap();
+        assert!(!a.firing);
+        crate::labeled_gauge!("health.test.cell_ratio").set(&[("cell", "b")], 0.5);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.worst_cell")
+            .unwrap();
+        assert!(a.firing);
+        assert_eq!(a.value, Some(0.5));
+        crate::reset();
+    }
+
+    #[test]
+    fn rate_rule_needs_two_ticks() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.fail_rate",
+            Signal::rate_per_sec("health.test.failures"),
+            > 0.5
+        );
+        crate::counter!("health.test.failures").add(1);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.fail_rate")
+            .unwrap();
+        assert!(!a.firing, "first tick only sets the baseline: {a:?}");
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        crate::counter!("health.test.failures").add(1000);
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.fail_rate")
+            .unwrap();
+        assert!(a.firing, "1000 events in ~5ms is a huge rate: {a:?}");
+        crate::reset();
+    }
+
+    #[test]
+    fn quantile_rule_reads_value_histogram() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.p99_dist",
+            Signal::quantile("health.test.distances", 0.99),
+            > 20.0
+        );
+        for _ in 0..100 {
+            crate::value_histogram!("health.test.distances", 0.0, 32.0).record(30.0);
+        }
+        let alerts = evaluate_health();
+        let a = alerts
+            .iter()
+            .find(|a| a.name == "health.test.p99_dist")
+            .unwrap();
+        assert!(a.firing, "{a:?}");
+        crate::reset();
+    }
+
+    #[test]
+    fn health_json_is_well_formed() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        crate::health_rule!(
+            "health.test.json",
+            Signal::counter("health.test.json_counter"),
+            > 0.0
+        );
+        crate::counter!("health.test.json_counter").inc();
+        let doc = health_json();
+        assert!(doc.starts_with("{\"status\":\"alert\""), "{doc}");
+        assert!(doc.contains("\"name\":\"health.test.json\""), "{doc}");
+        assert!(doc.contains("\"cmp\":\">\""), "{doc}");
+        assert!(doc.contains("\"latched\":true"), "{doc}");
+        crate::reset();
+        assert!(health_json().starts_with("{\"status\":\"ok\""));
+    }
+}

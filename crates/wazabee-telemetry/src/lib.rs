@@ -52,6 +52,7 @@
 //! ```
 
 mod counter;
+mod health;
 mod hist;
 mod labeled;
 mod profile;
@@ -60,8 +61,12 @@ mod server;
 mod sink;
 mod span;
 mod timeseries;
+mod trace_export;
 
 pub use counter::Counter;
+pub use health::{
+    evaluate_health, health_json, health_ok, start_watchdog, Alert, Cmp, HealthRule, Signal,
+};
 pub use hist::{TimeHistogram, TimerGuard, ValueHistogram, HIST_BUCKETS};
 pub use labeled::{
     CounterFamily, CounterHandle, GaugeFamily, HistStats, HistogramFamily, HistogramHandle,
@@ -70,21 +75,27 @@ pub use labeled::{
 pub use profile::{profile_report, profile_summary, StageGuard, StageRow, StageStat};
 pub use server::{serve, serve_from_env, ENV_ADDR};
 pub use sink::{dump_from_env, dump_jsonl_to, snapshot_json, summary, write_jsonl, ENV_OUT};
-pub use span::{drain_trace, event, SpanGuard, TraceEvent, TraceKind, TRACE_CAPACITY};
+pub use span::{
+    current_span_id, drain_trace, event, event_with, ArgValue, SpanArgs, SpanGuard, TraceEvent,
+    TraceKind, MAX_SPAN_ARGS, TRACE_CAPACITY,
+};
 pub use timeseries::{Point, Series, SeriesSet, WallSeries, SERIES_CAPACITY};
+pub use trace_export::{dump_trace_from_env, dump_trace_to, trace_chrome_json, ENV_TRACE_OUT};
 
 /// Zeroes every registered metric — flat counters/histograms, labeled
-/// families, the stage profile, wall-clock series — and clears the trace
-/// ring.
+/// families, the stage profile, wall-clock series, health-rule alert state —
+/// clears the trace ring and restarts the span-id sequence.
 ///
 /// Intended for test isolation and for scenario binaries that report several
 /// independent phases (the parallel sweep driver resets between cells).
 /// Statics stay registered; only their values reset. Cached
 /// [`CounterHandle`]s/[`HistogramHandle`]s remain valid: counter and
-/// histogram cells are zeroed in place, not dropped.
+/// histogram cells are zeroed in place, not dropped. Latched health alerts
+/// unlatch; armed rules stay armed.
 pub fn reset() {
     registry::reset();
     span::clear();
+    span::reset_ids();
 }
 
 /// Declares (once) and returns a `&'static` [`Counter`] for this call site.
@@ -130,22 +141,81 @@ macro_rules! timed_scope {
 
 /// Opens a trace span: records an enter event now and an exit event (with
 /// duration) when the returned guard drops.
+///
+/// Spans are causally linked — each gets a process-unique id and the id of
+/// the span open on the same thread as its parent — and can carry up to
+/// [`MAX_SPAN_ARGS`] static key/value arguments:
+///
+/// ```
+/// # use wazabee_telemetry as tel;
+/// # let (seq, ch) = (7u32, 15u8);
+/// let _s = tel::span!("rx.decode", frame = seq, chan = ch);
+/// ```
 #[macro_export]
 macro_rules! span {
     ($name:expr) => {
         $crate::SpanGuard::enter($name)
     };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::SpanGuard::enter_with(
+            $name,
+            $crate::SpanArgs::new()$(.with(stringify!($k), $v))+,
+        )
+    };
 }
 
-/// Records an instantaneous trace event, optionally with a numeric value.
+/// Records an instantaneous trace event, optionally with a numeric value
+/// and/or up to [`MAX_SPAN_ARGS`] static key/value arguments
+/// (`event!("rx.resync", offset = bit)`).
 #[macro_export]
 macro_rules! event {
     ($name:expr) => {
         $crate::event($name, None)
     };
+    ($name:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::event_with(
+            $name,
+            None,
+            $crate::SpanArgs::new()$(.with(stringify!($k), $v))+,
+        )
+    };
     ($name:expr, $value:expr) => {
         $crate::event($name, Some($value as f64))
     };
+    ($name:expr, $value:expr, $($k:ident = $v:expr),+ $(,)?) => {
+        $crate::event_with(
+            $name,
+            Some($value as f64),
+            $crate::SpanArgs::new()$(.with(stringify!($k), $v))+,
+        )
+    };
+}
+
+/// Declares (once) and arms a [`HealthRule`]: a named alert over a metric
+/// [`Signal`], firing when the signal crosses the threshold in the given
+/// direction. Arming is idempotent; the rule stays armed across
+/// [`reset`] (only its alert state clears).
+///
+/// ```
+/// # use wazabee_telemetry as tel;
+/// tel::health_rule!(
+///     "ids.extra_frames",
+///     tel::Signal::counter("ids.stream.extra_frames"),
+///     > 0.0
+/// );
+/// ```
+#[macro_export]
+macro_rules! health_rule {
+    ($name:expr, $signal:expr, > $threshold:expr) => {{
+        static __WZB_HEALTH: $crate::HealthRule =
+            $crate::HealthRule::new($name, $signal, $crate::Cmp::Above, ($threshold) as f64);
+        __WZB_HEALTH.arm();
+    }};
+    ($name:expr, $signal:expr, < $threshold:expr) => {{
+        static __WZB_HEALTH: $crate::HealthRule =
+            $crate::HealthRule::new($name, $signal, $crate::Cmp::Below, ($threshold) as f64);
+        __WZB_HEALTH.arm();
+    }};
 }
 
 /// Declares (once) and returns a `&'static` [`CounterFamily`] for this call

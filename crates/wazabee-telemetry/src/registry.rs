@@ -8,6 +8,8 @@
 use std::sync::{Mutex, OnceLock};
 
 #[cfg(feature = "enabled")]
+use crate::health::HealthRule;
+#[cfg(feature = "enabled")]
 use crate::labeled::{CounterFamily, GaugeFamily, HistogramFamily};
 #[cfg(feature = "enabled")]
 use crate::profile::StageStat;
@@ -27,6 +29,7 @@ pub(crate) struct Registry {
     pub hist_families: Mutex<Vec<&'static HistogramFamily>>,
     pub stages: Mutex<Vec<&'static StageStat>>,
     pub wall_series: Mutex<Vec<&'static WallSeries>>,
+    pub health_rules: Mutex<Vec<&'static HealthRule>>,
 }
 
 #[cfg(feature = "enabled")]
@@ -75,6 +78,11 @@ pub(crate) fn register_wall_series(s: &'static WallSeries) {
     registry().wall_series.lock().unwrap().push(s);
 }
 
+#[cfg(feature = "enabled")]
+pub(crate) fn register_health_rule(r: &'static HealthRule) {
+    registry().health_rules.lock().unwrap().push(r);
+}
+
 /// Zeroes every registered metric — flat and labeled, stage profile and
 /// wall-clock series included (they stay registered).
 pub(crate) fn reset() {
@@ -103,6 +111,9 @@ pub(crate) fn reset() {
         }
         for s in registry().wall_series.lock().unwrap().iter() {
             s.reset();
+        }
+        for r in registry().health_rules.lock().unwrap().iter() {
+            r.reset_state();
         }
     }
 }

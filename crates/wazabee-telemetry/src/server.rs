@@ -5,20 +5,30 @@
 //! or — if the value contains a `/` — a unix-socket path, and call
 //! [`serve_from_env`] (the bench binaries and `examples/support.rs` session
 //! guard do). A detached daemon thread then answers every connection with a
-//! one-shot HTTP/1.0 response whose body is [`crate::snapshot_json`]: the
-//! merged counters, labeled families, histograms, stage profile and
-//! wall-clock series at that instant.
+//! one-shot HTTP/1.0 response. Three routes:
+//!
+//! * `/` — [`crate::snapshot_json`]: merged counters, labeled families,
+//!   histograms, alerts, stage profile and wall-clock series at that instant;
+//! * `/healthz` — one watchdog tick over the armed [`crate::HealthRule`]s;
+//!   `200 OK` while no alert has latched, `503 Service Unavailable` once one
+//!   has, body [`crate::health_json`] either way — a CI gate or service
+//!   supervisor needs only the status line;
+//! * `/trace` — the causal trace ring as Chrome Trace Event JSON
+//!   ([`crate::trace_chrome_json`]), loadable in Perfetto.
+//!
+//! Anything else is a `404` with a JSON error body.
 //!
 //! ```text
 //! WAZABEE_TELEMETRY_ADDR=127.0.0.1:9090 netsim_scale --smoke &
-//! curl -s http://127.0.0.1:9090/ | python3 -m json.tool
+//! curl -s http://127.0.0.1:9090/healthz | python3 -m json.tool
 //! ```
 //!
 //! The protocol is deliberately minimal — any HTTP client works, but so does
-//! `nc`: the request is read only up to its blank line and never parsed, and
-//! the response closes the connection. With the `enabled` feature off the
-//! endpoint does not exist: [`serve_from_env`] returns `Ok(None)` without
-//! binding anything.
+//! `nc`: the request is read only up to its blank line, only the request
+//! line's path is examined (a bare `nc` paste with no parsable request line
+//! gets the `/` snapshot), and the response closes the connection. With the
+//! `enabled` feature off the endpoint does not exist: [`serve_from_env`]
+//! returns `Ok(None)` without binding anything.
 
 use std::io;
 
@@ -106,8 +116,8 @@ fn serve_unix(path: &str) -> io::Result<String> {
     Ok(bound)
 }
 
-/// Reads the request up to its blank line (contents ignored) and writes one
-/// HTTP/1.0 JSON response.
+/// Reads the request up to its blank line, routes on the request-line path
+/// and writes one HTTP/1.0 JSON response.
 #[cfg(feature = "enabled")]
 fn answer<S: Read + Write>(stream: &mut S) -> io::Result<()> {
     let mut req = [0u8; 1024];
@@ -127,14 +137,52 @@ fn answer<S: Read + Write>(stream: &mut S) -> io::Result<()> {
             break;
         }
     }
-    let body = crate::snapshot_json();
+    let path = request_path(&req[..seen]);
+    let (status, body) = match path.as_str() {
+        "/" => ("200 OK", crate::snapshot_json()),
+        "/healthz" => {
+            let body = crate::health_json();
+            let status = if body.starts_with("{\"status\":\"ok\"") {
+                "200 OK"
+            } else {
+                "503 Service Unavailable"
+            };
+            (status, body)
+        }
+        "/trace" => ("200 OK", crate::trace_chrome_json()),
+        other => (
+            "404 Not Found",
+            format!(
+                "{{\"error\":\"no such route\",\"path\":\"{}\",\
+                 \"routes\":[\"/\",\"/healthz\",\"/trace\"]}}",
+                crate::sink::json_escape(other)
+            ),
+        ),
+    };
     let header = format!(
-        "HTTP/1.0 200 OK\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.0 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(header.as_bytes())?;
     stream.write_all(body.as_bytes())?;
     stream.flush()
+}
+
+/// Extracts the path from an HTTP request line (`GET /x HTTP/1.1`). Query
+/// strings are stripped; anything that does not look like a request line —
+/// e.g. a bare `nc` connection that just sent a newline — maps to `/` so the
+/// pre-routing snapshot behaviour survives.
+#[cfg(feature = "enabled")]
+fn request_path(req: &[u8]) -> String {
+    let text = String::from_utf8_lossy(req);
+    let first_line = text.lines().next().unwrap_or("");
+    let mut tokens = first_line.split_whitespace();
+    match (tokens.next(), tokens.next()) {
+        (Some(_method), Some(path)) if path.starts_with('/') => {
+            path.split(['?', '#']).next().unwrap_or("/").to_string()
+        }
+        _ => "/".to_string(),
+    }
 }
 
 #[cfg(all(test, feature = "enabled"))]
@@ -207,5 +255,77 @@ mod tests {
         if std::env::var_os(ENV_ADDR).is_none() {
             assert!(serve_from_env().unwrap().is_none());
         }
+    }
+
+    fn http_get_path(addr: &str, path: &str) -> String {
+        let mut stream = std::net::TcpStream::connect(addr).unwrap();
+        stream
+            .write_all(format!("GET {path} HTTP/1.0\r\nHost: test\r\n\r\n").as_bytes())
+            .unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn trace_route_serves_chrome_trace_json() {
+        let _lock = crate::test_lock();
+        let addr = serve("127.0.0.1:0").unwrap();
+        let response = http_get_path(&addr, "/trace");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        let body = response.split("\r\n\r\n").nth(1).unwrap();
+        assert!(body.starts_with("{\"traceEvents\":["), "{body}");
+    }
+
+    #[test]
+    fn healthz_route_reports_status_line() {
+        let _lock = crate::test_lock();
+        crate::reset();
+        let addr = serve("127.0.0.1:0").unwrap();
+        // No rule has latched after reset: healthy.
+        let response = http_get_path(&addr, "/healthz");
+        assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+        assert!(response.contains("\"status\":\"ok\""), "{response}");
+        // Arm a rule and trip it: the same endpoint flips to 503.
+        crate::health_rule!(
+            "server.test.tripwire",
+            crate::Signal::counter("server.test.bad_things"),
+            > 0.0
+        );
+        crate::counter!("server.test.bad_things").inc();
+        let response = http_get_path(&addr, "/healthz");
+        assert!(
+            response.starts_with("HTTP/1.0 503 Service Unavailable"),
+            "{response}"
+        );
+        assert!(response.contains("\"status\":\"alert\""), "{response}");
+        crate::reset();
+    }
+
+    #[test]
+    fn unknown_route_is_404_and_bare_nc_gets_snapshot() {
+        let _lock = crate::test_lock();
+        let addr = serve("127.0.0.1:0").unwrap();
+        let response = http_get_path(&addr, "/nope");
+        assert!(response.starts_with("HTTP/1.0 404 Not Found"), "{response}");
+        assert!(response.contains("\"error\""), "{response}");
+        // A non-HTTP client that just pokes the socket still gets the
+        // snapshot (the nc-friendly fallback).
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream.write_all(b"\r\n\r\n").unwrap();
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+        assert!(out.contains("wazabee.telemetry.snapshot/1"), "{out}");
+    }
+
+    #[test]
+    fn request_path_parses_and_strips_queries() {
+        assert_eq!(request_path(b"GET / HTTP/1.1\r\n\r\n"), "/");
+        assert_eq!(request_path(b"GET /healthz HTTP/1.0\r\n\r\n"), "/healthz");
+        assert_eq!(request_path(b"GET /trace?x=1 HTTP/1.1\r\n\r\n"), "/trace");
+        assert_eq!(request_path(b"\r\n"), "/");
+        assert_eq!(request_path(b""), "/");
+        assert_eq!(request_path(b"hello there"), "/");
     }
 }

@@ -241,6 +241,35 @@ pub fn summary() -> String {
                 let _ = writeln!(out, "  {name:<40} n={n}");
             }
         }
+
+        // Health rules: one watchdog tick, then every armed rule with its
+        // verdict — firing/latched alerts stand out, healthy rules read "ok".
+        let alerts = crate::health::evaluate_health();
+        if !alerts.is_empty() {
+            let _ = writeln!(out, "-- alerts --");
+            for a in &alerts {
+                let status = if a.firing {
+                    "FIRING"
+                } else if a.latched {
+                    "latched"
+                } else {
+                    "ok"
+                };
+                let value = a
+                    .value
+                    .map_or_else(|| "n/a".to_string(), |v| format!("{v:.4}"));
+                let _ = writeln!(
+                    out,
+                    "  {:<40} {status} ({} {} {}, value {value}, fired {}x)",
+                    a.name,
+                    a.signal.metric(),
+                    a.cmp.symbol(),
+                    a.threshold,
+                    a.fired_count,
+                );
+            }
+        }
+
         out.push_str(&crate::profile::profile_summary());
         out
     }
@@ -307,8 +336,10 @@ pub(crate) fn labels_json(pairs: &[(&'static str, String)]) -> String {
 /// Top-level shape (`schema` = `"wazabee.telemetry.snapshot/1"`):
 /// `counters` (name → value), `labeled_counters` / `gauges` /
 /// `labeled_histograms` (per-family cell arrays), `value_histograms`,
-/// `time_histograms`, `stages` (the self/total profile) and `wall_series`.
-/// With the `enabled` feature off, only `{"schema":…,"enabled":false}`.
+/// `time_histograms`, `alerts` (one watchdog tick over every armed
+/// [`crate::HealthRule`]), `stages` (the self/total profile) and
+/// `wall_series`. With the `enabled` feature off, only
+/// `{"schema":…,"enabled":false}`.
 #[must_use]
 pub fn snapshot_json() -> String {
     let mut out = String::from("{\"schema\":\"wazabee.telemetry.snapshot/1\"");
@@ -440,6 +471,15 @@ pub fn snapshot_json() -> String {
                     h.quantile_ns(0.99).unwrap_or(0)
                 );
             }
+        }
+        out.push(']');
+
+        out.push_str(",\"alerts\":[");
+        for (i, a) in crate::health::evaluate_health().iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&crate::health::alert_json(a));
         }
         out.push(']');
 
@@ -668,10 +708,20 @@ pub fn write_jsonl(w: &mut dyn Write) -> io::Result<()> {
             TraceKind::SpanExit { dur_ns } => ("exit", format!("{dur_ns}"), "null".to_string()),
             TraceKind::Instant { value } => ("instant", "null".to_string(), json_opt_f64(value)),
         };
+        #[cfg(feature = "enabled")]
+        let causal = format!(
+            ",\"span_id\":{},\"parent_id\":{},\"thread\":{},\"args\":{}",
+            ev.span_id,
+            ev.parent_id,
+            ev.thread_id,
+            crate::trace_export::span_args_json(&ev.args),
+        );
+        #[cfg(not(feature = "enabled"))]
+        let causal = String::new();
         writeln!(
             w,
             "{{\"type\":\"trace\",\"ts_ns\":{},\"name\":\"{}\",\"kind\":\"{kind}\",\
-             \"dur_ns\":{dur},\"value\":{value}}}",
+             \"dur_ns\":{dur},\"value\":{value}{causal}}}",
             ev.ts_ns,
             json_escape(ev.name),
         )?;

@@ -233,6 +233,15 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
                 .min_by_key(|&(o, pm)| (pm.errors, o, pm.index))
                 .expect("a front exists at i_min");
             let start_rel = pm.index + m - self.base_bits;
+            // One causal span per decode attempt; its id is threaded into the
+            // flight-recorder trace so a PCAP frame links back to this slice.
+            let span = wazabee_telemetry::span!(
+                "rx.decode",
+                frame = self.attempts,
+                bit = pm.index,
+                lane = offset,
+                sync_errors = pm.errors
+            );
             // The stage covers replays of held attempts on purpose: the
             // profiler answers "where did the CPU go", and re-decoding is
             // real work even when the attempt cannot commit yet.
@@ -249,7 +258,8 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
                     used_bits,
                     distances,
                 } => {
-                    let tr = self.begin_trace(offset, &pm, &distances);
+                    let mut tr = self.begin_trace(offset, &pm, &distances);
+                    tr.link_span(span.id());
                     let frame = ReceivedPpdu {
                         psdu,
                         chip_errors,
@@ -263,7 +273,8 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
                     out.push(Ok(frame));
                 }
                 DecodeOutcome::Fail { err, distances } => {
-                    let tr = self.begin_trace(offset, &pm, &distances);
+                    let mut tr = self.begin_trace(offset, &pm, &distances);
+                    tr.link_span(span.id());
                     self.commit_failure(tr, &err);
                     // Re-arm one bit past the failed hit — the next (possibly
                     // overlapping) alignment gets its own attempt.

@@ -63,7 +63,8 @@ impl Drop for Session {
 }
 
 /// Prints the end-of-run telemetry summary and, when `WAZABEE_TELEMETRY_OUT`
-/// is set, dumps every metric and trace record as JSONL to that path.
+/// / `WAZABEE_TRACE_OUT` are set, dumps every metric and trace record as
+/// JSONL / Chrome Trace JSON to those paths.
 pub fn telemetry_footer() {
     print!("{}", wazabee_telemetry::summary());
     match wazabee_telemetry::dump_from_env() {
@@ -73,6 +74,14 @@ pub fn telemetry_footer() {
         ),
         Ok(false) => {}
         Err(e) => eprintln!("telemetry dump failed: {e}"),
+    }
+    match wazabee_telemetry::dump_trace_from_env() {
+        Ok(true) => println!(
+            "chrome trace dumped to {} (load in https://ui.perfetto.dev)",
+            std::env::var(wazabee_telemetry::ENV_TRACE_OUT).unwrap_or_default()
+        ),
+        Ok(false) => {}
+        Err(e) => eprintln!("chrome trace dump failed: {e}"),
     }
 }
 

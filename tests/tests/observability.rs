@@ -343,6 +343,62 @@ fn reset_clears_every_observability_surface() {
     let (events, dropped) = wazabee_telemetry::drain_trace();
     assert!(events.is_empty(), "trace ring survived reset");
     assert_eq!(dropped, 0);
+
+    // No alerts survive either (populate_metrics never trips a rule here,
+    // but a stale latch from another test must not leak through reset).
+    assert!(
+        snap.get("alerts").unwrap().as_array().is_some(),
+        "snapshot lost its alerts section"
+    );
+    assert!(wazabee_telemetry::health_ok(), "alert latch survived reset");
+}
+
+/// `reset()` must clear health-rule latches and restart the span-id
+/// sequence — the sweep driver's per-cell reset otherwise leaks one cell's
+/// alerts and causal ids into the next (PR 6's cross-cell leakage class).
+#[test]
+fn reset_clears_health_latches_and_span_id_sequence() {
+    let _l = lock();
+    wazabee_telemetry::reset();
+
+    wazabee_telemetry::health_rule!(
+        "obs.cell.alert",
+        wazabee_telemetry::Signal::counter("obs.cell.tripwire"),
+        > 0
+    );
+    wazabee_telemetry::counter!("obs.cell.tripwire").inc();
+    let alerts = wazabee_telemetry::evaluate_health();
+    let fired = alerts.iter().find(|a| a.name == "obs.cell.alert").unwrap();
+    assert!(fired.firing && fired.latched, "rule should trip: {fired:?}");
+    assert!(!wazabee_telemetry::health_ok());
+
+    let span_id_before = {
+        let span = wazabee_telemetry::span!("obs.cell.span");
+        span.id()
+    };
+    assert!(span_id_before > 0);
+
+    wazabee_telemetry::reset();
+
+    // The latch is released and the rule sees no data (counter is zero →
+    // the counter signal still reads Some(0), which does not fire).
+    let alerts = wazabee_telemetry::evaluate_health();
+    let calm = alerts.iter().find(|a| a.name == "obs.cell.alert").unwrap();
+    assert!(
+        !calm.firing && !calm.latched,
+        "health latch leaked across reset: {calm:?}"
+    );
+    assert!(wazabee_telemetry::health_ok());
+
+    // Span ids restart from 1: a second sweep cell's trace is
+    // byte-comparable to the first's.
+    let span_id_after = {
+        let span = wazabee_telemetry::span!("obs.cell.span");
+        span.id()
+    };
+    assert_eq!(span_id_after, 1, "span-id sequence survived reset");
+
+    wazabee_telemetry::reset();
 }
 
 /// The sweep driver's per-cell pattern: reset, run, read. A second identical
