@@ -14,26 +14,31 @@
 #      artifacts with default features and none with --no-default-features
 #   8. packed-kernel micro-bench smoke: packed-vs-scalar despread/correlate
 #      bench compiles and runs in test mode
-#   9. rx-throughput smoke: the bin emits a well-formed
+#   9. iq-kernel micro-bench smoke: the planar SIMD sample-domain kernels
+#      run in test mode in both feature states, and every kernel's scalar
+#      reference is still exercised (bench cases plus the bitwise parity
+#      proptests in tests/tests/iq_simd.rs)
+#  10. rx-throughput smoke: the bin emits a well-formed
 #      BENCH_rx_throughput.json and the packed despreading kernel is at
 #      least 3x faster than the scalar reference
-#  10. stream-throughput smoke: the streaming receiver emits a well-formed
+#  11. stream-throughput smoke: the streaming receiver emits a well-formed
 #      BENCH_stream_throughput.json and recovers >= 2 frames behind a decoy
 #      sync hit, in both feature states
-#  11. netsim smoke: the network-scale spectrum-sim sweep emits a well-formed
+#  12. netsim smoke: the network-scale spectrum-sim sweep emits a well-formed
 #      BENCH_netsim.json whose no-attacker ideal cells deliver 100% and whose
 #      attacked cells show waveform-level collisions, in both feature states
-#  12. live snapshot poll: the default-features netsim run is polled over
+#  13. live snapshot poll: the default-features netsim run is polled over
 #      WAZABEE_TELEMETRY_ADDR and must answer with a well-formed snapshot
 #      (labeled metrics + per-stage profile + alerts); the
 #      --no-default-features run must never start the endpoint
-#  13. health + causal trace: during the attacked netsim run /healthz must
+#  14. health + causal trace: during the attacked netsim run /healthz must
 #      answer 503 with the collisions rule latched (and the delivery-ratio
 #      rule armed), /trace must serve live Chrome Trace JSON, and the
 #      WAZABEE_TRACE_OUT dump must hold rx.decode spans with frame args and
 #      resolvable parents; a --no-attacker run must answer /healthz 200;
 #      the --no-default-features run must write no trace file
-#  14. perf regression gate: fresh smoke-run BENCH figures must stay within
+#  15. perf regression gate: fresh smoke-run BENCH figures — including the
+#      streaming and discriminator simd_speedup rows — must stay within
 #      WAZABEE_PERF_TOLERANCE (default 50%) of the committed artifacts/
 #      baselines, failing loudly on regressions
 set -euo pipefail
@@ -76,6 +81,29 @@ fi
 echo "flight-recorder compiled out: no artifacts written"
 
 run cargo bench -p wazabee-bench --bench packed_kernels --offline -- --test
+
+# The planar SIMD kernels must run in both feature states, and the scalar
+# references they are parity-pinned to must still be exercised: the bench
+# carries one *_scalar case per kernel, and the integration suite carries the
+# bitwise scalar-parity proptests.
+iq_bench_log="$capture_dir/iq_kernels_bench.log"
+run cargo bench -p wazabee-bench --bench iq_kernels --offline -- --test
+cargo bench -p wazabee-bench --bench iq_kernels --offline -- --test >"$iq_bench_log" 2>&1
+run cargo bench -p wazabee-bench --bench iq_kernels --offline --no-default-features -- --test
+for kernel in discriminate_scalar window_sums_scalar axpy_scalar \
+    superpose_accumulate_scalar fir_planar_scalar; do
+    if ! grep -q "$kernel" "$iq_bench_log"; then
+        echo "ci.sh: iq_kernels bench no longer exercises $kernel" >&2
+        exit 1
+    fi
+done
+scalar_props="$(cargo test -q -p wazabee-integration --offline --test iq_simd -- --list \
+    | grep -c "match.*_scalar")"
+if [ "$scalar_props" -lt 5 ]; then
+    echo "ci.sh: expected >= 5 scalar-parity proptests in iq_simd, found $scalar_props" >&2
+    exit 1
+fi
+echo "scalar references exercised: 5 bench cases + $scalar_props parity proptests"
 
 bench_json="$capture_dir/BENCH_rx_throughput.json"
 run cargo run --release -q -p wazabee-bench --bin rx_throughput --offline -- \
@@ -336,10 +364,14 @@ gate("despread.speedup",
 gate("despread.packed_msymbols_per_sec",
      rx_f["despread"]["packed_msymbols_per_sec"],
      rx_b["despread"]["packed_msymbols_per_sec"])
+gate("discriminate.simd_speedup",
+     rx_f["discriminate"]["simd_speedup"], rx_b["discriminate"]["simd_speedup"])
 
 st_f, st_b = load(fresh_stream_path), load("artifacts/BENCH_stream_throughput.json")
 gate("stream.frames_per_sec",
      st_f["stream"]["frames_per_sec"], st_b["stream"]["frames_per_sec"])
+gate("stream.simd_speedup",
+     st_f["stream"]["simd_speedup"], st_b["stream"]["simd_speedup"])
 
 ns_f, ns_b = load(fresh_netsim_path), load("artifacts/BENCH_netsim.json")
 base_cells = {(c["nodes"], c["attacker"]): c for c in ns_b["cells"]}

@@ -106,6 +106,39 @@ fn bench_despread(symbols: usize) -> (f64, f64) {
     (msym(packed_secs), msym(scalar_secs))
 }
 
+/// Discriminator micro-benchmark over real capture IQ: the planar `f32` SIMD
+/// kernel versus the interleaved `f64` reference the receive path used before
+/// going planar. Returns (simd Msamples/s, f64 Msamples/s).
+fn bench_discriminate(captures: &[Capture], passes: usize) -> (f64, f64) {
+    let all: Vec<wazabee_dsp::Iq> = captures.iter().flat_map(|c| c.air.clone()).collect();
+    let planar = wazabee_dsp::IqBuf::from_interleaved(&all);
+    let n = all.len();
+
+    let start = Instant::now();
+    let mut out_f32 = Vec::with_capacity(n);
+    for _ in 0..passes {
+        out_f32.clear();
+        wazabee_dsp::simd::discriminate_planar_into(planar.i(), planar.q(), &mut out_f32);
+    }
+    let simd_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    let start = Instant::now();
+    let mut out_f64 = Vec::with_capacity(n);
+    for _ in 0..passes {
+        out_f64.clear();
+        wazabee_dsp::discriminator::discriminate_into(&all, &mut out_f64);
+    }
+    let f64_secs = start.elapsed().as_secs_f64().max(1e-9);
+
+    assert_eq!(
+        out_f32.len(),
+        out_f64.len(),
+        "discriminator length divergence"
+    );
+    let msps = |secs: f64| (n * passes) as f64 / secs / 1e6;
+    (msps(simd_secs), msps(f64_secs))
+}
+
 fn main() {
     let mut smoke = false;
     let mut out_path = "BENCH_rx_throughput.json".to_string();
@@ -144,14 +177,20 @@ fn main() {
     eprintln!("despreading {symbols} symbols, packed vs scalar ...");
     let (packed_msym, scalar_msym) = bench_despread(symbols);
     let speedup = packed_msym / scalar_msym;
+    eprintln!("discriminating capture IQ, planar f32 vs interleaved f64 ...");
+    let (simd_msps, f64_msps) = bench_discriminate(&captures, if smoke { 4 } else { 16 });
+    let simd_speedup = simd_msps / f64_msps;
 
     println!("rx: {decoded}/{frames} frames decoded in {rx_secs:.3} s = {frames_per_sec:.1} frames/sec ({threads} threads)");
     println!("despread: packed {packed_msym:.2} Msym/s, scalar {scalar_msym:.2} Msym/s");
     println!("despread speedup (packed/scalar): {speedup:.2}x");
+    println!(
+        "discriminate: planar {simd_msps:.2} Msamples/s, f64 {f64_msps:.2} Msamples/s -> simd_speedup {simd_speedup:.2}x"
+    );
 
     // Hand-formatted JSON: the vendored serde derive is a no-op shim.
     let json = format!(
-        "{{\n  \"bench\": \"rx_throughput\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"rx\": {{\n    \"frames\": {frames},\n    \"decoded\": {decoded},\n    \"seconds\": {rx_secs:.6},\n    \"frames_per_sec\": {frames_per_sec:.3}\n  }},\n  \"despread\": {{\n    \"symbols\": {symbols},\n    \"packed_msymbols_per_sec\": {packed_msym:.3},\n    \"scalar_msymbols_per_sec\": {scalar_msym:.3},\n    \"speedup\": {speedup:.3}\n  }}\n}}\n"
+        "{{\n  \"bench\": \"rx_throughput\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"rx\": {{\n    \"frames\": {frames},\n    \"decoded\": {decoded},\n    \"seconds\": {rx_secs:.6},\n    \"frames_per_sec\": {frames_per_sec:.3}\n  }},\n  \"despread\": {{\n    \"symbols\": {symbols},\n    \"packed_msymbols_per_sec\": {packed_msym:.3},\n    \"scalar_msymbols_per_sec\": {scalar_msym:.3},\n    \"speedup\": {speedup:.3}\n  }},\n  \"discriminate\": {{\n    \"simd_msamples_per_sec\": {simd_msps:.3},\n    \"f64_msamples_per_sec\": {f64_msps:.3},\n    \"simd_speedup\": {simd_speedup:.3}\n  }}\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");

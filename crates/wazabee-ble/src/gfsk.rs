@@ -161,6 +161,34 @@ pub fn demodulate_aligned(params: &GfskParams, samples: &[Iq], offset: usize) ->
     wazabee_dsp::bits::nrz_to_bits(&per_symbol)
 }
 
+/// Planar SIMD twin of [`demodulate_aligned`]: polar-discriminates the `f32`
+/// rails with [`wazabee_dsp::simd::discriminate_planar_into`], integrates each
+/// symbol window with [`wazabee_dsp::simd::window_sums_into`] and hard-slices.
+///
+/// The normalising scale of [`demodulate_soft`] and the `1/sps` of the mean
+/// are both positive, so the sliced bits are decided by the same signs as the
+/// `f64` path — on any waveform whose per-symbol integrals are not within
+/// `f32` rounding of zero, the two paths agree bit for bit.
+pub fn demodulate_aligned_planar(
+    params: &GfskParams,
+    samples: wazabee_dsp::IqSlice<'_>,
+    offset: usize,
+) -> Vec<u8> {
+    let _t = wazabee_telemetry::timed_scope!("ble.gfsk.demodulate_ns");
+    let mut diffs = Vec::new();
+    wazabee_dsp::simd::discriminate_planar_into(samples.i(), samples.q(), &mut diffs);
+    if offset >= diffs.len() {
+        return Vec::new();
+    }
+    let sps = params.samples_per_symbol;
+    let n_bits = (diffs.len() - offset) / sps;
+    let mut sums = Vec::with_capacity(n_bits);
+    wazabee_dsp::simd::window_sums_into(&diffs[offset..offset + n_bits * sps], sps, &mut sums);
+    let mut bits = Vec::with_capacity(n_bits);
+    wazabee_dsp::simd::nrz_hard_bits_into(&sums, &mut bits);
+    bits
+}
+
 /// The result of a successful raw capture: sync info plus the bits that
 /// followed the sync pattern.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -501,6 +529,21 @@ mod tests {
         // The ramp-down tail may decode as one extra bit at most.
         assert!(capture.bits.len() <= 4);
         assert_eq!(&capture.bits[..3], &[1, 0, 1]);
+    }
+
+    #[test]
+    fn planar_demod_matches_f64_demod_at_every_phase() {
+        for p in [params(), GfskParams::msk(BlePhy::Le2M, 8)] {
+            let bits = random_bits(11, 160);
+            let mut tx = modulate(&p, &bits);
+            AwgnSource::from_snr_db(12, 20.0, 1.0).add_to(&mut tx);
+            let planar = wazabee_dsp::IqBuf::from_interleaved(&tx);
+            for offset in 0..p.samples_per_symbol {
+                let f64_bits = demodulate_aligned(&p, &tx, offset);
+                let f32_bits = demodulate_aligned_planar(&p, planar.as_slice(), offset);
+                assert_eq!(f32_bits, f64_bits, "offset {offset}");
+            }
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use adv::{AdStructure, AdvExtInd, AdvPdu, AdvPduType, AuxAdvInd, AuxPtr, Ble
 pub use channel::{BleChannel, BlePhy};
 pub use connection::{Connection, ConnectionParameters, DataPdu, Llid};
 pub use csa2::{select_channel, ChannelMap, EventChannelSequence};
-pub use gfsk::{GfskParams, GfskReceiver, RawCapture};
+pub use gfsk::{demodulate_aligned_planar, GfskParams, GfskReceiver, RawCapture};
 pub use modem::BleModem;
 pub use packet::{BlePacket, ADV_ACCESS_ADDRESS};
 pub use whitening::Whitener;

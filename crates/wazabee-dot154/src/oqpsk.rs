@@ -7,8 +7,9 @@
 //! moves by exactly ±π/2 per chip period — i.e. it *is* MSK, which is the
 //! entire basis of the WazaBee attack.
 
-use wazabee_dsp::halfsine::half_sine_pulse;
+use wazabee_dsp::halfsine::{half_sine_pulse, half_sine_pulse_f32};
 use wazabee_dsp::iq::Iq;
+use wazabee_dsp::IqBuf;
 
 /// Modulates a chip stream (0/1 values) to complex baseband at
 /// `samples_per_chip` oversampling.
@@ -41,6 +42,36 @@ pub fn modulate_chips(chips: &[u8], samples_per_chip: usize) -> Vec<Iq> {
         .zip(q_rail)
         .map(|(i, q)| Iq::new(i, q))
         .collect()
+}
+
+/// Planar form of [`modulate_chips`]: the even/odd chip rails *are* the I/Q
+/// rails of an [`IqBuf`], so O-QPSK modulation is naturally planar — each
+/// half-sine pulse placement is one SIMD [`wazabee_dsp::simd::axpy`] on a
+/// single rail and the two rails never interleave.
+///
+/// The default transmit path stays `f64` (the committed waveform artifacts
+/// pin it); this is the kernel the planar pipeline benchmarks and the parity
+/// tests exercise.
+///
+/// # Panics
+///
+/// Panics if `samples_per_chip` is zero.
+pub fn modulate_chips_planar(chips: &[u8], samples_per_chip: usize) -> IqBuf {
+    assert!(samples_per_chip > 0, "need at least one sample per chip");
+    let spc = samples_per_chip;
+    let pulse = half_sine_pulse_f32(spc);
+    let n = (chips.len() + 1) * spc;
+    let mut buf = IqBuf::new();
+    buf.resize(n);
+    let (i_rail, q_rail) = buf.rails_mut();
+    for (k, &c) in chips.iter().enumerate() {
+        let v = if c & 1 == 1 { 1.0f32 } else { -1.0f32 };
+        let rail: &mut [f32] = if k % 2 == 0 { i_rail } else { q_rail };
+        let base = k * spc;
+        let span = pulse.len().min(n - base);
+        wazabee_dsp::simd::axpy(&mut rail[base..base + span], &pulse[..span], v);
+    }
+    buf
 }
 
 /// Time-domain traces of one O-QPSK modulation — the data behind paper
@@ -312,5 +343,24 @@ mod tests {
     fn modulate_output_length() {
         assert_eq!(modulate_chips(&[1, 0, 1], 4).len(), 16);
         assert!(modulate_chips(&[], 4).len() == 4);
+    }
+
+    #[test]
+    fn planar_modulation_tracks_interleaved() {
+        let chips = spread_bytes(&[0xA5, 0x3C, 0xF0]);
+        for spc in [1, 4, 8] {
+            let f64_wave = modulate_chips(&chips, spc);
+            let planar = modulate_chips_planar(&chips, spc);
+            assert_eq!(planar.len(), f64_wave.len());
+            for (k, s) in f64_wave.iter().enumerate() {
+                let (pi, pq) = planar.get(k);
+                assert!(
+                    (pi as f64 - s.i).abs() < 1e-6 && (pq as f64 - s.q).abs() < 1e-6,
+                    "spc {spc} sample {k}: planar ({pi}, {pq}) vs f64 ({}, {})",
+                    s.i,
+                    s.q
+                );
+            }
+        }
     }
 }

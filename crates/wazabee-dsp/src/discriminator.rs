@@ -25,12 +25,36 @@ use crate::iq::Iq;
 /// assert!(f.iter().all(|&v| (v - step).abs() < 1e-9));
 /// ```
 pub fn discriminate(x: &[Iq]) -> Vec<f64> {
+    let mut out = Vec::new();
+    discriminate_into(x, &mut out);
+    out
+}
+
+/// Scratch-buffer form of [`discriminate`]: appends the `x.len() − 1` first
+/// differences to `out` instead of allocating a fresh vector per call.
+///
+/// Callers that demodulate in a loop (the streaming receiver, the sim demod
+/// path) keep one scratch vector alive across calls; `out` is *not* cleared
+/// here so incremental producers can extend a running buffer.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::{discriminator::{discriminate, discriminate_into}, Nco};
+/// let mut nco = Nco::new(1.0e6, 8.0e6);
+/// let tone: Vec<_> = (0..32).map(|_| nco.next_sample()).collect();
+/// let mut scratch = Vec::new();
+/// discriminate_into(&tone, &mut scratch);
+/// assert_eq!(scratch, discriminate(&tone));
+/// ```
+pub fn discriminate_into(x: &[Iq], out: &mut Vec<f64>) {
     let _s = wazabee_telemetry::stage!("dsp.discriminate");
     let _span = wazabee_telemetry::span!("dsp.discriminate", samples = x.len());
     if x.len() < 2 {
-        return Vec::new();
+        return;
     }
-    x.windows(2).map(|w| (w[1] * w[0].conj()).phase()).collect()
+    out.reserve(x.len() - 1);
+    out.extend(x.windows(2).map(|w| (w[1] * w[0].conj()).phase()));
 }
 
 /// Like [`discriminate`] but normalised so that a frequency deviation of
@@ -40,10 +64,31 @@ pub fn discriminate(x: &[Iq]) -> Vec<f64> {
 ///
 /// Panics if `deviation_hz` or `sample_rate_hz` is not strictly positive.
 pub fn discriminate_normalized(x: &[Iq], deviation_hz: f64, sample_rate_hz: f64) -> Vec<f64> {
+    let mut out = Vec::new();
+    discriminate_normalized_into(x, deviation_hz, sample_rate_hz, &mut out);
+    out
+}
+
+/// Scratch-buffer form of [`discriminate_normalized`]: appends to `out`
+/// instead of allocating.
+///
+/// # Panics
+///
+/// Panics if `deviation_hz` or `sample_rate_hz` is not strictly positive.
+pub fn discriminate_normalized_into(
+    x: &[Iq],
+    deviation_hz: f64,
+    sample_rate_hz: f64,
+    out: &mut Vec<f64>,
+) {
     assert!(deviation_hz > 0.0, "deviation must be positive");
     assert!(sample_rate_hz > 0.0, "sample rate must be positive");
     let scale = sample_rate_hz / (std::f64::consts::TAU * deviation_hz);
-    discriminate(x).into_iter().map(|v| v * scale).collect()
+    let from = out.len();
+    discriminate_into(x, out);
+    for v in &mut out[from..] {
+        *v *= scale;
+    }
 }
 
 /// Mean discriminator output over a window, in radians/sample — the same
@@ -155,6 +200,23 @@ mod tests {
         assert_eq!(phase_trajectory(&[Iq::ONE]).len(), 1);
         assert!(mean_frequency(&[]).is_none());
         assert!(mean_frequency(&[Iq::ONE]).is_none());
+    }
+
+    #[test]
+    fn into_variants_extend_without_clearing() {
+        let fs = 16.0e6;
+        let mut nco = Nco::new(0.9e6, fs);
+        let tone: Vec<Iq> = (0..20).map(|_| nco.next_sample()).collect();
+        let mut out = vec![42.0];
+        discriminate_into(&tone, &mut out);
+        assert_eq!(out[0], 42.0);
+        assert_eq!(&out[1..], discriminate(&tone).as_slice());
+        let mut norm = Vec::new();
+        discriminate_normalized_into(&tone, 0.5e6, fs, &mut norm);
+        assert_eq!(norm, discriminate_normalized(&tone, 0.5e6, fs));
+        // Short inputs append nothing.
+        discriminate_into(&tone[..1], &mut out);
+        assert_eq!(out.len(), 20);
     }
 
     #[test]

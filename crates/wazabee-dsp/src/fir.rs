@@ -76,33 +76,47 @@ impl Fir {
 
     /// Full convolution with a real signal (output length `x.len() + taps − 1`).
     pub fn filter_real(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = Vec::new();
+        self.filter_real_into(x, &mut y);
+        y
+    }
+
+    /// Scratch-buffer form of [`Fir::filter_real`]: overwrites `out` instead
+    /// of allocating a fresh vector per call.
+    pub fn filter_real_into(&self, x: &[f64], out: &mut Vec<f64>) {
         let _s = wazabee_telemetry::stage!("dsp.fir_real");
-        let n = x.len() + self.taps.len() - 1;
-        let mut y = vec![0.0; n];
+        out.clear();
+        out.resize(x.len() + self.taps.len() - 1, 0.0);
         for (k, &xv) in x.iter().enumerate() {
             if xv == 0.0 {
                 continue;
             }
             for (j, &t) in self.taps.iter().enumerate() {
-                y[k + j] += xv * t;
+                out[k + j] += xv * t;
             }
         }
-        y
     }
 
     /// Full convolution with a complex signal.
     pub fn filter_iq(&self, x: &[Iq]) -> Vec<Iq> {
+        let mut y = Vec::new();
+        self.filter_iq_into(x, &mut y);
+        y
+    }
+
+    /// Scratch-buffer form of [`Fir::filter_iq`]: overwrites `out` instead of
+    /// allocating a fresh vector per call.
+    pub fn filter_iq_into(&self, x: &[Iq], out: &mut Vec<Iq>) {
         let _s = wazabee_telemetry::stage!("dsp.fir_iq");
         let _span =
             wazabee_telemetry::span!("dsp.fir_iq", samples = x.len(), taps = self.taps.len());
-        let n = x.len() + self.taps.len() - 1;
-        let mut y = vec![Iq::ZERO; n];
+        out.clear();
+        out.resize(x.len() + self.taps.len() - 1, Iq::ZERO);
         for (k, &xv) in x.iter().enumerate() {
             for (j, &t) in self.taps.iter().enumerate() {
-                y[k + j] += xv.scale(t);
+                out[k + j] += xv.scale(t);
             }
         }
-        y
     }
 
     /// "Same-size" convolution: output aligned with the input by compensating
@@ -111,6 +125,15 @@ impl Fir {
         let full = self.filter_real(x);
         let start = (self.taps.len() - 1) / 2;
         full[start..start + x.len()].to_vec()
+    }
+
+    /// Scratch-buffer form of [`Fir::filter_real_same`]: overwrites `out`,
+    /// using `scratch` for the intermediate full convolution.
+    pub fn filter_real_same_into(&self, x: &[f64], scratch: &mut Vec<f64>, out: &mut Vec<f64>) {
+        self.filter_real_into(x, scratch);
+        let start = (self.taps.len() - 1) / 2;
+        out.clear();
+        out.extend_from_slice(&scratch[start..start + x.len()]);
     }
 }
 
@@ -164,6 +187,23 @@ mod tests {
             out_power < input_power * 0.01,
             "stopband leak: {out_power} vs {input_power}"
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_forms() {
+        let f = Fir::low_pass(1.0e6, 8.0e6, 31);
+        let x: Vec<f64> = (0..100).map(|k| ((k * 7) % 13) as f64 - 6.0).collect();
+        let mut out = vec![99.0; 3];
+        f.filter_real_into(&x, &mut out);
+        assert_eq!(out, f.filter_real(&x));
+        let mut nco = Nco::new(1.0e6, 8.0e6);
+        let tone: Vec<Iq> = (0..64).map(|_| nco.next_sample()).collect();
+        let mut out_iq = Vec::new();
+        f.filter_iq_into(&tone, &mut out_iq);
+        assert_eq!(out_iq, f.filter_iq(&tone));
+        let (mut scratch, mut same) = (Vec::new(), Vec::new());
+        f.filter_real_same_into(&x, &mut scratch, &mut same);
+        assert_eq!(same, f.filter_real_same(&x));
     }
 
     #[test]

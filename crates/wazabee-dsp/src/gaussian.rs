@@ -79,7 +79,38 @@ pub fn shape_nrz(
         .flat_map(|&s| std::iter::repeat_n(s, samples_per_symbol))
         .collect();
     let filter = gaussian_filter(bt, samples_per_symbol, span_symbols);
-    filter.filter_real_same(&rect)
+    let (mut scratch, mut out) = (Vec::new(), Vec::new());
+    filter.filter_real_same_into(&rect, &mut scratch, &mut out);
+    out
+}
+
+/// `f32` counterpart of [`shape_nrz`], running the Gaussian FIR through the
+/// explicit-width kernel in [`crate::simd`].
+///
+/// Taps are designed in `f64` (the design math is not hot) and narrowed once;
+/// the convolution itself is the SIMD `f32` scatter kernel. Used by the
+/// planar modulation paths where waveform fidelity is bounded by channel
+/// noise, not by `f32` rounding.
+pub fn shape_nrz_f32(
+    symbols: &[f32],
+    bt: f64,
+    samples_per_symbol: usize,
+    span_symbols: usize,
+) -> Vec<f32> {
+    let _s = wazabee_telemetry::stage!("dsp.gaussian_shape");
+    let rect: Vec<f32> = symbols
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, samples_per_symbol))
+        .collect();
+    let taps: Vec<f32> = gaussian_filter(bt, samples_per_symbol, span_symbols)
+        .taps()
+        .iter()
+        .map(|&t| t as f32)
+        .collect();
+    let mut full = Vec::new();
+    crate::simd::fir_real_into(&taps, &rect, &mut full);
+    let start = (taps.len() - 1) / 2;
+    full[start..start + rect.len()].to_vec()
 }
 
 /// Rectangular (unfiltered) oversampling of an NRZ stream — the MSK limit the
@@ -153,5 +184,19 @@ mod tests {
     fn output_length_matches_symbols() {
         let shaped = shape_nrz(&[1.0, -1.0, 1.0, 1.0], 0.5, 8, 3);
         assert_eq!(shaped.len(), 4 * 8);
+    }
+
+    #[test]
+    fn f32_shape_tracks_f64_shape() {
+        let symbols: Vec<f64> = (0..40)
+            .map(|k| if k % 3 == 0 { -1.0 } else { 1.0 })
+            .collect();
+        let want = shape_nrz(&symbols, 0.5, 8, 3);
+        let sym32: Vec<f32> = symbols.iter().map(|&s| s as f32).collect();
+        let got = shape_nrz_f32(&sym32, 0.5, 8, 3);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((f64::from(*g) - w).abs() < 1e-5, "{g} vs {w}");
+        }
     }
 }

@@ -50,6 +50,31 @@ pub fn shape_half_sine(chips: &[f64], samples_per_chip: usize) -> Vec<f64> {
     out
 }
 
+/// [`half_sine_pulse`] narrowed to `f32` for the planar modulation path.
+///
+/// # Panics
+///
+/// Panics if `samples_per_chip` is zero.
+pub fn half_sine_pulse_f32(samples_per_chip: usize) -> Vec<f32> {
+    half_sine_pulse(samples_per_chip)
+        .into_iter()
+        .map(|p| p as f32)
+        .collect()
+}
+
+/// `f32` counterpart of [`shape_half_sine`]: each pulse placement is one
+/// [`crate::simd::axpy`] over the pulse span.
+pub fn shape_half_sine_f32(chips: &[f32], samples_per_chip: usize) -> Vec<f32> {
+    let pulse = half_sine_pulse_f32(samples_per_chip);
+    let stride = 2 * samples_per_chip;
+    let mut out = vec![0.0f32; chips.len() * stride];
+    for (k, &c) in chips.iter().enumerate() {
+        let base = k * stride;
+        crate::simd::axpy(&mut out[base..base + pulse.len()], &pulse, c);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -93,5 +118,17 @@ mod tests {
     #[should_panic(expected = "at least one sample")]
     fn zero_oversampling_rejected() {
         let _ = half_sine_pulse(0);
+    }
+
+    #[test]
+    fn f32_train_tracks_f64_train() {
+        let chips = [1.0, -1.0, -1.0, 1.0];
+        let want = shape_half_sine(&chips, 8);
+        let chips32: Vec<f32> = chips.iter().map(|&c| c as f32).collect();
+        let got = shape_half_sine_f32(&chips32, 8);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((f64::from(*g) - w).abs() < 1e-6);
+        }
     }
 }

@@ -1,0 +1,337 @@
+//! Planar (structure-of-arrays) IQ storage for the SIMD sample-domain path.
+//!
+//! The interleaved [`Iq`] struct is the right currency for waveform *synthesis*
+//! — the modulators accumulate phase in `f64` and the committed artifacts pin
+//! those exact waveforms — but it is hostile to the receive hot path: every
+//! discriminator, FIR and superposition kernel wants contiguous same-component
+//! lanes it can load eight at a time. [`IqBuf`] keeps the I and Q rails in two
+//! separate `f32` vectors so the kernels in [`crate::simd`] never have to
+//! de-interleave, and [`IqSlice`] gives zero-copy windows into a buffer so
+//! stages can hand sub-ranges around without re-packing.
+//!
+//! `f32` halves memory traffic and doubles SIMD width; the receive chain's
+//! decisions (hard bits from windowed discriminator sums, Hamming distances)
+//! have orders of magnitude more margin than the ~1e-7 relative rounding this
+//! introduces, which the frame-pinning parity tests in the integration suite
+//! verify end to end.
+
+use crate::iq::Iq;
+
+/// A planar complex-baseband buffer: separate `f32` I and Q rails.
+///
+/// # Examples
+///
+/// ```
+/// use wazabee_dsp::{Iq, IqBuf};
+/// let buf = IqBuf::from_interleaved(&[Iq::new(1.0, 2.0), Iq::new(3.0, 4.0)]);
+/// assert_eq!(buf.len(), 2);
+/// assert_eq!(buf.i(), &[1.0, 3.0]);
+/// assert_eq!(buf.q(), &[2.0, 4.0]);
+/// assert_eq!(buf.to_interleaved()[1], Iq::new(3.0, 4.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct IqBuf {
+    i: Vec<f32>,
+    q: Vec<f32>,
+}
+
+impl IqBuf {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        IqBuf::default()
+    }
+
+    /// An empty buffer with both rails pre-allocated for `n` samples.
+    pub fn with_capacity(n: usize) -> Self {
+        IqBuf {
+            i: Vec::with_capacity(n),
+            q: Vec::with_capacity(n),
+        }
+    }
+
+    /// Converts an interleaved `f64` buffer (narrowing each component to `f32`).
+    pub fn from_interleaved(samples: &[Iq]) -> Self {
+        let mut buf = IqBuf::with_capacity(samples.len());
+        buf.extend_interleaved(samples);
+        buf
+    }
+
+    /// Number of complex samples.
+    pub fn len(&self) -> usize {
+        self.i.len()
+    }
+
+    /// Whether the buffer holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.i.is_empty()
+    }
+
+    /// Drops all samples, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.i.clear();
+        self.q.clear();
+    }
+
+    /// Appends one complex sample.
+    pub fn push(&mut self, i: f32, q: f32) {
+        self.i.push(i);
+        self.q.push(q);
+    }
+
+    /// Appends an interleaved `f64` chunk, narrowing to `f32`.
+    pub fn extend_interleaved(&mut self, samples: &[Iq]) {
+        self.i.reserve(samples.len());
+        self.q.reserve(samples.len());
+        for s in samples {
+            self.i.push(s.i as f32);
+            self.q.push(s.q as f32);
+        }
+    }
+
+    /// Appends every sample of a planar slice.
+    pub fn extend_slice(&mut self, s: IqSlice<'_>) {
+        self.i.extend_from_slice(s.i);
+        self.q.extend_from_slice(s.q);
+    }
+
+    /// The I rail.
+    pub fn i(&self) -> &[f32] {
+        &self.i
+    }
+
+    /// The Q rail.
+    pub fn q(&self) -> &[f32] {
+        &self.q
+    }
+
+    /// Mutable access to both rails at once (they always stay equal-length).
+    pub fn rails_mut(&mut self) -> (&mut [f32], &mut [f32]) {
+        (&mut self.i, &mut self.q)
+    }
+
+    /// Sample `k` as an `(i, q)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds.
+    pub fn get(&self, k: usize) -> (f32, f32) {
+        (self.i[k], self.q[k])
+    }
+
+    /// Zero-copy view of the whole buffer.
+    pub fn as_slice(&self) -> IqSlice<'_> {
+        IqSlice {
+            i: &self.i,
+            q: &self.q,
+        }
+    }
+
+    /// Zero-copy view of samples `from..` (saturating at the end).
+    pub fn slice_from(&self, from: usize) -> IqSlice<'_> {
+        let from = from.min(self.i.len());
+        IqSlice {
+            i: &self.i[from..],
+            q: &self.q[from..],
+        }
+    }
+
+    /// Zero-copy view of samples `from..to` (both saturating at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn slice(&self, from: usize, to: usize) -> IqSlice<'_> {
+        let to = to.min(self.i.len());
+        let from = from.min(to);
+        IqSlice {
+            i: &self.i[from..to],
+            q: &self.q[from..to],
+        }
+    }
+
+    /// Removes the first `n` samples (saturating), shifting the rest down.
+    pub fn drain_front(&mut self, n: usize) {
+        let n = n.min(self.i.len());
+        self.i.drain(..n);
+        self.q.drain(..n);
+    }
+
+    /// Grows or shrinks to `n` samples, filling with zeros.
+    pub fn resize(&mut self, n: usize) {
+        self.i.resize(n, 0.0);
+        self.q.resize(n, 0.0);
+    }
+
+    /// Widens back to the interleaved `f64` representation.
+    pub fn to_interleaved(&self) -> Vec<Iq> {
+        self.as_slice().to_interleaved()
+    }
+
+    /// Mean of `i² + q²`, accumulated in `f64`.
+    pub fn mean_power(&self) -> f64 {
+        self.as_slice().mean_power()
+    }
+}
+
+/// A zero-copy planar view: borrowed I and Q rails of equal length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IqSlice<'a> {
+    i: &'a [f32],
+    q: &'a [f32],
+}
+
+impl<'a> IqSlice<'a> {
+    /// Builds a view from two equal-length rails.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rails differ in length.
+    pub fn new(i: &'a [f32], q: &'a [f32]) -> Self {
+        assert_eq!(i.len(), q.len(), "planar rails must be equal-length");
+        IqSlice { i, q }
+    }
+
+    /// Number of complex samples.
+    pub fn len(&self) -> usize {
+        self.i.len()
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.i.is_empty()
+    }
+
+    /// The I rail.
+    pub fn i(&self) -> &'a [f32] {
+        self.i
+    }
+
+    /// The Q rail.
+    pub fn q(&self) -> &'a [f32] {
+        self.q
+    }
+
+    /// Sample `k` as an `(i, q)` pair.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is out of bounds.
+    pub fn get(&self, k: usize) -> (f32, f32) {
+        (self.i[k], self.q[k])
+    }
+
+    /// Sub-view of samples `from..` (saturating at the end).
+    pub fn slice_from(&self, from: usize) -> IqSlice<'a> {
+        let from = from.min(self.i.len());
+        IqSlice {
+            i: &self.i[from..],
+            q: &self.q[from..],
+        }
+    }
+
+    /// Sub-view of samples `from..to` (both saturating at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from > to`.
+    pub fn slice(&self, from: usize, to: usize) -> IqSlice<'a> {
+        let to = to.min(self.i.len());
+        let from = from.min(to);
+        IqSlice {
+            i: &self.i[from..to],
+            q: &self.q[from..to],
+        }
+    }
+
+    /// Widens to the interleaved `f64` representation.
+    pub fn to_interleaved(&self) -> Vec<Iq> {
+        self.i
+            .iter()
+            .zip(self.q)
+            .map(|(&i, &q)| Iq::new(f64::from(i), f64::from(q)))
+            .collect()
+    }
+
+    /// Mean of `i² + q²`, accumulated in `f64`.
+    pub fn mean_power(&self) -> f64 {
+        if self.i.is_empty() {
+            return 0.0;
+        }
+        let sum: f64 = self
+            .i
+            .iter()
+            .zip(self.q)
+            .map(|(&i, &q)| f64::from(i) * f64::from(i) + f64::from(q) * f64::from(q))
+            .sum();
+        sum / self.i.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp(n: usize) -> Vec<Iq> {
+        (0..n)
+            .map(|k| Iq::new(k as f64, -(k as f64) / 2.0))
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_preserves_f32_representable_values() {
+        let src = ramp(37);
+        let buf = IqBuf::from_interleaved(&src);
+        assert_eq!(buf.len(), 37);
+        assert_eq!(buf.to_interleaved(), src);
+    }
+
+    #[test]
+    fn slicing_is_zero_copy_and_consistent() {
+        let buf = IqBuf::from_interleaved(&ramp(16));
+        let s = buf.slice(4, 12);
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.get(0), (4.0, -2.0));
+        let nested = s.slice_from(2).slice(0, 3);
+        assert_eq!(nested.len(), 3);
+        assert_eq!(nested.get(0), (6.0, -3.0));
+        // Out-of-range bounds saturate instead of panicking.
+        assert_eq!(buf.slice(10, 100).len(), 6);
+        assert!(buf.slice_from(99).is_empty());
+    }
+
+    #[test]
+    fn drain_front_shifts_samples() {
+        let mut buf = IqBuf::from_interleaved(&ramp(10));
+        buf.drain_front(4);
+        assert_eq!(buf.len(), 6);
+        assert_eq!(buf.get(0), (4.0, -2.0));
+        buf.drain_front(100);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn resize_zero_fills() {
+        let mut buf = IqBuf::new();
+        buf.resize(4);
+        assert_eq!(buf.i(), &[0.0; 4]);
+        buf.push(1.0, 2.0);
+        assert_eq!(buf.len(), 5);
+        buf.resize(2);
+        assert_eq!(buf.len(), 2);
+    }
+
+    #[test]
+    fn mean_power_matches_interleaved() {
+        let src = ramp(100);
+        let buf = IqBuf::from_interleaved(&src);
+        let want = crate::iq::mean_power(&src);
+        assert!((buf.mean_power() - want).abs() / want < 1e-6);
+        assert_eq!(IqBuf::new().mean_power(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn mismatched_rails_rejected() {
+        let _ = IqSlice::new(&[1.0], &[]);
+    }
+}

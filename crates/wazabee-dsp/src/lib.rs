@@ -12,6 +12,10 @@
 //! for real, not assumed. This crate provides the shared building blocks:
 //!
 //! * [`Iq`] — complex baseband samples and buffer statistics,
+//! * [`IqBuf`]/[`IqSlice`] — planar (separate-rail) `f32` buffers and
+//!   zero-copy views, the storage the receive hot path runs on,
+//! * [`simd`] — explicit-width `f32x8`-style kernels (discriminator, window
+//!   sums, FIR, superposition) with bit-identical `*_scalar` references,
 //! * [`Nco`] — oscillators for carrier offsets and channel shifts,
 //! * [`Fir`] and [`gaussian`]/[`halfsine`] — pulse shaping for GFSK and O-QPSK,
 //! * [`discriminator`] — FM discrimination (the receiver side of FSK),
@@ -62,15 +66,18 @@ pub mod fir;
 pub mod gaussian;
 pub mod halfsine;
 pub mod iq;
+pub mod iqbuf;
 pub mod osc;
 pub mod packed;
 pub mod resample;
+pub mod simd;
 pub mod spectrum;
 pub mod stream;
 
 pub use awgn::AwgnSource;
 pub use fir::Fir;
 pub use iq::Iq;
+pub use iqbuf::{IqBuf, IqSlice};
 pub use osc::Nco;
 pub use packed::PackedBits;
 pub use stream::StreamCorrelator;

@@ -79,6 +79,22 @@ impl Nco {
             *s *= self.next_sample();
         }
     }
+
+    /// Mixes a planar buffer with this oscillator in place.
+    ///
+    /// The oscillator phase recurrence stays in `f64` (a long `f32` phase
+    /// accumulator would visibly drift over million-sample windows); only the
+    /// final complex multiply narrows to `f32`.
+    pub fn mix_planar_in_place(&mut self, buf: &mut crate::iqbuf::IqBuf) {
+        let (bi, bq) = buf.rails_mut();
+        for k in 0..bi.len() {
+            let w = self.next_sample();
+            let (wi, wq) = (w.i as f32, w.q as f32);
+            let (si, sq) = (bi[k], bq[k]);
+            bi[k] = si * wi - sq * wq;
+            bq[k] = si * wq + sq * wi;
+        }
+    }
 }
 
 /// Frequency-shifts a buffer by `freq_hz` and returns the shifted copy.
@@ -147,6 +163,23 @@ mod tests {
     #[should_panic(expected = "sample rate must be positive")]
     fn rejects_zero_sample_rate() {
         let _ = Nco::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn planar_mix_tracks_interleaved_mix() {
+        let fs = 16.0e6;
+        let src: Vec<Iq> = (0..256)
+            .map(|k| Iq::from_polar(1.0, 0.02 * k as f64))
+            .collect();
+        let mut inter = src.clone();
+        Nco::new(2.3e6, fs).mix_in_place(&mut inter);
+        let mut planar = crate::iqbuf::IqBuf::from_interleaved(&src);
+        Nco::new(2.3e6, fs).mix_planar_in_place(&mut planar);
+        for (k, s) in inter.iter().enumerate() {
+            let (pi, pq) = planar.get(k);
+            assert!((f64::from(pi) - s.i).abs() < 1e-5, "sample {k}");
+            assert!((f64::from(pq) - s.q).abs() < 1e-5, "sample {k}");
+        }
     }
 
     #[test]

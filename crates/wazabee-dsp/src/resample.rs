@@ -34,6 +34,34 @@ pub fn fractional_delay(x: &[Iq], delay: f64) -> Vec<Iq> {
     y
 }
 
+/// Planar in-place form of [`fractional_delay`]: each rail is linearly
+/// interpolated with its predecessor (`y[k] = (1−d)·x[k] + d·x[k−1]`,
+/// `y[0] = x[0]`).
+///
+/// The interpolation itself runs in `f32` — a two-point convex combination
+/// loses no more precision than the storage already has.
+///
+/// # Panics
+///
+/// Panics if `delay` is outside `[0, 1)`.
+pub fn fractional_delay_planar_in_place(buf: &mut crate::iqbuf::IqBuf, delay: f64) {
+    assert!((0.0..1.0).contains(&delay), "delay must be in [0, 1)");
+    if buf.is_empty() || delay == 0.0 {
+        return;
+    }
+    let d = delay as f32;
+    let keep = 1.0 - d;
+    let (i, q) = buf.rails_mut();
+    for rail in [i, q] {
+        let mut prev = rail[0];
+        for v in rail.iter_mut() {
+            let cur = *v;
+            *v = cur * keep + prev * d;
+            prev = cur;
+        }
+    }
+}
+
 /// Drops `n` samples from the head of the buffer, modelling integer sampling
 /// offset. Returns an empty vector when `n >= x.len()`.
 pub fn integer_delay(x: &[Iq], n: usize) -> Vec<Iq> {
@@ -73,6 +101,25 @@ mod tests {
         for v in f {
             assert!((v - expect).abs() < 0.05 * expect);
         }
+    }
+
+    #[test]
+    fn planar_delay_tracks_interleaved_delay() {
+        let fs = 16.0e6;
+        let mut nco = Nco::new(1.0e6, fs);
+        let tone: Vec<Iq> = (0..128).map(|_| nco.next_sample()).collect();
+        let want = fractional_delay(&tone, 0.37);
+        let mut planar = crate::iqbuf::IqBuf::from_interleaved(&tone);
+        fractional_delay_planar_in_place(&mut planar, 0.37);
+        for (k, s) in want.iter().enumerate() {
+            let (pi, pq) = planar.get(k);
+            assert!((f64::from(pi) - s.i).abs() < 1e-6, "sample {k}");
+            assert!((f64::from(pq) - s.q).abs() < 1e-6, "sample {k}");
+        }
+        // Zero delay is the identity on the planar path too.
+        let mut z = crate::iqbuf::IqBuf::from_interleaved(&tone[..4]);
+        fractional_delay_planar_in_place(&mut z, 0.0);
+        assert_eq!(z.get(1), (tone[1].i as f32, tone[1].q as f32));
     }
 
     #[test]

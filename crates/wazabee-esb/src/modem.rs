@@ -164,6 +164,24 @@ mod tests {
     }
 
     #[test]
+    fn planar_demod_recovers_esb_air_bits() {
+        // The planar SIMD demodulator must slice an ESB waveform exactly as
+        // the f64 path does — this is the contract that lets the streaming
+        // engine's shared-diff lanes serve the ESB radio too.
+        let m = EsbModem::new(8);
+        let pkt = EsbPacket::new(ADDR, vec![0xC3; 12]).unwrap();
+        let mut air = m.transmit(&pkt);
+        AwgnSource::from_snr_db(2, 20.0, 1.0).add_to(&mut air);
+        let planar = wazabee_dsp::IqBuf::from_interleaved(&air);
+        for offset in 0..m.params().samples_per_symbol {
+            let f64_bits = wazabee_ble::gfsk::demodulate_aligned(m.params(), &air, offset);
+            let f32_bits =
+                wazabee_ble::demodulate_aligned_planar(m.params(), planar.as_slice(), offset);
+            assert_eq!(f32_bits, f64_bits, "offset {offset}");
+        }
+    }
+
+    #[test]
     fn shares_le2m_waveform_parameters() {
         // The premise of Scenario B: ESB 2M and LE 2M are the same waveform.
         let esb = EsbModem::new(8);

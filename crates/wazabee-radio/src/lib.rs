@@ -36,5 +36,5 @@ pub mod medium;
 pub mod wifi;
 
 pub use clock::{EventQueue, Instant};
-pub use medium::{combine_at, Link, LinkConfig, RfFrame};
+pub use medium::{combine_at, combine_at_planar, Link, LinkConfig, RfFrame};
 pub use wifi::{WifiChannel, WifiInterferer};

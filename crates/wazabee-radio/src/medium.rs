@@ -331,6 +331,17 @@ pub fn combine_at(a: &mut Vec<Iq>, b: &[Iq], offset: usize) {
     }
 }
 
+/// Planar form of [`combine_at`]: sums an interleaved `f64` transmission into
+/// a planar `f32` accumulator at `offset` through the explicit-width SIMD
+/// kernel, optionally scaled by a path gain.
+///
+/// This is the superposition primitive of the spectrum simulator's receive
+/// path, where the accumulated waveform goes straight to the planar
+/// demodulation engine and never needs re-interleaving.
+pub fn combine_at_planar(a: &mut wazabee_dsp::IqBuf, b: &[Iq], offset: usize, gain: f64) {
+    wazabee_dsp::simd::accumulate_interleaved_at(a, b, offset, gain);
+}
+
 #[cfg(test)]
 mod collision_tests {
     use super::*;
@@ -344,6 +355,25 @@ mod collision_tests {
         assert_eq!(a[1], Iq::ONE);
         assert_eq!(a[2], Iq::new(2.0, 0.0));
         assert_eq!(a[5], Iq::ONE);
+    }
+
+    #[test]
+    fn combine_at_planar_tracks_interleaved() {
+        let mut a = vec![Iq::new(0.25, -0.5); 6];
+        let b = vec![Iq::new(1.0, 2.0); 4];
+        let mut planar = wazabee_dsp::IqBuf::from_interleaved(&a);
+        combine_at(&mut a, &b, 3);
+        combine_at_planar(&mut planar, &b, 3, 1.0);
+        assert_eq!(planar.len(), a.len());
+        for (k, s) in a.iter().enumerate() {
+            let (pi, pq) = planar.get(k);
+            assert!((f64::from(pi) - s.i).abs() < 1e-6);
+            assert!((f64::from(pq) - s.q).abs() < 1e-6);
+        }
+        // Gain scales the added member only.
+        let mut g = wazabee_dsp::IqBuf::new();
+        combine_at_planar(&mut g, &b, 0, 0.5);
+        assert_eq!(g.get(0), (0.5, 1.0));
     }
 
     #[test]

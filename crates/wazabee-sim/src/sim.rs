@@ -20,9 +20,8 @@ use wazabee_dot154::csma::{CsmaBackoff, CsmaStep, CCA_US, TURNAROUND_US};
 use wazabee_dot154::mac::{Address, FrameType, MacFrame, BROADCAST_SHORT};
 use wazabee_dot154::{Dot154Channel, Dot154Modem, Ppdu};
 use wazabee_dsp::iq::Iq;
-use wazabee_dsp::osc::frequency_shift;
-use wazabee_dsp::resample::fractional_delay;
-use wazabee_dsp::AwgnSource;
+use wazabee_dsp::resample::fractional_delay_planar_in_place;
+use wazabee_dsp::{AwgnSource, IqBuf, Nco};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
 use wazabee_radio::{EventQueue, Instant};
 use wazabee_telemetry::SeriesSet;
@@ -30,7 +29,7 @@ use wazabee_zigbee::{NodeRole, XbeeNode, XbeePayload};
 
 use crate::config::SimConfig;
 use crate::node::{FlooderConfig, JammerConfig, NodeKind, SimNode, ZigbeeState};
-use crate::spectrum::{cca_power, superpose, ChannelAir, Transmission, TxKind, TxOrigin};
+use crate::spectrum::{cca_power, superpose_planar, ChannelAir, Transmission, TxKind, TxOrigin};
 
 /// Events the simulator schedules for itself.
 #[derive(Debug)]
@@ -926,12 +925,16 @@ impl SpectrumSim {
     /// Feeds a receiver window through the streaming receiver in
     /// `iq_chunk`-sized pushes, returning recovered frames and the count of
     /// committed failed attempts.
-    fn decode_buffer(&self, buf: &[Iq]) -> (Vec<MacFrame>, u64) {
+    fn decode_buffer(&self, buf: &IqBuf) -> (Vec<MacFrame>, u64) {
         let _s = wazabee_telemetry::stage!("sim.demod");
         let mut stream = self.rx.stream();
         let mut results = Vec::new();
-        for chunk in buf.chunks(self.cfg.iq_chunk.max(1)) {
-            results.extend(stream.push(chunk));
+        let chunk = self.cfg.iq_chunk.max(1);
+        let mut from = 0;
+        while from < buf.len() {
+            let to = (from + chunk).min(buf.len());
+            results.extend(stream.push_planar(buf.slice(from, to)));
+            from = to;
         }
         results.extend(stream.finish());
         let mut frames = Vec::new();
@@ -1016,13 +1019,13 @@ impl SpectrumSim {
             );
             let mut buf = {
                 let _s = wazabee_telemetry::stage!("sim.superpose");
-                superpose(&cluster, &gains, start, end, spu)
+                superpose_planar(&cluster, &gains, start, end, spu)
             };
             if self.cfg.cfo_hz != 0.0 {
-                buf = frequency_shift(&buf, self.cfg.cfo_hz, fs);
+                Nco::new(self.cfg.cfo_hz, fs).mix_planar_in_place(&mut buf);
             }
             if self.cfg.timing_offset != 0.0 {
-                buf = fractional_delay(&buf, self.cfg.timing_offset);
+                fractional_delay_planar_in_place(&mut buf, self.cfg.timing_offset);
             }
             if let Some(snr) = self.cfg.snr_db {
                 let sig = gains.iter().fold(0.0f64, |m, &g| m.max(g * g)).max(1e-12);
@@ -1031,10 +1034,12 @@ impl SpectrumSim {
                         ^ cluster_id.wrapping_mul(0xA24B_AED4_963E_E407)
                         ^ (idx as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
                 );
-                AwgnSource::from_snr_db(seed, snr, sig).add_to(&mut buf);
+                AwgnSource::from_snr_db(seed, snr, sig).add_to_planar(&mut buf);
             }
             if is_ids {
-                deliveries.push((idx, Heard::Raw(buf)));
+                // The IDS monitors run interleaved spectral analysis; widen
+                // only for them — decoding receivers stay planar end to end.
+                deliveries.push((idx, Heard::Raw(buf.to_interleaved())));
             } else {
                 let decoded = self.decode_buffer(&buf);
                 if coherent {

@@ -11,7 +11,8 @@
 //! a packet-level coin flip.
 
 use wazabee_dsp::iq::{mean_power, Iq};
-use wazabee_radio::{combine_at, Instant};
+use wazabee_dsp::IqBuf;
+use wazabee_radio::{combine_at_planar, Instant};
 
 /// What kind of energy a transmission is.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -74,9 +75,34 @@ pub(crate) const LEAD_PAD: usize = 64;
 /// Zero samples appended after the cluster's last sample.
 pub(crate) const TAIL_PAD: usize = 32;
 
-/// Superposes a closed cluster into the waveform one receiver hears:
+/// Superposes a closed cluster into the planar waveform one receiver hears:
 /// every transmission summed at its sample offset, scaled by `gains[k]`
 /// (one entry per cluster member, in order).
+///
+/// Each member is placed with one fused scale-and-add kernel pass — no
+/// per-member scaled temporary — and the result stays planar all the way
+/// into the streaming demodulator.
+pub(crate) fn superpose_planar(
+    cluster: &[Transmission],
+    gains: &[f64],
+    cluster_start: Instant,
+    cluster_end: Instant,
+    samples_per_us: u64,
+) -> IqBuf {
+    let span = (cluster_end.0 - cluster_start.0) * samples_per_us;
+    let mut buf = IqBuf::new();
+    buf.resize(span as usize + LEAD_PAD + TAIL_PAD);
+    for (tx, &g) in cluster.iter().zip(gains) {
+        let offset = ((tx.start.0 - cluster_start.0) * samples_per_us) as usize + LEAD_PAD;
+        combine_at_planar(&mut buf, &tx.samples, offset, g);
+    }
+    buf
+}
+
+/// Interleaved shim over [`superpose_planar`], for callers that still want a
+/// `Vec<Iq>` window (the waveform is the planar `f32` superposition widened
+/// back to `f64`).
+#[allow(dead_code)]
 pub(crate) fn superpose(
     cluster: &[Transmission],
     gains: &[f64],
@@ -84,18 +110,7 @@ pub(crate) fn superpose(
     cluster_end: Instant,
     samples_per_us: u64,
 ) -> Vec<Iq> {
-    let span = (cluster_end.0 - cluster_start.0) * samples_per_us;
-    let mut buf = vec![Iq::ZERO; span as usize + LEAD_PAD + TAIL_PAD];
-    for (tx, &g) in cluster.iter().zip(gains) {
-        let offset = ((tx.start.0 - cluster_start.0) * samples_per_us) as usize + LEAD_PAD;
-        if (g - 1.0).abs() < 1e-12 {
-            combine_at(&mut buf, &tx.samples, offset);
-        } else {
-            let scaled: Vec<Iq> = tx.samples.iter().map(|s| s.scale(g)).collect();
-            combine_at(&mut buf, &scaled, offset);
-        }
-    }
-    buf
+    superpose_planar(cluster, gains, cluster_start, cluster_end, samples_per_us).to_interleaved()
 }
 
 /// Mean power over the trailing CCA window `[now - window_us, now]` of the

@@ -8,6 +8,7 @@
 use wazabee_ble::gfsk::RawCapture;
 use wazabee_ble::BleModem;
 use wazabee_dsp::iq::Iq;
+use wazabee_dsp::IqSlice;
 use wazabee_esb::EsbModem;
 
 /// Raw FSK transmit/capture access, as diverted by WazaBee.
@@ -40,6 +41,22 @@ pub trait RawFskRadio {
     /// Demodulates a buffer into hard bits with the symbol clock anchored at
     /// the first sample — callers supply the sample-phase offset by slicing.
     fn demodulate_raw(&self, samples: &[Iq]) -> Vec<u8>;
+
+    /// Appends the FM-discriminator first differences of a planar window to
+    /// `out` (`samples.len() − 1` values, radians/sample).
+    ///
+    /// This is the planar streaming engine's demodulation contract: hard bit
+    /// `b` of sample-phase lane `o` is the sign of
+    /// `sum(diffs[o + b·sps .. o + (b+1)·sps])`, which for the GFSK modems in
+    /// this workspace is exactly [`RawFskRadio::demodulate_raw`] evaluated at
+    /// every lane at once — the discriminator's first differences do not
+    /// depend on the symbol-clock phase, only the windowing does. A radio
+    /// whose `demodulate_raw` is *not* discriminate-integrate-slice must
+    /// override this to match, or its streamed bits would diverge from its
+    /// one-shot bits.
+    fn discriminate_planar_into(&self, samples: IqSlice<'_>, out: &mut Vec<f32>) {
+        wazabee_dsp::simd::discriminate_planar_into(samples.i(), samples.q(), out);
+    }
 
     /// Samples per symbol of the simulation.
     fn samples_per_symbol(&self) -> usize;

@@ -14,12 +14,28 @@
 //! chunk sizes yields byte-for-byte the same sequence of frames and typed
 //! failures, because demodulation, correlation and despreading all operate
 //! on absolute bit indexes carried across chunk boundaries.
+//!
+//! ## The planar SIMD engine
+//!
+//! The stage profiler showed the old per-lane demodulation at ~76 % of decode
+//! self-time in `dsp.discriminate`: every push re-ran a full `f64` polar
+//! discriminator (one libm `atan2` per sample) once per sample-phase lane —
+//! `sps`-fold duplicated work, because the discriminator's first differences
+//! are *lane-independent*. Lane `o`'s soft bit `b` is just the sum of global
+//! differences `diff[o + b·sps .. o + (b+1)·sps]`. The default engine now
+//! keeps samples planar ([`wazabee_dsp::IqBuf`]), extends one shared `f32`
+//! difference cache incrementally per push (each new sample pair is
+//! discriminated exactly once, through the explicit-width SIMD kernel), and
+//! gives every lane its hard bits with a windowed-sum kernel — the sums keep
+//! the old `1/sps` dump scaling out since `sum ≥ 0` decides the bit either
+//! way. [`WazaBeeRx::stream_reference`] still runs the original interleaved
+//! `f64` path; the parity tests pin that both engines decode the same frames.
 
 use std::collections::VecDeque;
 
 use wazabee_dot154::modem::ReceivedPpdu;
 use wazabee_dsp::correlate::PatternMatch;
-use wazabee_dsp::{Iq, PackedBits, StreamCorrelator};
+use wazabee_dsp::{simd, Iq, IqBuf, PackedBits, StreamCorrelator};
 use wazabee_flightrec::{FrameKind, TraceHandle};
 
 use crate::error::WazaBeeError;
@@ -84,9 +100,23 @@ pub struct StreamingRx<'a, R> {
     sps: usize,
     /// Sync pattern length in bits (32 for the diverted access address).
     pattern_len: usize,
-    /// Retained IQ, trimmed at the front in lockstep with the lanes;
-    /// sample `i` here is absolute sample `base_bits * sps + i`.
-    samples: Vec<Iq>,
+    /// Retained planar IQ, trimmed at the front in lockstep with the lanes;
+    /// sample `i` here is absolute sample `base_bits * sps + i`. Empty when
+    /// the reference engine is active.
+    samples: IqBuf,
+    /// Retained interleaved `f64` IQ for the reference engine; empty when the
+    /// planar engine (the default) is active.
+    ref_samples: Vec<Iq>,
+    /// Shared discriminator first differences: `diffs[k]` is the phase step
+    /// between retained samples `k` and `k+1`, so every lane's soft bits are
+    /// window sums over this one cache. Maintained by the planar engine only.
+    diffs: Vec<f32>,
+    /// Scratch for per-lane window sums (planar engine).
+    sums_scratch: Vec<f32>,
+    /// Scratch for per-lane hard bits (planar engine).
+    bits_scratch: Vec<u8>,
+    /// Runs the original interleaved `f64` demodulation when set.
+    reference: bool,
     /// Absolute bit index of local bit 0 (same for every lane).
     base_bits: usize,
     lanes: Vec<Lane>,
@@ -103,6 +133,22 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
     /// Opens a chunk-fed streaming receiver over this primitive's radio and
     /// configuration. See [`StreamingRx`].
     pub fn stream(&self) -> StreamingRx<'_, R> {
+        self.stream_engine(false)
+    }
+
+    /// Opens a streaming receiver that demodulates with the original
+    /// interleaved `f64` path (per-lane libm discriminator) instead of the
+    /// planar SIMD engine.
+    ///
+    /// This is the committed-behaviour reference: the parity suite decodes
+    /// identical fixtures through both engines and pins that every recovered
+    /// frame matches, and the throughput benchmarks report the planar
+    /// engine's speedup against it.
+    pub fn stream_reference(&self) -> StreamingRx<'_, R> {
+        self.stream_engine(true)
+    }
+
+    fn stream_engine(&self, reference: bool) -> StreamingRx<'_, R> {
         let pattern = PackedBits::from_bits(self.sync_bits());
         let sps = self.radio().samples_per_symbol();
         let lanes = (0..sps)
@@ -116,7 +162,12 @@ impl<R: RawFskRadio> WazaBeeRx<R> {
             rx: self,
             sps,
             pattern_len: pattern.len(),
-            samples: Vec::new(),
+            samples: IqBuf::new(),
+            ref_samples: Vec::new(),
+            diffs: Vec::new(),
+            sums_scratch: Vec::new(),
+            bits_scratch: Vec::new(),
+            reference,
             base_bits: 0,
             lanes,
             armed: 0,
@@ -133,7 +184,31 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
     /// internally and re-examined on the next push.
     pub fn push(&mut self, chunk: &[Iq]) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
         wazabee_telemetry::counter!("wazabee.stream.chunks").inc();
-        self.samples.extend_from_slice(chunk);
+        if self.reference {
+            self.ref_samples.extend_from_slice(chunk);
+        } else {
+            self.samples.extend_interleaved(chunk);
+        }
+        self.ingest();
+        let out = self.drain(false);
+        self.trim();
+        out
+    }
+
+    /// Planar form of [`StreamingRx::push`]: consumes a zero-copy planar
+    /// window without ever interleaving. Chunking remains observationally
+    /// invisible, and mixing `push` and `push_planar` on one stream is fine —
+    /// both append to the same retained buffer.
+    pub fn push_planar(
+        &mut self,
+        chunk: wazabee_dsp::IqSlice<'_>,
+    ) -> Vec<Result<ReceivedPpdu, WazaBeeError>> {
+        wazabee_telemetry::counter!("wazabee.stream.chunks").inc();
+        if self.reference {
+            self.ref_samples.extend(chunk.to_interleaved());
+        } else {
+            self.samples.extend_slice(chunk);
+        }
         self.ingest();
         let out = self.drain(false);
         self.trim();
@@ -160,9 +235,64 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
     /// Demodulates whatever fresh bits the retained samples now support, per
     /// lane, and runs them through that lane's correlator.
     fn ingest(&mut self) {
+        if self.reference {
+            self.ingest_reference();
+            return;
+        }
+        // One shared discriminator pass: each new sample pair contributes
+        // exactly one difference, through the radio's planar hook (the SIMD
+        // kernel for every modem in this workspace). The `sps` lanes then
+        // read disjoint phase offsets of this cache instead of re-running
+        // the discriminator per lane.
+        let n = self.samples.len();
+        if n >= 2 && self.diffs.len() < n - 1 {
+            let _s = wazabee_telemetry::stage!("stream.demod");
+            let from = self.diffs.len();
+            self.rx
+                .radio()
+                .discriminate_planar_into(self.samples.slice_from(from), &mut self.diffs);
+        }
         let sps = self.sps;
         let armed = self.armed;
-        let samples = &self.samples;
+        let diffs = &self.diffs;
+        let sums = &mut self.sums_scratch;
+        let bits = &mut self.bits_scratch;
+        for (offset, lane) in self.lanes.iter_mut().enumerate() {
+            // First difference index of this lane's next undemodulated symbol.
+            let rel = offset + lane.bits.len() * sps;
+            let fresh_bits = diffs.len().saturating_sub(rel) / sps;
+            if fresh_bits == 0 {
+                continue;
+            }
+            sums.clear();
+            bits.clear();
+            {
+                let _s = wazabee_telemetry::stage!("stream.demod");
+                simd::window_sums_into(&diffs[rel..rel + fresh_bits * sps], sps, sums);
+                simd::nrz_hard_bits_into(sums, bits);
+            }
+            let from = lane.bits.len();
+            lane.bits.extend_from_bits(bits);
+            {
+                let _s = wazabee_telemetry::stage!("stream.correlate");
+                for k in from..lane.bits.len() {
+                    let bit = lane.bits.bit(k);
+                    if let Some(pm) = lane.corr.push(bit) {
+                        if pm.index >= armed {
+                            lane.matches.push_back(pm);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// The original per-lane interleaved `f64` ingest, kept alive behind
+    /// [`WazaBeeRx::stream_reference`] for parity tests and benchmarks.
+    fn ingest_reference(&mut self) {
+        let sps = self.sps;
+        let armed = self.armed;
+        let samples = &self.ref_samples;
         let radio = self.rx.radio();
         for (offset, lane) in self.lanes.iter_mut().enumerate() {
             // Local sample index of this lane's next undemodulated symbol.
@@ -306,15 +436,24 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
         if tr.active() {
             tr.attempt(self.attempts);
             let sample_rate = self.rx.radio().sample_rate();
-            tr.tap_iq(&self.samples, sample_rate, None);
+            // The planar engine materialises an interleaved view only here,
+            // on the traced path — the hot path never re-interleaves.
+            let widened;
+            let all: &[Iq] = if self.reference {
+                &self.ref_samples
+            } else {
+                widened = self.samples.to_interleaved();
+                &widened
+            };
+            tr.tap_iq(all, sample_rate, None);
             // Data-aided CFO over the window starting at the sync hit's own
             // sample — leading silence would dilute a buffer-start mean, and
             // the lane's bit decisions cancel the data's 1/0 imbalance.
             let bit0 = pm.index - self.base_bits;
             let rel = offset + bit0 * self.sps;
-            if rel < self.samples.len() {
+            if rel < all.len() {
                 if let Some(cfo) = estimate_cfo_hz_synced(
-                    &self.samples[rel..],
+                    &all[rel..],
                     &self.lanes[offset].bits,
                     bit0,
                     self.sps,
@@ -406,7 +545,17 @@ impl<R: RawFskRadio> StreamingRx<'_, R> {
             lane.bits.drop_front_words(words);
         }
         self.base_bits += words * 64;
-        self.samples.drain(..words * 64 * self.sps);
+        let drop = words * 64 * self.sps;
+        if self.reference {
+            self.ref_samples.drain(..drop);
+        } else {
+            // The diff cache shifts with the samples: dropping `drop` samples
+            // drops the same count of leading differences (all consumed — the
+            // trimmed region sits behind every lane's demodulated bits), and
+            // `diffs[0]` keeps describing the step between samples 0 and 1.
+            self.samples.drain_front(drop);
+            self.diffs.drain(..drop.min(self.diffs.len()));
+        }
     }
 }
 
@@ -486,6 +635,32 @@ mod tests {
         assert!(stream.push(&[]).is_empty());
         assert_eq!(stream.attempts(), 0);
         assert!(stream.finish().is_empty());
+    }
+
+    #[test]
+    fn reference_engine_matches_planar_engine() {
+        let modem = Dot154Modem::new(8);
+        let a = ppdu(&[0x11, 0x22, 0x33]);
+        let b = ppdu(&[0x44, 0x55]);
+        let mut air = modem.transmit(&a);
+        air.extend(vec![wazabee_dsp::Iq::ZERO; 901]);
+        air.extend(modem.transmit(&b));
+        let rx = ble_rx();
+        let run = |mut s: super::StreamingRx<'_, BleModem>| {
+            let mut results = Vec::new();
+            for chunk in air.chunks(777) {
+                results.extend(s.push(chunk));
+            }
+            results.extend(s.finish());
+            results
+        };
+        let planar = run(rx.stream());
+        let reference = run(rx.stream_reference());
+        assert_eq!(planar.len(), reference.len());
+        for (p, r) in planar.iter().zip(&reference) {
+            assert_eq!(p, r);
+        }
+        assert_eq!(planar.iter().filter(|r| r.is_ok()).count(), 2);
     }
 
     #[test]

@@ -1,8 +1,10 @@
 //! Determinism of the spectrum simulator under the parallel sweep driver:
-//! the committed event log of a simulation run must be byte-identical
-//! whether its sweep cell executes on one worker or four
-//! (`WAZABEE_THREADS`-style scheduling), and whatever IQ chunk size the
-//! receivers feed the streaming decoder.
+//! the committed event log *and* the exported `timeseries.jsonl` of a
+//! simulation run must be byte-identical whether its sweep cell executes on
+//! one worker or four (`WAZABEE_THREADS`-style scheduling), and whatever IQ
+//! chunk size the receivers feed the streaming decoder — now that the
+//! receive chain runs the planar `f32` SIMD kernels, these witnesses also
+//! pin that the blocked kernels have no data-dependent evaluation order.
 
 use proptest::prelude::*;
 use wazabee_bench::sweep::par_map_with;
@@ -27,14 +29,15 @@ fn node(addr: u16, role: NodeRole) -> XbeeNode {
 }
 
 /// One sweep cell: a contended office-grade run (noise, CFO, timing offset,
-/// a reactive jammer and a WazaBee injector) whose committed event log is
-/// the determinism witness.
-fn run_cell(seed: u64, iq_chunk: usize) -> String {
+/// a reactive jammer and a WazaBee injector) whose committed event log and
+/// exported timeline JSONL are the determinism witnesses.
+fn run_cell(seed: u64, iq_chunk: usize) -> (String, String) {
     let ch = Dot154Channel::new(14).unwrap();
     let mut cfg = SimConfig::office();
     cfg.seed = seed;
     cfg.iq_chunk = iq_chunk.max(1);
     let mut sim = SpectrumSim::new(cfg);
+    sim.enable_timeline(5_000);
     sim.add_zigbee(node(COORD, NodeRole::Coordinator));
     sim.add_zigbee(node(0x0063, NodeRole::Sensor { interval_ms: 40 }));
     sim.add_zigbee(node(0x0064, NodeRole::Sensor { interval_ms: 40 }));
@@ -55,7 +58,7 @@ fn run_cell(seed: u64, iq_chunk: usize) -> String {
     );
     sim.inject_at(attacker, Instant(41_000), forged);
     sim.run_until(Instant(0).plus_ms(130));
-    sim.event_log().join("\n")
+    (sim.event_log().join("\n"), sim.timeline_jsonl())
 }
 
 #[test]
@@ -63,15 +66,30 @@ fn committed_event_log_is_identical_across_worker_counts() {
     let cells: Vec<(u64, usize)> = (0..6u64).map(|k| (0xA11CE + 77 * k, 4096)).collect();
     let serial = par_map_with(Some(1), cells.clone(), |(s, c)| run_cell(s, c));
     let four = par_map_with(Some(4), cells, |(s, c)| run_cell(s, c));
-    assert!(serial.iter().all(|log| !log.is_empty()));
-    assert_eq!(serial, four, "event logs diverged across worker counts");
+    assert!(serial
+        .iter()
+        .all(|(log, jsonl)| !log.is_empty() && !jsonl.is_empty()));
+    assert_eq!(serial, four, "artifacts diverged across worker counts");
+}
+
+#[test]
+fn extreme_chunk_sizes_commit_identical_artifacts() {
+    // One-sample chunks force the planar engine through its diff-cache
+    // continuity path on every push; huge chunks take the single-pass path.
+    // Both must commit the byte-identical event log and timeline JSONL.
+    let reference = run_cell(0xBEE5, 4096);
+    assert!(!reference.0.is_empty() && !reference.1.is_empty());
+    for chunk in [1usize, 2, 7, 63, 1_000_000] {
+        assert_eq!(run_cell(0xBEE5, chunk), reference, "chunk {chunk} diverged");
+    }
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
     /// Any seed, any chunk size: one worker and four workers commit the
-    /// same event log, and the chunk size never leaks into the outcome.
+    /// same event log and the same timeline JSONL, and the chunk size never
+    /// leaks into either artifact.
     #[test]
     fn event_log_is_invariant_to_chunking_and_threads(
         seed in 0u64..1_000,

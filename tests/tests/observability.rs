@@ -282,18 +282,21 @@ fn timeline_artifact_is_identical_across_worker_counts() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 
-    /// Any seed, any IQ chunk size: the timeline artifact is byte-identical
-    /// on one worker and four — the same determinism contract as the
-    /// committed event log.
+    /// Any seed, any IQ chunk size — including degenerate one-sample chunks
+    /// that drive the planar SIMD engine through its incremental diff-cache
+    /// path on every push: the timeline artifact is byte-identical on one
+    /// worker and four — the same determinism contract as the committed
+    /// event log.
     #[test]
     fn timeline_is_invariant_to_chunking_and_threads(
         seed in 0u64..1_000,
         chunk in 1usize..20_000,
     ) {
-        let cells = vec![(seed, chunk), (seed, 4096)];
+        let cells = vec![(seed, chunk), (seed, 4096), (seed, 1)];
         let serial = par_map_with(Some(1), cells.clone(), |(s, c)| run_timeline_cell(s, c).0);
         let four = par_map_with(Some(4), cells, |(s, c)| run_timeline_cell(s, c).0);
         prop_assert_eq!(&serial[0], &serial[1], "chunk size changed the timeline");
+        prop_assert_eq!(&serial[0], &serial[2], "one-sample chunks changed the timeline");
         prop_assert_eq!(serial, four, "worker count changed the timeline");
     }
 }
