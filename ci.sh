@@ -37,8 +37,13 @@
 #      WAZABEE_TRACE_OUT dump must hold rx.decode spans with frame args and
 #      resolvable parents; a --no-attacker run must answer /healthz 200;
 #      the --no-default-features run must write no trace file
-#  15. perf regression gate: fresh smoke-run BENCH figures — including the
-#      streaming and discriminator simd_speedup rows — must stay within
+#  15. shard-equivalence gate: a 256-node / 8-channel attacked cell is run
+#      under WAZABEE_THREADS=1 and =4 in both feature states; the committed
+#      event log and timeline JSONL must be byte-identical — the parallel
+#      channel-sharded simulator may not perturb any committed artifact
+#  16. perf regression gate: fresh smoke-run BENCH figures — including the
+#      streaming and discriminator simd_speedup rows and the 1024-node
+#      multi-channel sim/wall ratio — must stay within
 #      WAZABEE_PERF_TOLERANCE (default 50%) of the committed artifacts/
 #      baselines, failing loudly on regressions
 set -euo pipefail
@@ -235,8 +240,8 @@ EOF
 run python3 - "$snapshot_addr" <<'EOF'
 import json, sys, urllib.error, urllib.request
 addr = sys.argv[1]
-# The injector guarantees waveform-level collisions, so the watchdog must
-# have latched the collisions rule: /healthz answers 503 with the alert
+# The run keyed up carrier-sense-free injections, so the watchdog must
+# have latched the injection rule: /healthz answers 503 with the alert
 # body, and stays 503 for pollers arriving after the sweep finished.
 try:
     urllib.request.urlopen(f"http://{addr}/healthz", timeout=10)
@@ -246,8 +251,8 @@ except urllib.error.HTTPError as e:
     health = json.loads(e.read())
 assert health["status"] == "alert", health
 alerts = {a["name"]: a for a in health["alerts"]}
-assert alerts["netsim.collisions"]["latched"] is True, alerts
-assert alerts["netsim.collisions"]["value"] > 0, alerts
+assert alerts["netsim.injection"]["latched"] is True, alerts
+assert alerts["netsim.injection"]["value"] > 0, alerts
 # The delivery-ratio floor is armed and watching the worst cell; smoke-size
 # ideal cells deliver 100%, so it reports a value without firing.
 degraded = alerts["netsim.delivery.degraded"]
@@ -256,8 +261,8 @@ assert degraded["value"] is not None, "delivery gauge never fed the rule"
 trace = json.loads(
     urllib.request.urlopen(f"http://{addr}/trace", timeout=10).read())
 assert trace["traceEvents"], "live /trace document is empty"
-print(f"/healthz 503 with netsim.collisions latched "
-      f"(value {alerts['netsim.collisions']['value']:.0f}); "
+print(f"/healthz 503 with netsim.injection latched "
+      f"(value {alerts['netsim.injection']['value']:.0f}); "
       f"live /trace holds {len(trace['traceEvents'])} events")
 EOF
 kill "$netsim_pid" 2>/dev/null || true
@@ -333,6 +338,37 @@ fi
 echo "snapshot server and trace dump compiled out under --no-default-features"
 check_netsim_json "$netsim_json"
 
+# Shard-equivalence gate: the channel-sharded simulator must commit
+# byte-identical artifacts at any worker count, with and without telemetry.
+echo
+echo "=== shard-equivalence gate: WAZABEE_THREADS=1 vs 4, both feature states ==="
+for features in default no-default; do
+    flags=()
+    if [ "$features" = "no-default" ]; then
+        flags=(--no-default-features)
+    fi
+    p1="$capture_dir/shard_${features}_t1"
+    p4="$capture_dir/shard_${features}_t4"
+    run env WAZABEE_THREADS=1 \
+        cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
+        "${flags[@]}" -- --shard-check "$p1"
+    run env WAZABEE_THREADS=4 \
+        cargo run --release -q -p wazabee-bench --bin netsim_scale --offline \
+        "${flags[@]}" -- --shard-check "$p4"
+    for ext in log jsonl; do
+        if ! cmp -s "$p1.$ext" "$p4.$ext"; then
+            echo "ci.sh: $features-features .$ext artifact differs between 1 and 4 threads" >&2
+            cmp "$p1.$ext" "$p4.$ext" >&2 || true
+            exit 1
+        fi
+        if ! [ -s "$p1.$ext" ]; then
+            echo "ci.sh: shard-check wrote an empty .$ext artifact" >&2
+            exit 1
+        fi
+    done
+    echo "$features features: event log + timeline byte-identical across thread counts"
+done
+
 run env WAZABEE_PERF_TOLERANCE="${WAZABEE_PERF_TOLERANCE:-0.5}" \
     python3 - "$bench_json" "$stream_live_json" "$netsim_live_json" <<'EOF'
 import json, os, sys
@@ -374,15 +410,20 @@ gate("stream.simd_speedup",
      st_f["stream"]["simd_speedup"], st_b["stream"]["simd_speedup"])
 
 ns_f, ns_b = load(fresh_netsim_path), load("artifacts/BENCH_netsim.json")
-base_cells = {(c["nodes"], c["attacker"]): c for c in ns_b["cells"]}
+base_cells = {(c["nodes"], c.get("channels", 1), c["attacker"]): c
+              for c in ns_b["cells"]}
 matched = 0
+big_matched = 0
 for c in ns_f["cells"]:
-    key = (c["nodes"], c["attacker"])
+    key = (c["nodes"], c.get("channels", 1), c["attacker"])
     if key in base_cells:
         matched += 1
-        gate(f"netsim.sim_wall_ratio[n={key[0]},attacker={str(key[1]).lower()}]",
+        big_matched += key[0] >= 1024
+        gate(f"netsim.sim_wall_ratio[n={key[0]},ch={key[1]},"
+             f"attacker={str(key[2]).lower()}]",
              c["sim_wall_ratio"], base_cells[key]["sim_wall_ratio"])
 assert matched > 0, "no netsim cells matched the committed baseline"
+assert big_matched > 0, "the 1024-node multi-channel cells are not gated"
 
 if failures:
     print("ci.sh: perf regression gate FAILED:", file=sys.stderr)

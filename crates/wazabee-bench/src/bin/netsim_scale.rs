@@ -1,29 +1,46 @@
 //! Network-scale simulation sweep: how does the PHY-in-the-loop spectrum
 //! simulator behave — and how fast does it run — as the network grows?
 //!
-//! Each sweep cell builds a star network (one coordinator, `n − 1` periodic
-//! sensors) on `wazabee-sim`'s shared medium and runs a fixed traffic window
-//! under the noiseless `ideal` configuration, with and without a WazaBee
-//! injector hammering the channel. Every frame is genuinely modulated,
-//! superposed and demodulated, so the reported delivery ratios and collision
-//! counts come out of the waveform math, not a packet-loss model.
+//! Two topology families:
 //!
-//! Cells run in parallel through the deterministic sweep driver
-//! (`WAZABEE_THREADS` workers); per-cell results are seed-reproducible.
+//! * **Single-channel stars** (the original sweep): one coordinator and
+//!   `n − 1` fast-reporting sensors contending on channel 14 — the
+//!   worst-case contention cell.
+//! * **Multi-channel PANs** (128–1024 nodes): the network splits across
+//!   4–16 IEEE 802.15.4 channels, one PAN per channel with its own
+//!   coordinator, a router relaying half the sensors' readings (two-hop
+//!   paths), and paper-faithful sensor periods (§VI-A reports every 2 s).
+//!   These cells exercise the channel-sharded simulator: each channel is an
+//!   independent shard advanced in conservative lookahead windows.
+//!
+//! Every frame is genuinely modulated, superposed and demodulated, so the
+//! reported delivery ratios and collision counts come out of the waveform
+//! math, not a packet-loss model.
+//!
+//! Small cells run in parallel through the deterministic sweep driver
+//! (`WAZABEE_THREADS` workers, one thread per cell); the large multi-channel
+//! cells run one at a time with the thread budget spent *inside* the
+//! simulator, across channel shards. Per-cell results are seed-reproducible
+//! and independent of either choice.
 //!
 //! Writes `BENCH_netsim.json` (hand-formatted — the vendored serde is a
 //! no-op shim) to the current directory or the path given with `--out`.
 //!
 //! Run with:
 //! `cargo run --release -p wazabee-bench --bin netsim_scale [--smoke] [--out PATH]
-//!  [--timeseries PATH] [--linger-ms N]`
+//!  [--timeseries PATH] [--linger-ms N] [--shard-check PREFIX]`
 //!
 //! Live observability: with `WAZABEE_TELEMETRY_ADDR` set, a snapshot server
 //! answers mid-run metric/profile requests (`--linger-ms` keeps it up after
 //! the sweep so a poller can attach). `--timeseries PATH` runs one extra
-//! attacked cell with the sim-time timeline enabled and writes its
-//! deterministic per-node `timeseries.jsonl` artifact — attacker onset shows
-//! as the injector's `node.tx_total` series stepping off zero.
+//! attacked multi-channel cell with the sim-time timeline enabled and writes
+//! its deterministic per-node `timeseries.jsonl` artifact — attacker onset
+//! shows as the injector's `node.tx_total` series stepping off zero.
+//!
+//! `--shard-check PREFIX` runs a single 256-node / 8-channel attacked cell
+//! and writes `PREFIX.log` (the committed event log) and `PREFIX.jsonl`
+//! (the sim-time timeline): ci.sh runs it under `WAZABEE_THREADS=1` and
+//! `=4` and byte-compares both files — the shard-equivalence gate.
 
 use std::time::Instant as WallInstant;
 
@@ -35,13 +52,20 @@ use wazabee_zigbee::{NodeConfig, NodeRole, XbeeNode, XbeePayload};
 
 const PAN: u16 = 0x1234;
 const COORD: u16 = 0x0042;
+/// Per-channel router short address in multi-channel cells.
+const ROUTER: u16 = 0x0080;
 /// Forged source address the injector claims.
 const ATTACKER_SRC: u16 = 0xBEEF;
+/// First channel of a multi-channel cell (channels run 11, 12, …).
+const FIRST_CHANNEL: u8 = 11;
 
-/// One sweep cell: a network size and whether the attacker is on the air.
+/// One sweep cell: a network size, channel spread, and whether the attacker
+/// is on the air.
 #[derive(Debug, Clone, Copy)]
 struct Cell {
     nodes: usize,
+    /// Populated 802.15.4 channels; 1 = the original single-channel star.
+    channels: usize,
     attacker: bool,
     traffic_ms: u64,
 }
@@ -63,24 +87,22 @@ struct CellResult {
 }
 
 /// Drain window after the traffic deadline, so readings handed to the MAC
-/// late in the window can still finish their data/ACK handshake.
+/// late in the window can still finish their data/ACK handshake (two hops
+/// of it, for routed readings).
 const DRAIN_MS: u64 = 50;
 
-fn run_cell(cell: Cell) -> CellResult {
-    run_cell_with(cell, None).0
+fn cell_seed(cell: Cell) -> u64 {
+    // Every cell gets its own seed so no two cells share backoff draws.
+    0x5EED_BEE5
+        ^ (cell.nodes as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        ^ (cell.channels as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        ^ (cell.attacker as u64).wrapping_mul(0xD134_2543_DE82_EF95)
 }
 
-/// Runs one cell; with `timeline_interval_us` set, records the sim-time
-/// timeline at that interval and returns its JSONL rendering.
-fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, Option<String>) {
+/// The original single-channel star: one coordinator, `n − 1` sensors with
+/// fast (60–180 ms) periods — maximal contention on channel 14.
+fn build_star(sim: &mut SpectrumSim, cell: Cell) {
     let ch = Dot154Channel::new(14).expect("channel 14 is valid");
-    let mut cfg = SimConfig::ideal();
-    // Every cell gets its own seed so no two cells share backoff draws.
-    cfg.seed = 0x5EED_BEE5
-        ^ (cell.nodes as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ (cell.attacker as u64).wrapping_mul(0xD134_2543_DE82_EF95);
-    let mut sim = SpectrumSim::new(cfg);
-
     sim.add_zigbee(XbeeNode::new(
         NodeConfig {
             pan: PAN,
@@ -102,17 +124,107 @@ fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, 
             NodeRole::Sensor { interval_ms },
         ));
     }
+}
+
+/// A multi-channel deployment: nodes split evenly across `cell.channels`
+/// adjacent channels, one PAN per channel with its own coordinator and a
+/// router; odd-indexed sensors report through the router (two radio hops),
+/// even-indexed ones straight to the coordinator. Sensor periods are
+/// paper-faithful (§VI-A: readings every 2 s) — 1.0–2.0 s spread so phases
+/// decorrelate.
+fn build_multichannel(sim: &mut SpectrumSim, cell: Cell) {
+    let per = cell.nodes / cell.channels;
+    let rem = cell.nodes % cell.channels;
+    let mut next_sensor_addr = 0x0100u16;
+    for ci in 0..cell.channels {
+        let ch = Dot154Channel::new(FIRST_CHANNEL + ci as u8).expect("channel in 11..=26");
+        let pan = 0x1200 + ci as u16;
+        let n_here = per + usize::from(ci < rem);
+        sim.add_zigbee(XbeeNode::new(
+            NodeConfig {
+                pan,
+                short_addr: COORD,
+                channel: ch,
+            },
+            NodeRole::Coordinator,
+        ));
+        let has_router = n_here >= 3;
+        if has_router {
+            sim.add_zigbee(XbeeNode::new(
+                NodeConfig {
+                    pan,
+                    short_addr: ROUTER,
+                    channel: ch,
+                },
+                NodeRole::Router { forward_to: COORD },
+            ));
+        }
+        let sensors = n_here.saturating_sub(1 + usize::from(has_router));
+        for s in 0..sensors {
+            let addr = next_sensor_addr;
+            next_sensor_addr += 1;
+            // 37 is invertible mod 1000: periods spread over 1.0–2.0 s.
+            let interval_ms = 1_000 + (addr as u64 * 37) % 1_000;
+            let node = XbeeNode::new(
+                NodeConfig {
+                    pan,
+                    short_addr: addr,
+                    channel: ch,
+                },
+                NodeRole::Sensor { interval_ms },
+            );
+            let node = if has_router && s % 2 == 1 {
+                node.with_report_to(ROUTER)
+            } else {
+                node
+            };
+            sim.add_zigbee(node);
+        }
+    }
+}
+
+fn run_cell(cell: Cell) -> CellResult {
+    run_cell_with(cell, None, None).0
+}
+
+/// Runs one cell; with `timeline_interval_us` set, records the sim-time
+/// timeline at that interval and returns its JSONL rendering. `threads`
+/// overrides [`SimConfig::threads`] (None inherits `WAZABEE_THREADS`).
+fn run_cell_with(
+    cell: Cell,
+    timeline_interval_us: Option<u64>,
+    threads: Option<usize>,
+) -> (CellResult, Option<String>, Vec<String>) {
+    let mut cfg = SimConfig::ideal();
+    cfg.seed = cell_seed(cell);
+    cfg.threads = threads;
+    let mut sim = SpectrumSim::new(cfg);
+    if let Some(interval) = timeline_interval_us {
+        sim.enable_timeline(interval);
+    }
+
+    if cell.channels <= 1 {
+        build_star(&mut sim, cell);
+    } else {
+        build_multichannel(&mut sim, cell);
+    }
 
     let traffic_end = Instant(0).plus_ms(cell.traffic_ms);
     if cell.attacker {
         // A WazaBee injector keying forged readings every 7 ms with no
         // carrier sense: collisions with legitimate traffic are guaranteed.
-        let attacker = sim.add_wazabee_injector(ch, 1.0);
+        // In multi-channel cells it camps on the first channel.
+        let (atk_ch, atk_pan) = if cell.channels <= 1 {
+            (Dot154Channel::new(14).expect("valid"), PAN)
+        } else {
+            (Dot154Channel::new(FIRST_CHANNEL).expect("valid"), 0x1200)
+        };
+        let attacker = sim.add_wazabee_injector(atk_ch, 1.0);
         let mut t = Instant(0).plus_ms(5);
         let mut seq = 0u8;
         while t < traffic_end {
             let forged = MacFrame::data(
-                PAN,
+                atk_pan,
                 ATTACKER_SRC,
                 COORD,
                 seq,
@@ -125,15 +237,12 @@ fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, 
     }
 
     sim.set_traffic_deadline(traffic_end);
-    if let Some(interval) = timeline_interval_us {
-        sim.enable_timeline(interval);
-    }
     let wall = WallInstant::now();
     sim.run_until(traffic_end.plus_ms(DRAIN_MS));
     let wall_secs = wall.elapsed().as_secs_f64().max(1e-9);
 
     let report = sim.report();
-    let total_tx: u64 = sim.nodes().iter().map(|n| n.tx_count()).sum();
+    let total_tx: u64 = sim.nodes().map(|n| n.tx_count()).sum();
     let sim_secs = (cell.traffic_ms + DRAIN_MS) as f64 / 1e3;
     let result = CellResult {
         cell,
@@ -150,6 +259,7 @@ fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, 
         sim_wall_ratio: sim_secs / wall_secs,
     };
     let timeline = timeline_interval_us.map(|_| sim.timeline_jsonl());
+    let log = sim.event_log().to_vec();
     {
         // Per-cell delivery gauge: the watchdog's gauge_min rule watches the
         // worst cell across the whole (possibly parallel) sweep.
@@ -160,7 +270,37 @@ fn run_cell_with(cell: Cell, timeline_interval_us: Option<u64>) -> (CellResult, 
             result.delivery_ratio,
         );
     }
-    (result, timeline)
+    (result, timeline, log)
+}
+
+/// The `--shard-check` mode: one 256-node / 8-channel attacked cell with
+/// the timeline on, committed artifacts written to `PREFIX.log` and
+/// `PREFIX.jsonl`. Running this under different `WAZABEE_THREADS` values
+/// must produce byte-identical files.
+fn shard_check(prefix: &str) {
+    let cell = Cell {
+        nodes: 256,
+        channels: 8,
+        attacker: true,
+        traffic_ms: 2_000,
+    };
+    let (result, timeline, log) = run_cell_with(cell, Some(10_000), None);
+    let mut log_text = log.join("\n");
+    log_text.push('\n');
+    std::fs::write(format!("{prefix}.log"), log_text).expect("write event log");
+    std::fs::write(
+        format!("{prefix}.jsonl"),
+        timeline.expect("timeline enabled"),
+    )
+    .expect("write timeline");
+    eprintln!(
+        "shard-check: n={} ch={} sent={} delivered={} collisions={} -> {prefix}.log/.jsonl",
+        cell.nodes,
+        cell.channels,
+        result.readings_sent,
+        result.readings_delivered,
+        result.collisions,
+    );
 }
 
 fn main() {
@@ -168,6 +308,7 @@ fn main() {
     let mut attacker = true;
     let mut out_path = "BENCH_netsim.json".to_string();
     let mut timeseries_path: Option<String> = None;
+    let mut shard_check_prefix: Option<String> = None;
     let mut linger_ms = 0u64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -188,6 +329,13 @@ fn main() {
                     std::process::exit(2);
                 }
             },
+            "--shard-check" => match args.next() {
+                Some(p) => shard_check_prefix = Some(p),
+                None => {
+                    eprintln!("--shard-check requires a path prefix");
+                    std::process::exit(2);
+                }
+            },
             "--linger-ms" => match args.next().and_then(|v| v.parse().ok()) {
                 Some(ms) => linger_ms = ms,
                 None => {
@@ -198,22 +346,29 @@ fn main() {
             other => {
                 eprintln!(
                     "usage: netsim_scale [--smoke] [--no-attacker] [--out PATH] \
-                     [--timeseries PATH] [--linger-ms N]   (got {other:?})"
+                     [--timeseries PATH] [--linger-ms N] [--shard-check PREFIX]   (got {other:?})"
                 );
                 std::process::exit(2);
             }
         }
     }
 
+    if let Some(prefix) = shard_check_prefix {
+        shard_check(&prefix);
+        return;
+    }
+
     // Declarative health: the watchdog evaluates these over the live metric
     // registry; latched alerts surface in the console summary, in
     // `snapshot_json()["alerts"]`, and as a 503 from the `/healthz` route.
-    // Collisions discriminate attacked from clean smoke runs (clean small
-    // cells never collide); the delivery floor catches degraded large cells;
-    // extra frames mean an IDS watcher saw traffic the MAC log cannot explain.
+    // Carrier-sense-free injections discriminate attacked from clean runs
+    // (legitimate CSMA collisions are routine at 1024 nodes, so raw
+    // collision counts no longer do); the delivery floor catches degraded
+    // large cells; extra frames mean an IDS watcher saw traffic the MAC log
+    // cannot explain.
     wazabee_telemetry::health_rule!(
-        "netsim.collisions",
-        wazabee_telemetry::Signal::counter("sim.collisions"),
+        "netsim.injection",
+        wazabee_telemetry::Signal::counter("sim.injected"),
         > 0
     );
     wazabee_telemetry::health_rule!(
@@ -234,36 +389,88 @@ fn main() {
         Err(e) => eprintln!("telemetry snapshot server failed to start: {e}"),
     }
 
-    let (counts, traffic_ms): (&[usize], u64) = if smoke {
+    // Single-channel stars (fast-reporting, maximal contention) plus
+    // multi-channel deployments (paper-faithful 1–2 s periods, routed
+    // two-hop paths) up to 1024 nodes over 16 channels.
+    let (star_counts, star_traffic_ms): (&[usize], u64) = if smoke {
         (&[4, 8], 120)
     } else {
         (&[4, 8, 16, 32, 64], 400)
     };
+    // Multi-channel traffic windows must cover the 1–2 s sensor periods.
+    let multi: &[(usize, usize, u64)] = if smoke {
+        &[(32, 4, 2_000), (1024, 16, 2_000)]
+    } else {
+        &[
+            (128, 4, 2_000),
+            (256, 8, 2_000),
+            (512, 16, 2_000),
+            (1024, 16, 2_000),
+        ]
+    };
     let threads = wazabee_bench::sweep::default_threads();
 
-    let cells: Vec<Cell> = counts
+    let arms: &[bool] = if attacker { &[false, true] } else { &[false] };
+    let mut cells: Vec<Cell> = star_counts
         .iter()
         .flat_map(|&nodes| {
-            let arms: &[bool] = if attacker { &[false, true] } else { &[false] };
             arms.iter().map(move |&attacker| Cell {
                 nodes,
+                channels: 1,
                 attacker,
-                traffic_ms,
+                traffic_ms: star_traffic_ms,
             })
         })
         .collect();
-    eprintln!(
-        "sweeping {} cells ({traffic_ms} ms traffic each) on {threads} thread(s) ...",
-        cells.len()
-    );
-    let results = wazabee_bench::sweep::par_map(cells, run_cell);
+    cells.extend(multi.iter().flat_map(|&(nodes, channels, traffic_ms)| {
+        arms.iter().map(move |&attacker| Cell {
+            nodes,
+            channels,
+            attacker,
+            traffic_ms,
+        })
+    }));
+    eprintln!("sweeping {} cells on {threads} thread(s) ...", cells.len());
+
+    // Small cells fan out across the sweep driver (one thread per cell, the
+    // simulator kept single-threaded); large multi-channel cells run one at
+    // a time with the thread budget spent across channel shards instead.
+    // Committed results are identical either way — this only shapes wall
+    // time.
+    let split: Vec<(usize, Cell, bool)> = cells
+        .iter()
+        .copied()
+        .enumerate()
+        .map(|(k, c)| (k, c, c.nodes >= 128))
+        .collect();
+    let small: Vec<(usize, Cell)> = split
+        .iter()
+        .filter(|&&(_, _, big)| !big)
+        .map(|&(k, c, _)| (k, c))
+        .collect();
+    let large: Vec<(usize, Cell)> = split
+        .iter()
+        .filter(|&&(_, _, big)| big)
+        .map(|&(k, c, _)| (k, c))
+        .collect();
+    let mut slots: Vec<Option<CellResult>> = (0..cells.len()).map(|_| None).collect();
+    for (k, r) in
+        wazabee_bench::sweep::par_map(small, |(k, c)| (k, run_cell_with(c, None, Some(1)).0))
+    {
+        slots[k] = Some(r);
+    }
+    for (k, c) in large {
+        slots[k] = Some(run_cell(c));
+    }
+    let results: Vec<CellResult> = slots.into_iter().map(|s| s.expect("cell ran")).collect();
 
     let mut rows = String::new();
     for (k, r) in results.iter().enumerate() {
         println!(
-            "n={:2} attacker={:5} sent={:3} delivered={:3} ratio={:.3} collisions={:3} \
+            "n={:4} ch={:2} attacker={:5} sent={:4} delivered={:4} ratio={:.3} collisions={:3} \
              retries={:3} abandoned={:2} sim/wall={:7.1}x",
             r.cell.nodes,
+            r.cell.channels,
             r.cell.attacker,
             r.readings_sent,
             r.readings_delivered,
@@ -274,9 +481,11 @@ fn main() {
             r.sim_wall_ratio,
         );
         rows.push_str(&format!(
-            "    {{\n      \"nodes\": {},\n      \"attacker\": {},\n      \"readings_sent\": {},\n      \"readings_delivered\": {},\n      \"delivery_ratio\": {:.6},\n      \"collisions\": {},\n      \"collision_rate\": {:.6},\n      \"cca_busy\": {},\n      \"retries\": {},\n      \"frames_abandoned\": {},\n      \"total_tx\": {},\n      \"wall_secs\": {:.6},\n      \"sim_wall_ratio\": {:.3}\n    }}{}\n",
+            "    {{\n      \"nodes\": {},\n      \"channels\": {},\n      \"attacker\": {},\n      \"traffic_ms\": {},\n      \"readings_sent\": {},\n      \"readings_delivered\": {},\n      \"delivery_ratio\": {:.6},\n      \"collisions\": {},\n      \"collision_rate\": {:.6},\n      \"cca_busy\": {},\n      \"retries\": {},\n      \"frames_abandoned\": {},\n      \"total_tx\": {},\n      \"wall_secs\": {:.6},\n      \"sim_wall_ratio\": {:.3}\n    }}{}\n",
             r.cell.nodes,
+            r.cell.channels,
             r.cell.attacker,
+            r.cell.traffic_ms,
             r.readings_sent,
             r.readings_delivered,
             r.delivery_ratio,
@@ -294,21 +503,23 @@ fn main() {
 
     // Hand-formatted JSON: the vendored serde derive is a no-op shim.
     let json = format!(
-        "{{\n  \"bench\": \"netsim_scale\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"traffic_ms\": {traffic_ms},\n  \"drain_ms\": {DRAIN_MS},\n  \"cells\": [\n{rows}  ]\n}}\n"
+        "{{\n  \"bench\": \"netsim_scale\",\n  \"smoke\": {smoke},\n  \"threads\": {threads},\n  \"drain_ms\": {DRAIN_MS},\n  \"cells\": [\n{rows}  ]\n}}\n"
     );
     std::fs::write(&out_path, json).expect("write benchmark artifact");
     eprintln!("wrote {out_path}");
 
     if let Some(ts_path) = timeseries_path {
-        // One dedicated attacked cell with the sim-time timeline on: the
-        // artifact is deterministic (sim-time sampling of sim state only),
-        // byte-identical at any WAZABEE_THREADS or IQ chunk size.
+        // One dedicated attacked multi-channel cell with the sim-time
+        // timeline on: the artifact is deterministic (sim-time sampling of
+        // sim state only), byte-identical at any WAZABEE_THREADS or IQ
+        // chunk size.
         let cell = Cell {
-            nodes: counts[0],
+            nodes: 32,
+            channels: 4,
             attacker: true,
-            traffic_ms,
+            traffic_ms: 2_000,
         };
-        let (_, timeline) = run_cell_with(cell, Some(10_000));
+        let (_, timeline, _) = run_cell_with(cell, Some(10_000), None);
         let jsonl = timeline.expect("timeline was enabled");
         std::fs::write(&ts_path, jsonl).expect("write timeseries artifact");
         eprintln!("wrote {ts_path}");

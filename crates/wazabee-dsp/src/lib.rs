@@ -69,6 +69,7 @@ pub mod iq;
 pub mod iqbuf;
 pub mod osc;
 pub mod packed;
+pub mod par;
 pub mod resample;
 pub mod simd;
 pub mod spectrum;

@@ -216,6 +216,49 @@ mod tests {
         assert_eq!(q.slot_capacity(), 100);
     }
 
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(64))]
+
+        /// Model check of the ordering contract the sharded simulator's
+        /// committed event log rests on: every pop returns the pending event
+        /// that is earliest by time, ties broken strictly by insertion order
+        /// (FIFO). The interleaved pops make the free list hand late events
+        /// *low* slot indexes, so this fails if the heap key ever lets the
+        /// slot component outrank the insertion counter.
+        #[test]
+        fn pop_order_is_time_then_fifo_under_slot_reuse(
+            ops in proptest::collection::vec(0u64..12, 1..200)
+        ) {
+            let mut q = EventQueue::new();
+            // Reference model: the pending set as (time, insertion seq);
+            // lexicographic min is exactly "time order, ties FIFO".
+            let mut pending: Vec<(Instant, u64)> = Vec::new();
+            for (seq, op) in ops.into_iter().enumerate() {
+                let seq = seq as u64;
+                // Each op packs (timestamp in 0..4, pops in 0..3); four
+                // timestamps over hundreds of events force heavy ties.
+                let (t, pops) = (op % 4, (op / 4) as usize);
+                q.schedule(Instant(t), seq);
+                pending.push((Instant(t), seq));
+                for _ in 0..pops {
+                    let got = q.pop();
+                    match pending.iter().copied().min() {
+                        Some(want) => {
+                            proptest::prop_assert_eq!(got, Some(want));
+                            pending.retain(|&e| e != want);
+                        }
+                        None => proptest::prop_assert_eq!(got, None),
+                    }
+                }
+            }
+            pending.sort();
+            for want in pending {
+                proptest::prop_assert_eq!(q.pop(), Some(want));
+            }
+            proptest::prop_assert_eq!(q.pop(), None);
+        }
+    }
+
     #[test]
     fn interleaved_schedule_and_pop() {
         let mut q = EventQueue::new();

@@ -36,6 +36,11 @@ pub struct SimConfig {
     /// How soon after a frame ends the ACK spoofer keys up its forgery —
     /// under `aTurnaroundTime`, so the forgery beats any honest responder.
     pub spoof_delay_us: u64,
+    /// Worker threads advancing channel shards in parallel; `None` takes
+    /// `WAZABEE_THREADS` / available parallelism
+    /// ([`wazabee_dsp::par::default_threads`]). The committed event log,
+    /// report and timeline are byte-identical at any value.
+    pub threads: Option<usize>,
 }
 
 impl Default for SimConfig {
@@ -51,6 +56,7 @@ impl Default for SimConfig {
             ack_wait_us: ACK_WAIT_US,
             iq_chunk: 4096,
             spoof_delay_us: 96,
+            threads: None,
         }
     }
 }

@@ -61,6 +61,7 @@
 
 pub mod config;
 pub mod node;
+mod shard;
 mod sim;
 mod spectrum;
 

@@ -137,6 +137,11 @@ impl NodeKind {
 /// One simulated radio node.
 #[derive(Debug)]
 pub struct SimNode {
+    /// Global handle, as returned by the `add_*` call that created the node.
+    /// Nodes live inside their channel's shard under a shard-local index;
+    /// every log line, metric label and noise seed uses this global id, so
+    /// artifacts are independent of how nodes map onto shards.
+    pub(crate) id: usize,
     pub(crate) kind: NodeKind,
     pub(crate) channel: Dot154Channel,
     pub(crate) gain: f64,
@@ -146,6 +151,11 @@ pub struct SimNode {
 }
 
 impl SimNode {
+    /// The node's global handle (the index its `add_*` call returned).
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
     /// The node's behaviour class: `"zigbee"`, `"wazabee"`, `"jammer"`,
     /// `"spoofer"`, `"flooder"` or `"ids"`.
     pub fn kind_name(&self) -> &'static str {
@@ -171,9 +181,5 @@ impl SimNode {
     /// Number of transmissions this node has keyed.
     pub fn tx_count(&self) -> u64 {
         self.tx_count
-    }
-
-    pub(crate) fn channel_idx(&self) -> usize {
-        (self.channel.number() - 11) as usize
     }
 }

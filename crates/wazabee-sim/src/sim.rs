@@ -1,4 +1,4 @@
-//! The discrete-event spectrum simulator.
+//! The discrete-event spectrum simulator: a channel-sharded facade.
 //!
 //! Every transmission is modulated to IQ by the real modems and placed on a
 //! per-channel sample timeline; when a busy period closes, each listening
@@ -11,46 +11,43 @@
 //! backoff, a CCA energy measurement over the live spectrum buffer, ACK
 //! wait, and `macMaxFrameRetries` retransmissions. Attackers ignore carrier
 //! sense, exactly as a diverted BLE chip would.
+//!
+//! # Sharded execution
+//!
+//! The 16 IEEE 802.15.4 channels are physically independent spectra: a
+//! transmission deposits energy only on its own channel, CCA integrates only
+//! its own channel's cluster, and jammers trigger only on same-channel
+//! keyups. [`SpectrumSim`] therefore partitions the event timeline by
+//! channel — each populated channel becomes a [`crate::shard::Shard`], a
+//! self-contained event engine with its own sub-queue, busy-period state and
+//! nodes — and advances the shards concurrently in *conservative lookahead
+//! windows* of `64 × (CCA_US + TURNAROUND_US)` simulated microseconds. No
+//! event ever crosses shards, so the windows are pacing (bounded skew
+//! between shards, regular log-merge points), not a correctness mechanism.
+//!
+//! Determinism is a hard contract, not best-effort: the committed event
+//! log, [`SimReport`] and timeline JSONL are byte-identical across
+//! `WAZABEE_THREADS` / [`SimConfig::threads`] values. Each shard commits
+//! `(sim-time, line)` log entries; the facade concatenates shard logs in
+//! shard-creation order and stable-sorts by time, so cross-channel ties
+//! resolve identically at any worker count. Single-channel runs execute the
+//! exact event sequence of the unsharded engine (same queue tie-breaking,
+//! same RNG draws, same noise seeds keyed on global node ids).
 
-use rand::{Rng, SeedableRng};
+use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
-use wazabee::{WazaBeeRx, WazaBeeTx};
-use wazabee_ble::{BleModem, BlePhy};
-use wazabee_dot154::csma::{CsmaBackoff, CsmaStep, CCA_US, TURNAROUND_US};
-use wazabee_dot154::mac::{Address, FrameType, MacFrame, BROADCAST_SHORT};
-use wazabee_dot154::{Dot154Channel, Dot154Modem, Ppdu};
-use wazabee_dsp::iq::Iq;
-use wazabee_dsp::resample::fractional_delay_planar_in_place;
-use wazabee_dsp::{AwgnSource, IqBuf, Nco};
+use wazabee_dot154::csma::{CCA_US, TURNAROUND_US};
+use wazabee_dot154::mac::MacFrame;
+use wazabee_dot154::Dot154Channel;
+use wazabee_dsp::par::{default_threads, par_map_with};
 use wazabee_ids::{Alert, ChannelMonitor, MonitorConfig};
-use wazabee_radio::{EventQueue, Instant};
+use wazabee_radio::Instant;
 use wazabee_telemetry::SeriesSet;
-use wazabee_zigbee::{NodeRole, XbeeNode, XbeePayload};
+use wazabee_zigbee::XbeeNode;
 
 use crate::config::SimConfig;
 use crate::node::{FlooderConfig, JammerConfig, NodeKind, SimNode, ZigbeeState};
-use crate::spectrum::{cca_power, superpose_planar, ChannelAir, Transmission, TxKind, TxOrigin};
-
-/// Events the simulator schedules for itself.
-#[derive(Debug)]
-enum SimEvent {
-    /// A node's periodic application timer (sensor reading, flood frame).
-    AppTimer { node: usize },
-    /// A Zigbee node's backoff expired: perform the CCA now.
-    CsmaCca { node: usize },
-    /// Key up the head of a node's immediate (CSMA-bypassing) queue.
-    SendImmediate { node: usize },
-    /// A WazaBee injector's scheduled frame.
-    Inject { node: usize, frame: MacFrame },
-    /// A reactive jammer's burst keyup.
-    JamBurst { node: usize },
-    /// A transmission ends on a channel.
-    TxEnd { channel: usize },
-    /// The ACK wait for `seq` expires.
-    AckTimeout { node: usize, seq: u8 },
-    /// Sample the enabled timeline (sim-time-driven time series).
-    TimelineTick,
-}
+use crate::shard::{splitmix64, Shard, SimEvent};
 
 /// Sim-time-driven time-series recorder (see
 /// [`SpectrumSim::enable_timeline`]).
@@ -63,8 +60,12 @@ enum SimEvent {
 #[derive(Debug)]
 struct Timeline {
     interval_us: u64,
+    /// Sim instant of the next sample boundary.
+    next_tick: Instant,
     series: SeriesSet,
-    /// Cumulative per-node airtime at the previous tick, for occupancy deltas.
+    /// Cumulative per-node airtime at the previous tick, for occupancy
+    /// deltas. Resized defensively every tick so nodes added *after*
+    /// `enable_timeline` are picked up instead of panicking the sampler.
     prev_airtime_us: Vec<u64>,
 }
 
@@ -89,6 +90,21 @@ pub struct SimStats {
     pub frames_decoded: u64,
     /// Committed decode attempts that failed (sync hit but no frame).
     pub decode_failures: u64,
+}
+
+impl SimStats {
+    /// Adds another shard's counters into this total.
+    pub(crate) fn accumulate(&mut self, o: &SimStats) {
+        self.collisions += o.collisions;
+        self.cca_busy += o.cca_busy;
+        self.retries += o.retries;
+        self.csma_failures += o.csma_failures;
+        self.frames_abandoned += o.frames_abandoned;
+        self.acks_spoofed += o.acks_spoofed;
+        self.jam_bursts += o.jam_bursts;
+        self.frames_decoded += o.frames_decoded;
+        self.decode_failures += o.decode_failures;
+    }
 }
 
 /// Summary of a finished run.
@@ -135,76 +151,38 @@ pub struct SimReport {
 pub struct SpectrumSim {
     cfg: SimConfig,
     now: Instant,
-    queue: EventQueue<SimEvent>,
-    nodes: Vec<SimNode>,
-    /// Busy-period state per 802.15.4 channel (index = channel − 11).
-    air: Vec<ChannelAir>,
-    /// The legitimate nodes' O-QPSK modulator.
-    modem: Dot154Modem,
-    /// The attackers' diverted-BLE transmitter.
-    btx: WazaBeeTx<BleModem>,
-    /// The shared streaming demodulation primitive (stateless per capture).
-    rx: WazaBeeRx<BleModem>,
-    cluster_counter: u64,
-    stats: SimStats,
+    /// Conservative lookahead window, in simulated µs: shards advance at
+    /// most this far before resynchronising with the facade.
+    horizon_us: u64,
+    /// One engine per populated channel, in creation order (the log-merge
+    /// tie-break order).
+    shards: Vec<Shard>,
+    /// Channel index (channel − 11) → shard index.
+    by_channel: [Option<usize>; 16],
+    /// Global node handle → `(shard index, shard-local index)`.
+    node_map: Vec<(usize, usize)>,
+    /// The merged committed event log.
     log: Vec<String>,
-    /// `(source short address, value)` of every reading handed to the MAC.
-    readings_sent: Vec<(u16, u16)>,
     /// After this instant application timers stop generating traffic.
     traffic_deadline: Option<Instant>,
     /// Instance-owned sim-time series recorder, when enabled.
     timeline: Option<Timeline>,
 }
 
-/// What one receiver got out of a closed cluster.
-enum Heard {
-    /// Decoded MAC frames plus the count of failed decode attempts.
-    Frames(Vec<MacFrame>, u64),
-    /// The raw superposed window (IDS monitors).
-    Raw(Vec<Iq>),
-}
-
-fn splitmix64(mut x: u64) -> u64 {
-    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    x ^ (x >> 31)
-}
-
-fn alert_kind(alert: &Alert) -> &'static str {
-    match alert {
-        Alert::CrossProtocolFrame { .. } => "cross-protocol",
-        Alert::UnexpectedDot154 { .. } => "unexpected-dot154",
-        Alert::TrafficAnomaly { .. } => "traffic-anomaly",
-    }
-}
-
 impl SpectrumSim {
     /// Creates an empty simulation.
     pub fn new(cfg: SimConfig) -> Self {
-        let sps = cfg.samples_per_chip;
         SpectrumSim {
             cfg,
             now: Instant(0),
-            queue: EventQueue::new(),
-            nodes: Vec::new(),
-            air: (0..16).map(|_| ChannelAir::default()).collect(),
-            modem: Dot154Modem::new(sps),
-            btx: WazaBeeTx::new(BleModem::new(BlePhy::Le2M, sps))
-                .expect("LE 2M runs at the required 2 Msym/s"),
-            rx: WazaBeeRx::new(BleModem::new(BlePhy::Le2M, sps))
-                .expect("LE 2M runs at the required 2 Msym/s"),
-            cluster_counter: 0,
-            stats: SimStats::default(),
+            horizon_us: 64 * (CCA_US + TURNAROUND_US),
+            shards: Vec::new(),
+            by_channel: [None; 16],
+            node_map: Vec::new(),
             log: Vec::new(),
-            readings_sent: Vec::new(),
             traffic_deadline: None,
             timeline: None,
         }
-    }
-
-    fn spu(&self) -> u64 {
-        self.cfg.samples_per_us()
     }
 
     fn node_rng(&self, idx: usize) -> ChaCha8Rng {
@@ -213,10 +191,30 @@ impl SpectrumSim {
         ChaCha8Rng::seed_from_u64(mixed)
     }
 
+    /// The shard owning `channel`, created on first use.
+    fn shard_for(&mut self, channel: Dot154Channel) -> usize {
+        let ci = (channel.number() - 11) as usize;
+        if let Some(s) = self.by_channel[ci] {
+            return s;
+        }
+        let mut shard = Shard::new(self.cfg, channel.number());
+        shard.now = self.now;
+        shard.traffic_deadline = self.traffic_deadline;
+        self.shards.push(shard);
+        let s = self.shards.len() - 1;
+        self.by_channel[ci] = Some(s);
+        s
+    }
+
+    /// Registers a node, returning its global handle. The node lives in its
+    /// channel's shard; logs, labels and seeds all use the global id, so
+    /// artifacts are independent of the channel→shard mapping.
     fn push_node(&mut self, kind: NodeKind, channel: Dot154Channel, gain: f64) -> usize {
-        let idx = self.nodes.len();
-        let rng = self.node_rng(idx);
-        self.nodes.push(SimNode {
+        let gid = self.node_map.len();
+        let rng = self.node_rng(gid);
+        let s = self.shard_for(channel);
+        let local = self.shards[s].push_node(SimNode {
+            id: gid,
             kind,
             channel,
             gain,
@@ -224,7 +222,8 @@ impl SpectrumSim {
             airtime_us: 0,
             tx_count: 0,
         });
-        idx
+        self.node_map.push((s, local));
+        gid
     }
 
     /// Adds a legitimate Zigbee node at unit path gain.
@@ -237,16 +236,19 @@ impl SpectrumSim {
     pub fn add_zigbee_with_gain(&mut self, app: XbeeNode, gain: f64) -> usize {
         let channel = app.config.channel;
         let interval = app.timer_interval_ms();
-        let idx = self.push_node(
+        let gid = self.push_node(
             NodeKind::Zigbee(Box::new(ZigbeeState::new(app))),
             channel,
             gain,
         );
         if let Some(ms) = interval {
-            self.queue
-                .schedule(self.now.plus_ms(ms), SimEvent::AppTimer { node: idx });
+            let (s, local) = self.node_map[gid];
+            let when = self.now.plus_ms(ms);
+            self.shards[s]
+                .queue
+                .schedule(when, SimEvent::AppTimer { node: local });
         }
-        idx
+        gid
     }
 
     /// Adds a WazaBee injector: a diverted BLE chip that keys scheduled
@@ -258,7 +260,10 @@ impl SpectrumSim {
 
     /// Schedules a frame injection from a WazaBee node.
     pub fn inject_at(&mut self, node: usize, when: Instant, frame: MacFrame) {
-        self.queue.schedule(when, SimEvent::Inject { node, frame });
+        let (s, local) = self.node_map[node];
+        self.shards[s]
+            .queue
+            .schedule(when, SimEvent::Inject { node: local, frame });
     }
 
     /// Adds a reactive jammer.
@@ -286,12 +291,13 @@ impl SpectrumSim {
 
     /// Adds an energy-depletion flooder.
     pub fn add_flooder(&mut self, channel: Dot154Channel, config: FlooderConfig) -> usize {
-        let idx = self.push_node(NodeKind::Flooder { config, seq: 0 }, channel, 1.0);
-        self.queue.schedule(
-            self.now.plus_us(config.interval_us),
-            SimEvent::AppTimer { node: idx },
-        );
-        idx
+        let gid = self.push_node(NodeKind::Flooder { config, seq: 0 }, channel, 1.0);
+        let (s, local) = self.node_map[gid];
+        let when = self.now.plus_us(config.interval_us);
+        self.shards[s]
+            .queue
+            .schedule(when, SimEvent::AppTimer { node: local });
+        gid
     }
 
     /// Adds a passive IDS monitor on a channel.
@@ -314,6 +320,9 @@ impl SpectrumSim {
     /// handed to the MAC in the run's final microseconds.
     pub fn set_traffic_deadline(&mut self, when: Instant) {
         self.traffic_deadline = Some(when);
+        for s in &mut self.shards {
+            s.traffic_deadline = Some(when);
+        }
     }
 
     /// Enables the sim-time timeline: every `interval_us` of *simulated*
@@ -321,25 +330,28 @@ impl SpectrumSim {
     /// totals plus global delivery/contention counters into an
     /// instance-owned time series (timestamps in sim µs).
     ///
-    /// Because sampling reads only simulation state, the recorded series —
-    /// and the [`SpectrumSim::timeline_jsonl`] artifact — are deterministic:
-    /// byte-identical across `WAZABEE_THREADS` worker counts and IQ chunk
-    /// sizes, the same contract as the committed event log. Attack onset is
-    /// directly visible: an injector or flooder node's `node.tx_total`
-    /// series steps from zero at its first keyup.
+    /// Samples are taken at the tick boundary after every event at or
+    /// before the tick instant has been applied — a shard-order-free
+    /// definition, so the recorded series and the
+    /// [`SpectrumSim::timeline_jsonl`] artifact are byte-identical across
+    /// `WAZABEE_THREADS` worker counts and IQ chunk sizes, the same
+    /// contract as the committed event log. Attack onset is directly
+    /// visible: an injector or flooder node's `node.tx_total` series steps
+    /// from zero at its first keyup.
     ///
     /// Call before `run_until`; the first sample lands one interval in.
+    /// Nodes may be added after enabling — the sampler resizes its per-node
+    /// state on every tick.
     pub fn enable_timeline(&mut self, interval_us: u64) {
         let interval_us = interval_us.max(1);
         self.timeline = Some(Timeline {
             interval_us,
+            next_tick: self.now.plus_us(interval_us),
             // Capacity scales with wherever run_until lands; generous bound
             // so long runs keep every sample rather than silently evicting.
             series: SeriesSet::new(1 << 20),
             prev_airtime_us: Vec::new(),
         });
-        self.queue
-            .schedule(self.now.plus_us(interval_us), SimEvent::TimelineTick);
     }
 
     /// The recorded timeline series (empty set view when never enabled).
@@ -362,20 +374,101 @@ impl SpectrumSim {
         std::fs::write(path, self.timeline_jsonl())
     }
 
-    /// Samples every timeline series at the current sim time and schedules
-    /// the next tick. Reads simulation state only — no RNG draws, no event
-    /// log writes — so enabling the timeline cannot perturb the run.
-    fn on_timeline_tick(&mut self) {
+    /// Runs the event loop until `deadline` (inclusive).
+    ///
+    /// Shards advance concurrently when [`SimConfig::threads`] (or the
+    /// `WAZABEE_THREADS` default) exceeds 1 and more than one channel is
+    /// populated; committed artifacts are identical either way.
+    pub fn run_until(&mut self, deadline: Instant) {
+        loop {
+            let tick = self
+                .timeline
+                .as_ref()
+                .map(|t| t.next_tick)
+                .filter(|&t| t > self.now && t <= deadline);
+            let target = tick.unwrap_or(deadline);
+            self.advance_shards(target);
+            self.merge_logs();
+            self.now = self.now.max(target);
+            match tick {
+                Some(t) => self.sample_timeline(t),
+                None => break,
+            }
+        }
+        self.now = self.now.max(deadline);
+    }
+
+    /// Advances every shard to `target`, in conservative `horizon_us`
+    /// windows when running parallel. Decode-level parallelism (fanning a
+    /// cluster's receivers over workers) is granted only to a lone shard;
+    /// with several shards the thread budget is spent across shards
+    /// instead, never nested.
+    fn advance_shards(&mut self, target: Instant) {
+        if target <= self.now || self.shards.is_empty() {
+            return;
+        }
+        let threads = self.cfg.threads.unwrap_or_else(default_threads).max(1);
+        let decode_threads = if self.shards.len() == 1 { threads } else { 1 };
+        for s in &mut self.shards {
+            s.decode_threads = decode_threads;
+        }
+        if threads <= 1 || self.shards.len() <= 1 {
+            let _s = wazabee_telemetry::stage!("sim.shard.advance");
+            for s in &mut self.shards {
+                s.advance_until(target);
+            }
+            return;
+        }
+        let mut t = self.now;
+        while t < target {
+            t = Instant(t.0.saturating_add(self.horizon_us)).min(target);
+            let _s = wazabee_telemetry::stage!("sim.shard.advance");
+            let shards = std::mem::take(&mut self.shards);
+            self.shards = par_map_with(Some(threads), shards, |mut s| {
+                s.advance_until(t);
+                s
+            });
+        }
+    }
+
+    /// Drains every shard's committed log entries into the merged log:
+    /// concatenate in shard-creation order, stable-sort by sim time. Ties
+    /// therefore resolve by (time, shard, commit order) — a total order
+    /// independent of worker count.
+    fn merge_logs(&mut self) {
+        match self.shards.len() {
+            0 => {}
+            1 => self
+                .log
+                .extend(self.shards[0].take_log().into_iter().map(|(_, l)| l)),
+            _ => {
+                let _s = wazabee_telemetry::stage!("sim.shard.merge");
+                let mut merged: Vec<(u64, String)> = Vec::new();
+                for s in &mut self.shards {
+                    merged.extend(s.take_log());
+                }
+                merged.sort_by_key(|e| e.0);
+                self.log.extend(merged.into_iter().map(|(_, l)| l));
+            }
+        }
+    }
+
+    /// Samples every timeline series at tick instant `at` and arms the next
+    /// tick. Reads simulation state only — no RNG draws, no event log
+    /// writes — so enabling the timeline cannot perturb the run.
+    fn sample_timeline(&mut self, at: Instant) {
         let Some(mut tl) = self.timeline.take() else {
             return;
         };
-        let t = self.now.0;
-        tl.prev_airtime_us.resize(self.nodes.len(), 0);
-        for (idx, node) in self.nodes.iter().enumerate() {
-            let label = idx.to_string();
+        let _s = wazabee_telemetry::stage!("sim.shard.sample");
+        let t = at.0;
+        tl.prev_airtime_us.resize(self.node_map.len(), 0);
+        for (gid, &(s, l)) in self.node_map.iter().enumerate() {
+            let node = &self.shards[s].nodes[l];
+            let label = gid.to_string();
             let labels = [("node", label.as_str())];
-            let delta = node.airtime_us.saturating_sub(tl.prev_airtime_us[idx]);
-            tl.prev_airtime_us[idx] = node.airtime_us;
+            let delta = node.airtime_us.saturating_sub(tl.prev_airtime_us[gid]);
+            tl.prev_airtime_us[gid] = node.airtime_us;
             tl.series.record(
                 "node.airtime_occupancy",
                 &labels,
@@ -385,8 +478,7 @@ impl SpectrumSim {
             tl.series
                 .record("node.tx_total", &labels, t, node.tx_count as f64);
         }
-        let sent = self.readings_sent.len() as u64;
-        let delivered = self.delivered_count();
+        let (sent, delivered) = self.delivery_totals();
         tl.series.record("sim.readings_sent", &[], t, sent as f64);
         tl.series
             .record("sim.readings_delivered", &[], t, delivered as f64);
@@ -400,751 +492,17 @@ impl SpectrumSim {
                 delivered as f64 / sent as f64
             },
         );
+        let stats = self.stats();
         tl.series
-            .record("sim.collisions", &[], t, self.stats.collisions as f64);
+            .record("sim.collisions", &[], t, stats.collisions as f64);
         tl.series
-            .record("sim.cca_busy", &[], t, self.stats.cca_busy as f64);
+            .record("sim.cca_busy", &[], t, stats.cca_busy as f64);
         tl.series
-            .record("sim.retries", &[], t, self.stats.retries as f64);
+            .record("sim.retries", &[], t, stats.retries as f64);
         tl.series
-            .record("sim.jam_bursts", &[], t, self.stats.jam_bursts as f64);
-        let next = self.now.plus_us(tl.interval_us);
+            .record("sim.jam_bursts", &[], t, stats.jam_bursts as f64);
+        tl.next_tick = at.plus_us(tl.interval_us);
         self.timeline = Some(tl);
-        self.queue.schedule(next, SimEvent::TimelineTick);
-    }
-
-    /// Runs the event loop until `deadline` (inclusive).
-    pub fn run_until(&mut self, deadline: Instant) {
-        while let Some(when) = self.queue.peek_time() {
-            if when > deadline {
-                break;
-            }
-            let (when, event) = self.queue.pop().expect("peeked event exists");
-            self.now = when;
-            self.dispatch(event);
-        }
-        self.now = self.now.max(deadline);
-    }
-
-    fn dispatch(&mut self, event: SimEvent) {
-        match event {
-            SimEvent::AppTimer { node } => self.on_app_timer(node),
-            SimEvent::CsmaCca { node } => self.on_csma_cca(node),
-            SimEvent::SendImmediate { node } => self.on_send_immediate(node),
-            SimEvent::Inject { node, frame } => {
-                self.log.push(format!(
-                    "t={} inject node={} seq={}",
-                    self.now.0, node, frame.sequence
-                ));
-                self.transmit_wazabee(node, &frame);
-            }
-            SimEvent::JamBurst { node } => self.on_jam_burst(node),
-            SimEvent::TxEnd { channel } => self.on_tx_end(channel),
-            SimEvent::AckTimeout { node, seq } => self.on_ack_timeout(node, seq),
-            SimEvent::TimelineTick => self.on_timeline_tick(),
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Application layer
-    // ------------------------------------------------------------------
-
-    fn on_app_timer(&mut self, idx: usize) {
-        let now = self.now;
-        if self.traffic_deadline.is_some_and(|d| now > d) {
-            return;
-        }
-        let (frames, interval) = match &mut self.nodes[idx].kind {
-            NodeKind::Zigbee(st) => (st.app.on_timer(now), st.app.timer_interval_ms()),
-            NodeKind::Flooder { .. } => {
-                self.flood(idx);
-                return;
-            }
-            _ => return,
-        };
-        for frame in frames {
-            if frame.frame_type == FrameType::Data {
-                if let Address::Short(src) = frame.src {
-                    if let Some(v) =
-                        XbeePayload::from_bytes(&frame.payload).and_then(|p| p.as_reading())
-                    {
-                        self.readings_sent.push((src, v));
-                    }
-                }
-            }
-            if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
-                st.pending.push_back(frame);
-            }
-        }
-        if let Some(ms) = interval {
-            self.queue
-                .schedule(now.plus_ms(ms), SimEvent::AppTimer { node: idx });
-        }
-        self.kick(idx);
-    }
-
-    fn flood(&mut self, idx: usize) {
-        let (config, seq) = match &mut self.nodes[idx].kind {
-            NodeKind::Flooder { config, seq } => {
-                *seq = seq.wrapping_add(1);
-                (*config, *seq)
-            }
-            _ => return,
-        };
-        // An opaque (non-XBee) payload: the victim ACKs the frame but records
-        // nothing, so the flood burns its airtime without faking readings.
-        let frame = MacFrame::data(config.pan, config.src, config.victim, seq, vec![0xF1, 0x00]);
-        self.log
-            .push(format!("t={} flood node={} seq={}", self.now.0, idx, seq));
-        self.transmit_wazabee(idx, &frame);
-        self.queue.schedule(
-            self.now.plus_us(config.interval_us),
-            SimEvent::AppTimer { node: idx },
-        );
-    }
-
-    // ------------------------------------------------------------------
-    // CSMA/CA MAC for Zigbee nodes
-    // ------------------------------------------------------------------
-
-    /// Starts a CSMA attempt for the head of a Zigbee node's queue when the
-    /// node is idle; no-op otherwise.
-    fn kick(&mut self, idx: usize) {
-        let csma_cfg = self.cfg.csma;
-        let now = self.now;
-        let node = &mut self.nodes[idx];
-        let NodeKind::Zigbee(st) = &mut node.kind else {
-            return;
-        };
-        if st.transmitting
-            || st.csma.is_some()
-            || st.awaiting_ack.is_some()
-            || st.pending.is_empty()
-        {
-            return;
-        }
-        let csma = CsmaBackoff::new(csma_cfg);
-        let delay = csma.backoff(node.rng.gen());
-        st.csma = Some(csma);
-        self.queue
-            .schedule(now.plus_us(delay), SimEvent::CsmaCca { node: idx });
-    }
-
-    fn cca_busy(&self, idx: usize) -> bool {
-        let air = &self.air[self.nodes[idx].channel_idx()];
-        if air.active == 0 {
-            return false;
-        }
-        let gains: Vec<f64> = air
-            .cluster
-            .iter()
-            .map(|t| self.nodes[t.source].gain)
-            .collect();
-        cca_power(&air.cluster, &gains, self.now, CCA_US, self.spu()) >= self.cfg.cca_threshold
-    }
-
-    fn on_csma_cca(&mut self, idx: usize) {
-        let (armed, transmitting) = match &self.nodes[idx].kind {
-            NodeKind::Zigbee(st) => (st.csma.is_some(), st.transmitting),
-            _ => return,
-        };
-        if !armed {
-            return;
-        }
-        if !transmitting && !self.cca_busy(idx) {
-            self.start_zigbee_frame(idx);
-            return;
-        }
-        self.stats.cca_busy += 1;
-        wazabee_telemetry::counter!("sim.cca_busy").inc();
-        self.log
-            .push(format!("t={} cca-busy node={}", self.now.0, idx));
-        let step = {
-            let node = &mut self.nodes[idx];
-            let NodeKind::Zigbee(st) = &mut node.kind else {
-                return;
-            };
-            let draw = node.rng.gen();
-            st.csma.as_mut().map(|c| c.channel_busy(draw))
-        };
-        match step {
-            Some(CsmaStep::Backoff(delay)) => {
-                self.queue
-                    .schedule(self.now.plus_us(delay), SimEvent::CsmaCca { node: idx });
-            }
-            Some(CsmaStep::Failure) => {
-                self.stats.csma_failures += 1;
-                self.log
-                    .push(format!("t={} csma-failure node={}", self.now.0, idx));
-                self.attempt_failed(idx, "channel-access");
-            }
-            None => {}
-        }
-    }
-
-    fn start_zigbee_frame(&mut self, idx: usize) {
-        let prepared = {
-            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
-                return;
-            };
-            let Some(head) = st.pending.front() else {
-                st.csma = None;
-                return;
-            };
-            match Ppdu::new(head.to_psdu()) {
-                Ok(ppdu) => {
-                    st.transmitting = true;
-                    Some((ppdu, head.sequence, head.ack_request))
-                }
-                Err(_) => None,
-            }
-        };
-        match prepared {
-            Some((ppdu, seq, ack_request)) => {
-                let samples = {
-                    let _s = wazabee_telemetry::stage!("sim.modulate");
-                    self.modem.transmit(&ppdu)
-                };
-                self.begin_transmission(
-                    idx,
-                    samples,
-                    TxKind::Frame,
-                    TxOrigin::Head,
-                    Some(seq),
-                    ack_request,
-                );
-            }
-            None => {
-                // An unencodable (oversize) head frame: drop it rather than
-                // wedge the queue behind it forever.
-                if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
-                    st.pending.pop_front();
-                    st.csma = None;
-                }
-                self.log
-                    .push(format!("t={} drop-unencodable node={}", self.now.0, idx));
-                self.kick(idx);
-            }
-        }
-    }
-
-    /// Head-of-queue success: frame acknowledged, or a no-ACK frame sent.
-    fn complete_head(&mut self, idx: usize, why: &str) {
-        let seq = {
-            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
-                return;
-            };
-            st.csma = None;
-            st.awaiting_ack = None;
-            st.retries = 0;
-            st.pending.pop_front().map(|f| f.sequence)
-        };
-        if let Some(seq) = seq {
-            self.log.push(format!(
-                "t={} complete node={} seq={} why={}",
-                self.now.0, idx, seq, why
-            ));
-        }
-        self.kick(idx);
-    }
-
-    /// One transmission attempt failed (missed ACK or channel access):
-    /// retry with a fresh CSMA attempt, or abandon past the retry budget.
-    fn attempt_failed(&mut self, idx: usize, why: &str) {
-        let max_retries = self.cfg.csma.max_frame_retries;
-        let (abandoned, seq) = {
-            let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind else {
-                return;
-            };
-            st.csma = None;
-            st.awaiting_ack = None;
-            st.retries += 1;
-            if st.retries > max_retries {
-                st.retries = 0;
-                (true, st.pending.pop_front().map(|f| f.sequence))
-            } else {
-                (false, st.pending.front().map(|f| f.sequence))
-            }
-        };
-        if abandoned {
-            self.stats.frames_abandoned += 1;
-            self.log.push(format!(
-                "t={} abandon node={} seq={:?} why={}",
-                self.now.0, idx, seq, why
-            ));
-        } else {
-            self.stats.retries += 1;
-            wazabee_telemetry::counter!("sim.retries").inc();
-            self.log.push(format!(
-                "t={} retry node={} seq={:?} why={}",
-                self.now.0, idx, seq, why
-            ));
-        }
-        self.kick(idx);
-    }
-
-    fn on_ack_timeout(&mut self, idx: usize, seq: u8) {
-        let pending = matches!(
-            &self.nodes[idx].kind,
-            NodeKind::Zigbee(st) if st.awaiting_ack == Some(seq)
-        );
-        if pending {
-            self.log.push(format!(
-                "t={} ack-timeout node={} seq={}",
-                self.now.0, idx, seq
-            ));
-            self.attempt_failed(idx, "no-ack");
-        }
-    }
-
-    fn on_send_immediate(&mut self, idx: usize) {
-        enum Radio {
-            Oqpsk,
-            Diverted,
-        }
-        let prepared = match &mut self.nodes[idx].kind {
-            NodeKind::Zigbee(st) => match st.immediate.pop_front() {
-                Some(frame) if !st.transmitting => {
-                    st.transmitting = true;
-                    Some((frame, Radio::Oqpsk))
-                }
-                Some(_) => {
-                    // Half-duplex: the radio is keyed, the ACK is lost.
-                    self.log
-                        .push(format!("t={} ack-suppressed node={}", self.now.0, idx));
-                    None
-                }
-                None => None,
-            },
-            NodeKind::Spoofer { immediate } => immediate.pop_front().map(|f| (f, Radio::Diverted)),
-            _ => None,
-        };
-        let Some((frame, radio)) = prepared else {
-            return;
-        };
-        match radio {
-            Radio::Oqpsk => {
-                let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
-                    return;
-                };
-                let samples = {
-                    let _s = wazabee_telemetry::stage!("sim.modulate");
-                    self.modem.transmit(&ppdu)
-                };
-                self.begin_transmission(
-                    idx,
-                    samples,
-                    TxKind::Frame,
-                    TxOrigin::Immediate,
-                    Some(frame.sequence),
-                    false,
-                );
-            }
-            Radio::Diverted => {
-                self.stats.acks_spoofed += 1;
-                wazabee_telemetry::counter!("sim.acks_spoofed").inc();
-                self.log.push(format!(
-                    "t={} spoofed-ack node={} seq={}",
-                    self.now.0, idx, frame.sequence
-                ));
-                self.transmit_wazabee(idx, &frame);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // The air
-    // ------------------------------------------------------------------
-
-    fn transmit_wazabee(&mut self, idx: usize, frame: &MacFrame) {
-        let Ok(ppdu) = Ppdu::new(frame.to_psdu()) else {
-            return;
-        };
-        let samples = {
-            let _s = wazabee_telemetry::stage!("sim.modulate");
-            self.btx.transmit(&ppdu)
-        };
-        self.begin_transmission(
-            idx,
-            samples,
-            TxKind::Frame,
-            TxOrigin::Attacker,
-            Some(frame.sequence),
-            frame.ack_request,
-        );
-    }
-
-    fn begin_transmission(
-        &mut self,
-        source: usize,
-        samples: Vec<Iq>,
-        kind: TxKind,
-        origin: TxOrigin,
-        seq: Option<u8>,
-        ack_request: bool,
-    ) {
-        let spu = self.spu();
-        let duration_us = (samples.len() as u64).div_ceil(spu).max(1);
-        let start = self.now;
-        let end = start.plus_us(duration_us);
-        let ch = self.nodes[source].channel_idx();
-        let _span = wazabee_telemetry::span!(
-            "sim.tx",
-            node = source,
-            chan = ch + 11,
-            dur_us = duration_us
-        );
-        self.nodes[source].airtime_us += duration_us;
-        self.nodes[source].tx_count += 1;
-        {
-            let node = source.to_string();
-            let channel = (ch + 11).to_string();
-            wazabee_telemetry::labeled_counter!("sim.tx").inc(&[
-                ("node", &node),
-                ("channel", &channel),
-                ("kind", self.nodes[source].kind_name()),
-            ]);
-        }
-        self.log.push(format!(
-            "t={} keyup node={} kind={} seq={:?} dur={}",
-            start.0,
-            source,
-            self.nodes[source].kind_name(),
-            seq,
-            duration_us
-        ));
-        let air = &mut self.air[ch];
-        if air.cluster.is_empty() {
-            air.cluster_start = start;
-        }
-        air.cluster.push(Transmission {
-            source,
-            start,
-            end,
-            samples,
-            kind,
-            origin,
-            seq,
-            ack_request,
-            finalized: false,
-        });
-        air.active += 1;
-        self.queue.schedule(end, SimEvent::TxEnd { channel: ch });
-        if kind == TxKind::Frame {
-            self.trigger_jammers(ch, source);
-        }
-    }
-
-    fn trigger_jammers(&mut self, ch: usize, source: usize) {
-        let now = self.now;
-        for j in 0..self.nodes.len() {
-            if j == source || self.nodes[j].channel_idx() != ch {
-                continue;
-            }
-            let node = &mut self.nodes[j];
-            let NodeKind::Jammer { config, jamming } = &mut node.kind else {
-                continue;
-            };
-            if *jamming {
-                continue;
-            }
-            let draw: u64 = node.rng.gen();
-            if ((draw % 1_000) as f64) / 1_000.0 >= config.trigger_probability {
-                continue;
-            }
-            *jamming = true;
-            let when = now.plus_us(config.reaction_us);
-            self.queue.schedule(when, SimEvent::JamBurst { node: j });
-        }
-    }
-
-    fn on_jam_burst(&mut self, idx: usize) {
-        let (burst_us, power) = match &self.nodes[idx].kind {
-            NodeKind::Jammer { config, .. } => (config.burst_us, config.power),
-            _ => return,
-        };
-        let len = (burst_us * self.spu()) as usize;
-        let mut samples = vec![Iq::ZERO; len];
-        let seed: u64 = self.nodes[idx].rng.gen();
-        AwgnSource::new(seed, (power / 2.0).sqrt()).add_to(&mut samples);
-        self.stats.jam_bursts += 1;
-        self.begin_transmission(idx, samples, TxKind::Jam, TxOrigin::Attacker, None, false);
-    }
-
-    fn on_tx_end(&mut self, ch: usize) {
-        let now = self.now;
-        let mut finished: Vec<(usize, TxOrigin, Option<u8>, bool)> = Vec::new();
-        {
-            let air = &mut self.air[ch];
-            for t in air.cluster.iter_mut() {
-                if !t.finalized && t.end <= now {
-                    t.finalized = true;
-                    air.active -= 1;
-                    finished.push((t.source, t.origin, t.seq, t.ack_request));
-                }
-            }
-        }
-        for (src, origin, seq, ack_request) in finished {
-            let mut complete = false;
-            let mut await_seq = None;
-            match &mut self.nodes[src].kind {
-                NodeKind::Zigbee(st) => {
-                    st.transmitting = false;
-                    if origin == TxOrigin::Head {
-                        if ack_request {
-                            let s = seq.unwrap_or(0);
-                            st.awaiting_ack = Some(s);
-                            await_seq = Some(s);
-                        } else {
-                            complete = true;
-                        }
-                    }
-                }
-                NodeKind::Jammer { jamming, .. } => *jamming = false,
-                _ => {}
-            }
-            if let Some(s) = await_seq {
-                self.queue.schedule(
-                    now.plus_us(self.cfg.ack_wait_us),
-                    SimEvent::AckTimeout { node: src, seq: s },
-                );
-            }
-            if complete {
-                self.complete_head(src, "sent");
-            }
-        }
-        if self.air[ch].active == 0 && !self.air[ch].cluster.is_empty() {
-            self.close_cluster(ch);
-        }
-    }
-
-    // ------------------------------------------------------------------
-    // Cluster close: superpose, demodulate, deliver
-    // ------------------------------------------------------------------
-
-    /// Feeds a receiver window through the streaming receiver in
-    /// `iq_chunk`-sized pushes, returning recovered frames and the count of
-    /// committed failed attempts.
-    fn decode_buffer(&self, buf: &IqBuf) -> (Vec<MacFrame>, u64) {
-        let _s = wazabee_telemetry::stage!("sim.demod");
-        let mut stream = self.rx.stream();
-        let mut results = Vec::new();
-        let chunk = self.cfg.iq_chunk.max(1);
-        let mut from = 0;
-        while from < buf.len() {
-            let to = (from + chunk).min(buf.len());
-            results.extend(stream.push_planar(buf.slice(from, to)));
-            from = to;
-        }
-        results.extend(stream.finish());
-        let mut frames = Vec::new();
-        let mut failures = 0u64;
-        for r in results {
-            match r {
-                Ok(p) if p.fcs_ok() => match MacFrame::from_psdu(&p.psdu) {
-                    Some(f) => frames.push(f),
-                    None => failures += 1,
-                },
-                _ => failures += 1,
-            }
-        }
-        (frames, failures)
-    }
-
-    fn close_cluster(&mut self, ch: usize) {
-        let air = std::mem::take(&mut self.air[ch]);
-        let cluster = air.cluster;
-        if cluster.is_empty() {
-            return;
-        }
-        let cluster_id = self.cluster_counter;
-        self.cluster_counter += 1;
-        let start = air.cluster_start;
-        let end = self.now;
-        let spu = self.spu();
-        let fs = self.cfg.sample_rate();
-        let gains: Vec<f64> = cluster.iter().map(|t| self.nodes[t.source].gain).collect();
-
-        // A demodulation-level collision: two or more *frames* overlapped.
-        let frames_in_cluster: Vec<&Transmission> =
-            cluster.iter().filter(|t| t.kind == TxKind::Frame).collect();
-        let collided = frames_in_cluster.iter().enumerate().any(|(i, a)| {
-            frames_in_cluster[i + 1..]
-                .iter()
-                .any(|b| a.start < b.end && b.start < a.end)
-        });
-        if collided {
-            self.stats.collisions += 1;
-            wazabee_telemetry::counter!("sim.collisions").inc();
-            self.log.push(format!(
-                "t={} collision ch={} cluster={} frames={}",
-                end.0,
-                ch + 11,
-                cluster_id,
-                frames_in_cluster.len()
-            ));
-        }
-
-        // Phase 1 (immutable): superpose and demodulate per receiver. With
-        // no per-receiver noise every listener hears bit-identical samples,
-        // so one decode is shared — an exact, not approximate, fast path.
-        let coherent = self.cfg.snr_db.is_none();
-        let mut shared: Option<(Vec<MacFrame>, u64)> = None;
-        let mut deliveries: Vec<(usize, Heard)> = Vec::new();
-        for idx in 0..self.nodes.len() {
-            let node = &self.nodes[idx];
-            if node.channel_idx() != ch || cluster.iter().any(|t| t.source == idx) {
-                continue;
-            }
-            let is_ids = matches!(node.kind, NodeKind::Ids { .. });
-            let decodes = matches!(node.kind, NodeKind::Zigbee(_) | NodeKind::Spoofer { .. });
-            if !is_ids && !decodes {
-                continue;
-            }
-            if decodes && coherent {
-                if let Some((frames, fails)) = &shared {
-                    deliveries.push((idx, Heard::Frames(frames.clone(), *fails)));
-                    continue;
-                }
-            }
-            // Parent span for this receiver's whole listen window: the
-            // per-attempt `rx.decode` spans opened inside the streaming
-            // receiver nest under it, so one cluster's causal tree reads
-            // sim.rx → rx.decode → stream stages in the Perfetto view.
-            let _span = wazabee_telemetry::span!(
-                "sim.rx",
-                node = idx,
-                chan = ch + 11,
-                cluster = cluster_id
-            );
-            let mut buf = {
-                let _s = wazabee_telemetry::stage!("sim.superpose");
-                superpose_planar(&cluster, &gains, start, end, spu)
-            };
-            if self.cfg.cfo_hz != 0.0 {
-                Nco::new(self.cfg.cfo_hz, fs).mix_planar_in_place(&mut buf);
-            }
-            if self.cfg.timing_offset != 0.0 {
-                fractional_delay_planar_in_place(&mut buf, self.cfg.timing_offset);
-            }
-            if let Some(snr) = self.cfg.snr_db {
-                let sig = gains.iter().fold(0.0f64, |m, &g| m.max(g * g)).max(1e-12);
-                let seed = splitmix64(
-                    self.cfg.seed
-                        ^ cluster_id.wrapping_mul(0xA24B_AED4_963E_E407)
-                        ^ (idx as u64).wrapping_mul(0x9FB2_1C65_1E98_DF25),
-                );
-                AwgnSource::from_snr_db(seed, snr, sig).add_to_planar(&mut buf);
-            }
-            if is_ids {
-                // The IDS monitors run interleaved spectral analysis; widen
-                // only for them — decoding receivers stay planar end to end.
-                deliveries.push((idx, Heard::Raw(buf.to_interleaved())));
-            } else {
-                let decoded = self.decode_buffer(&buf);
-                if coherent {
-                    shared = Some(decoded.clone());
-                }
-                deliveries.push((idx, Heard::Frames(decoded.0, decoded.1)));
-            }
-        }
-
-        // Phase 2 (mutable): hand each receiver what it heard.
-        for (idx, heard) in deliveries {
-            match heard {
-                Heard::Frames(frames, failures) => {
-                    self.stats.frames_decoded += frames.len() as u64;
-                    self.stats.decode_failures += failures;
-                    {
-                        let node = idx.to_string();
-                        wazabee_telemetry::labeled_counter!("sim.rx.frames")
-                            .add(&[("node", &node)], frames.len() as u64);
-                    }
-                    match &self.nodes[idx].kind {
-                        NodeKind::Zigbee(_) => self.zigbee_rx(idx, frames),
-                        NodeKind::Spoofer { .. } => self.spoofer_rx(idx, frames),
-                        _ => {}
-                    }
-                }
-                Heard::Raw(buf) => self.ids_rx(idx, &buf),
-            }
-        }
-    }
-
-    fn zigbee_rx(&mut self, idx: usize, frames: Vec<MacFrame>) {
-        let now = self.now;
-        for frame in frames {
-            self.log.push(format!(
-                "t={} rx node={} type={:?} seq={}",
-                now.0, idx, frame.frame_type, frame.sequence
-            ));
-            if frame.frame_type == FrameType::Ack {
-                let matched = matches!(
-                    &self.nodes[idx].kind,
-                    NodeKind::Zigbee(st) if st.awaiting_ack == Some(frame.sequence)
-                );
-                if matched {
-                    self.complete_head(idx, "acked");
-                }
-                continue;
-            }
-            let replies = match &mut self.nodes[idx].kind {
-                NodeKind::Zigbee(st) => st.app.on_receive(&frame, now),
-                _ => Vec::new(),
-            };
-            for reply in replies {
-                if reply.frame_type == FrameType::Ack {
-                    if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
-                        st.immediate.push_back(reply);
-                    }
-                    self.queue.schedule(
-                        now.plus_us(TURNAROUND_US),
-                        SimEvent::SendImmediate { node: idx },
-                    );
-                } else if let NodeKind::Zigbee(st) = &mut self.nodes[idx].kind {
-                    st.pending.push_back(reply);
-                }
-            }
-        }
-        self.kick(idx);
-    }
-
-    fn spoofer_rx(&mut self, idx: usize, frames: Vec<MacFrame>) {
-        let now = self.now;
-        for frame in frames {
-            let spoofable = frame.frame_type == FrameType::Data
-                && frame.ack_request
-                && matches!(frame.dest, Address::Short(d) if d != BROADCAST_SHORT);
-            if !spoofable {
-                continue;
-            }
-            if let NodeKind::Spoofer { immediate } = &mut self.nodes[idx].kind {
-                immediate.push_back(MacFrame::ack(frame.sequence));
-            }
-            self.queue.schedule(
-                now.plus_us(self.cfg.spoof_delay_us),
-                SimEvent::SendImmediate { node: idx },
-            );
-        }
-    }
-
-    fn ids_rx(&mut self, idx: usize, buf: &[Iq]) {
-        let now = self.now;
-        let new_alerts = match &mut self.nodes[idx].kind {
-            NodeKind::Ids { monitor, .. } => monitor.observe(buf),
-            _ => return,
-        };
-        for alert in &new_alerts {
-            self.log.push(format!(
-                "t={} alert node={} kind={}",
-                now.0,
-                idx,
-                alert_kind(alert)
-            ));
-        }
-        if let NodeKind::Ids { alerts, .. } = &mut self.nodes[idx].kind {
-            alerts.extend(new_alerts.into_iter().map(|a| (now, a)));
-        }
     }
 
     // ------------------------------------------------------------------
@@ -1156,9 +514,13 @@ impl SpectrumSim {
         self.now
     }
 
-    /// The run's aggregate counters so far.
-    pub fn stats(&self) -> &SimStats {
-        &self.stats
+    /// The run's aggregate counters so far, summed across shards.
+    pub fn stats(&self) -> SimStats {
+        let mut total = SimStats::default();
+        for s in &self.shards {
+            total.accumulate(&s.stats);
+        }
+        total
     }
 
     /// The committed event log: one deterministic line per MAC/PHY event,
@@ -1167,19 +529,28 @@ impl SpectrumSim {
         &self.log
     }
 
-    /// All nodes, index-aligned with the handles `add_*` returned.
-    pub fn nodes(&self) -> &[SimNode] {
-        &self.nodes
+    /// All nodes in global-handle order (index-aligned with the handles
+    /// `add_*` returned).
+    pub fn nodes(&self) -> impl ExactSizeIterator<Item = &SimNode> + '_ {
+        self.node_map
+            .iter()
+            .map(move |&(s, l)| &self.shards[s].nodes[l])
+    }
+
+    /// Number of nodes in the simulation.
+    pub fn node_count(&self) -> usize {
+        self.node_map.len()
     }
 
     /// A node by handle.
     pub fn node(&self, idx: usize) -> &SimNode {
-        &self.nodes[idx]
+        let (s, l) = self.node_map[idx];
+        &self.shards[s].nodes[l]
     }
 
     /// The XBee model behind a Zigbee node handle.
     pub fn zigbee(&self, idx: usize) -> Option<&XbeeNode> {
-        match &self.nodes[idx].kind {
+        match &self.node(idx).kind {
             NodeKind::Zigbee(st) => Some(&st.app),
             _ => None,
         }
@@ -1188,38 +559,28 @@ impl SpectrumSim {
     /// Alerts an IDS monitor node has raised, stamped with cluster close
     /// time. Empty for non-IDS nodes.
     pub fn alerts(&self, idx: usize) -> &[(Instant, Alert)] {
-        match &self.nodes[idx].kind {
+        match &self.node(idx).kind {
             NodeKind::Ids { alerts, .. } => alerts,
             _ => &[],
         }
     }
 
-    /// Readings (sent so far) that have reached a coordinator's display.
-    fn delivered_count(&self) -> u64 {
-        let mut delivered = 0u64;
-        for &(addr, value) in &self.readings_sent {
-            let arrived = self.nodes.iter().any(|n| match &n.kind {
-                NodeKind::Zigbee(st) => {
-                    st.app.role() == NodeRole::Coordinator
-                        && st
-                            .app
-                            .readings()
-                            .iter()
-                            .any(|r| r.reported_by == addr && r.value == value)
-                }
-                _ => false,
-            });
-            if arrived {
-                delivered += 1;
-            }
+    /// `(sent, delivered)` reading totals summed across shards. Frames
+    /// cannot cross channels, so per-shard delivery accounting is exact.
+    fn delivery_totals(&self) -> (u64, u64) {
+        let mut sent = 0;
+        let mut delivered = 0;
+        for s in &self.shards {
+            let (se, de) = s.delivery();
+            sent += se;
+            delivered += de;
         }
-        delivered
+        (sent, delivered)
     }
 
     /// Summarises the run.
     pub fn report(&self) -> SimReport {
-        let delivered = self.delivered_count();
-        let sent = self.readings_sent.len() as u64;
+        let (sent, delivered) = self.delivery_totals();
         SimReport {
             readings_sent: sent,
             readings_delivered: delivered,
@@ -1228,8 +589,12 @@ impl SpectrumSim {
             } else {
                 delivered as f64 / sent as f64
             },
-            stats: self.stats.clone(),
-            node_airtime_us: self.nodes.iter().map(|n| n.airtime_us).collect(),
+            stats: self.stats(),
+            node_airtime_us: self
+                .node_map
+                .iter()
+                .map(|&(s, l)| self.shards[s].nodes[l].airtime_us)
+                .collect(),
             sim_time_us: self.now.0,
         }
     }

@@ -329,3 +329,46 @@ fn committed_event_log_is_deterministic() {
     }
     assert!(!a.is_empty());
 }
+
+#[test]
+fn timeline_survives_nodes_added_after_enable() {
+    // Regression: the per-node airtime baseline was sized when the timeline
+    // was armed, so a node added afterwards indexed past its end on the
+    // next tick. The sampler now resizes the baseline defensively.
+    let mut sim = SpectrumSim::new(SimConfig::ideal());
+    let coord = sim.add_zigbee(coordinator());
+    sim.enable_timeline(5_000);
+    sim.add_zigbee(sensor(0x0063, 40));
+    sim.add_zigbee(sensor(0x0064, 55));
+    sim.run_until(Instant(0).plus_ms(210));
+
+    let report = sim.report();
+    assert!(report.readings_sent > 0);
+    assert_eq!(report.delivery_ratio, 1.0);
+    assert!(sim.node(coord).airtime_us() > 0, "coordinator never ACKed");
+
+    // The exported timeline carries every node, including the ones that
+    // joined after the first tick was armed.
+    let jsonl = sim.timeline_jsonl();
+    assert!(!jsonl.is_empty());
+    for gid in 0..3 {
+        let label = format!("\"node\":\"{gid}\"");
+        assert!(
+            jsonl.contains(&label),
+            "timeline is missing series for node {gid}"
+        );
+    }
+    // Occupancy deltas stay in [0, 1]: a bogus baseline would surface as a
+    // wild first sample for the late joiners.
+    for line in jsonl
+        .lines()
+        .filter(|l| l.contains("node.airtime_occupancy"))
+    {
+        let v = line
+            .split("\"value\":")
+            .nth(1)
+            .and_then(|s| s.trim_end_matches('}').parse::<f64>().ok())
+            .unwrap_or(f64::NAN);
+        assert!((0.0..=1.0).contains(&v), "occupancy out of range: {line}");
+    }
+}

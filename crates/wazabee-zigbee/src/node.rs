@@ -29,6 +29,14 @@ pub enum NodeRole {
         /// Transmission period in milliseconds (2000 in the paper).
         interval_ms: u64,
     },
+    /// A router: relays readings addressed to it one hop onward, keeping
+    /// the original MAC source so the coordinator attributes the reading to
+    /// the sensor, not the relay. Sensors report to a router by building
+    /// with [`XbeeNode::with_report_to`].
+    Router {
+        /// Short address the relay forwards readings to.
+        forward_to: u16,
+    },
 }
 
 /// One recorded sensor reading on the coordinator's display.
@@ -59,6 +67,9 @@ pub struct XbeeNode {
     /// EUI-64-style extended identifier used to disambiguate concurrent
     /// association handshakes (all joiners share short address 0xFFFE).
     ext_id: u64,
+    /// Where this node's sensor readings are addressed (the coordinator by
+    /// default; a router for multi-hop topologies).
+    report_to: u16,
 }
 
 /// Association progress of an end device (802.15.4 MAC association).
@@ -89,7 +100,16 @@ impl XbeeNode {
             join: JoinState::Joined,
             next_assigned_addr: 0x0100,
             ext_id: 0,
+            report_to: 0x0042,
         }
+    }
+
+    /// Addresses this node's sensor readings to `addr` instead of the
+    /// default coordinator address 0x0042 — the hook multi-hop topologies
+    /// use to report through a [`NodeRole::Router`].
+    pub fn with_report_to(mut self, addr: u16) -> Self {
+        self.report_to = addr;
+        self
     }
 
     /// Creates an *unjoined* sensor that must first discover a coordinator
@@ -149,7 +169,7 @@ impl XbeeNode {
     pub fn timer_interval_ms(&self) -> Option<u64> {
         match self.role {
             NodeRole::Sensor { interval_ms } => Some(interval_ms),
-            NodeRole::Coordinator => None,
+            NodeRole::Coordinator | NodeRole::Router { .. } => None,
         }
     }
 
@@ -175,12 +195,12 @@ impl XbeeNode {
                 vec![MacFrame::data(
                     self.config.pan,
                     self.config.short_addr,
-                    0x0042,
+                    self.report_to,
                     seq,
                     payload,
                 )]
             }
-            NodeRole::Coordinator => Vec::new(),
+            NodeRole::Coordinator | NodeRole::Router { .. } => Vec::new(),
         }
     }
 
@@ -320,18 +340,40 @@ impl XbeeNode {
     ) -> Vec<MacFrame> {
         match payload {
             XbeePayload::AppData(_) => {
-                if self.role == NodeRole::Coordinator {
-                    if let Some(value) = payload.as_reading() {
-                        let reported_by = match frame.src {
-                            Address::Short(a) => a,
-                            _ => 0xFFFF,
-                        };
-                        self.readings.push(Reading {
-                            time: now,
-                            value,
-                            reported_by,
-                        });
+                match self.role {
+                    NodeRole::Coordinator => {
+                        if let Some(value) = payload.as_reading() {
+                            let reported_by = match frame.src {
+                                Address::Short(a) => a,
+                                _ => 0xFFFF,
+                            };
+                            self.readings.push(Reading {
+                                time: now,
+                                value,
+                                reported_by,
+                            });
+                        }
                     }
+                    NodeRole::Router { forward_to } => {
+                        // Relay one hop onward, keeping the original MAC
+                        // source so the coordinator's display attributes the
+                        // reading to the sensor, not the relay. The relayed
+                        // frame rides the router's own sequence space and
+                        // CSMA queue.
+                        if payload.as_reading().is_some() {
+                            if let Address::Short(original_src) = frame.src {
+                                let seq = self.next_seq();
+                                return vec![MacFrame::data(
+                                    self.config.pan,
+                                    original_src,
+                                    forward_to,
+                                    seq,
+                                    frame.payload.clone(),
+                                )];
+                            }
+                        }
+                    }
+                    NodeRole::Sensor { .. } => {}
                 }
                 Vec::new()
             }
@@ -512,6 +554,80 @@ mod tests {
                 status: AtStatus::Error
             })
         );
+    }
+
+    fn router(addr: u16, forward_to: u16) -> XbeeNode {
+        XbeeNode::new(
+            NodeConfig {
+                pan: 0x1234,
+                short_addr: addr,
+                channel: ch(14),
+            },
+            NodeRole::Router { forward_to },
+        )
+    }
+
+    #[test]
+    fn sensor_reports_to_configured_relay() {
+        let mut s = sensor().with_report_to(0x0080);
+        let f = s.on_timer(Instant(0)).pop().unwrap();
+        assert_eq!(f.dest, Address::Short(0x0080));
+        assert!(f.ack_request);
+    }
+
+    #[test]
+    fn router_forwards_reading_preserving_source() {
+        let mut s = sensor().with_report_to(0x0080);
+        let mut r = router(0x0080, 0x0042);
+        let mut c = coordinator();
+        let data = s.on_timer(Instant(0)).pop().unwrap();
+        let replies = r.on_receive(&data, Instant(50));
+        // The router ACKs the sensor and relays the reading onward.
+        assert!(replies.iter().any(|f| f.frame_type == FrameType::Ack));
+        let fwd = replies
+            .iter()
+            .find(|f| f.frame_type == FrameType::Data)
+            .expect("forwarded reading");
+        assert_eq!(fwd.dest, Address::Short(0x0042));
+        assert_eq!(fwd.src, Address::Short(0x0063), "original source kept");
+        assert!(fwd.ack_request);
+        c.on_receive(fwd, Instant(100));
+        assert_eq!(c.readings().len(), 1);
+        assert_eq!(c.readings()[0].reported_by, 0x0063);
+        assert_eq!(c.readings()[0].value, 1);
+    }
+
+    #[test]
+    fn router_has_no_timer_and_records_nothing() {
+        let mut r = router(0x0080, 0x0042);
+        assert_eq!(r.timer_interval_ms(), None);
+        assert!(r.on_timer(Instant(0)).is_empty());
+        let data = sensor().on_timer(Instant(0)).pop().unwrap();
+        // Addressed to 0x0042, not the router: ignored entirely.
+        assert!(r.on_receive(&data, Instant(10)).is_empty());
+        assert!(r.readings().is_empty());
+    }
+
+    #[test]
+    fn router_relays_only_readings() {
+        let mut r = router(0x0080, 0x0042);
+        let cmd = XbeePayload::RemoteAtCommand {
+            frame_id: 3,
+            command: AtCommand::PanId(0x9999),
+        };
+        let frame = MacFrame::data(0x1234, 0x0042, 0x0080, 9, cmd.to_bytes());
+        let replies = r.on_receive(&frame, Instant(0));
+        // AT commands are executed locally, not relayed onward as readings.
+        assert!(replies
+            .iter()
+            .filter(|f| f.frame_type == FrameType::Data)
+            .all(|f| {
+                matches!(
+                    XbeePayload::from_bytes(&f.payload),
+                    Some(XbeePayload::RemoteAtResponse { .. })
+                )
+            }));
+        assert_eq!(r.config.pan, 0x9999);
     }
 
     #[test]

@@ -85,7 +85,7 @@ fn main() {
     );
 
     banner("airtime (the energy bill)");
-    for (k, n) in sim.nodes().iter().enumerate() {
+    for (k, n) in sim.nodes().enumerate() {
         println!(
             "  node {k} ({:>7}): {:6} us keyed up over {} transmissions",
             n.kind_name(),

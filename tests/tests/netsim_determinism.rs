@@ -84,6 +84,78 @@ fn extreme_chunk_sizes_commit_identical_artifacts() {
     }
 }
 
+/// One multi-channel cell through the channel-sharded engine: four PANs on
+/// four RF channels, each with a coordinator, a relay router and sensors
+/// (odd sensors report via the router), plus a WazaBee injector on the
+/// first channel. `threads` drives the shard workers directly.
+fn run_sharded_cell(seed: u64, threads: usize) -> (String, String) {
+    let mut cfg = SimConfig::office();
+    cfg.seed = seed;
+    cfg.threads = Some(threads);
+    let mut sim = SpectrumSim::new(cfg);
+    sim.enable_timeline(5_000);
+    let mut next_addr = 0x0100u16;
+    for ci in 0..4u8 {
+        let ch = Dot154Channel::new(11 + ci).unwrap();
+        let pan = 0x1200 + u16::from(ci);
+        let on = |addr: u16, role: NodeRole| {
+            XbeeNode::new(
+                NodeConfig {
+                    pan,
+                    short_addr: addr,
+                    channel: ch,
+                },
+                role,
+            )
+        };
+        sim.add_zigbee(on(COORD, NodeRole::Coordinator));
+        sim.add_zigbee(on(0x0080, NodeRole::Router { forward_to: COORD }));
+        for s in 0..3u16 {
+            let addr = next_addr;
+            next_addr += 1;
+            let interval = 37 + u64::from(addr) % 17;
+            let node = on(
+                addr,
+                NodeRole::Sensor {
+                    interval_ms: interval,
+                },
+            );
+            sim.add_zigbee(if s % 2 == 1 {
+                node.with_report_to(0x0080)
+            } else {
+                node
+            });
+        }
+    }
+    let ch0 = Dot154Channel::new(11).unwrap();
+    let attacker = sim.add_wazabee_injector(ch0, 1.0);
+    let forged = MacFrame::data(
+        0x1200,
+        0x0100,
+        COORD,
+        99,
+        XbeePayload::reading(7777).to_bytes(),
+    );
+    sim.inject_at(attacker, Instant(41_000), forged);
+    sim.run_until(Instant(0).plus_ms(130));
+    (sim.event_log().join("\n"), sim.timeline_jsonl())
+}
+
+#[test]
+fn sharded_multichannel_cell_is_identical_across_thread_counts() {
+    for seed in [0xBEE5u64, 0x51AB] {
+        let one = run_sharded_cell(seed, 1);
+        assert!(!one.0.is_empty() && !one.1.is_empty());
+        for threads in [2usize, 4] {
+            let many = run_sharded_cell(seed, threads);
+            assert_eq!(
+                one, many,
+                "sharded artifacts diverged between 1 and {threads} shard workers"
+            );
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
 

@@ -99,6 +99,40 @@ fn decoy_sync_hit_no_longer_swallows_the_genuine_frame() {
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
+    /// A sync hit that fails right as the retained buffers cross the trim
+    /// low-water mark must still re-arm exactly one bit past the failure:
+    /// the lead-in is sized so the stream trims its front mid-capture under
+    /// small chunk sizes (and not at all under the whole-buffer reference),
+    /// yet the committed sequence — typed failure first, then the genuine
+    /// frame behind it — is byte-identical either way.
+    #[test]
+    fn failed_hit_straddling_trim_boundary_rearms(
+        lead_in_bits in 4_000usize..6_000,
+        gap in 64usize..800,
+        chunk in 1usize..9_000,
+    ) {
+        let zigbee = Dot154Modem::new(SPS);
+        let rx = sniffer();
+        let genuine = Ppdu::new(append_fcs(&[0x7B, 0x00, 0x55])).unwrap();
+        let mut capture = vec![Iq::ZERO; lead_in_bits * SPS];
+        capture.extend(decoy_burst());
+        capture.extend(vec![Iq::ZERO; gap]);
+        capture.extend(zigbee.transmit(&genuine));
+
+        let reference = stream_in_chunks(&rx, &capture, capture.len());
+        let chunked = stream_in_chunks(&rx, &capture, chunk);
+        prop_assert_eq!(&chunked, &reference, "chunk size {} diverged across the trim boundary", chunk);
+        prop_assert!(
+            matches!(chunked.first(), Some(Err(_))),
+            "the straddling hit must commit a typed failure first, got {:?}",
+            chunked.first()
+        );
+        let frames: Vec<_> = chunked.iter().filter_map(|r| r.as_ref().ok()).collect();
+        prop_assert_eq!(frames.len(), 1, "genuine frame behind the trim boundary was lost");
+        prop_assert_eq!(&frames[0].psdu, genuine.psdu());
+        prop_assert!(frames[0].fcs_ok());
+    }
+
     /// The committed result sequence is a function of the sample stream, not
     /// of how the front-end chops it: any chunk size must reproduce the
     /// whole-buffer-at-once sequence exactly, failures included.
