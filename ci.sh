@@ -41,11 +41,19 @@
 #      under WAZABEE_THREADS=1 and =4 in both feature states; the committed
 #      event log and timeline JSONL must be byte-identical — the parallel
 #      channel-sharded simulator may not perturb any committed artifact
-#  16. perf regression gate: fresh smoke-run BENCH figures — including the
-#      streaming and discriminator simd_speedup rows and the 1024-node
-#      multi-channel sim/wall ratio — must stay within
-#      WAZABEE_PERF_TOLERANCE (default 50%) of the committed artifacts/
-#      baselines, failing loudly on regressions
+#  16. serve-plane smoke: 8 paced loopback client sessions (cf32 and u8
+#      offset-128 wire formats alternating) stream through the multi-tenant
+#      decode service in both feature states; every frame must be recovered
+#      with zero CRC failures and zero dropped chunks, and the emitted
+#      BENCH_serve.json must be well-formed with a per-session fairness
+#      ratio >= 0.5
+#  17. perf regression gate: fresh smoke-run BENCH figures — including the
+#      streaming and discriminator simd_speedup rows, the 1024-node
+#      multi-channel sim/wall ratio, and the serve plane's per-session
+#      paced decode rate — must stay within WAZABEE_PERF_TOLERANCE
+#      (default 50%) of the committed artifacts/ baselines, failing loudly
+#      on regressions; the committed serve baseline itself must show 100%
+#      recovery at 64 sessions and fairness >= 0.5
 set -euo pipefail
 cd "$(dirname "$0")"
 
@@ -369,12 +377,51 @@ for features in default no-default; do
     echo "$features features: event log + timeline byte-identical across thread counts"
 done
 
+# Serve-plane smoke: paced concurrent sessions against the multi-tenant
+# decode service in both feature states. 100% recovery is a hard floor —
+# a lost frame on a clean loopback capture means the serve plane broke it.
+check_serve_json() {
+    run python3 - "$1" <<'EOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+assert doc["recovered"] == doc["total_frames"], (
+    f"serve plane lost frames: {doc['recovered']}/{doc['total_frames']}")
+assert doc["crc_fail"] == 0, f"{doc['crc_fail']} CRC failures on a clean capture"
+assert doc["chunks_dropped"] == 0, (
+    f"{doc['chunks_dropped']} chunks dropped on blocking socket ingest")
+assert doc["aggregate_frames_per_sec"] > 0, "aggregate frames/s missing"
+detail = doc["sessions_detail"]
+assert len(detail) == doc["sessions"], (
+    f"{len(detail)} session reports for {doc['sessions']} sessions")
+fairness = doc["fairness"]["min_max_ratio"]
+assert fairness >= 0.5, (
+    f"session fairness min/max {fairness:.3f} < 0.5 — a tenant starved")
+print(f"BENCH_serve.json well-formed: {doc['recovered']}/{doc['total_frames']} "
+      f"frames over {doc['sessions']} sessions, "
+      f"{doc['aggregate_frames_per_sec']:.0f} frames/s aggregate, "
+      f"fairness {fairness:.3f}")
+EOF
+}
+
+serve_json="$capture_dir/BENCH_serve.json"
+run cargo run --release -q -p wazabee-bench --bin serve_throughput --offline -- \
+    --smoke --frames 8 --out "$serve_json"
+check_serve_json "$serve_json"
+serve_live_json="$capture_dir/BENCH_serve_live.json"
+cp "$serve_json" "$serve_live_json"
+
+rm -f "$serve_json"
+run cargo run --release -q -p wazabee-bench --bin serve_throughput --offline \
+    --no-default-features -- --smoke --frames 8 --out "$serve_json"
+check_serve_json "$serve_json"
+
 run env WAZABEE_PERF_TOLERANCE="${WAZABEE_PERF_TOLERANCE:-0.5}" \
-    python3 - "$bench_json" "$stream_live_json" "$netsim_live_json" <<'EOF'
+    python3 - "$bench_json" "$stream_live_json" "$netsim_live_json" "$serve_live_json" <<'EOF'
 import json, os, sys
 
 tol = float(os.environ["WAZABEE_PERF_TOLERANCE"])
-fresh_rx_path, fresh_stream_path, fresh_netsim_path = sys.argv[1:4]
+fresh_rx_path, fresh_stream_path, fresh_netsim_path, fresh_serve_path = sys.argv[1:5]
 
 def load(path):
     with open(path) as f:
@@ -424,6 +471,25 @@ for c in ns_f["cells"]:
              c["sim_wall_ratio"], base_cells[key]["sim_wall_ratio"])
 assert matched > 0, "no netsim cells matched the committed baseline"
 assert big_matched > 0, "the 1024-node multi-channel cells are not gated"
+
+# The serve smoke runs 8 sessions where the committed baseline runs 64, so
+# the comparable figure is the *per-session* paced decode rate — with equal
+# frames per session and pacing, a regressed decode plane shows up as a
+# longer drain and a lower per-session rate at either scale. The committed
+# 64-session baseline must also hold the multi-tenant acceptance bar on its
+# own: every frame recovered and no session starved.
+sv_f, sv_b = load(fresh_serve_path), load("artifacts/BENCH_serve.json")
+assert sv_b["sessions"] >= 64, (
+    f"committed serve baseline ran only {sv_b['sessions']} sessions (need >= 64)")
+assert sv_b["recovered"] == sv_b["total_frames"], (
+    f"committed serve baseline lost frames: "
+    f"{sv_b['recovered']}/{sv_b['total_frames']}")
+assert sv_b["fairness"]["min_max_ratio"] >= 0.5, (
+    f"committed serve baseline fairness "
+    f"{sv_b['fairness']['min_max_ratio']:.3f} < 0.5")
+gate("serve.per_session_frames_per_sec",
+     sv_f["aggregate_frames_per_sec"] / sv_f["sessions"],
+     sv_b["aggregate_frames_per_sec"] / sv_b["sessions"])
 
 if failures:
     print("ci.sh: perf regression gate FAILED:", file=sys.stderr)

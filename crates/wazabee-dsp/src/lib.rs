@@ -21,6 +21,8 @@
 //! * [`discriminator`] — FM discrimination (the receiver side of FSK),
 //! * [`AwgnSource`] — deterministic, seedable channel noise,
 //! * [`correlate`] — sync-word and PN-sequence correlation,
+//! * [`io`] — shared IQ sample-format codecs (`.cf32`, RTL-SDR u8
+//!   offset-128) used by the flight recorder and the serve ingest plane,
 //! * [`bits`] — LSB-first bit packing shared by both protocols,
 //! * [`packed`] — word-packed bit streams: XOR+`count_ones` Hamming and
 //!   sliding-register sync correlation, the fast path behind [`correlate`],
@@ -65,6 +67,7 @@ pub mod discriminator;
 pub mod fir;
 pub mod gaussian;
 pub mod halfsine;
+pub mod io;
 pub mod iq;
 pub mod iqbuf;
 pub mod osc;

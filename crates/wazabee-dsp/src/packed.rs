@@ -154,6 +154,14 @@ impl PackedBits {
         }
     }
 
+    /// Empties the stream while keeping the word allocation — the recycle
+    /// path of pooled receive engines, which reset between sessions instead
+    /// of reallocating every lane.
+    pub fn clear(&mut self) {
+        self.words.clear();
+        self.len = 0;
+    }
+
     /// Drops `words` whole 64-bit words (`words * 64` bits) from the front of
     /// the stream; bit `k` of the result is bit `k + words * 64` of the
     /// original. Trimming whole words keeps every surviving bit at its old
@@ -371,6 +379,17 @@ mod tests {
     fn random_bits(seed: u64, n: usize) -> Vec<u8> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         (0..n).map(|_| rng.gen_range(0..=1u8)).collect()
+    }
+
+    #[test]
+    fn clear_empties_and_stream_regrows_identically() {
+        let bits = random_bits(7, 300);
+        let mut p = PackedBits::from_bits(&bits);
+        p.clear();
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+        p.extend_from_bits(&bits);
+        assert_eq!(p, PackedBits::from_bits(&bits));
     }
 
     #[test]

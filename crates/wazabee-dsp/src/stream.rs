@@ -71,6 +71,14 @@ impl StreamCorrelator {
         }
     }
 
+    /// Clears the sliding register and the consumed-bit counter, returning
+    /// the correlator to its freshly constructed state (same pattern, same
+    /// error budget) — the recycle path of pooled receive engines.
+    pub fn reset(&mut self) {
+        self.reg = 0;
+        self.consumed = 0;
+    }
+
     /// Pattern length in bits.
     pub fn pattern_len(&self) -> usize {
         self.len
@@ -221,6 +229,23 @@ mod tests {
         corr.feed_bits(&bits, &mut got);
         let indexes: Vec<usize> = got.iter().map(|m| m.index).collect();
         assert_eq!(indexes, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn reset_restores_fresh_behaviour() {
+        let bits = random_bits(99, 400);
+        let pattern = PackedBits::from_bits(&random_bits(100, 24));
+        let mut fresh = Vec::new();
+        StreamCorrelator::new(&pattern, 2).feed_bits(&bits, &mut fresh);
+
+        let mut corr = StreamCorrelator::new(&pattern, 2);
+        let mut scratch = Vec::new();
+        corr.feed_bits(&random_bits(101, 173), &mut scratch);
+        corr.reset();
+        assert_eq!(corr.consumed(), 0);
+        let mut got = Vec::new();
+        corr.feed_bits(&bits, &mut got);
+        assert_eq!(got, fresh, "reset correlator must match a fresh one");
     }
 
     #[test]

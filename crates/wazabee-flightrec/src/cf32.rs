@@ -1,52 +1,15 @@
 //! `.cf32` IQ dumps — the interleaved little-endian `f32` I/Q sample format
 //! SDR tooling (GNU Radio file sinks, inspectrum, `sigmf` converters)
 //! consumes directly — plus the JSON sidecar describing each dump.
+//!
+//! The codec itself lives in [`wazabee_dsp::io`] (re-exported here for
+//! compatibility) so the flight recorder, the serve ingest plane and the
+//! file tails all share one IQ-format codepath; this module keeps the
+//! recorder-specific [`IqSidecar`] metadata.
 
 use std::fmt::Write as _;
-use std::fs::File;
-use std::io::{self, BufWriter, Read, Write};
-use std::path::Path;
 
-use wazabee_dsp::Iq;
-
-/// Writes samples as interleaved little-endian `f32` I/Q pairs.
-///
-/// # Errors
-///
-/// Propagates file-creation and write errors.
-pub fn write_cf32(path: &Path, samples: &[Iq]) -> io::Result<()> {
-    let mut w = BufWriter::new(File::create(path)?);
-    for s in samples {
-        w.write_all(&(s.i as f32).to_le_bytes())?;
-        w.write_all(&(s.q as f32).to_le_bytes())?;
-    }
-    w.flush()
-}
-
-/// Reads an interleaved little-endian `f32` I/Q file back into samples.
-///
-/// # Errors
-///
-/// Fails on IO errors or a file whose length is not a multiple of 8 bytes.
-pub fn read_cf32(path: &Path) -> io::Result<Vec<Iq>> {
-    let mut raw = Vec::new();
-    File::open(path)?.read_to_end(&mut raw)?;
-    if raw.len() % 8 != 0 {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            "cf32 length is not a whole number of I/Q pairs",
-        ));
-    }
-    Ok(raw
-        .chunks_exact(8)
-        .map(|c| {
-            Iq::new(
-                f64::from(f32::from_le_bytes([c[0], c[1], c[2], c[3]])),
-                f64::from(f32::from_le_bytes([c[4], c[5], c[6], c[7]])),
-            )
-        })
-        .collect())
-}
+pub use wazabee_dsp::io::{read_cf32, write_cf32};
 
 /// Metadata written next to every `.cf32` dump, as a small JSON object.
 #[derive(Debug, Clone, PartialEq)]
@@ -97,6 +60,7 @@ impl IqSidecar {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use wazabee_dsp::Iq;
 
     fn tmp(name: &str) -> std::path::PathBuf {
         std::env::temp_dir().join(format!("wzb-cf32-{}-{name}", std::process::id()))

@@ -1,0 +1,382 @@
+//! Per-session state: the bounded chunk queue between ingest and decode,
+//! atomic ingest/decode statistics and the final [`SessionReport`].
+//!
+//! Every session — socket or file tail — owns one [`ChunkQueue`]. Ingest
+//! threads produce [`SessionMsg`]s into it; exactly one decode worker
+//! consumes them. The queue is the backpressure boundary: socket ingest
+//! *blocks* on a full queue (TCP flow control then pushes back on the
+//! client), while file tails — which have no one to push back on — drop the
+//! chunk and count it, so a slow decode plane degrades a tail into a sampled
+//! stream instead of unbounded memory growth.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use wazabee_dsp::IqBuf;
+
+/// Upper bound on per-session latency samples retained for the report's
+/// percentiles; recording stops past this (the histograms keep counting).
+const MAX_LATENCY_SAMPLES: usize = 65_536;
+
+/// One message from an ingest thread to the session's decode worker.
+#[derive(Debug)]
+pub(crate) enum SessionMsg {
+    /// A decoded-from-the-wire planar IQ chunk, stamped at enqueue time so
+    /// the worker can attribute queue wait to decode latency.
+    Chunk {
+        /// Planar samples ready for `StreamingRx::push_planar`.
+        samples: IqBuf,
+        /// When the chunk entered the queue.
+        enqueued: Instant,
+    },
+    /// No more chunks will follow; flush and report.
+    End,
+}
+
+/// Bounded MPSC queue of [`SessionMsg`]s with both blocking and lossy
+/// producers. `End` bypasses the capacity check (it must never be droppable
+/// or the session would never finish).
+#[derive(Debug)]
+pub(crate) struct ChunkQueue {
+    inner: Mutex<VecDeque<SessionMsg>>,
+    space: Condvar,
+    cap: usize,
+}
+
+impl ChunkQueue {
+    pub(crate) fn new(cap: usize) -> Self {
+        ChunkQueue {
+            inner: Mutex::new(VecDeque::new()),
+            space: Condvar::new(),
+            cap: cap.max(1),
+        }
+    }
+
+    /// Blocks until the queue has room, then enqueues. The socket-ingest
+    /// producer: a full queue stalls the reader, TCP stalls the client.
+    pub(crate) fn push_blocking(&self, msg: SessionMsg) {
+        let mut q = self.inner.lock().unwrap();
+        while q.len() >= self.cap {
+            q = self.space.wait(q).unwrap();
+        }
+        q.push_back(msg);
+    }
+
+    /// Enqueues if there is room; returns whether the message was accepted.
+    /// The tail-ingest producer: a full queue costs a counted drop.
+    pub(crate) fn try_push(&self, msg: SessionMsg) -> bool {
+        let mut q = self.inner.lock().unwrap();
+        if q.len() >= self.cap {
+            return false;
+        }
+        q.push_back(msg);
+        true
+    }
+
+    /// Enqueues unconditionally — reserved for `End`, which may overflow the
+    /// bound by one rather than ever being lost.
+    pub(crate) fn push_unbounded(&self, msg: SessionMsg) {
+        self.inner.lock().unwrap().push_back(msg);
+    }
+
+    /// Dequeues the oldest message and frees a producer slot.
+    pub(crate) fn pop(&self) -> Option<SessionMsg> {
+        let mut q = self.inner.lock().unwrap();
+        let msg = q.pop_front();
+        if msg.is_some() {
+            self.space.notify_one();
+        }
+        msg
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().unwrap().len()
+    }
+}
+
+/// Wake channel shared by one decode worker and every producer feeding its
+/// sessions: producers ring it after enqueueing, the worker parks on it when
+/// all its queues are empty.
+#[derive(Debug, Default)]
+pub(crate) struct WorkerWake {
+    lock: Mutex<()>,
+    bell: Condvar,
+}
+
+impl WorkerWake {
+    pub(crate) fn ring(&self) {
+        let _g = self.lock.lock().unwrap();
+        self.bell.notify_all();
+    }
+
+    pub(crate) fn park(&self, timeout: Duration) {
+        let g = self.lock.lock().unwrap();
+        let _ = self.bell.wait_timeout(g, timeout).unwrap();
+    }
+}
+
+/// One live ingest session and its running statistics. Shared between the
+/// producing ingest thread and the consuming decode worker; everything the
+/// two sides race on is atomic or behind its own lock.
+#[derive(Debug)]
+pub(crate) struct Session {
+    pub(crate) id: u64,
+    /// Display name; a `Hello` record may rename it before the first chunk.
+    pub(crate) name: Mutex<String>,
+    pub(crate) queue: ChunkQueue,
+    /// The owning worker's wake bell.
+    pub(crate) wake: Arc<WorkerWake>,
+    pub(crate) started: Instant,
+    /// When the first chunk was accepted — the start of *service* time.
+    /// Sessions are stamped at accept, but a session can sit registered and
+    /// idle (a client waiting at a start barrier, an accept delayed under
+    /// load) long before bytes flow; throughput and fairness are measured
+    /// over the window data was actually in flight.
+    pub(crate) first_chunk: Mutex<Option<Instant>>,
+    /// Payload bytes accepted off the wire.
+    pub(crate) bytes_in: AtomicU64,
+    /// Chunks enqueued for decode.
+    pub(crate) chunks_in: AtomicU64,
+    /// Chunks dropped by a lossy producer against a full queue.
+    pub(crate) chunks_dropped: AtomicU64,
+    /// Frames delivered by the decode engine (FCS-valid or not).
+    pub(crate) frames: AtomicU64,
+    /// Committed decode attempts (frames plus typed failures).
+    pub(crate) attempts: AtomicU64,
+    /// Delivered frames whose FCS did not validate.
+    pub(crate) crc_fail: AtomicU64,
+    /// Deepest queue occupancy observed at enqueue time.
+    pub(crate) queue_high_water: AtomicU64,
+    /// Per-chunk decode latencies (enqueue → decoded), microseconds.
+    pub(crate) latencies_us: Mutex<Vec<u64>>,
+    /// Guards the one allowed `End` push.
+    end_pushed: AtomicBool,
+    /// Set by the worker once the session's report has been committed.
+    pub(crate) done: AtomicBool,
+}
+
+impl Session {
+    pub(crate) fn new(id: u64, name: String, queue_cap: usize, wake: Arc<WorkerWake>) -> Self {
+        Session {
+            id,
+            name: Mutex::new(name),
+            queue: ChunkQueue::new(queue_cap),
+            wake,
+            started: Instant::now(),
+            first_chunk: Mutex::new(None),
+            bytes_in: AtomicU64::new(0),
+            chunks_in: AtomicU64::new(0),
+            chunks_dropped: AtomicU64::new(0),
+            frames: AtomicU64::new(0),
+            attempts: AtomicU64::new(0),
+            crc_fail: AtomicU64::new(0),
+            queue_high_water: AtomicU64::new(0),
+            latencies_us: Mutex::new(Vec::new()),
+            end_pushed: AtomicBool::new(false),
+            done: AtomicBool::new(false),
+        }
+    }
+
+    /// Blocking chunk enqueue (socket path). Updates the high-water mark and
+    /// rings the worker.
+    pub(crate) fn push_chunk_blocking(&self, samples: IqBuf) {
+        self.queue.push_blocking(SessionMsg::Chunk {
+            samples,
+            enqueued: Instant::now(),
+        });
+        self.after_accepted_chunk();
+    }
+
+    /// Lossy chunk enqueue (tail path): returns whether the chunk was
+    /// accepted; a rejection is counted as a drop.
+    pub(crate) fn push_chunk_lossy(&self, samples: IqBuf) -> bool {
+        let accepted = self.queue.try_push(SessionMsg::Chunk {
+            samples,
+            enqueued: Instant::now(),
+        });
+        if accepted {
+            self.after_accepted_chunk();
+        } else {
+            self.chunks_dropped.fetch_add(1, Ordering::Relaxed);
+            wazabee_telemetry::counter!("serve.chunks.dropped").inc();
+        }
+        accepted
+    }
+
+    fn after_accepted_chunk(&self) {
+        self.first_chunk
+            .lock()
+            .unwrap()
+            .get_or_insert_with(Instant::now);
+        self.chunks_in.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue.len() as u64;
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        self.wake.ring();
+    }
+
+    /// Marks end-of-stream exactly once, no matter how many exit paths race
+    /// to do it (clean `End` record, EOF, protocol error, shutdown).
+    pub(crate) fn push_end(&self) {
+        if !self.end_pushed.swap(true, Ordering::SeqCst) {
+            self.queue.push_unbounded(SessionMsg::End);
+            self.wake.ring();
+        }
+    }
+
+    /// Records one chunk's enqueue→decoded latency.
+    pub(crate) fn record_latency(&self, us: u64) {
+        let mut lat = self.latencies_us.lock().unwrap();
+        if lat.len() < MAX_LATENCY_SAMPLES {
+            lat.push(us);
+        }
+    }
+
+    /// Freezes the running statistics into the session's final report.
+    pub(crate) fn report(&self) -> SessionReport {
+        let mut lat = self.latencies_us.lock().unwrap().clone();
+        lat.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if lat.is_empty() {
+                return 0;
+            }
+            let idx = ((lat.len() as f64 - 1.0) * p).round() as usize;
+            lat[idx.min(lat.len() - 1)]
+        };
+        let duration_s = self
+            .first_chunk
+            .lock()
+            .unwrap()
+            .unwrap_or(self.started)
+            .elapsed()
+            .as_secs_f64();
+        let frames = self.frames.load(Ordering::Relaxed);
+        SessionReport {
+            id: self.id,
+            name: self.name.lock().unwrap().clone(),
+            frames,
+            attempts: self.attempts.load(Ordering::Relaxed),
+            crc_fail: self.crc_fail.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            chunks_in: self.chunks_in.load(Ordering::Relaxed),
+            chunks_dropped: self.chunks_dropped.load(Ordering::Relaxed),
+            queue_high_water: self.queue_high_water.load(Ordering::Relaxed),
+            latency_p50_us: pct(0.50),
+            latency_p99_us: pct(0.99),
+            finished: Instant::now(),
+            duration_s,
+            frames_per_sec: if duration_s > 0.0 {
+                frames as f64 / duration_s
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+/// Final per-session statistics, committed by the decode worker when the
+/// session's `End` is processed and returned from `Server::shutdown`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionReport {
+    /// Server-assigned session id (also the artifact directory prefix).
+    pub id: u64,
+    /// Session name (client `Hello`, tail label, or `session-<id>`).
+    pub name: String,
+    /// Frames delivered by the decode engine.
+    pub frames: u64,
+    /// Committed decode attempts (frames plus typed failures).
+    pub attempts: u64,
+    /// Delivered frames whose FCS did not validate.
+    pub crc_fail: u64,
+    /// Sample payload bytes accepted off the wire.
+    pub bytes_in: u64,
+    /// Chunks enqueued for decode.
+    pub chunks_in: u64,
+    /// Chunks a lossy producer dropped against a full queue.
+    pub chunks_dropped: u64,
+    /// Deepest queue occupancy observed.
+    pub queue_high_water: u64,
+    /// Median enqueue→decoded chunk latency, microseconds.
+    pub latency_p50_us: u64,
+    /// 99th-percentile enqueue→decoded chunk latency, microseconds.
+    pub latency_p99_us: u64,
+    /// Monotonic stamp taken as the report was committed. In-process
+    /// callers (the throughput bench) race equal workloads released at a
+    /// shared barrier and measure fairness as each session's time from that
+    /// common release to `finished` — immune to per-session start scatter
+    /// under load.
+    pub finished: Instant,
+    /// Wall-clock service time (first accepted chunk to final report),
+    /// seconds.
+    pub duration_s: f64,
+    /// `frames / duration_s`.
+    pub frames_per_sec: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering;
+
+    #[test]
+    fn queue_bounds_and_pop_frees_space() {
+        let q = ChunkQueue::new(2);
+        assert!(q.try_push(SessionMsg::End));
+        assert!(q.try_push(SessionMsg::End));
+        assert!(!q.try_push(SessionMsg::End), "third push must be rejected");
+        assert_eq!(q.len(), 2);
+        assert!(q.pop().is_some());
+        assert!(q.try_push(SessionMsg::End), "pop must free a slot");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_consumer() {
+        let q = Arc::new(ChunkQueue::new(1));
+        q.push_blocking(SessionMsg::End);
+        let q2 = Arc::clone(&q);
+        let producer = std::thread::spawn(move || {
+            // Blocks until the consumer below pops.
+            q2.push_blocking(SessionMsg::End);
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(q.len(), 1, "producer must still be blocked");
+        assert!(q.pop().is_some());
+        producer.join().unwrap();
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn end_is_pushed_exactly_once_and_overflows_the_bound() {
+        let s = Session::new(7, "t".into(), 1, Arc::new(WorkerWake::default()));
+        assert!(s.push_chunk_lossy(IqBuf::new()));
+        s.push_end();
+        s.push_end();
+        s.push_end();
+        // One chunk (at capacity) plus exactly one End past the bound.
+        assert_eq!(s.queue.len(), 2);
+    }
+
+    #[test]
+    fn lossy_push_counts_drops() {
+        let s = Session::new(1, "t".into(), 1, Arc::new(WorkerWake::default()));
+        assert!(s.push_chunk_lossy(IqBuf::new()));
+        assert!(!s.push_chunk_lossy(IqBuf::new()));
+        assert!(!s.push_chunk_lossy(IqBuf::new()));
+        assert_eq!(s.chunks_dropped.load(Ordering::Relaxed), 2);
+        assert_eq!(s.chunks_in.load(Ordering::Relaxed), 1);
+        assert_eq!(s.queue_high_water.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn report_percentiles_over_recorded_latencies() {
+        let s = Session::new(3, "lat".into(), 4, Arc::new(WorkerWake::default()));
+        for us in [100u64, 200, 300, 400, 500, 600, 700, 800, 900, 1000] {
+            s.record_latency(us);
+        }
+        let r = s.report();
+        assert_eq!(r.latency_p50_us, 600);
+        assert_eq!(r.latency_p99_us, 1000);
+        assert_eq!(r.name, "lat");
+    }
+}

@@ -1,0 +1,110 @@
+//! File-tail ingest: follow a growing capture file as a live session.
+//!
+//! A tailed file has nobody to push back on: where socket ingest blocks on a
+//! full chunk queue (and TCP stalls the client), the tail keeps up with the
+//! file and *drops* chunks the queue cannot take, counting every drop into
+//! the session's statistics and the `serve.chunks.dropped` counter. Partial
+//! samples at the current end of file (a writer mid-`write`) are carried as
+//! a byte remainder into the next poll, so sample alignment survives any
+//! interleaving of writer and reader.
+//!
+//! The tail follows growth until server shutdown — there is no in-band
+//! `End`; a truncated file (length shrank) restarts the tail from offset 0,
+//! the usual log-rotation contract.
+
+use std::io::{Read, Seek, SeekFrom};
+use std::path::Path;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::Duration;
+
+use wazabee_dsp::io::SampleFormat;
+use wazabee_dsp::IqBuf;
+
+use crate::server::{open_session, sanitize_name, track_ingest, ServerState};
+
+/// Bytes read per poll iteration.
+const TAIL_READ_CHUNK: usize = 64 * 1024;
+
+/// Spawns the tail thread for `path`; the session is named
+/// `<id>-tail-<sanitized name>` and lives until server shutdown.
+pub(crate) fn spawn_tail(
+    state: &Arc<ServerState>,
+    path: &Path,
+    format: SampleFormat,
+    name: &str,
+) -> std::io::Result<()> {
+    // Open eagerly so a missing file fails the call, not the thread.
+    let file = std::fs::File::open(path)?;
+    let session = open_session(state, String::new());
+    {
+        let mut n = session.name.lock().unwrap();
+        *n = format!("{:04}-tail-{}", session.id, sanitize_name(name));
+    }
+    let st = Arc::clone(state);
+    let poll = Duration::from_millis(state.cfg.tail_poll_ms.max(1));
+    let handle = std::thread::Builder::new()
+        .name(format!("wazabee-serve-tail-{:04}", session.id))
+        .spawn(move || tail_loop(st, file, format, session, poll))
+        .expect("spawn tail thread");
+    track_ingest(state, handle);
+    Ok(())
+}
+
+fn tail_loop(
+    state: Arc<ServerState>,
+    mut file: std::fs::File,
+    format: SampleFormat,
+    session: Arc<crate::session::Session>,
+    poll: Duration,
+) {
+    let bps = format.bytes_per_sample();
+    let mut offset = 0u64;
+    let mut remainder: Vec<u8> = Vec::new();
+    let mut buf = vec![0u8; TAIL_READ_CHUNK];
+    loop {
+        let shutting_down = state.shutdown.load(Ordering::SeqCst);
+        // One final sweep after the flag flips, so bytes written before
+        // shutdown are still decoded.
+        let len = file.metadata().map(|m| m.len()).unwrap_or(offset);
+        if len < offset {
+            // Truncation (rotation): restart from the top.
+            offset = 0;
+            remainder.clear();
+        }
+        while offset < len {
+            if file.seek(SeekFrom::Start(offset)).is_err() {
+                break;
+            }
+            let want = buf.len().min((len - offset) as usize);
+            let n = match file.read(&mut buf[..want]) {
+                Ok(0) => break,
+                Ok(n) => n,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            };
+            offset += n as u64;
+            remainder.extend_from_slice(&buf[..n]);
+            let whole = remainder.len() - remainder.len() % bps;
+            if whole == 0 {
+                continue;
+            }
+            let mut samples = IqBuf::with_capacity(whole / bps);
+            if format.decode(&remainder[..whole], &mut samples).is_err() {
+                wazabee_telemetry::counter!("serve.proto.errors").inc();
+                remainder.drain(..whole);
+                continue;
+            }
+            remainder.drain(..whole);
+            session.bytes_in.fetch_add(whole as u64, Ordering::Relaxed);
+            wazabee_telemetry::counter!("serve.bytes_in").add(whole as u64);
+            // Lossy push: a full queue costs a counted drop, never memory.
+            let _ = session.push_chunk_lossy(samples);
+        }
+        if shutting_down {
+            session.push_end();
+            return;
+        }
+        std::thread::sleep(poll);
+    }
+}

@@ -4,8 +4,11 @@
 //! Opt-in: set `WAZABEE_TELEMETRY_ADDR` to a TCP address (`127.0.0.1:9090`)
 //! or — if the value contains a `/` — a unix-socket path, and call
 //! [`serve_from_env`] (the bench binaries and `examples/support.rs` session
-//! guard do). A detached daemon thread then answers every connection with a
-//! one-shot HTTP/1.0 response. Three routes:
+//! guard do). A detached daemon thread then answers every connection;
+//! HTTP/1.1 clients are kept alive and can issue many sequential requests
+//! over one connection (a dashboard polling a long-running serve process),
+//! while HTTP/1.0 requests get the original one-shot close-after-answer
+//! response. Three routes:
 //!
 //! * `/` — [`crate::snapshot_json`]: merged counters, labeled families,
 //!   histograms, alerts, stage profile and wall-clock series at that instant;
@@ -24,9 +27,10 @@
 //! ```
 //!
 //! The protocol is deliberately minimal — any HTTP client works, but so does
-//! `nc`: the request is read only up to its blank line, only the request
+//! `nc`: each request is read only up to its blank line, only the request
 //! line's path is examined (a bare `nc` paste with no parsable request line
-//! gets the `/` snapshot), and the response closes the connection. With the
+//! gets the `/` snapshot and a close), and only an `HTTP/1.1` request line
+//! without `Connection: close` keeps the connection open. With the
 //! `enabled` feature off the endpoint does not exist: [`serve_from_env`]
 //! returns `Ok(None)` without binding anything.
 
@@ -116,56 +120,108 @@ fn serve_unix(path: &str) -> io::Result<String> {
     Ok(bound)
 }
 
-/// Reads the request up to its blank line, routes on the request-line path
-/// and writes one HTTP/1.0 JSON response.
+/// Upper bound on requests answered over one kept-alive connection, so a
+/// misbehaving poller cannot pin the accept loop's handler forever.
+#[cfg(feature = "enabled")]
+const MAX_KEEPALIVE_REQUESTS: usize = 1024;
+
+/// Serves a connection: reads requests up to their blank line, routes on the
+/// request-line path and writes one JSON response per request.
+///
+/// HTTP/1.1 requests are kept alive — the handler loops and answers every
+/// sequential request on the connection until the client closes it, sends
+/// `Connection: close`, or the per-connection request cap is reached — so a
+/// live dashboard can poll a long-running serve process over one connection.
+/// HTTP/1.0 requests (and bare non-HTTP pokes) keep the original one-shot
+/// close-after-answer behaviour.
 #[cfg(feature = "enabled")]
 fn answer<S: Read + Write>(stream: &mut S) -> io::Result<()> {
-    let mut req = [0u8; 1024];
-    let mut seen = 0usize;
-    loop {
-        if seen == req.len() {
-            break; // header larger than we care about — answer anyway
+    for _ in 0..MAX_KEEPALIVE_REQUESTS {
+        let mut req = [0u8; 1024];
+        let mut seen = 0usize;
+        loop {
+            if seen == req.len() {
+                break; // header larger than we care about — answer anyway
+            }
+            let n = stream.read(&mut req[seen..])?;
+            if n == 0 {
+                break;
+            }
+            seen += n;
+            if req[..seen].windows(4).any(|w| w == b"\r\n\r\n")
+                || req[..seen].windows(2).any(|w| w == b"\n\n")
+            {
+                break;
+            }
         }
-        let n = stream.read(&mut req[seen..])?;
-        if n == 0 {
-            break;
+        if seen == 0 {
+            return Ok(()); // client closed between requests
         }
-        seen += n;
-        if req[..seen].windows(4).any(|w| w == b"\r\n\r\n")
-            || req[..seen].windows(2).any(|w| w == b"\n\n")
-        {
-            break;
+        let head = String::from_utf8_lossy(&req[..seen]).to_string();
+        let http11 = is_http11(&head);
+        let keep_alive = wants_keep_alive(&head);
+        let path = request_path(&req[..seen]);
+        let (status, body) = match path.as_str() {
+            "/" => ("200 OK", crate::snapshot_json()),
+            "/healthz" => {
+                let body = crate::health_json();
+                let status = if body.starts_with("{\"status\":\"ok\"") {
+                    "200 OK"
+                } else {
+                    "503 Service Unavailable"
+                };
+                (status, body)
+            }
+            "/trace" => ("200 OK", crate::trace_chrome_json()),
+            other => (
+                "404 Not Found",
+                format!(
+                    "{{\"error\":\"no such route\",\"path\":\"{}\",\
+                     \"routes\":[\"/\",\"/healthz\",\"/trace\"]}}",
+                    crate::sink::json_escape(other)
+                ),
+            ),
+        };
+        // The response version mirrors the request's; the Connection header
+        // carries the disposition (an HTTP/1.1 `Connection: close` request
+        // still gets an HTTP/1.1 response — just a closing one).
+        let version = if http11 { "HTTP/1.1" } else { "HTTP/1.0" };
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        let header = format!(
+            "{version} {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: {connection}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(header.as_bytes())?;
+        stream.write_all(body.as_bytes())?;
+        stream.flush()?;
+        if !keep_alive {
+            return Ok(());
         }
     }
-    let path = request_path(&req[..seen]);
-    let (status, body) = match path.as_str() {
-        "/" => ("200 OK", crate::snapshot_json()),
-        "/healthz" => {
-            let body = crate::health_json();
-            let status = if body.starts_with("{\"status\":\"ok\"") {
-                "200 OK"
-            } else {
-                "503 Service Unavailable"
-            };
-            (status, body)
-        }
-        "/trace" => ("200 OK", crate::trace_chrome_json()),
-        other => (
-            "404 Not Found",
-            format!(
-                "{{\"error\":\"no such route\",\"path\":\"{}\",\
-                 \"routes\":[\"/\",\"/healthz\",\"/trace\"]}}",
-                crate::sink::json_escape(other)
-            ),
-        ),
-    };
-    let header = format!(
-        "HTTP/1.0 {status}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    stream.write_all(header.as_bytes())?;
-    stream.write_all(body.as_bytes())?;
-    stream.flush()
+    Ok(())
+}
+
+/// Whether the request line declares `HTTP/1.1` — drives the version echoed
+/// on the response's status line. Non-HTTP pokes count as 1.0.
+#[cfg(feature = "enabled")]
+fn is_http11(head: &str) -> bool {
+    head.lines()
+        .next()
+        .is_some_and(|l| l.trim_end().ends_with("HTTP/1.1"))
+}
+
+/// Whether the request asks to keep the connection open: an `HTTP/1.1`
+/// request line (where keep-alive is the default) without a
+/// `Connection: close` header. HTTP/1.0 requests and non-HTTP pokes close.
+#[cfg(feature = "enabled")]
+fn wants_keep_alive(head: &str) -> bool {
+    if !is_http11(head) {
+        return false;
+    }
+    !head.lines().skip(1).any(|l| {
+        let lower = l.to_ascii_lowercase();
+        lower.starts_with("connection:") && lower.contains("close")
+    })
 }
 
 /// Extracts the path from an HTTP request line (`GET /x HTTP/1.1`). Query
@@ -317,6 +373,94 @@ mod tests {
         stream.read_to_string(&mut out).unwrap();
         assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
         assert!(out.contains("wazabee.telemetry.snapshot/1"), "{out}");
+    }
+
+    /// Reads exactly one HTTP response (headers + Content-Length body) off a
+    /// kept-alive stream, leaving the connection open for the next request.
+    fn read_one_response<S: Read>(stream: &mut S) -> String {
+        let mut buf = Vec::new();
+        let mut byte = [0u8; 1];
+        // Headers, byte at a time, until the blank line.
+        while !buf.windows(4).any(|w| w == b"\r\n\r\n") {
+            assert_eq!(
+                stream.read(&mut byte).unwrap(),
+                1,
+                "connection closed early"
+            );
+            buf.push(byte[0]);
+        }
+        let head = String::from_utf8_lossy(&buf).to_string();
+        let len: usize = head
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .unwrap()
+            .trim()
+            .parse()
+            .unwrap();
+        let mut body = vec![0u8; len];
+        let mut got = 0usize;
+        while got < len {
+            let n = stream.read(&mut body[got..]).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            got += n;
+        }
+        head + &String::from_utf8_lossy(&body)
+    }
+
+    #[test]
+    fn http11_connection_serves_sequential_requests() {
+        let _lock = crate::test_lock();
+        crate::counter!("server.test.keepalive").inc();
+        let addr = serve("127.0.0.1:0").unwrap();
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        // Three sequential requests over ONE connection — a polling
+        // dashboard's access pattern against a long-running serve process.
+        for path in ["/", "/trace", "/"] {
+            stream
+                .write_all(format!("GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").as_bytes())
+                .unwrap();
+            let response = read_one_response(&mut stream);
+            assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+            assert!(response.contains("Connection: keep-alive"), "{response}");
+        }
+        // `Connection: close` ends the keep-alive loop server-side.
+        stream
+            .write_all(b"GET / HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut rest = String::new();
+        stream.read_to_string(&mut rest).unwrap();
+        assert!(rest.starts_with("HTTP/1.1 200 OK"), "{rest}");
+        assert!(rest.contains("Connection: close"), "{rest}");
+    }
+
+    #[test]
+    fn http10_stays_one_shot() {
+        let _lock = crate::test_lock();
+        let addr = serve("127.0.0.1:0").unwrap();
+        let mut stream = std::net::TcpStream::connect(&addr).unwrap();
+        stream
+            .write_all(b"GET / HTTP/1.0\r\nHost: test\r\n\r\n")
+            .unwrap();
+        // read_to_string only returns when the server closes the socket —
+        // the legacy one-shot contract.
+        let mut out = String::new();
+        stream.read_to_string(&mut out).unwrap();
+        assert!(out.starts_with("HTTP/1.0 200 OK"), "{out}");
+        assert!(out.contains("Connection: close"), "{out}");
+    }
+
+    #[test]
+    fn wants_keep_alive_parses_versions_and_headers() {
+        assert!(wants_keep_alive("GET / HTTP/1.1\r\nHost: x\r\n\r\n"));
+        assert!(!wants_keep_alive("GET / HTTP/1.0\r\nHost: x\r\n\r\n"));
+        assert!(!wants_keep_alive(
+            "GET / HTTP/1.1\r\nConnection: close\r\n\r\n"
+        ));
+        assert!(!wants_keep_alive(
+            "GET / HTTP/1.1\r\nCONNECTION: Close\r\n\r\n"
+        ));
+        assert!(!wants_keep_alive("\r\n"));
+        assert!(!wants_keep_alive(""));
     }
 
     #[test]

@@ -171,6 +171,87 @@ fn snapshot_server_answers_live_requests_over_tcp() {
     wazabee_telemetry::reset();
 }
 
+/// Reads one `Content-Length`-framed HTTP response off a kept-alive
+/// connection, returning `(status_line, body)`.
+fn read_keepalive_response(conn: &mut std::net::TcpStream) -> (String, String) {
+    let mut head = Vec::new();
+    let mut byte = [0u8; 1];
+    while !head.windows(4).any(|w| w == b"\r\n\r\n") {
+        assert_eq!(conn.read(&mut byte).unwrap(), 1, "connection closed early");
+        head.push(byte[0]);
+    }
+    let head = String::from_utf8(head).unwrap();
+    let status = head.lines().next().unwrap().to_string();
+    let len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::trim)
+                .map(str::to_string)
+        })
+        .expect("Content-Length header")
+        .parse()
+        .unwrap();
+    let mut body = vec![0u8; len];
+    conn.read_exact(&mut body).unwrap();
+    (status, String::from_utf8(body).unwrap())
+}
+
+#[test]
+fn snapshot_server_keeps_http11_connections_alive() {
+    let _l = lock();
+    wazabee_telemetry::reset();
+    populate_metrics();
+
+    let addr = wazabee_telemetry::serve("127.0.0.1:0").expect("bind snapshot server");
+    let mut conn = std::net::TcpStream::connect(&addr).expect("connect");
+
+    // Several sequential requests over ONE connection — the polling loop of
+    // a live dashboard watching a long-running serve process. The counter is
+    // bumped between polls, so each response must be a fresh snapshot, not a
+    // replay.
+    for poll in 1..=3u64 {
+        wazabee_telemetry::counter!("obs.keepalive.polls").inc();
+        conn.write_all(b"GET / HTTP/1.1\r\nHost: x\r\n\r\n")
+            .unwrap();
+        let (status, body) = read_keepalive_response(&mut conn);
+        assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+        let snap = parse_json(&body).expect("snapshot parses");
+        let polls = snap
+            .get("counters")
+            .unwrap()
+            .get("obs.keepalive.polls")
+            .and_then(Json::as_f64)
+            .expect("poll counter present");
+        assert_eq!(polls as u64, poll, "snapshot must be live, not cached");
+    }
+    // Other routes share the kept-alive connection.
+    conn.write_all(b"GET /trace HTTP/1.1\r\nHost: x\r\n\r\n")
+        .unwrap();
+    let (status, body) = read_keepalive_response(&mut conn);
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    assert!(body.contains("traceEvents"));
+
+    // `Connection: close` is honoured: one last answer, then EOF.
+    conn.write_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        .unwrap();
+    let (status, _) = read_keepalive_response(&mut conn);
+    assert!(status.starts_with("HTTP/1.1 200 OK"), "{status}");
+    let mut rest = Vec::new();
+    conn.read_to_end(&mut rest).unwrap();
+    assert!(rest.is_empty(), "server must close after Connection: close");
+
+    // HTTP/1.0 keeps the original one-shot close-after-answer contract.
+    let mut oneshot = std::net::TcpStream::connect(&addr).expect("connect");
+    oneshot.write_all(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+    let mut response = String::new();
+    oneshot.read_to_string(&mut response).unwrap();
+    assert!(response.starts_with("HTTP/1.0 200 OK"), "{response}");
+
+    wazabee_telemetry::reset();
+}
+
 // ---------------------------------------------------------------------------
 // Sim-time timeline
 // ---------------------------------------------------------------------------
